@@ -1,0 +1,11 @@
+//! MiniRedis: a Redis-style single-threaded data-structure store.
+//!
+//! The append-only file is the `O_NCL` file; RDB snapshots and the
+//! generation meta file live on the DFS.
+
+pub mod aof;
+pub mod server;
+pub mod store;
+
+pub use server::{MiniRedis, RedisOptions};
+pub use store::{Command, Query, Reply, Store, Value};

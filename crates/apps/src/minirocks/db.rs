@@ -1,0 +1,694 @@
+//! The MiniRocks database: group-committed WAL, memtable, flush, compaction.
+//!
+//! The write path mirrors RocksDB's as the paper characterises it (§3):
+//! update requests from many threads are *batched* into a single WAL write
+//! (group commit) followed by one durability barrier, applied to an
+//! in-memory memtable, and acknowledged. When the memtable fills (or the
+//! WAL nears its capacity), it is frozen and flushed in the background as an
+//! SSTable — a large bulk write to the DFS — after which the WAL is
+//! **deleted** (Table 2's reclaim policy). L0 tables are compacted into the
+//! sorted L1 run when they pile up.
+//!
+//! In SplitFT mode the WAL is opened with `O_NCL`, so every group commit is
+//! a microsecond-scale replicated record instead of a millisecond-scale DFS
+//! flush; nothing else changes — that is the entire port, exactly as in the
+//! paper (10 LOC for RocksDB).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use splitfs::{File, OpenOptions, SplitFs};
+
+use super::manifest::{Edit, Manifest};
+use super::memtable::MemTable;
+use super::sstable::{SstBuilder, SstReader};
+use crate::kv::{encode_record, replay_records, AppError, Entry, KvApp};
+
+/// Tuning knobs for [`MiniRocks`].
+#[derive(Debug, Clone)]
+pub struct RocksOptions {
+    /// Memtable size that triggers a flush.
+    pub memtable_bytes: usize,
+    /// WAL region capacity (the log size the application would configure;
+    /// NCL allocates peer memory of this size).
+    pub wal_capacity: usize,
+    /// SSTable block size.
+    pub block_size: usize,
+    /// Bloom filter density.
+    pub bloom_bits_per_key: usize,
+    /// Number of L0 files that triggers compaction into L1.
+    pub l0_compaction_trigger: usize,
+    /// L0 file count at which writers stall waiting for compaction.
+    pub l0_stall_trigger: usize,
+    /// Target size of compacted L1 files.
+    pub target_sst_bytes: usize,
+    /// Maximum requests folded into one group commit.
+    pub batch_max: usize,
+}
+
+impl Default for RocksOptions {
+    fn default() -> Self {
+        RocksOptions {
+            memtable_bytes: 4 << 20,
+            wal_capacity: 16 << 20,
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            l0_compaction_trigger: 4,
+            l0_stall_trigger: 10,
+            target_sst_bytes: 4 << 20,
+            batch_max: 64,
+        }
+    }
+}
+
+impl RocksOptions {
+    /// Small limits for tests, forcing frequent flush/compaction activity.
+    pub fn tiny() -> Self {
+        RocksOptions {
+            memtable_bytes: 4 << 10,
+            wal_capacity: 64 << 10,
+            block_size: 512,
+            l0_compaction_trigger: 2,
+            l0_stall_trigger: 6,
+            target_sst_bytes: 8 << 10,
+            ..RocksOptions::default()
+        }
+    }
+}
+
+struct CommitReq {
+    entries: Vec<Entry>,
+    reply: Sender<Result<(), AppError>>,
+}
+
+struct FlushJob {
+    wal_number: u64,
+    mem: Arc<MemTable>,
+}
+
+struct State {
+    mem: MemTable,
+    /// Frozen memtables awaiting flush, oldest first, with their WALs.
+    frozen: Vec<(u64, Arc<MemTable>)>,
+    /// `levels[0]`: newest last. `levels[1]`: disjoint, sorted by first key.
+    levels: [Vec<Arc<SstReader>>; 2],
+}
+
+struct Inner {
+    fs: SplitFs,
+    prefix: String,
+    opts: RocksOptions,
+    state: RwLock<State>,
+    manifest: Mutex<Manifest>,
+    next_file: AtomicU64,
+    seq: AtomicU64,
+    closed: AtomicBool,
+    commit_tx: Mutex<Option<Sender<CommitReq>>>,
+    stalls: AtomicU64,
+    compactions: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// A RocksDB-style LSM key-value store over the SplitFT facade.
+pub struct MiniRocks {
+    inner: Arc<Inner>,
+    commit_thread: Option<JoinHandle<()>>,
+    flush_thread: Option<JoinHandle<()>>,
+    flush_tx: Option<Sender<FlushJob>>,
+}
+
+impl MiniRocks {
+    /// Opens (creating or recovering) a database named `prefix` on `fs`.
+    ///
+    /// Recovery replays the manifest to find live SSTables and WALs, replays
+    /// every intact WAL record (in SplitFT mode the `open` of each WAL is
+    /// the NCL `recover` call), flushes the recovered memtable, and starts
+    /// fresh.
+    pub fn open(fs: SplitFs, prefix: &str, opts: RocksOptions) -> Result<Self, AppError> {
+        let manifest_path = format!("{prefix}MANIFEST");
+        let (mut manifest, version) = Manifest::open(&fs, &manifest_path)?;
+        let mut next_file = version.max_file_number() + 1;
+
+        // Load live tables.
+        let mut levels: [Vec<Arc<SstReader>>; 2] = [Vec::new(), Vec::new()];
+        for &(level, file) in &version.ssts {
+            let reader = SstReader::open(&fs, &sst_name(prefix, file))?;
+            levels[level.min(1) as usize].push(Arc::new(reader));
+        }
+        levels[1].sort_by(|a, b| a.first_key().cmp(b.first_key()));
+
+        // Replay WALs, oldest first.
+        let mut recovered = MemTable::new();
+        let mut replayed_wals = Vec::new();
+        let mut wals = version.wals.clone();
+        wals.sort_unstable();
+        for wal in &wals {
+            let path = wal_name(prefix, *wal);
+            if !fs.exists(&path) {
+                continue; // Crash between manifest edit and file creation.
+            }
+            let file = fs.open(&path, open_wal_opts(opts.wal_capacity, false))?;
+            let size = file.size()? as usize;
+            let buf = file.read(0, size)?;
+            let (max_seq, batches) = replay_records(&buf);
+            for batch in &batches {
+                for entry in batch {
+                    recovered.apply(entry);
+                }
+            }
+            let cur = self_seq_max(&recovered, max_seq);
+            replayed_wals.push((*wal, cur));
+        }
+        let max_seq = replayed_wals.iter().map(|&(_, s)| s).max().unwrap_or(0);
+
+        // Flush the recovered memtable so the old WALs can be dropped.
+        if !recovered.is_empty() {
+            let file_no = next_file;
+            next_file += 1;
+            let mut builder = SstBuilder::new(opts.block_size, opts.bloom_bits_per_key);
+            for (k, v) in recovered.iter() {
+                builder.add(k, v);
+            }
+            let reader = builder.finish(&fs, &sst_name(prefix, file_no))?;
+            let mut edits = vec![Edit::AddSst {
+                level: 0,
+                file: file_no,
+            }];
+            edits.extend(wals.iter().map(|&w| Edit::RemoveWal { file: w }));
+            manifest.log(&edits)?;
+            levels[0].push(Arc::new(reader));
+        } else if !wals.is_empty() {
+            let edits: Vec<Edit> = wals.iter().map(|&w| Edit::RemoveWal { file: w }).collect();
+            manifest.log(&edits)?;
+        }
+        for wal in &wals {
+            let path = wal_name(prefix, *wal);
+            if fs.exists(&path) {
+                let _ = fs.unlink(&path);
+            }
+        }
+        // Reap orphan WALs (created but never recorded, or recorded-removed
+        // but not deleted before the crash).
+        for orphan in fs.list(&format!("{prefix}wal-")).unwrap_or_default() {
+            let _ = fs.unlink(&orphan);
+        }
+
+        // Fresh WAL for new writes.
+        let wal_number = next_file;
+        next_file += 1;
+        let wal_file = fs.open(
+            &wal_name(prefix, wal_number),
+            open_wal_opts(opts.wal_capacity, true),
+        )?;
+        manifest.log(&[Edit::AddWal { file: wal_number }])?;
+
+        let inner = Arc::new(Inner {
+            fs,
+            prefix: prefix.to_string(),
+            opts,
+            state: RwLock::new(State {
+                mem: MemTable::new(),
+                frozen: Vec::new(),
+                levels,
+            }),
+            manifest: Mutex::new(manifest),
+            next_file: AtomicU64::new(next_file),
+            seq: AtomicU64::new(max_seq + 1),
+            closed: AtomicBool::new(false),
+            commit_tx: Mutex::new(None),
+            stalls: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        });
+
+        let (flush_tx, flush_rx) = unbounded::<FlushJob>();
+        let flush_thread = spawn_flush_thread(Arc::clone(&inner), flush_rx);
+        let (commit_tx, commit_rx) = unbounded::<CommitReq>();
+        *inner.commit_tx.lock() = Some(commit_tx);
+        let commit_thread = spawn_commit_thread(
+            Arc::clone(&inner),
+            commit_rx,
+            flush_tx.clone(),
+            wal_file,
+            wal_number,
+        );
+
+        Ok(MiniRocks {
+            inner,
+            commit_thread: Some(commit_thread),
+            flush_thread: Some(flush_thread),
+            flush_tx: Some(flush_tx),
+        })
+    }
+
+    /// Applies a batch of entries atomically and durably (per the mounted
+    /// mode's guarantee).
+    pub fn write_batch(&self, entries: Vec<Entry>) -> Result<(), AppError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let tx = {
+            let guard = self.inner.commit_tx.lock();
+            match guard.as_ref() {
+                Some(tx) => tx.clone(),
+                None => return Err(AppError::Closed),
+            }
+        };
+        tx.send(CommitReq {
+            entries,
+            reply: reply_tx,
+        })
+        .map_err(|_| AppError::Closed)?;
+        reply_rx.recv().map_err(|_| AppError::Closed)?
+    }
+
+    /// Inserts or overwrites one key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), AppError> {
+        self.write_batch(vec![Entry::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }])
+    }
+
+    /// Deletes one key.
+    pub fn delete(&self, key: &[u8]) -> Result<(), AppError> {
+        self.write_batch(vec![Entry::Delete { key: key.to_vec() }])
+    }
+
+    /// Point lookup through memtable → frozen → L0 → L1.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, AppError> {
+        // Snapshot the lookup candidates, then search without the lock.
+        let (mem_hit, frozen_hit, candidates) = {
+            let st = self.inner.state.read();
+            if let Some(v) = st.mem.get(key) {
+                (Some(v.map(|b| b.to_vec())), None, Vec::new())
+            } else {
+                let mut frozen_hit = None;
+                for (_, m) in st.frozen.iter().rev() {
+                    if let Some(v) = m.get(key) {
+                        frozen_hit = Some(v.map(|b| b.to_vec()));
+                        break;
+                    }
+                }
+                let mut candidates = Vec::new();
+                if frozen_hit.is_none() {
+                    for r in st.levels[0].iter().rev() {
+                        if r.covers(key) {
+                            candidates.push(Arc::clone(r));
+                        }
+                    }
+                    for r in st.levels[1].iter() {
+                        if r.covers(key) {
+                            candidates.push(Arc::clone(r));
+                        }
+                    }
+                }
+                (None, frozen_hit, candidates)
+            }
+        };
+        if let Some(v) = mem_hit {
+            return Ok(v);
+        }
+        if let Some(v) = frozen_hit {
+            return Ok(v);
+        }
+        for reader in candidates {
+            if let Some(v) = reader.get(key)? {
+                return Ok(v);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Number of background flushes performed.
+    pub fn flush_count(&self) -> u64 {
+        self.inner.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Number of compactions performed.
+    pub fn compaction_count(&self) -> u64 {
+        self.inner.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Number of write stalls (L0 back-pressure).
+    pub fn stall_count(&self) -> u64 {
+        self.inner.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Current L0/L1 file counts (introspection for tests and benches).
+    pub fn level_file_counts(&self) -> (usize, usize) {
+        let st = self.inner.state.read();
+        (st.levels[0].len(), st.levels[1].len())
+    }
+
+    /// Blocks until no frozen memtable awaits flushing (test determinism).
+    pub fn wait_for_flushes(&self) {
+        loop {
+            {
+                let st = self.inner.state.read();
+                if st.frozen.is_empty() {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for MiniRocks {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        // Stop accepting writes and let the commit thread drain.
+        self.inner.commit_tx.lock().take();
+        if let Some(t) = self.commit_thread.take() {
+            let _ = t.join();
+        }
+        self.flush_tx.take();
+        if let Some(t) = self.flush_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl KvApp for MiniRocks {
+    fn insert(&self, key: &str, value: &[u8]) -> Result<(), AppError> {
+        self.put(key.as_bytes(), value)
+    }
+
+    fn update(&self, key: &str, value: &[u8]) -> Result<(), AppError> {
+        self.put(key.as_bytes(), value)
+    }
+
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>, AppError> {
+        self.get(key.as_bytes())
+    }
+
+    fn quiesce(&self) {
+        // Drain flush debt and let the triggered compactions land, so reads
+        // in a following benchmark phase see a settled LSM shape.
+        self.wait_for_flushes();
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while std::time::Instant::now() < deadline {
+            let (l0, _) = self.level_file_counts();
+            if l0 < self.inner.opts.l0_compaction_trigger {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn wal_name(prefix: &str, n: u64) -> String {
+    format!("{prefix}wal-{n:06}.log")
+}
+
+fn sst_name(prefix: &str, n: u64) -> String {
+    format!("{prefix}sst-{n:06}.sst")
+}
+
+fn open_wal_opts(capacity: usize, create: bool) -> OpenOptions {
+    OpenOptions {
+        create,
+        ncl: true,
+        capacity,
+    }
+}
+
+fn self_seq_max(_m: &MemTable, seq: u64) -> u64 {
+    seq
+}
+
+fn spawn_commit_thread(
+    inner: Arc<Inner>,
+    rx: Receiver<CommitReq>,
+    flush_tx: Sender<FlushJob>,
+    mut wal_file: File,
+    mut wal_number: u64,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("rocks-commit".to_string())
+        .spawn(move || {
+            let mut wal_written = 0usize;
+            loop {
+                let first = match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(req) => req,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if inner.closed.load(Ordering::SeqCst) && rx.is_empty() {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                // Group commit: fold waiting requests into this batch.
+                let mut reqs = vec![first];
+                while reqs.len() < inner.opts.batch_max {
+                    match rx.try_recv() {
+                        Ok(req) => reqs.push(req),
+                        Err(_) => break,
+                    }
+                }
+                let entries: Vec<Entry> = reqs
+                    .iter()
+                    .flat_map(|r| r.entries.iter().cloned())
+                    .collect();
+                let seq = inner.seq.fetch_add(1, Ordering::SeqCst);
+                let record = encode_record(seq, &entries);
+
+                // L0 back-pressure: stall writers while compaction is behind.
+                while inner.state.read().levels[0].len() >= inner.opts.l0_stall_trigger {
+                    inner.stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+
+                // Rotate first if this record would overflow the WAL region.
+                if wal_written + record.len() > inner.opts.wal_capacity * 9 / 10 {
+                    if let Err(e) = rotate(
+                        &inner,
+                        &flush_tx,
+                        &mut wal_file,
+                        &mut wal_number,
+                        &mut wal_written,
+                    ) {
+                        for req in reqs {
+                            let _ = req.reply.send(Err(e.clone()));
+                        }
+                        continue;
+                    }
+                }
+
+                // One write system call + one durability barrier for the
+                // whole group.
+                let result = wal_file
+                    .write_at(wal_written as u64, &record)
+                    .and_then(|()| wal_file.fsync())
+                    .map_err(AppError::from);
+                match result {
+                    Ok(()) => {
+                        wal_written += record.len();
+                        {
+                            let mut st = inner.state.write();
+                            for e in &entries {
+                                st.mem.apply(e);
+                            }
+                        }
+                        for req in reqs {
+                            let _ = req.reply.send(Ok(()));
+                        }
+                        // Memtable full → freeze and hand to the flusher.
+                        let needs_rotate = {
+                            let st = inner.state.read();
+                            st.mem.approx_bytes() >= inner.opts.memtable_bytes
+                        };
+                        if needs_rotate {
+                            let _ = rotate(
+                                &inner,
+                                &flush_tx,
+                                &mut wal_file,
+                                &mut wal_number,
+                                &mut wal_written,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        for req in reqs {
+                            let _ = req.reply.send(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn commit thread")
+}
+
+/// Freezes the memtable, creates a fresh WAL, and queues the flush.
+fn rotate(
+    inner: &Arc<Inner>,
+    flush_tx: &Sender<FlushJob>,
+    wal_file: &mut File,
+    wal_number: &mut u64,
+    wal_written: &mut usize,
+) -> Result<(), AppError> {
+    let new_number = inner.next_file.fetch_add(1, Ordering::SeqCst);
+    let new_file = inner.fs.open(
+        &wal_name(&inner.prefix, new_number),
+        open_wal_opts(inner.opts.wal_capacity, true),
+    )?;
+    inner
+        .manifest
+        .lock()
+        .log(&[Edit::AddWal { file: new_number }])?;
+    let frozen_mem = {
+        let mut st = inner.state.write();
+        let mem = std::mem::take(&mut st.mem);
+        let mem = Arc::new(mem);
+        st.frozen.push((*wal_number, Arc::clone(&mem)));
+        mem
+    };
+    let _ = flush_tx.send(FlushJob {
+        wal_number: *wal_number,
+        mem: frozen_mem,
+    });
+    *wal_file = new_file;
+    *wal_number = new_number;
+    *wal_written = 0;
+    Ok(())
+}
+
+fn spawn_flush_thread(inner: Arc<Inner>, rx: Receiver<FlushJob>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("rocks-flush".to_string())
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                if let Err(e) = run_flush(&inner, &job) {
+                    // A failed flush keeps the frozen memtable and WAL; data
+                    // stays durable in the WAL. Log-and-retry semantics.
+                    eprintln!("minirocks: flush failed: {e}");
+                    continue;
+                }
+                let l0_len = inner.state.read().levels[0].len();
+                if l0_len >= inner.opts.l0_compaction_trigger {
+                    if let Err(e) = run_compaction(&inner) {
+                        eprintln!("minirocks: compaction failed: {e}");
+                    }
+                }
+            }
+        })
+        .expect("spawn flush thread")
+}
+
+fn run_flush(inner: &Arc<Inner>, job: &FlushJob) -> Result<(), AppError> {
+    if job.mem.is_empty() {
+        // Nothing to write; just retire the WAL.
+        inner.manifest.lock().log(&[Edit::RemoveWal {
+            file: job.wal_number,
+        }])?;
+        let mut st = inner.state.write();
+        st.frozen.retain(|(w, _)| *w != job.wal_number);
+        drop(st);
+        let _ = inner.fs.unlink(&wal_name(&inner.prefix, job.wal_number));
+        return Ok(());
+    }
+    let file_no = inner.next_file.fetch_add(1, Ordering::SeqCst);
+    let mut builder = SstBuilder::new(inner.opts.block_size, inner.opts.bloom_bits_per_key);
+    for (k, v) in job.mem.iter() {
+        builder.add(k, v);
+    }
+    // Large background write + fsync to the DFS.
+    let reader = builder.finish(&inner.fs, &sst_name(&inner.prefix, file_no))?;
+    inner.manifest.lock().log(&[
+        Edit::AddSst {
+            level: 0,
+            file: file_no,
+        },
+        Edit::RemoveWal {
+            file: job.wal_number,
+        },
+    ])?;
+    {
+        let mut st = inner.state.write();
+        st.levels[0].push(Arc::new(reader));
+        st.frozen.retain(|(w, _)| *w != job.wal_number);
+    }
+    // The log is now redundant: garbage-collect it by deletion (Table 2).
+    let _ = inner.fs.unlink(&wal_name(&inner.prefix, job.wal_number));
+    inner.flushes.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+fn run_compaction(inner: &Arc<Inner>) -> Result<(), AppError> {
+    // Inputs: every L0 table plus all L1 tables (single-run L1).
+    let (l0, l1) = {
+        let st = inner.state.read();
+        (st.levels[0].clone(), st.levels[1].clone())
+    };
+    if l0.is_empty() {
+        return Ok(());
+    }
+    // Oldest-to-newest apply order: L1 is oldest, then L0 in push order.
+    let mut merged: std::collections::BTreeMap<Vec<u8>, Option<Vec<u8>>> =
+        std::collections::BTreeMap::new();
+    for reader in l1.iter().chain(l0.iter()) {
+        for (k, v) in reader.scan_all()? {
+            merged.insert(k, v);
+        }
+    }
+    // Bottom level: tombstones can be dropped.
+    merged.retain(|_, v| v.is_some());
+
+    // Write out L1 files capped at the target size.
+    let mut outputs: Vec<(u64, Arc<SstReader>)> = Vec::new();
+    let mut builder = SstBuilder::new(inner.opts.block_size, inner.opts.bloom_bits_per_key);
+    let mut built_bytes = 0usize;
+    let mut file_no = inner.next_file.fetch_add(1, Ordering::SeqCst);
+    for (k, v) in &merged {
+        builder.add(k, v.as_deref());
+        built_bytes += k.len() + v.as_ref().map(|x| x.len()).unwrap_or(0) + 16;
+        if built_bytes >= inner.opts.target_sst_bytes {
+            let reader = builder.finish(&inner.fs, &sst_name(&inner.prefix, file_no))?;
+            outputs.push((file_no, Arc::new(reader)));
+            builder = SstBuilder::new(inner.opts.block_size, inner.opts.bloom_bits_per_key);
+            built_bytes = 0;
+            file_no = inner.next_file.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    if built_bytes > 0 || outputs.is_empty() {
+        let reader = builder.finish(&inner.fs, &sst_name(&inner.prefix, file_no))?;
+        outputs.push((file_no, Arc::new(reader)));
+    }
+
+    // Publish the edit.
+    let mut edits = Vec::new();
+    for r in l0.iter().chain(l1.iter()) {
+        let n = file_number_of(r.path());
+        edits.push(Edit::RemoveSst { file: n });
+    }
+    for (n, _) in &outputs {
+        edits.push(Edit::AddSst { level: 1, file: *n });
+    }
+    inner.manifest.lock().log(&edits)?;
+    {
+        let mut st = inner.state.write();
+        // Keep any L0 files that were flushed while we compacted.
+        let consumed: Vec<String> = l0.iter().map(|r| r.path().to_string()).collect();
+        st.levels[0].retain(|r| !consumed.contains(&r.path().to_string()));
+        st.levels[1] = outputs.iter().map(|(_, r)| Arc::clone(r)).collect();
+        st.levels[1].sort_by(|a, b| a.first_key().cmp(b.first_key()));
+    }
+    for r in l0.iter().chain(l1.iter()) {
+        let _ = inner.fs.unlink(r.path());
+    }
+    inner.compactions.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+fn file_number_of(path: &str) -> u64 {
+    // Paths look like "{prefix}sst-000123.sst" / "{prefix}wal-000123.log".
+    let stem = path.rsplit('-').next().unwrap_or("0");
+    stem.trim_end_matches(".sst")
+        .trim_end_matches(".log")
+        .parse()
+        .unwrap_or(0)
+}

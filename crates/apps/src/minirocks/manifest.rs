@@ -1,0 +1,251 @@
+//! The manifest: a log of version edits describing the live file set.
+//!
+//! Like RocksDB's MANIFEST, this is an append-only record of which SSTables
+//! exist at which level and which WALs are still live. It is written rarely
+//! (per flush/compaction/WAL rotation) and fsynced on every edit in all
+//! modes — manifest updates are off the client critical path, so SplitFT
+//! leaves them on the DFS.
+
+use splitfs::{File, OpenOptions, SplitFs};
+
+use crate::kv::{checksum, AppError};
+
+/// One version edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edit {
+    /// SSTable `file` now lives at `level`.
+    AddSst {
+        /// LSM level.
+        level: u8,
+        /// File number (`sst-{n}`).
+        file: u64,
+    },
+    /// SSTable `file` was compacted away.
+    RemoveSst {
+        /// File number.
+        file: u64,
+    },
+    /// WAL `file` is live (receiving or awaiting flush).
+    AddWal {
+        /// File number (`wal-{n}`).
+        file: u64,
+    },
+    /// WAL `file` was flushed and deleted.
+    RemoveWal {
+        /// File number.
+        file: u64,
+    },
+}
+
+impl Edit {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Edit::AddSst { level, file } => {
+                out.push(1);
+                out.push(*level);
+                out.extend_from_slice(&file.to_le_bytes());
+            }
+            Edit::RemoveSst { file } => {
+                out.push(2);
+                out.extend_from_slice(&file.to_le_bytes());
+            }
+            Edit::AddWal { file } => {
+                out.push(3);
+                out.extend_from_slice(&file.to_le_bytes());
+            }
+            Edit::RemoveWal { file } => {
+                out.push(4);
+                out.extend_from_slice(&file.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<Edit, AppError> {
+        let tag = buf[*pos];
+        *pos += 1;
+        let take_u64 = |pos: &mut usize| -> Result<u64, AppError> {
+            if *pos + 8 > buf.len() {
+                return Err(AppError::Corrupt("manifest edit truncated".into()));
+            }
+            let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8"));
+            *pos += 8;
+            Ok(v)
+        };
+        match tag {
+            1 => {
+                if *pos >= buf.len() {
+                    return Err(AppError::Corrupt("manifest edit truncated".into()));
+                }
+                let level = buf[*pos];
+                *pos += 1;
+                Ok(Edit::AddSst {
+                    level,
+                    file: take_u64(pos)?,
+                })
+            }
+            2 => Ok(Edit::RemoveSst {
+                file: take_u64(pos)?,
+            }),
+            3 => Ok(Edit::AddWal {
+                file: take_u64(pos)?,
+            }),
+            4 => Ok(Edit::RemoveWal {
+                file: take_u64(pos)?,
+            }),
+            t => Err(AppError::Corrupt(format!("unknown manifest edit {t}"))),
+        }
+    }
+}
+
+/// The file set described by a manifest replay.
+#[derive(Debug, Default, Clone)]
+pub struct Version {
+    /// `(level, file_number)` pairs of live SSTables, in edit order.
+    pub ssts: Vec<(u8, u64)>,
+    /// Live WAL numbers, oldest first.
+    pub wals: Vec<u64>,
+}
+
+impl Version {
+    /// Applies one edit.
+    pub fn apply(&mut self, edit: Edit) {
+        match edit {
+            Edit::AddSst { level, file } => self.ssts.push((level, file)),
+            Edit::RemoveSst { file } => self.ssts.retain(|&(_, f)| f != file),
+            Edit::AddWal { file } => self.wals.push(file),
+            Edit::RemoveWal { file } => self.wals.retain(|&f| f != file),
+        }
+    }
+
+    /// Highest file number mentioned (for numbering new files).
+    pub fn max_file_number(&self) -> u64 {
+        self.ssts
+            .iter()
+            .map(|&(_, f)| f)
+            .chain(self.wals.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Append-only manifest writer.
+pub struct Manifest {
+    file: File,
+    offset: u64,
+}
+
+impl Manifest {
+    /// Opens (or creates) the manifest at `path`, replaying its edits.
+    pub fn open(fs: &SplitFs, path: &str) -> Result<(Self, Version), AppError> {
+        let existed = fs.exists(path);
+        let file = fs.open(path, OpenOptions::create())?;
+        let mut version = Version::default();
+        let mut offset = 0u64;
+        if existed {
+            let size = file.size()? as usize;
+            let buf = file.read(0, size)?;
+            let mut pos = 0usize;
+            while pos + 8 <= buf.len() {
+                let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4")) as usize;
+                if len == 0 {
+                    break;
+                }
+                let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4"));
+                if pos + 8 + len > buf.len() {
+                    break; // Torn tail: ignore, the edit never committed.
+                }
+                let body = &buf[pos + 8..pos + 8 + len];
+                if checksum(body) != crc {
+                    break;
+                }
+                let mut body_pos = 0;
+                while body_pos < body.len() {
+                    version.apply(Edit::decode(body, &mut body_pos)?);
+                }
+                pos += 8 + len;
+            }
+            offset = pos as u64;
+        }
+        Ok((Manifest { file, offset }, version))
+    }
+
+    /// Appends a batch of edits as one fsynced frame.
+    pub fn log(&mut self, edits: &[Edit]) -> Result<(), AppError> {
+        let mut body = Vec::new();
+        for e in edits {
+            e.encode_into(&mut body);
+        }
+        let mut frame = Vec::with_capacity(body.len() + 8);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file.write_at(self.offset, &frame)?;
+        self.file.fsync()?;
+        self.offset += frame.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::LocalFs;
+
+    fn fs() -> SplitFs {
+        SplitFs::local(LocalFs::zero())
+    }
+
+    #[test]
+    fn fresh_manifest_is_empty() {
+        let fs = fs();
+        let (_m, v) = Manifest::open(&fs, "MANIFEST").unwrap();
+        assert!(v.ssts.is_empty());
+        assert!(v.wals.is_empty());
+        assert_eq!(v.max_file_number(), 0);
+    }
+
+    #[test]
+    fn edits_replay_across_reopen() {
+        let fs = fs();
+        {
+            let (mut m, _) = Manifest::open(&fs, "MANIFEST").unwrap();
+            m.log(&[Edit::AddWal { file: 1 }]).unwrap();
+            m.log(&[
+                Edit::AddSst { level: 0, file: 2 },
+                Edit::RemoveWal { file: 1 },
+            ])
+            .unwrap();
+            m.log(&[Edit::AddWal { file: 3 }]).unwrap();
+        }
+        let (_m, v) = Manifest::open(&fs, "MANIFEST").unwrap();
+        assert_eq!(v.ssts, vec![(0, 2)]);
+        assert_eq!(v.wals, vec![3]);
+        assert_eq!(v.max_file_number(), 3);
+    }
+
+    #[test]
+    fn remove_sst_after_compaction() {
+        let mut v = Version::default();
+        v.apply(Edit::AddSst { level: 0, file: 1 });
+        v.apply(Edit::AddSst { level: 0, file: 2 });
+        v.apply(Edit::AddSst { level: 1, file: 3 });
+        v.apply(Edit::RemoveSst { file: 1 });
+        v.apply(Edit::RemoveSst { file: 2 });
+        assert_eq!(v.ssts, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let fs = fs();
+        {
+            let (mut m, _) = Manifest::open(&fs, "MANIFEST").unwrap();
+            m.log(&[Edit::AddWal { file: 1 }]).unwrap();
+        }
+        // Append garbage simulating a torn frame.
+        let f = fs.open("MANIFEST", OpenOptions::plain()).unwrap();
+        let size = f.size().unwrap();
+        f.write_at(size, &[9, 0, 0, 0, 1, 2, 3]).unwrap();
+        let (_m, v) = Manifest::open(&fs, "MANIFEST").unwrap();
+        assert_eq!(v.wals, vec![1]);
+    }
+}

@@ -1,0 +1,12 @@
+//! MiniRocks: a RocksDB-style LSM key-value store.
+//!
+//! See [`db`] for the engine, [`memtable`]/[`sstable`]/[`manifest`] for the
+//! components. The write-ahead log is the only `O_NCL` file; sorted tables
+//! and the manifest live on the DFS.
+
+pub mod db;
+pub mod manifest;
+pub mod memtable;
+pub mod sstable;
+
+pub use db::{MiniRocks, RocksOptions};

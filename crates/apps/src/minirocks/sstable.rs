@@ -1,0 +1,510 @@
+//! Sorted-string tables: the LSM tree's immutable on-DFS files.
+//!
+//! An SSTable is built in memory and written with **one bulk write + fsync**
+//! — exactly the large background IO the paper's Figure 1(a) shows dwarfing
+//! the log writes by orders of magnitude. Layout:
+//!
+//! ```text
+//! [data blocks]* [index block] [bloom filter] [footer (fixed 40 bytes)]
+//! ```
+//!
+//! Each data block holds sorted `(key, tag, value)` entries and is the read
+//! granularity; the index stores each block's last key and extent; the
+//! bloom filter cuts pointless block fetches on misses.
+
+use splitfs::{File, OpenOptions, SplitFs};
+
+use crate::kv::{checksum, AppError};
+
+/// Footer magic.
+const SST_MAGIC: u32 = 0x5353_5431; // "SST1"
+/// Fixed footer size at the end of the file.
+const FOOTER_SIZE: usize = 40;
+
+/// Bloom filter over the table's keys.
+#[derive(Debug, Clone)]
+pub struct Bloom {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+impl Bloom {
+    /// Builds a filter sized for `n` keys at `bits_per_key`.
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, n: usize, bits_per_key: usize) -> Self {
+        let nbits = (n.max(1) * bits_per_key).max(64);
+        let nbits = nbits.next_power_of_two();
+        let k = ((bits_per_key as f64) * 0.69) as u32;
+        let k = k.clamp(1, 30);
+        let mut bits = vec![0u8; nbits / 8];
+        for key in keys {
+            let (mut h, delta) = Self::hashes(key);
+            for _ in 0..k {
+                let bit = (h as usize) & (nbits - 1);
+                bits[bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(delta);
+            }
+        }
+        Bloom { bits, k }
+    }
+
+    fn hashes(key: &[u8]) -> (u64, u64) {
+        // Double hashing from one 64-bit FNV-1a pass.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h, (h >> 17) | 1)
+    }
+
+    /// True when the key *may* be present (no false negatives).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = self.bits.len() * 8;
+        if nbits == 0 {
+            return true;
+        }
+        let (mut h, delta) = Self::hashes(key);
+        for _ in 0..self.k {
+            let bit = (h as usize) & (nbits - 1);
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(delta);
+        }
+        true
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bits.len() + 4);
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, AppError> {
+        if buf.len() < 4 {
+            return Err(AppError::Corrupt("bloom too short".into()));
+        }
+        Ok(Bloom {
+            k: u32::from_le_bytes(buf[0..4].try_into().expect("4")),
+            bits: buf[4..].to_vec(),
+        })
+    }
+}
+
+/// One index entry: the block's last key and extent.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    last_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+}
+
+/// Streaming SSTable builder.
+pub struct SstBuilder {
+    block_size: usize,
+    bits_per_key: usize,
+    buf: Vec<u8>,
+    block_start: usize,
+    block_last_key: Vec<u8>,
+    index: Vec<IndexEntry>,
+    keys: Vec<Vec<u8>>,
+    first_key: Option<Vec<u8>>,
+    count: u64,
+}
+
+impl SstBuilder {
+    /// Creates a builder with the given block size and bloom density.
+    pub fn new(block_size: usize, bits_per_key: usize) -> Self {
+        SstBuilder {
+            block_size,
+            bits_per_key,
+            buf: Vec::new(),
+            block_start: 0,
+            block_last_key: Vec::new(),
+            index: Vec::new(),
+            keys: Vec::new(),
+            first_key: None,
+            count: 0,
+        }
+    }
+
+    /// Adds the next entry; keys must arrive in strictly ascending order.
+    /// `value = None` writes a tombstone.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        debug_assert!(
+            self.keys.last().map(|k| k.as_slice() < key).unwrap_or(true),
+            "keys must be added in ascending order"
+        );
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        self.buf
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        match value {
+            Some(v) => {
+                self.buf.push(1);
+                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(v);
+            }
+            None => self.buf.push(0),
+        }
+        self.block_last_key = key.to_vec();
+        self.keys.push(key.to_vec());
+        self.count += 1;
+        if self.buf.len() - self.block_start >= self.block_size {
+            self.finish_block();
+        }
+    }
+
+    fn finish_block(&mut self) {
+        if self.buf.len() == self.block_start {
+            return;
+        }
+        self.index.push(IndexEntry {
+            last_key: self.block_last_key.clone(),
+            offset: self.block_start as u64,
+            len: (self.buf.len() - self.block_start) as u32,
+        });
+        self.block_start = self.buf.len();
+    }
+
+    /// Serialises the table and writes it to `path` on `fs` as a single
+    /// bulk write followed by an fsync. Returns the reader-side metadata.
+    pub fn finish(mut self, fs: &SplitFs, path: &str) -> Result<SstReader, AppError> {
+        self.finish_block();
+        let bloom = Bloom::build(
+            self.keys.iter().map(Vec::as_slice),
+            self.keys.len(),
+            self.bits_per_key,
+        );
+
+        let index_off = self.buf.len() as u64;
+        let mut index_buf = Vec::new();
+        for e in &self.index {
+            index_buf.extend_from_slice(&(e.last_key.len() as u32).to_le_bytes());
+            index_buf.extend_from_slice(&e.last_key);
+            index_buf.extend_from_slice(&e.offset.to_le_bytes());
+            index_buf.extend_from_slice(&e.len.to_le_bytes());
+        }
+        self.buf.extend_from_slice(&index_buf);
+        let bloom_off = self.buf.len() as u64;
+        let bloom_buf = bloom.encode();
+        self.buf.extend_from_slice(&bloom_buf);
+
+        let mut footer = Vec::with_capacity(FOOTER_SIZE);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_buf.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_buf.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&self.count.to_le_bytes());
+        footer.extend_from_slice(&SST_MAGIC.to_le_bytes());
+        let crc = checksum(&footer);
+        footer.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(footer.len(), FOOTER_SIZE);
+        self.buf.extend_from_slice(&footer);
+
+        let file = fs.open(path, OpenOptions::create())?;
+        file.write_at(0, &self.buf)?;
+        file.fsync()?;
+
+        let first_key = self.first_key.clone().unwrap_or_default();
+        let last_key = self.block_last_key.clone();
+        Ok(SstReader {
+            file,
+            path: path.to_string(),
+            index: self.index,
+            bloom,
+            first_key,
+            last_key,
+            count: self.count,
+        })
+    }
+}
+
+/// Read-side handle to an SSTable.
+pub struct SstReader {
+    file: File,
+    path: String,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    first_key: Vec<u8>,
+    last_key: Vec<u8>,
+    count: u64,
+}
+
+impl SstReader {
+    /// Opens an existing table: reads the footer, index and bloom filter.
+    pub fn open(fs: &SplitFs, path: &str) -> Result<Self, AppError> {
+        let file = fs.open(path, OpenOptions::plain())?;
+        let size = file.size()? as usize;
+        if size < FOOTER_SIZE {
+            return Err(AppError::Corrupt(format!("{path}: too small")));
+        }
+        let footer = file.read((size - FOOTER_SIZE) as u64, FOOTER_SIZE)?;
+        let crc = u32::from_le_bytes(footer[36..40].try_into().expect("4"));
+        if checksum(&footer[..36]) != crc {
+            return Err(AppError::Corrupt(format!("{path}: footer crc")));
+        }
+        let magic = u32::from_le_bytes(footer[32..36].try_into().expect("4"));
+        if magic != SST_MAGIC {
+            return Err(AppError::Corrupt(format!("{path}: bad magic")));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8"));
+        let index_len = u32::from_le_bytes(footer[8..12].try_into().expect("4")) as usize;
+        let bloom_off = u64::from_le_bytes(footer[12..20].try_into().expect("8"));
+        let bloom_len = u32::from_le_bytes(footer[20..24].try_into().expect("4")) as usize;
+        let count = u64::from_le_bytes(footer[24..32].try_into().expect("8"));
+
+        let index_buf = file.read(index_off, index_len)?;
+        let mut index = Vec::new();
+        let mut pos = 0;
+        while pos + 4 <= index_buf.len() {
+            let klen = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            let last_key = index_buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let offset = u64::from_le_bytes(index_buf[pos..pos + 8].try_into().expect("8"));
+            pos += 8;
+            let len = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4"));
+            pos += 4;
+            index.push(IndexEntry {
+                last_key,
+                offset,
+                len,
+            });
+        }
+        let bloom = Bloom::decode(&file.read(bloom_off, bloom_len)?)?;
+        let last_key = index.last().map(|e| e.last_key.clone()).unwrap_or_default();
+        // First key needs the first block's first entry.
+        let first_key = if let Some(first_block) = index.first() {
+            let block = file.read(first_block.offset, first_block.len as usize)?;
+            let klen = u32::from_le_bytes(block[0..4].try_into().expect("4")) as usize;
+            block[4..4 + klen].to_vec()
+        } else {
+            Vec::new()
+        };
+        Ok(SstReader {
+            file,
+            path: path.to_string(),
+            index,
+            bloom,
+            first_key,
+            last_key,
+            count,
+        })
+    }
+
+    /// The table's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Smallest key in the table.
+    pub fn first_key(&self) -> &[u8] {
+        &self.first_key
+    }
+
+    /// Largest key in the table.
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when `key` falls inside the table's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        !self.index.is_empty()
+            && key >= self.first_key.as_slice()
+            && key <= self.last_key.as_slice()
+    }
+
+    /// Point lookup: `None` = absent, `Some(None)` = tombstone.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, AppError> {
+        if !self.covers(key) || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Binary search for the first block whose last key >= key.
+        let idx = self.index.partition_point(|e| e.last_key.as_slice() < key);
+        if idx >= self.index.len() {
+            return Ok(None);
+        }
+        let e = &self.index[idx];
+        let block = self.file.read(e.offset, e.len as usize)?;
+        let mut pos = 0;
+        while pos + 4 <= block.len() {
+            let klen = u32::from_le_bytes(block[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            let k = &block[pos..pos + klen];
+            pos += klen;
+            let tag = block[pos];
+            pos += 1;
+            let value = if tag == 1 {
+                let vlen = u32::from_le_bytes(block[pos..pos + 4].try_into().expect("4")) as usize;
+                pos += 4;
+                let v = block[pos..pos + vlen].to_vec();
+                pos += vlen;
+                Some(v)
+            } else {
+                None
+            };
+            match k.cmp(key) {
+                std::cmp::Ordering::Equal => return Ok(Some(value)),
+                std::cmp::Ordering::Greater => return Ok(None),
+                std::cmp::Ordering::Less => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Streams every entry in key order (used by compaction).
+    #[allow(clippy::type_complexity)] // `(key, Option<value>)` rows; a named type would obscure it.
+    pub fn scan_all(&self) -> Result<Vec<(Vec<u8>, Option<Vec<u8>>)>, AppError> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        for e in &self.index {
+            let block = self.file.read(e.offset, e.len as usize)?;
+            let mut pos = 0;
+            while pos + 4 <= block.len() {
+                let klen = u32::from_le_bytes(block[pos..pos + 4].try_into().expect("4")) as usize;
+                pos += 4;
+                let k = block[pos..pos + klen].to_vec();
+                pos += klen;
+                let tag = block[pos];
+                pos += 1;
+                let value = if tag == 1 {
+                    let vlen =
+                        u32::from_le_bytes(block[pos..pos + 4].try_into().expect("4")) as usize;
+                    pos += 4;
+                    let v = block[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    Some(v)
+                } else {
+                    None
+                };
+                out.push((k, value));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::LocalFs;
+
+    fn local_fs() -> SplitFs {
+        SplitFs::local(LocalFs::zero())
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let fs = local_fs();
+        let mut b = SstBuilder::new(64, 10);
+        for i in 0..100u32 {
+            let k = format!("key{i:04}");
+            b.add(k.as_bytes(), Some(format!("val{i}").as_bytes()));
+        }
+        let reader = b.finish(&fs, "sst-1").unwrap();
+        assert_eq!(reader.count(), 100);
+        assert_eq!(
+            reader.get(b"key0042").unwrap(),
+            Some(Some(b"val42".to_vec()))
+        );
+        assert_eq!(reader.get(b"missing").unwrap(), None);
+        assert_eq!(reader.get(b"key9999").unwrap(), None);
+    }
+
+    #[test]
+    fn reopen_from_disk() {
+        let fs = local_fs();
+        let mut b = SstBuilder::new(64, 10);
+        b.add(b"alpha", Some(b"1"));
+        b.add(b"beta", None); // Tombstone.
+        b.add(b"gamma", Some(b"3"));
+        b.finish(&fs, "sst-2").unwrap();
+        let reader = SstReader::open(&fs, "sst-2").unwrap();
+        assert_eq!(reader.first_key(), b"alpha");
+        assert_eq!(reader.last_key(), b"gamma");
+        assert_eq!(reader.get(b"alpha").unwrap(), Some(Some(b"1".to_vec())));
+        assert_eq!(reader.get(b"beta").unwrap(), Some(None), "tombstone");
+        assert_eq!(reader.get(b"aaaa").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_returns_everything_in_order() {
+        let fs = local_fs();
+        let mut b = SstBuilder::new(32, 10);
+        for i in 0..50u32 {
+            b.add(format!("k{i:03}").as_bytes(), Some(b"v"));
+        }
+        let reader = b.finish(&fs, "sst-3").unwrap();
+        let all = reader.scan_all().unwrap();
+        assert_eq!(all.len(), 50);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn bloom_filters_absent_keys() {
+        let keys: Vec<Vec<u8>> = (0..1000).map(|i| format!("key-{i}").into_bytes()).collect();
+        let bloom = Bloom::build(keys.iter().map(|k| k.as_slice()), keys.len(), 10);
+        for k in &keys {
+            assert!(bloom.may_contain(k), "no false negatives");
+        }
+        let mut false_positives = 0;
+        for i in 0..1000 {
+            if bloom.may_contain(format!("absent-{i}").as_bytes()) {
+                false_positives += 1;
+            }
+        }
+        assert!(
+            false_positives < 50,
+            "fp rate too high: {false_positives}/1000"
+        );
+    }
+
+    #[test]
+    fn corrupt_footer_detected() {
+        let fs = local_fs();
+        let mut b = SstBuilder::new(64, 10);
+        b.add(b"k", Some(b"v"));
+        b.finish(&fs, "sst-4").unwrap();
+        // Flip a byte in the footer region.
+        let f = fs.open("sst-4", OpenOptions::plain()).unwrap();
+        let size = f.size().unwrap();
+        f.write_at(size - 10, &[0xFF]).unwrap();
+        assert!(matches!(
+            SstReader::open(&fs, "sst-4"),
+            Err(AppError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn covers_respects_key_range() {
+        let fs = local_fs();
+        let mut b = SstBuilder::new(64, 10);
+        b.add(b"m", Some(b"1"));
+        b.add(b"p", Some(b"2"));
+        let r = b.finish(&fs, "sst-5").unwrap();
+        assert!(!r.covers(b"a"));
+        assert!(r.covers(b"m"));
+        assert!(r.covers(b"n"));
+        assert!(r.covers(b"p"));
+        assert!(!r.covers(b"z"));
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let fs = local_fs();
+        let b = SstBuilder::new(64, 10);
+        let r = b.finish(&fs, "sst-6").unwrap();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.get(b"anything").unwrap(), None);
+        let r2 = SstReader::open(&fs, "sst-6").unwrap();
+        assert_eq!(r2.count(), 0);
+    }
+}

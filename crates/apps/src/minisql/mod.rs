@@ -1,0 +1,14 @@
+//! MiniSql: a SQLite-style paged storage engine with a circular WAL.
+//!
+//! `db-wal` is the `O_NCL` file; the paged database file is checkpointed to
+//! the DFS in bulk.
+//!
+//! *Substitution note* (see DESIGN.md): rows are organised in hash-bucket
+//! pages with overflow chains rather than SQLite's B-tree. The paper's
+//! evaluation exercises the page-granular WAL-commit/checkpoint-overwrite
+//! behaviour, which is identical; only the intra-file index differs.
+
+pub mod db;
+pub mod pages;
+
+pub use db::{MiniSql, SqlOptions, Txn};

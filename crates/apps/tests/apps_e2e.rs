@@ -1,0 +1,442 @@
+//! End-to-end tests of the three ported applications over the full stack
+//! (DFS + controller + peers), in all three paper configurations.
+//!
+//! The recurring pattern mirrors the paper's durability claims: after an
+//! application-server crash, *strong* and *SplitFT* recover every
+//! acknowledged operation, while *weak* may lose the tail that was still in
+//! the page cache.
+
+use apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
+use apps::minirocks::{MiniRocks, RocksOptions};
+use apps::minisql::{MiniSql, SqlOptions};
+use apps::KvApp;
+use splitfs::{Mode, Testbed, TestbedConfig};
+
+fn value_of(i: u32) -> Vec<u8> {
+    format!("value-{i:06}-{}", "x".repeat(80)).into_bytes()
+}
+
+// ---------------------------------------------------------------- minirocks
+
+#[test]
+fn rocks_basic_crud_all_modes() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    for (i, mode) in [Mode::StrongDft, Mode::WeakDft, Mode::SplitFt]
+        .iter()
+        .enumerate()
+    {
+        let (fs, _) = tb.mount(*mode, &format!("rocks{i}"));
+        let db = MiniRocks::open(fs, &format!("rocks{i}/"), RocksOptions::tiny()).unwrap();
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+        db.put(b"alpha", b"updated").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap(), Some(b"updated".to_vec()));
+        db.delete(b"beta").unwrap();
+        assert_eq!(db.get(b"beta").unwrap(), None);
+        assert_eq!(db.get(b"missing").unwrap(), None);
+    }
+}
+
+#[test]
+fn rocks_flush_and_compaction_preserve_data() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "rocks-compact");
+    let db = MiniRocks::open(fs, "db/", RocksOptions::tiny()).unwrap();
+    // Enough data to force several flushes and at least one compaction.
+    for i in 0..600u32 {
+        db.put(format!("key{i:05}").as_bytes(), &value_of(i))
+            .unwrap();
+    }
+    // Overwrite a slice of keys so compaction must pick newest versions.
+    for i in 0..100u32 {
+        db.put(format!("key{i:05}").as_bytes(), b"v2").unwrap();
+    }
+    db.wait_for_flushes();
+    assert!(db.flush_count() > 0, "expected background flushes");
+    for i in 0..100u32 {
+        assert_eq!(
+            db.get(format!("key{i:05}").as_bytes()).unwrap(),
+            Some(b"v2".to_vec()),
+            "key{i}"
+        );
+    }
+    for i in 100..600u32 {
+        assert_eq!(
+            db.get(format!("key{i:05}").as_bytes()).unwrap(),
+            Some(value_of(i)),
+            "key{i}"
+        );
+    }
+}
+
+#[test]
+fn rocks_tombstones_survive_flush() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "rocks-tomb");
+    let db = MiniRocks::open(fs, "db/", RocksOptions::tiny()).unwrap();
+    db.put(b"doomed", b"v").unwrap();
+    // Force a flush so "doomed" lands in an SSTable.
+    for i in 0..200u32 {
+        db.put(format!("fill{i:04}").as_bytes(), &value_of(i))
+            .unwrap();
+    }
+    db.wait_for_flushes();
+    db.delete(b"doomed").unwrap();
+    // Another wave of flushes puts the tombstone into L0 too.
+    for i in 200..400u32 {
+        db.put(format!("fill{i:04}").as_bytes(), &value_of(i))
+            .unwrap();
+    }
+    db.wait_for_flushes();
+    assert_eq!(db.get(b"doomed").unwrap(), None);
+}
+
+#[test]
+fn rocks_crash_recovery_strong_and_splitft_keep_all_acked() {
+    for mode in [Mode::StrongDft, Mode::SplitFt] {
+        let tb = Testbed::start(TestbedConfig::zero(3));
+        let app_node;
+        {
+            let (fs, node) = tb.mount(mode, "rocks-crash");
+            app_node = node;
+            let db = MiniRocks::open(fs, "db/", RocksOptions::tiny()).unwrap();
+            for i in 0..300u32 {
+                db.put(format!("key{i:05}").as_bytes(), &value_of(i))
+                    .unwrap();
+            }
+            // Crash without clean shutdown: leak the handle's state by
+            // dropping after marking the node dead.
+            tb.cluster.crash(node);
+        }
+        let _ = app_node;
+        let (fs2, _) = tb.mount(mode, "rocks-crash");
+        let db = MiniRocks::open(fs2, "db/", RocksOptions::tiny()).unwrap();
+        for i in 0..300u32 {
+            assert_eq!(
+                db.get(format!("key{i:05}").as_bytes()).unwrap(),
+                Some(value_of(i)),
+                "mode {mode:?} key{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rocks_weak_mode_loses_unflushed_tail() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    {
+        // Flush interval far in the future: nothing reaches the DFS.
+        let (fs, node) = tb.mount(Mode::WeakDft, "rocks-weak");
+        let db = MiniRocks::open(fs, "db/", RocksOptions::default()).unwrap();
+        for i in 0..50u32 {
+            db.put(format!("key{i:05}").as_bytes(), b"acked!").unwrap();
+        }
+        tb.cluster.crash(node);
+        drop(db);
+    }
+    let (fs2, _) = tb.mount(Mode::StrongDft, "rocks-weak-reader");
+    let db = MiniRocks::open(fs2, "db/", RocksOptions::default()).unwrap();
+    let survivors = (0..50u32)
+        .filter(|i| db.get(format!("key{i:05}").as_bytes()).unwrap().is_some())
+        .count();
+    assert_eq!(survivors, 0, "weak mode must lose the unflushed tail");
+}
+
+#[test]
+fn rocks_concurrent_writers_group_commit() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "rocks-mt");
+    let db = std::sync::Arc::new(MiniRocks::open(fs, "db/", RocksOptions::tiny()).unwrap());
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let db = std::sync::Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..100u32 {
+                db.put(format!("t{t}-k{i:04}").as_bytes(), &value_of(i))
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..8 {
+        for i in 0..100u32 {
+            assert_eq!(
+                db.get(format!("t{t}-k{i:04}").as_bytes()).unwrap(),
+                Some(value_of(i))
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- miniredis
+
+#[test]
+fn redis_data_structures_all_modes() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    for (i, mode) in [Mode::StrongDft, Mode::WeakDft, Mode::SplitFt]
+        .iter()
+        .enumerate()
+    {
+        let (fs, _) = tb.mount(*mode, &format!("redis{i}"));
+        let r = MiniRedis::open(fs, &format!("redis{i}/"), RedisOptions::tiny()).unwrap();
+        r.execute(Command::Set("s".into(), b"str".to_vec()))
+            .unwrap();
+        r.execute(Command::HSet("h".into(), "f".into(), b"hv".to_vec()))
+            .unwrap();
+        r.execute(Command::RPush("l".into(), b"item".to_vec()))
+            .unwrap();
+        r.execute(Command::SAdd("set".into(), b"m".to_vec()))
+            .unwrap();
+        assert_eq!(
+            r.query(Query::Get("s".into())).unwrap(),
+            Reply::Bulk(Some(b"str".to_vec()))
+        );
+        assert_eq!(
+            r.query(Query::HGet("h".into(), "f".into())).unwrap(),
+            Reply::Bulk(Some(b"hv".to_vec()))
+        );
+        assert_eq!(r.query(Query::LLen("l".into())).unwrap(), Reply::Int(1));
+        assert_eq!(r.query(Query::SCard("set".into())).unwrap(), Reply::Int(1));
+        assert_eq!(r.query(Query::DbSize).unwrap(), Reply::Int(4));
+    }
+}
+
+#[test]
+fn redis_crash_recovery_replays_aof() {
+    for mode in [Mode::StrongDft, Mode::SplitFt] {
+        let tb = Testbed::start(TestbedConfig::zero(3));
+        {
+            let (fs, node) = tb.mount(mode, "redis-crash");
+            let r = MiniRedis::open(fs, "r/", RedisOptions::default()).unwrap();
+            for i in 0..200u32 {
+                r.execute(Command::Set(format!("key{i}"), value_of(i)))
+                    .unwrap();
+            }
+            r.execute(Command::Incr("counter".into())).unwrap();
+            r.execute(Command::Incr("counter".into())).unwrap();
+            tb.cluster.crash(node);
+        }
+        let (fs2, _) = tb.mount(mode, "redis-crash");
+        let r = MiniRedis::open(fs2, "r/", RedisOptions::default()).unwrap();
+        for i in 0..200u32 {
+            assert_eq!(
+                r.query(Query::Get(format!("key{i}"))).unwrap(),
+                Reply::Bulk(Some(value_of(i))),
+                "mode {mode:?}"
+            );
+        }
+        assert_eq!(
+            r.query(Query::Get("counter".into())).unwrap(),
+            Reply::Bulk(Some(b"2".to_vec()))
+        );
+    }
+}
+
+#[test]
+fn redis_rewrite_compacts_and_survives_crash() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    {
+        let (fs, node) = tb.mount(Mode::SplitFt, "redis-rw");
+        let r = MiniRedis::open(fs, "r/", RedisOptions::tiny()).unwrap();
+        // Overwrite one key many times: the AOF grows, the RDB stays tiny.
+        for i in 0..500u32 {
+            r.execute(Command::Set("hot".into(), value_of(i))).unwrap();
+        }
+        // Give the background save a moment to land, then write more.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while r.rewrite_count() == 0 && std::time::Instant::now() < deadline {
+            r.execute(Command::Set("hot".into(), b"spin".to_vec()))
+                .unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(r.rewrite_count() > 0, "rewrite should have triggered");
+        r.execute(Command::Set("after".into(), b"rewrite".to_vec()))
+            .unwrap();
+        tb.cluster.crash(node);
+    }
+    let (fs2, _) = tb.mount(Mode::SplitFt, "redis-rw");
+    let r = MiniRedis::open(fs2, "r/", RedisOptions::tiny()).unwrap();
+    assert_eq!(
+        r.query(Query::Get("after".into())).unwrap(),
+        Reply::Bulk(Some(b"rewrite".to_vec()))
+    );
+    assert!(matches!(
+        r.query(Query::Get("hot".into())).unwrap(),
+        Reply::Bulk(Some(_))
+    ));
+}
+
+#[test]
+fn redis_weak_mode_loses_tail() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    {
+        let (fs, node) = tb.mount(Mode::WeakDft, "redis-weak");
+        let r = MiniRedis::open(fs, "r/", RedisOptions::default()).unwrap();
+        r.execute(Command::Set("gone".into(), b"poof".to_vec()))
+            .unwrap();
+        tb.cluster.crash(node);
+    }
+    let (fs2, _) = tb.mount(Mode::StrongDft, "redis-weak-reader");
+    let r = MiniRedis::open(fs2, "r/", RedisOptions::default()).unwrap();
+    assert_eq!(
+        r.query(Query::Get("gone".into())).unwrap(),
+        Reply::Bulk(None)
+    );
+}
+
+// ------------------------------------------------------------------ minisql
+
+#[test]
+fn sql_crud_and_transactions() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "sql-crud");
+    let db = MiniSql::open(fs, "sql/", SqlOptions::tiny()).unwrap();
+    db.put(b"k1", b"v1").unwrap();
+    assert_eq!(db.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+    db.put(b"k1", b"v2").unwrap();
+    assert_eq!(db.get(b"k1").unwrap(), Some(b"v2".to_vec()));
+    assert!(db.delete(b"k1").unwrap());
+    assert!(!db.delete(b"k1").unwrap());
+    assert_eq!(db.get(b"k1").unwrap(), None);
+
+    // Multi-op transaction commits atomically.
+    db.txn(|t| {
+        t.put(b"a", b"1")?;
+        t.put(b"b", b"2")?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+
+    // Failed transaction rolls back everything.
+    let result: Result<(), _> = db.txn(|t| {
+        t.put(b"c", b"3")?;
+        Err(apps::AppError::Storage("forced abort".into()))
+    });
+    assert!(result.is_err());
+    assert_eq!(db.get(b"c").unwrap(), None);
+}
+
+#[test]
+fn sql_overflow_chains_work() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "sql-overflow");
+    // Tiny pages + few buckets force overflow chains quickly.
+    let db = MiniSql::open(fs, "sql/", SqlOptions::tiny()).unwrap();
+    for i in 0..300u32 {
+        db.put(format!("key{i:05}").as_bytes(), &value_of(i))
+            .unwrap();
+    }
+    for i in 0..300u32 {
+        assert_eq!(
+            db.get(format!("key{i:05}").as_bytes()).unwrap(),
+            Some(value_of(i))
+        );
+    }
+}
+
+#[test]
+fn sql_checkpoint_resets_wal_and_data_survives() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let app_node;
+    {
+        let (fs, node) = tb.mount(Mode::SplitFt, "sql-ckpt");
+        app_node = node;
+        let db = MiniSql::open(fs, "sql/", SqlOptions::tiny()).unwrap();
+        for i in 0..400u32 {
+            db.put(format!("key{i:05}").as_bytes(), &value_of(i))
+                .unwrap();
+        }
+        assert!(db.checkpoint_count() > 0, "tiny WAL must have checkpointed");
+        tb.cluster.crash(app_node);
+    }
+    let (fs2, _) = tb.mount(Mode::SplitFt, "sql-ckpt");
+    let db = MiniSql::open(fs2, "sql/", SqlOptions::tiny()).unwrap();
+    for i in 0..400u32 {
+        assert_eq!(
+            db.get(format!("key{i:05}").as_bytes()).unwrap(),
+            Some(value_of(i)),
+            "key{i}"
+        );
+    }
+}
+
+#[test]
+fn sql_crash_recovery_all_strong_modes() {
+    for mode in [Mode::StrongDft, Mode::SplitFt] {
+        let tb = Testbed::start(TestbedConfig::zero(3));
+        {
+            let (fs, node) = tb.mount(mode, "sql-crash");
+            let db = MiniSql::open(fs, "sql/", SqlOptions::default()).unwrap();
+            for i in 0..100u32 {
+                db.put(format!("key{i:05}").as_bytes(), &value_of(i))
+                    .unwrap();
+            }
+            tb.cluster.crash(node);
+        }
+        let (fs2, _) = tb.mount(mode, "sql-crash");
+        let db = MiniSql::open(fs2, "sql/", SqlOptions::default()).unwrap();
+        for i in 0..100u32 {
+            assert_eq!(
+                db.get(format!("key{i:05}").as_bytes()).unwrap(),
+                Some(value_of(i)),
+                "mode {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sql_weak_mode_loses_recent_commits() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    {
+        let (fs, node) = tb.mount(Mode::WeakDft, "sql-weak");
+        let db = MiniSql::open(fs, "sql/", SqlOptions::default()).unwrap();
+        db.put(b"volatile", b"row").unwrap();
+        tb.cluster.crash(node);
+    }
+    let (fs2, _) = tb.mount(Mode::StrongDft, "sql-weak-reader");
+    let db = MiniSql::open(fs2, "sql/", SqlOptions::default()).unwrap();
+    assert_eq!(db.get(b"volatile").unwrap(), None);
+}
+
+#[test]
+fn sql_read_modify_write_is_transactional() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "sql-rmw");
+    let db = MiniSql::open(fs, "sql/", SqlOptions::tiny()).unwrap();
+    db.insert("k", b"v0").unwrap();
+    db.read_modify_write("k", b"v1").unwrap();
+    assert_eq!(db.read("k").unwrap(), Some(b"v1".to_vec()));
+}
+
+// -------------------------------------------------- cross-app: NCL behavior
+
+#[test]
+fn splitft_apps_tolerate_peer_failure() {
+    let tb = Testbed::start(TestbedConfig::zero(5));
+    let (fs, _) = tb.mount(Mode::SplitFt, "rocks-peerfail");
+    let db = MiniRocks::open(fs, "db/", RocksOptions::tiny()).unwrap();
+    for i in 0..50u32 {
+        db.put(format!("pre{i:03}").as_bytes(), b"v").unwrap();
+    }
+    // Crash one peer mid-workload; writes must continue.
+    tb.cluster.crash(tb.peers[0].node());
+    for i in 0..50u32 {
+        db.put(format!("post{i:03}").as_bytes(), b"v").unwrap();
+    }
+    for i in 0..50u32 {
+        assert_eq!(
+            db.get(format!("pre{i:03}").as_bytes()).unwrap(),
+            Some(b"v".to_vec())
+        );
+        assert_eq!(
+            db.get(format!("post{i:03}").as_bytes()).unwrap(),
+            Some(b"v".to_vec())
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion bench — recovery catch-up: full-region copy vs tail diff.
+//!
+//! Ablation of the §6 byte-diff optimisation: an append-only log with one
+//! lagging peer is recovered with `tail_diff_catchup` on and off. The diff
+//! variant ships only the missing tail (plus a peer-local copy); the full
+//! variant re-ships the whole image over the simulated fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncl::{NclConfig, NclLib};
+use splitfs::{Testbed, TestbedConfig};
+
+fn catchup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_catchup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(12));
+    let log_bytes: usize = 4 << 20;
+    let lag_bytes: usize = 64 << 10; // The lagging peer misses only this tail.
+
+    for tail_diff in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if tail_diff { "tail_diff" } else { "full_copy" }),
+            &tail_diff,
+            |b, &tail_diff| {
+                b.iter_with_setup(
+                    || {
+                        let mut config = NclConfig::calibrated();
+                        config.tail_diff_catchup = tail_diff;
+                        let tb = Testbed::start(TestbedConfig {
+                            ncl: config.clone(),
+                            ..TestbedConfig::calibrated(4)
+                        });
+                        let node = tb.add_app_node("writer");
+                        let lib = NclLib::new(
+                            &tb.cluster,
+                            node,
+                            "cu",
+                            config.clone(),
+                            &tb.controller,
+                            &tb.registry,
+                        )
+                        .unwrap();
+                        let file = lib.create("log", log_bytes).unwrap();
+                        let chunk = vec![9u8; 256 << 10];
+                        let mut off = 0usize;
+                        while off + chunk.len() <= log_bytes - lag_bytes {
+                            file.record(off as u64, &chunk).unwrap();
+                            off += chunk.len();
+                        }
+                        // Partition one peer, write the tail, heal: one
+                        // lagging replica.
+                        let lag_name = file.peer_names()[2].clone();
+                        let lag_node = tb.peer_named(&lag_name).unwrap().node();
+                        tb.cluster.partition(node, lag_node);
+                        file.record(off as u64, &vec![7u8; lag_bytes]).unwrap();
+                        tb.cluster.heal(node, lag_node);
+                        drop(file);
+                        tb.cluster.crash(node);
+                        drop(lib);
+                        let node2 = tb.add_app_node("recoverer");
+                        let lib2 = NclLib::new(
+                            &tb.cluster,
+                            node2,
+                            "cu",
+                            config,
+                            &tb.controller,
+                            &tb.registry,
+                        )
+                        .unwrap();
+                        (tb, lib2)
+                    },
+                    |(tb, lib2)| {
+                        let file = lib2.recover("log").unwrap();
+                        assert_eq!(file.len() as usize, log_bytes);
+                        drop(tb);
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, catchup);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-bench: DFS synchronous write+fsync latency by size.
+//!
+//! The statistical companion to Figure 8's strong-bench line and
+//! Figure 1(d)'s small-write end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfs::{DfsCluster, DfsConfig};
+use sim::Cluster;
+
+fn dfs_sync_write(c: &mut Criterion) {
+    let cluster = Cluster::new();
+    let dfs = DfsCluster::start(&cluster, DfsConfig::calibrated());
+    let app = cluster.add_node("bench-app");
+    let client = dfs.client(app);
+
+    let mut group = c.benchmark_group("dfs_sync_write");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for size in [512usize, 4096, 65536] {
+        client.create(&format!("f-{size}")).unwrap();
+        let data = vec![0x3Cu8; size];
+        let mut offset = 0u64;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let path = format!("f-{size}");
+                client.write(&path, offset, &data).unwrap();
+                client.fsync(&path).unwrap();
+                offset += size as u64;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dfs_sync_write);
+criterion_main!(benches);

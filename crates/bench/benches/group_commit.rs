@@ -1,0 +1,41 @@
+//! Criterion bench — group-commit batch size ablation (MiniRocks).
+//!
+//! The paper's applications batch concurrent updates into one log write
+//! (§5). This bench measures the per-entry cost of a WAL commit as the
+//! batch grows: larger batches amortise the fixed replication latency.
+
+use apps::minirocks::{MiniRocks, RocksOptions};
+use apps::Entry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use splitfs::{Mode, Testbed, TestbedConfig};
+
+fn group_commit(c: &mut Criterion) {
+    let tb = Testbed::start(TestbedConfig::calibrated(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "bench-gc");
+    let db = MiniRocks::open(fs, "db/", RocksOptions::default()).unwrap();
+
+    let mut group = c.benchmark_group("group_commit");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for batch in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let mut n = 0u64;
+            b.iter(|| {
+                let entries: Vec<Entry> = (0..batch)
+                    .map(|i| Entry::Put {
+                        key: format!("key{:012}", n + i as u64).into_bytes(),
+                        value: vec![0x44u8; 100],
+                    })
+                    .collect();
+                n += batch as u64;
+                db.write_batch(entries).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, group_commit);
+criterion_main!(benches);

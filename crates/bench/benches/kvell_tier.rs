@@ -1,0 +1,40 @@
+//! Criterion bench — §6 extension ablation: random writes with and without
+//! the NCL absorption tier.
+//!
+//! A KVell-style no-log store issues random slot writes. Without NCL each
+//! write is a synchronous DFS flush (milliseconds); with the NCL tier the
+//! write is absorbed in microseconds and reaches the slab later as part of
+//! a coalesced bulk pass.
+
+use apps::minikvell::{KvellOptions, MiniKvell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::Xoshiro256StarStar;
+use splitfs::{Mode, Testbed, TestbedConfig};
+
+fn kvell_tier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvell_random_writes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (name, ncl_tier) in [("dfs_sync", false), ("ncl_tier", true)] {
+        let tb = Testbed::start(TestbedConfig::calibrated(3));
+        let (fs, _) = tb.mount(Mode::SplitFt, &format!("kvell-{name}"));
+        let opts = KvellOptions {
+            ncl_tier,
+            ..KvellOptions::default()
+        };
+        let db = MiniKvell::open(fs, "kv/", opts).unwrap();
+        let mut rng = Xoshiro256StarStar::new(0x4B45_59u64);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ncl_tier, |b, _| {
+            b.iter(|| {
+                let k = rng.next_below(10_000);
+                db.put(format!("key{k:08}").as_bytes(), &[0x5Au8; 100])
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kvell_tier);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench — acknowledgement quorum ablation.
+//!
+//! NCL acknowledges a record once a majority (`f + 1`) of the `2f + 1`
+//! peers hold it; waiting for *all* peers trades latency (and availability
+//! under slow peers) for simpler recovery. This bench quantifies the
+//! failure-free latency difference with jittered per-peer link latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncl::{AckPolicy, NclConfig, NclLib};
+use splitfs::{Testbed, TestbedConfig};
+
+fn acks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ack_policy");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let capacity: usize = 16 << 20;
+    for (name, policy) in [("majority", AckPolicy::Majority), ("all", AckPolicy::All)] {
+        let mut config = NclConfig::calibrated();
+        config.ack_policy = policy;
+        // Spread per-peer latencies so the slowest straggler differs from
+        // the median (the motivation for majority acknowledgement).
+        config.rdma.jitter = 0.5;
+        let tb = Testbed::start(TestbedConfig {
+            ncl: config.clone(),
+            ..TestbedConfig::calibrated(3)
+        });
+        let node = tb.add_app_node(&format!("acks-{name}"));
+        let lib = NclLib::new(
+            &tb.cluster,
+            node,
+            &format!("acks-{name}"),
+            config,
+            &tb.controller,
+            &tb.registry,
+        )
+        .unwrap();
+        let file = lib.create("log", capacity).unwrap();
+        let data = vec![0x11u8; 256];
+        let mut offset = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, _| {
+            b.iter(|| {
+                if offset + 256 > capacity {
+                    offset = 0;
+                }
+                file.record(offset as u64, &data).unwrap();
+                offset += 256;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, acks);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-bench: NCL record latency by write size.
+//!
+//! The statistical companion to Figure 8's NCL line.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ncl::NclLib;
+use splitfs::{Testbed, TestbedConfig};
+
+fn ncl_record(c: &mut Criterion) {
+    let tb = Testbed::start(TestbedConfig::calibrated(3));
+    let node = tb.add_app_node("bench-ncl");
+    let ncl = NclLib::new(
+        &tb.cluster,
+        node,
+        "bench-ncl",
+        tb.config().ncl.clone(),
+        &tb.controller,
+        &tb.registry,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("ncl_record");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let capacity: usize = 32 << 20;
+    for size in [128usize, 1024, 8192] {
+        let file = ncl.create(&format!("log-{size}"), capacity).unwrap();
+        let data = vec![0xA5u8; size];
+        let mut offset = 0usize;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                if offset + size > capacity {
+                    offset = 0;
+                }
+                file.record(offset as u64, &data).unwrap();
+                offset += size;
+            });
+        });
+        file.release().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ncl_record);
+criterion_main!(benches);

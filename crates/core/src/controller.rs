@@ -1,0 +1,601 @@
+//! The NCL controller — peer registry, ap-map, and instance locks.
+//!
+//! The paper implements the controller on a fault-tolerant ZooKeeper
+//! ensemble (§4.7): peers publish znodes under `/Peers` with their available
+//! memory, applications keep their peer assignments (the *ap-map*) under
+//! `/Apps` stamped with an epoch, and an ephemeral znode under `/Servers`
+//! guarantees a single live instance per application. This module provides
+//! the same semantics as an in-process service that the simulation treats as
+//! always available:
+//!
+//! * peer availability figures are **hints** — the authoritative admission
+//!   check happens on the peer (§4.3), which may reject;
+//! * ap-map updates are conditional on a strictly increasing epoch, and the
+//!   epoch high-water mark survives entry deletion so that the peers' leak
+//!   GC (§4.5.1) remains monotonic;
+//! * instance locks are "ephemeral": the lock is considered released when
+//!   the holding node is crashed, mirroring ZooKeeper session expiry.
+
+use std::collections::HashMap;
+
+use sim::{Cluster, NodeId, RpcClient, RpcServer, SimError};
+
+use crate::NclError;
+
+/// A peer as known to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// Unique peer name (derived from the machine identifier in the paper).
+    pub name: String,
+    /// Node the peer daemon runs on.
+    pub node: NodeId,
+    /// Available lendable memory in bytes — a hint, possibly stale.
+    pub avail: u64,
+}
+
+/// One ap-map entry: the peers holding a file's regions plus the epoch the
+/// entry was written under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApEntry {
+    /// Names of the `2f + 1` assigned peers.
+    pub peers: Vec<String>,
+    /// Epoch stamped by the application when it wrote the entry.
+    pub epoch: u64,
+}
+
+/// Controller requests.
+#[derive(Debug, Clone)]
+pub enum CtrlReq {
+    /// A peer announces itself (or re-announces after a restart).
+    RegisterPeer {
+        /// Peer name.
+        name: String,
+        /// Peer node.
+        node: NodeId,
+        /// Lendable memory in bytes.
+        avail: u64,
+    },
+    /// A peer updates its advertised available memory.
+    UpdateAvail {
+        /// Peer name.
+        name: String,
+        /// New absolute availability.
+        avail: u64,
+    },
+    /// Ask for up to `count` peers with at least `need` available bytes,
+    /// excluding the given names.
+    GetPeers {
+        /// Minimum available memory.
+        need: u64,
+        /// How many peers to return.
+        count: usize,
+        /// Peer names to skip (already assigned or known bad).
+        exclude: Vec<String>,
+    },
+    /// Write an ap-map entry; succeeds only if `epoch` exceeds both the
+    /// stored entry's epoch and the high-water mark.
+    SetApEntry {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+        /// Assigned peers.
+        peers: Vec<String>,
+        /// New epoch.
+        epoch: u64,
+    },
+    /// Read an ap-map entry.
+    GetApEntry {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+    },
+    /// Remove an ap-map entry (file deleted); the epoch high-water mark is
+    /// retained.
+    DeleteApEntry {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+    },
+    /// List files that have ap-map entries for `app` (used at recovery).
+    ListAppFiles {
+        /// Application identifier.
+        app: String,
+    },
+    /// The epoch high-water mark for `(app, file)` — what the peers' GC
+    /// compares against.
+    GetAppEpoch {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+    },
+    /// Acquire the single-instance lock for `app` from `node`.
+    AcquireInstance {
+        /// Application identifier.
+        app: String,
+        /// Node attempting to become the instance.
+        node: NodeId,
+    },
+    /// Release the instance lock (normal shutdown).
+    ReleaseInstance {
+        /// Application identifier.
+        app: String,
+        /// Node releasing.
+        node: NodeId,
+    },
+}
+
+/// Controller responses.
+#[derive(Debug, Clone)]
+pub enum CtrlResp {
+    /// Success without payload.
+    Ok,
+    /// Matching peers for `GetPeers`.
+    Peers(Vec<PeerInfo>),
+    /// Entry (or `None`) for `GetApEntry`.
+    Entry(Option<ApEntry>),
+    /// File names for `ListAppFiles`.
+    Files(Vec<String>),
+    /// Epoch for `GetAppEpoch`.
+    Epoch(u64),
+    /// Request refused (stale epoch, lock held, unknown peer, ...).
+    Rejected(String),
+}
+
+struct CtrlState {
+    peers: HashMap<String, PeerInfo>,
+    entries: HashMap<(String, String), ApEntry>,
+    /// Epoch high-water marks, surviving entry deletion.
+    epochs: HashMap<(String, String), u64>,
+    locks: HashMap<String, NodeId>,
+}
+
+/// Handle to a running controller service.
+pub struct Controller {
+    server: RpcServer<CtrlReq, CtrlResp>,
+    node: NodeId,
+}
+
+impl Controller {
+    /// Starts the controller on a dedicated node of `cluster`.
+    ///
+    /// The node is registered by this call; the simulation does not crash it
+    /// (the paper assumes a fault-tolerant ZooKeeper ensemble).
+    pub fn start(cluster: &Cluster) -> Self {
+        let node = cluster.add_node("ncl-controller");
+        let cluster2 = cluster.clone();
+        let mut st = CtrlState {
+            peers: HashMap::new(),
+            entries: HashMap::new(),
+            epochs: HashMap::new(),
+            locks: HashMap::new(),
+        };
+        let server = RpcServer::spawn(cluster.clone(), node, "controller", move |req| {
+            handle(&cluster2, &mut st, req)
+        });
+        Controller { server, node }
+    }
+
+    /// The controller's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Creates a typed client charging `latency` per direction.
+    pub fn client(&self, latency: sim::LatencyModel) -> ControllerClient {
+        ControllerClient {
+            rpc: self.server.client(latency),
+        }
+    }
+}
+
+fn handle(cluster: &Cluster, st: &mut CtrlState, req: CtrlReq) -> CtrlResp {
+    match req {
+        CtrlReq::RegisterPeer { name, node, avail } => {
+            st.peers
+                .insert(name.clone(), PeerInfo { name, node, avail });
+            CtrlResp::Ok
+        }
+        CtrlReq::UpdateAvail { name, avail } => match st.peers.get_mut(&name) {
+            Some(p) => {
+                p.avail = avail;
+                CtrlResp::Ok
+            }
+            None => CtrlResp::Rejected(format!("unknown peer {name}")),
+        },
+        CtrlReq::GetPeers {
+            need,
+            count,
+            exclude,
+        } => {
+            let mut matching: Vec<PeerInfo> = st
+                .peers
+                .values()
+                .filter(|p| p.avail >= need && !exclude.contains(&p.name))
+                .cloned()
+                .collect();
+            // Prefer the peers with the most spare memory (ties broken by
+            // name for determinism).
+            matching.sort_by(|a, b| b.avail.cmp(&a.avail).then(a.name.cmp(&b.name)));
+            matching.truncate(count);
+            CtrlResp::Peers(matching)
+        }
+        CtrlReq::SetApEntry {
+            app,
+            file,
+            peers,
+            epoch,
+        } => {
+            let key = (app, file);
+            let hw = st.epochs.get(&key).copied().unwrap_or(0);
+            if epoch <= hw {
+                return CtrlResp::Rejected(format!("stale epoch {epoch} (high-water {hw})"));
+            }
+            st.epochs.insert(key.clone(), epoch);
+            st.entries.insert(key, ApEntry { peers, epoch });
+            CtrlResp::Ok
+        }
+        CtrlReq::GetApEntry { app, file } => CtrlResp::Entry(st.entries.get(&(app, file)).cloned()),
+        CtrlReq::DeleteApEntry { app, file } => {
+            st.entries.remove(&(app, file));
+            CtrlResp::Ok
+        }
+        CtrlReq::ListAppFiles { app } => {
+            let mut files: Vec<String> = st
+                .entries
+                .keys()
+                .filter(|(a, _)| *a == app)
+                .map(|(_, f)| f.clone())
+                .collect();
+            files.sort();
+            CtrlResp::Files(files)
+        }
+        CtrlReq::GetAppEpoch { app, file } => {
+            CtrlResp::Epoch(st.epochs.get(&(app, file)).copied().unwrap_or(0))
+        }
+        CtrlReq::AcquireInstance { app, node } => {
+            match st.locks.get(&app) {
+                Some(&holder) if holder != node && cluster.is_alive(holder) => {
+                    CtrlResp::Rejected(format!("instance lock held by {holder}"))
+                }
+                _ => {
+                    // Free, re-acquired by the same node, or the holder's
+                    // "session" expired with its crash.
+                    st.locks.insert(app, node);
+                    CtrlResp::Ok
+                }
+            }
+        }
+        CtrlReq::ReleaseInstance { app, node } => {
+            if st.locks.get(&app) == Some(&node) {
+                st.locks.remove(&app);
+            }
+            CtrlResp::Ok
+        }
+    }
+}
+
+/// Typed client wrapper over the controller RPC.
+#[derive(Clone)]
+pub struct ControllerClient {
+    rpc: RpcClient<CtrlReq, CtrlResp>,
+}
+
+impl ControllerClient {
+    fn call(&self, from: NodeId, req: CtrlReq) -> Result<CtrlResp, NclError> {
+        self.rpc
+            .call(from, req)
+            .map_err(|e: SimError| NclError::Unavailable(e.to_string()))
+    }
+
+    /// Registers (or re-registers) a peer.
+    pub fn register_peer(
+        &self,
+        from: NodeId,
+        name: &str,
+        node: NodeId,
+        avail: u64,
+    ) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::RegisterPeer {
+                name: name.to_string(),
+                node,
+                avail,
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Updates a peer's advertised availability.
+    pub fn update_avail(&self, from: NodeId, name: &str, avail: u64) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::UpdateAvail {
+                name: name.to_string(),
+                avail,
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            CtrlResp::Rejected(m) => Err(NclError::Rejected(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks for candidate peers.
+    pub fn get_peers(
+        &self,
+        from: NodeId,
+        need: u64,
+        count: usize,
+        exclude: &[String],
+    ) -> Result<Vec<PeerInfo>, NclError> {
+        match self.call(
+            from,
+            CtrlReq::GetPeers {
+                need,
+                count,
+                exclude: exclude.to_vec(),
+            },
+        )? {
+            CtrlResp::Peers(p) => Ok(p),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Writes an ap-map entry (conditional on a fresh epoch).
+    pub fn set_ap_entry(
+        &self,
+        from: NodeId,
+        app: &str,
+        file: &str,
+        peers: Vec<String>,
+        epoch: u64,
+    ) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::SetApEntry {
+                app: app.to_string(),
+                file: file.to_string(),
+                peers,
+                epoch,
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            CtrlResp::Rejected(m) => Err(NclError::Rejected(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads an ap-map entry.
+    pub fn get_ap_entry(
+        &self,
+        from: NodeId,
+        app: &str,
+        file: &str,
+    ) -> Result<Option<ApEntry>, NclError> {
+        match self.call(
+            from,
+            CtrlReq::GetApEntry {
+                app: app.to_string(),
+                file: file.to_string(),
+            },
+        )? {
+            CtrlResp::Entry(e) => Ok(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Removes an ap-map entry.
+    pub fn delete_ap_entry(&self, from: NodeId, app: &str, file: &str) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::DeleteApEntry {
+                app: app.to_string(),
+                file: file.to_string(),
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists the ncl files recorded for an application.
+    pub fn list_app_files(&self, from: NodeId, app: &str) -> Result<Vec<String>, NclError> {
+        match self.call(
+            from,
+            CtrlReq::ListAppFiles {
+                app: app.to_string(),
+            },
+        )? {
+            CtrlResp::Files(f) => Ok(f),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads the epoch high-water mark for `(app, file)`.
+    pub fn get_app_epoch(&self, from: NodeId, app: &str, file: &str) -> Result<u64, NclError> {
+        match self.call(
+            from,
+            CtrlReq::GetAppEpoch {
+                app: app.to_string(),
+                file: file.to_string(),
+            },
+        )? {
+            CtrlResp::Epoch(e) => Ok(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Acquires the single-instance lock for `app` on behalf of `node`.
+    pub fn acquire_instance(&self, from: NodeId, app: &str, node: NodeId) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::AcquireInstance {
+                app: app.to_string(),
+                node,
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            CtrlResp::Rejected(m) => Err(NclError::InstanceConflict(m)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases the single-instance lock.
+    pub fn release_instance(&self, from: NodeId, app: &str, node: NodeId) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::ReleaseInstance {
+                app: app.to_string(),
+                node,
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: CtrlResp) -> NclError {
+    NclError::Unavailable(format!("unexpected controller reply {resp:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::LatencyModel;
+
+    fn setup() -> (Cluster, Controller, ControllerClient, NodeId) {
+        let cluster = Cluster::new();
+        let ctrl = Controller::start(&cluster);
+        let cli = ctrl.client(LatencyModel::ZERO);
+        let app_node = cluster.add_node("app");
+        (cluster, ctrl, cli, app_node)
+    }
+
+    #[test]
+    fn peer_registration_and_selection_by_avail() {
+        let (cluster, _ctrl, cli, me) = setup();
+        for (name, mem) in [("p1", 1 << 30), ("p2", 2 << 30), ("p3", 512 << 20)] {
+            let node = cluster.add_node(name);
+            cli.register_peer(me, name, node, mem).unwrap();
+        }
+        let peers = cli.get_peers(me, 1 << 30, 3, &[]).unwrap();
+        assert_eq!(peers.len(), 2, "p3 lacks memory");
+        assert_eq!(peers[0].name, "p2", "largest first");
+        let peers = cli.get_peers(me, 0, 10, &["p2".into()]).unwrap();
+        assert_eq!(peers.len(), 2);
+        assert!(peers.iter().all(|p| p.name != "p2"));
+    }
+
+    #[test]
+    fn update_avail_reflected_in_selection() {
+        let (cluster, _ctrl, cli, me) = setup();
+        let node = cluster.add_node("p1");
+        cli.register_peer(me, "p1", node, 100).unwrap();
+        cli.update_avail(me, "p1", 10).unwrap();
+        assert!(cli.get_peers(me, 50, 1, &[]).unwrap().is_empty());
+        assert_eq!(cli.get_peers(me, 10, 1, &[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_avail_unknown_peer_rejected() {
+        let (_cluster, _ctrl, cli, me) = setup();
+        assert!(matches!(
+            cli.update_avail(me, "ghost", 1),
+            Err(NclError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn ap_entry_epoch_cas() {
+        let (_cluster, _ctrl, cli, me) = setup();
+        cli.set_ap_entry(me, "app", "wal", vec!["p1".into()], 1)
+            .unwrap();
+        // Same epoch rejected.
+        assert!(matches!(
+            cli.set_ap_entry(me, "app", "wal", vec!["p2".into()], 1),
+            Err(NclError::Rejected(_))
+        ));
+        // Lower epoch rejected.
+        assert!(matches!(
+            cli.set_ap_entry(me, "app", "wal", vec!["p2".into()], 0),
+            Err(NclError::Rejected(_))
+        ));
+        // Higher accepted.
+        cli.set_ap_entry(me, "app", "wal", vec!["p2".into()], 2)
+            .unwrap();
+        let e = cli.get_ap_entry(me, "app", "wal").unwrap().unwrap();
+        assert_eq!(e.epoch, 2);
+        assert_eq!(e.peers, vec!["p2".to_string()]);
+    }
+
+    #[test]
+    fn epoch_high_water_survives_delete() {
+        let (_cluster, _ctrl, cli, me) = setup();
+        cli.set_ap_entry(me, "app", "wal", vec!["p1".into()], 5)
+            .unwrap();
+        cli.delete_ap_entry(me, "app", "wal").unwrap();
+        assert_eq!(cli.get_ap_entry(me, "app", "wal").unwrap(), None);
+        assert_eq!(cli.get_app_epoch(me, "app", "wal").unwrap(), 5);
+        // Recreation must move past the high-water mark.
+        assert!(cli
+            .set_ap_entry(me, "app", "wal", vec!["p1".into()], 5)
+            .is_err());
+        cli.set_ap_entry(me, "app", "wal", vec!["p1".into()], 6)
+            .unwrap();
+    }
+
+    #[test]
+    fn list_app_files_is_scoped_and_sorted() {
+        let (_cluster, _ctrl, cli, me) = setup();
+        cli.set_ap_entry(me, "a", "wal2", vec![], 1).unwrap();
+        cli.set_ap_entry(me, "a", "wal1", vec![], 1).unwrap();
+        cli.set_ap_entry(me, "b", "other", vec![], 1).unwrap();
+        assert_eq!(cli.list_app_files(me, "a").unwrap(), vec!["wal1", "wal2"]);
+    }
+
+    #[test]
+    fn instance_lock_blocks_second_live_instance() {
+        let (cluster, _ctrl, cli, me) = setup();
+        let other = cluster.add_node("other-server");
+        cli.acquire_instance(me, "db", me).unwrap();
+        // Re-acquire by the same node is fine (idempotent restart path).
+        cli.acquire_instance(me, "db", me).unwrap();
+        assert!(matches!(
+            cli.acquire_instance(other, "db", other),
+            Err(NclError::InstanceConflict(_))
+        ));
+    }
+
+    #[test]
+    fn instance_lock_released_by_holder_crash() {
+        let (cluster, _ctrl, cli, me) = setup();
+        let other = cluster.add_node("other-server");
+        cli.acquire_instance(me, "db", me).unwrap();
+        cluster.crash(me);
+        // The ephemeral lock expires with the holder's "session".
+        cli.acquire_instance(other, "db", other).unwrap();
+    }
+
+    #[test]
+    fn instance_lock_explicit_release() {
+        let (cluster, _ctrl, cli, me) = setup();
+        let other = cluster.add_node("other");
+        cli.acquire_instance(me, "db", me).unwrap();
+        cli.release_instance(me, "db", me).unwrap();
+        cli.acquire_instance(other, "db", other).unwrap();
+        // Release by a non-holder is a no-op.
+        cli.release_instance(me, "db", me).unwrap();
+        assert!(matches!(
+            cli.acquire_instance(me, "db", me),
+            Err(NclError::InstanceConflict(_))
+        ));
+    }
+}

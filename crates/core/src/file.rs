@@ -1,0 +1,1089 @@
+//! `ncl-lib`: the application-linked client of NCL.
+//!
+//! This module implements the paper's §4.4–§4.5: the failure-free
+//! replication protocol, application recovery, and peer failure handling.
+//!
+//! ## Replication (§4.4)
+//!
+//! Every application `record` (a POSIX `write` to an ncl file) is staged in
+//! a local buffer and turned into **two** one-sided RDMA writes per peer, in
+//! send-queue order: the data, then the fixed-location region header
+//! carrying the new sequence number. The record is acknowledged when every
+//! record up to and including it has completed — data *and* header — on at
+//! least a majority (`f + 1`) of the `2f + 1` peers. Because each queue pair
+//! completes in post order, "peer completed header `2s+1`" implies all
+//! records `≤ s` are fully present on that peer.
+//!
+//! ## Recovery (§4.5.1)
+//!
+//! A restarted application reads the region header from at least `f + 1` of
+//! the ap-map peers, takes the maximum sequence number (quorum intersection
+//! guarantees it covers every acknowledged record), fetches that peer's data
+//! with RDMA reads, and then **catches up** the peers before returning data
+//! to the application: each peer stages a fresh region (optionally
+//! pre-filled from its current one), the application writes the recovered
+//! image (or just the missing tail, for append-only files), and the peer
+//! atomically switches its mr-map entry. Only then is the ap-map advanced to
+//! the new epoch. Doing these steps in the opposite order loses data — the
+//! model checker in `crates/modelcheck` demonstrates both seeded bugs.
+//!
+//! ## Peer replacement (§4.5.2)
+//!
+//! When a work request fails, the peer is declared dead. If a majority is
+//! still alive the current record completes first; replacement then runs
+//! inline (the paper's Figure 12 "blip"): allocate on a fresh peer at the
+//! next epoch, copy the local buffer, wait for the copy to complete, bump
+//! the surviving peers' region epochs, and only then swing the ap-map. If a
+//! majority is lost, the record blocks until replacement restores a quorum.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WrId};
+use sim::{Cluster, NodeId, Stopwatch};
+
+use crate::config::NclConfig;
+use crate::controller::{Controller, ControllerClient};
+use crate::layout::{RegionHeader, HEADER_SIZE, HEADER_WIRE_SIZE};
+use crate::peer::{PeerReq, PeerResp};
+use crate::registry::{NclRegistry, PeerEndpoint};
+use crate::NclError;
+
+/// Shared context of one application instance.
+struct Ctx {
+    cluster: Cluster,
+    node: NodeId,
+    app_id: String,
+    config: NclConfig,
+    controller: ControllerClient,
+    registry: Arc<NclRegistry>,
+}
+
+/// Phase timings of the last recovery (Figure 11b's breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStats {
+    /// Fetching peer information from the controller.
+    pub get_peer: Duration,
+    /// Connecting to peers and reading region headers.
+    pub connect: Duration,
+    /// RDMA-reading the recovered data image.
+    pub rdma_read: Duration,
+    /// Synchronising peers (catch-up + ap-map update).
+    pub sync_peer: Duration,
+}
+
+/// Phase timings of the last peer replacement (Table 3's breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairStats {
+    /// Getting a new peer from the controller.
+    pub get_peer: Duration,
+    /// Connecting to the new peer and setting up its memory region.
+    pub connect_mr: Duration,
+    /// Catching the new peer up from the local buffer.
+    pub catch_up: Duration,
+    /// Updating the ap-map on the controller.
+    pub update_ap_map: Duration,
+}
+
+/// Handle to the NCL layer for one application instance.
+///
+/// Creating an `NclLib` acquires the application's single-instance lock on
+/// the controller (backed by an ephemeral znode in the paper, §4.7): a
+/// second live instance is rejected, while a restart after a crash succeeds
+/// because the dead holder's session has expired. The lock is released on
+/// drop.
+pub struct NclLib {
+    ctx: Arc<Ctx>,
+}
+
+impl NclLib {
+    /// Creates the library handle for application `app_id` running on
+    /// `node`, acquiring the instance lock.
+    pub fn new(
+        cluster: &Cluster,
+        node: NodeId,
+        app_id: &str,
+        config: NclConfig,
+        controller: &Controller,
+        registry: &Arc<NclRegistry>,
+    ) -> Result<Self, NclError> {
+        let client = controller.client(config.control);
+        client.acquire_instance(node, app_id, node)?;
+        Ok(NclLib {
+            ctx: Arc::new(Ctx {
+                cluster: cluster.clone(),
+                node,
+                app_id: app_id.to_string(),
+                config,
+                controller: client,
+                registry: Arc::clone(registry),
+            }),
+        })
+    }
+
+    /// The node this instance runs on.
+    pub fn node(&self) -> NodeId {
+        self.ctx.node
+    }
+
+    /// The application identifier.
+    pub fn app_id(&self) -> &str {
+        &self.ctx.app_id
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NclConfig {
+        &self.ctx.config
+    }
+
+    /// True when `(app, file)` has NCL state to recover.
+    pub fn exists(&self, file: &str) -> Result<bool, NclError> {
+        Ok(self
+            .ctx
+            .controller
+            .get_ap_entry(self.ctx.node, &self.ctx.app_id, file)?
+            .is_some())
+    }
+
+    /// Lists this application's ncl files (used on restart to find what to
+    /// recover).
+    pub fn list_files(&self) -> Result<Vec<String>, NclError> {
+        self.ctx
+            .controller
+            .list_app_files(self.ctx.node, &self.ctx.app_id)
+    }
+
+    /// Creates a new ncl file with the given data capacity, allocating
+    /// regions on `2f + 1` peers and publishing the ap-map entry.
+    pub fn create(&self, file: &str, capacity: usize) -> Result<NclFile, NclError> {
+        if self.exists(file)? {
+            return Err(NclError::AlreadyExists(file.to_string()));
+        }
+        let ctx = &self.ctx;
+        let epoch = ctx.controller.get_app_epoch(ctx.node, &ctx.app_id, file)? + 1;
+        let cq = CompletionQueue::new();
+        let mut slots = Vec::new();
+        let mut exclude: Vec<String> = Vec::new();
+        while slots.len() < ctx.config.replicas() {
+            let slot = acquire_peer(ctx, file, epoch, capacity, &cq, &mut exclude)?;
+            slots.push(slot);
+        }
+        let names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
+        ctx.controller
+            .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
+        Ok(NclFile {
+            ctx: Arc::clone(&self.ctx),
+            name: file.to_string(),
+            capacity,
+            inner: Mutex::new(Inner {
+                buffer: vec![0; capacity],
+                len: 0,
+                seq: 0,
+                epoch,
+                overwritten: false,
+                peers: slots,
+                cq,
+                repair_pending: false,
+                last_recovery: RecoveryStats::default(),
+                last_repair: RepairStats::default(),
+            }),
+        })
+    }
+
+    /// Recovers an existing ncl file after an application restart: returns
+    /// the file handle with its contents reconstructed from the peers (read
+    /// them with [`NclFile::contents`] / [`NclFile::read`]).
+    pub fn recover(&self, file: &str) -> Result<NclFile, NclError> {
+        let ctx = &self.ctx;
+        let mut stats = RecoveryStats::default();
+
+        // Phase 1: ap-map from the controller.
+        let sw = Stopwatch::start();
+        let entry = ctx
+            .controller
+            .get_ap_entry(ctx.node, &ctx.app_id, file)?
+            .ok_or_else(|| NclError::NotFound(file.to_string()))?;
+        stats.get_peer = sw.elapsed();
+
+        // Phase 2: contact peers, connect, read headers.
+        let sw = Stopwatch::start();
+        let cq = CompletionQueue::new();
+        let mut responders: Vec<(PeerSlot, RegionHeader)> = Vec::new();
+        for name in &entry.peers {
+            let Some(endpoint) = ctx.registry.lookup(name) else {
+                continue;
+            };
+            let resp = endpoint.rpc.call(
+                ctx.node,
+                PeerReq::RecoveryLookup {
+                    app: ctx.app_id.clone(),
+                    file: file.to_string(),
+                },
+            );
+            let Ok(PeerResp::Mr(mr)) = resp else { continue };
+            let qp = QueuePair::connect_with_mode(
+                ctx.cluster.clone(),
+                ctx.node,
+                &endpoint.device,
+                cq.clone(),
+                ctx.config.rdma,
+                ctx.config.inline_nic,
+            );
+            // Read the fixed-location header.
+            if qp
+                .post_read(WrId(u64::MAX), &mr, 0, HEADER_WIRE_SIZE)
+                .is_err()
+            {
+                continue;
+            }
+            let header = match wait_wr(&cq, qp.qp_num(), WrId(u64::MAX), ctx.config.write_timeout) {
+                Some(wc) if wc.status == WcStatus::Success => wc
+                    .read_data
+                    .as_deref()
+                    .and_then(RegionHeader::decode)
+                    .unwrap_or_default(),
+                _ => continue,
+            };
+            responders.push((
+                PeerSlot {
+                    name: name.clone(),
+                    endpoint,
+                    mr,
+                    qp,
+                    completed_seq: 0,
+                    alive: true,
+                },
+                header,
+            ));
+        }
+        if responders.len() < ctx.config.quorum() {
+            return Err(NclError::QuorumUnavailable(format!(
+                "{} of {} peers responded, need {}",
+                responders.len(),
+                entry.peers.len(),
+                ctx.config.quorum()
+            )));
+        }
+        stats.connect = sw.elapsed();
+
+        // Phase 3: pick the recovery peer (max sequence) and read its data.
+        let sw = Stopwatch::start();
+        let (rec_idx, rec_header) = responders
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, h))| h.seq)
+            .map(|(i, (_, h))| (i, *h))
+            .expect("responders nonempty");
+        let capacity = responders[rec_idx].0.mr.len - HEADER_SIZE;
+        let mut buffer = vec![0u8; capacity];
+        if rec_header.len > 0 {
+            let slot = &responders[rec_idx].0;
+            let len = rec_header.len as usize;
+            slot.qp
+                .post_read(WrId(u64::MAX - 1), &slot.mr, HEADER_SIZE, len)
+                .map_err(|e| NclError::Unavailable(e.to_string()))?;
+            match wait_wr(
+                &cq,
+                slot.qp.qp_num(),
+                WrId(u64::MAX - 1),
+                ctx.config.write_timeout,
+            ) {
+                Some(wc) if wc.status == WcStatus::Success => {
+                    let data = wc.read_data.expect("read completion carries data");
+                    buffer[..len].copy_from_slice(&data);
+                }
+                _ => {
+                    return Err(NclError::Unavailable(
+                        "recovery peer failed during data read".to_string(),
+                    ))
+                }
+            }
+        }
+        stats.rdma_read = sw.elapsed();
+
+        // Phase 4: catch every peer up to the recovered image under a new
+        // epoch, then (and only then) advance the ap-map.
+        let sw = Stopwatch::start();
+        let epoch = entry.epoch + 1;
+        let mut slots: Vec<PeerSlot> = Vec::new();
+        for (slot, header) in responders {
+            match catch_up_existing(
+                ctx,
+                file,
+                epoch,
+                capacity,
+                &cq,
+                slot,
+                header,
+                &rec_header,
+                &buffer,
+            ) {
+                Ok(s) => slots.push(s),
+                Err(_) => continue, // Peer died mid-catch-up; replace below.
+            }
+        }
+        // Replace unreachable/failed peers to restore the FT level.
+        let mut exclude: Vec<String> = entry.peers.clone();
+        exclude.extend(slots.iter().map(|s| s.name.clone()));
+        exclude.sort();
+        exclude.dedup();
+        while slots.len() < ctx.config.replicas() {
+            match acquire_peer(ctx, file, epoch, capacity, &cq, &mut exclude) {
+                Ok(mut slot) => {
+                    let mut stash = Vec::new();
+                    if catch_up_fresh(ctx, &cq, &mut slot, &rec_header, &buffer, &mut stash).is_ok()
+                    {
+                        slots.push(slot);
+                    }
+                }
+                Err(_) => break, // No spare peers; proceed degraded if quorate.
+            }
+        }
+        if slots.len() < ctx.config.quorum() {
+            return Err(NclError::QuorumUnavailable(
+                "could not catch up a majority during recovery".to_string(),
+            ));
+        }
+        let names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
+        ctx.controller
+            .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
+        stats.sync_peer = sw.elapsed();
+
+        let seq = rec_header.seq;
+        for s in &mut slots {
+            s.completed_seq = seq;
+        }
+        let repair_pending = slots.len() < ctx.config.replicas();
+        Ok(NclFile {
+            ctx: Arc::clone(&self.ctx),
+            name: file.to_string(),
+            capacity,
+            inner: Mutex::new(Inner {
+                buffer,
+                len: rec_header.len,
+                seq,
+                epoch,
+                overwritten: rec_header.overwritten,
+                peers: slots,
+                cq,
+                repair_pending,
+                last_recovery: stats,
+                last_repair: RepairStats::default(),
+            }),
+        })
+    }
+
+    /// Recovers `file` if it exists, otherwise creates it.
+    pub fn open_or_create(&self, file: &str, capacity: usize) -> Result<NclFile, NclError> {
+        if self.exists(file)? {
+            self.recover(file)
+        } else {
+            self.create(file, capacity)
+        }
+    }
+
+    /// Deletes an ncl file without recovering its contents: frees the peer
+    /// regions named in the ap-map and removes the entry. Used when an
+    /// application garbage-collects a log it no longer needs (e.g. stale
+    /// WALs found at startup after a checkpoint).
+    pub fn delete(&self, file: &str) -> Result<(), NclError> {
+        let ctx = &self.ctx;
+        let entry = ctx
+            .controller
+            .get_ap_entry(ctx.node, &ctx.app_id, file)?
+            .ok_or_else(|| NclError::NotFound(file.to_string()))?;
+        for name in &entry.peers {
+            let Some(endpoint) = ctx.registry.lookup(name) else {
+                continue;
+            };
+            let _ = endpoint.rpc.call(
+                ctx.node,
+                PeerReq::Free {
+                    app: ctx.app_id.clone(),
+                    file: file.to_string(),
+                    epoch: entry.epoch,
+                },
+            );
+        }
+        ctx.controller.delete_ap_entry(ctx.node, &ctx.app_id, file)
+    }
+}
+
+impl Drop for NclLib {
+    fn drop(&mut self) {
+        let _ =
+            self.ctx
+                .controller
+                .release_instance(self.ctx.node, &self.ctx.app_id, self.ctx.node);
+    }
+}
+
+struct PeerSlot {
+    name: String,
+    endpoint: PeerEndpoint,
+    mr: RemoteMr,
+    qp: QueuePair,
+    /// Highest sequence number whose data + header completed on this peer.
+    completed_seq: u64,
+    alive: bool,
+}
+
+struct Inner {
+    buffer: Vec<u8>,
+    len: u64,
+    seq: u64,
+    epoch: u64,
+    overwritten: bool,
+    peers: Vec<PeerSlot>,
+    cq: CompletionQueue,
+    /// A peer failed but replacement was deferred (no spare peer available
+    /// while a quorum was still alive); [`NclFile::maintain`] retries.
+    repair_pending: bool,
+    last_recovery: RecoveryStats,
+    last_repair: RepairStats,
+}
+
+/// A fault-tolerant near-compute log file.
+///
+/// All methods are safe to call from multiple application threads; records
+/// are serialised per file (matching WAL usage, where the application's own
+/// group commit funnels writers).
+pub struct NclFile {
+    ctx: Arc<Ctx>,
+    name: String,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl NclFile {
+    /// The file's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Data capacity fixed at allocation time.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current valid length.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// True when no data has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sequence number of the latest acknowledged record.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Current ap-map epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Names of the currently assigned peers (alive ones first-class; dead
+    /// ones pending replacement are excluded).
+    pub fn peer_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .peers
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Phase timings of the recovery that produced this handle.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.lock().last_recovery
+    }
+
+    /// Phase timings of the most recent peer replacement.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.inner.lock().last_repair
+    }
+
+    /// Reads from the local buffer (logs are only read during recovery; this
+    /// serves the application's replay pass from the prefetched image).
+    pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+        let inner = self.inner.lock();
+        if offset >= inner.len {
+            return Vec::new();
+        }
+        let end = (offset as usize + len).min(inner.len as usize);
+        inner.buffer[offset as usize..end].to_vec()
+    }
+
+    /// Returns the full valid contents (`[0, len)`).
+    pub fn contents(&self) -> Vec<u8> {
+        let inner = self.inner.lock();
+        inner.buffer[..inner.len as usize].to_vec()
+    }
+
+    /// Reads directly from a peer via one-sided RDMA, bypassing the local
+    /// buffer — the "NCL no prefetch" variant measured in Figure 11(a).
+    pub fn read_remote(&self, offset: u64, len: usize) -> Result<Vec<u8>, NclError> {
+        let inner = self.inner.lock();
+        let slot = inner
+            .peers
+            .iter()
+            .find(|s| s.alive)
+            .ok_or_else(|| NclError::QuorumUnavailable("no live peer".to_string()))?;
+        let end = (offset as usize + len).min(inner.len as usize);
+        if offset as usize >= end {
+            return Ok(Vec::new());
+        }
+        let n = end - offset as usize;
+        let wr = WrId(u64::MAX - 2);
+        slot.qp
+            .post_read(wr, &slot.mr, HEADER_SIZE + offset as usize, n)
+            .map_err(|e| NclError::Unavailable(e.to_string()))?;
+        match wait_wr(
+            &inner.cq,
+            slot.qp.qp_num(),
+            wr,
+            self.ctx.config.write_timeout,
+        ) {
+            Some(wc) if wc.status == WcStatus::Success => {
+                Ok(wc.read_data.expect("read data").to_vec())
+            }
+            _ => Err(NclError::Unavailable("remote read failed".to_string())),
+        }
+    }
+
+    /// Records a write at `offset` — the paper's `record(offset, data)`.
+    ///
+    /// Returns once the write (and all prior writes) is durable on a
+    /// majority of peers. Detected peer failures trigger inline replacement:
+    /// a short stall if a quorum survives, blocking until a quorum is
+    /// restored otherwise.
+    pub fn record(&self, offset: u64, data: &[u8]) -> Result<(), NclError> {
+        let ctx = &self.ctx;
+        let mut inner = self.inner.lock();
+        let end = offset as usize + data.len();
+        if end > self.capacity {
+            return Err(NclError::CapacityExceeded {
+                capacity: self.capacity,
+                needed: end,
+            });
+        }
+        // Stage locally.
+        ctx.config.local_copy.charge(data.len());
+        inner.buffer[offset as usize..end].copy_from_slice(data);
+        if offset < inner.len {
+            inner.overwritten = true;
+        }
+        inner.len = inner.len.max(end as u64);
+        inner.seq += 1;
+        let seq = inner.seq;
+        let header = RegionHeader {
+            seq,
+            len: inner.len,
+            overwritten: inner.overwritten,
+        };
+        let header_bytes = Bytes::copy_from_slice(&header.encode());
+        let payload = Bytes::copy_from_slice(data);
+
+        // Data WR first, header WR second — the ordering correctness hinges
+        // on (§4.4).
+        for slot in inner.peers.iter().filter(|s| s.alive) {
+            let _ = slot.qp.post_write(
+                WrId(2 * seq),
+                &slot.mr,
+                HEADER_SIZE + offset as usize,
+                payload.clone(),
+            );
+            let _ = slot
+                .qp
+                .post_write(WrId(2 * seq + 1), &slot.mr, 0, header_bytes.clone());
+        }
+        self.wait_majority(&mut inner, seq)
+    }
+
+    /// Waits until `seq` is complete on a majority, handling peer failures.
+    fn wait_majority(&self, inner: &mut Inner, seq: u64) -> Result<(), NclError> {
+        let ctx = &self.ctx;
+        let deadline = Instant::now() + ctx.config.write_timeout;
+        let mut failure_seen = false;
+        loop {
+            drain_cq(inner, &mut failure_seen);
+            let done = inner
+                .peers
+                .iter()
+                .filter(|s| s.alive && s.completed_seq >= seq)
+                .count();
+            let alive = inner.peers.iter().filter(|s| s.alive).count();
+            let needed = match ctx.config.ack_policy {
+                crate::config::AckPolicy::Majority => ctx.config.quorum(),
+                crate::config::AckPolicy::All => alive.max(ctx.config.quorum()),
+            };
+            if done >= needed {
+                // Durable. Restore the FT level inline if we just lost
+                // someone (the Figure 12 "blip").
+                if failure_seen && self.replace_failed(inner).is_err() {
+                    inner.repair_pending = true;
+                }
+                return Ok(());
+            }
+            if alive < ctx.config.quorum() {
+                // Majority lost: writes must block until peers are replaced
+                // and caught up (which includes the in-flight record, since
+                // catch-up copies the local buffer).
+                match self.replace_failed(inner) {
+                    Ok(()) => continue,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(e);
+                        }
+                        sim::delay(Duration::from_millis(1));
+                        continue;
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(NclError::QuorumUnavailable(format!(
+                    "record {seq} not durable within timeout"
+                )));
+            }
+            // NCL polls the completion queues (§4.4): poll-and-yield for the
+            // microsecond-scale RDMA completions (letting the NIC engine
+            // threads run), then fall back to a blocking wait so stalls
+            // (peer failures) do not burn a core.
+            let mut got = false;
+            for _ in 0..64 {
+                let wcs = inner.cq.poll();
+                if !wcs.is_empty() {
+                    apply_completions(inner, wcs, &mut failure_seen);
+                    got = true;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if !got {
+                let wcs = inner.cq.wait(Duration::from_millis(1));
+                apply_completions(inner, wcs, &mut failure_seen);
+            }
+        }
+    }
+
+    /// Replaces every dead peer slot, restoring `2f + 1` live peers.
+    ///
+    /// Steps per the paper (§4.5.2) and Table 3: get a new peer from the
+    /// controller; connect and set up its memory region; catch it up from
+    /// the local buffer (so it holds everything up to the current sequence
+    /// number); and only after that update the ap-map — first bumping the
+    /// surviving peers' region epochs so the leak GC cannot misfire.
+    fn replace_failed(&self, inner: &mut Inner) -> Result<(), NclError> {
+        let ctx = &self.ctx;
+        if inner.peers.iter().all(|s| s.alive) && inner.peers.len() == ctx.config.replicas() {
+            inner.repair_pending = false;
+            return Ok(());
+        }
+        let mut stats = RepairStats::default();
+        let epoch = inner.epoch + 1;
+        let header = RegionHeader {
+            seq: inner.seq,
+            len: inner.len,
+            overwritten: inner.overwritten,
+        };
+
+        // Drop dead slots entirely (their QPs are in error state).
+        let mut exclude: Vec<String> = inner.peers.iter().map(|s| s.name.clone()).collect();
+        inner.peers.retain(|s| s.alive);
+
+        let mut fresh: Vec<PeerSlot> = Vec::new();
+        let mut stash: Vec<(u32, rdma::WorkCompletion)> = Vec::new();
+        while inner.peers.len() + fresh.len() < ctx.config.replicas() {
+            let mut slot = acquire_peer_timed(
+                ctx,
+                &self.name,
+                epoch,
+                self.capacity,
+                &inner.cq,
+                &mut exclude,
+                &mut stats,
+            )?;
+            let sw = Stopwatch::start();
+            catch_up_fresh(
+                ctx,
+                &inner.cq,
+                &mut slot,
+                &header,
+                &inner.buffer,
+                &mut stash,
+            )?;
+            stats.catch_up += sw.elapsed();
+            slot.completed_seq = inner.seq;
+            fresh.push(slot);
+        }
+
+        let sw = Stopwatch::start();
+        // Survivors first: bump their region epochs so e_r stays ≥ the
+        // ap-map epoch (see peer::PeerReq::BumpEpoch).
+        for slot in inner.peers.iter() {
+            let _ = slot.endpoint.rpc.call(
+                ctx.node,
+                PeerReq::BumpEpoch {
+                    app: ctx.app_id.clone(),
+                    file: self.name.clone(),
+                    epoch,
+                },
+            );
+        }
+        inner.peers.extend(fresh);
+        let names: Vec<String> = inner.peers.iter().map(|s| s.name.clone()).collect();
+        ctx.controller
+            .set_ap_entry(ctx.node, &ctx.app_id, &self.name, names, epoch)?;
+        stats.update_ap_map = sw.elapsed();
+
+        inner.epoch = epoch;
+        inner.repair_pending = false;
+        inner.last_repair = stats;
+        // Apply any completions for surviving peers that arrived while we
+        // were waiting on the replacement's catch-up.
+        let mut sink = false;
+        apply_completions(inner, stash, &mut sink);
+        Ok(())
+    }
+
+    /// Retries a deferred peer replacement (call from a background
+    /// maintenance loop; the paper's "maintaining FT level").
+    pub fn maintain(&self) -> Result<bool, NclError> {
+        let mut inner = self.inner.lock();
+        let mut sink = false;
+        drain_cq(&mut inner, &mut sink);
+        if !inner.repair_pending && inner.peers.iter().all(|s| s.alive) {
+            return Ok(false);
+        }
+        self.replace_failed(&mut inner)?;
+        Ok(true)
+    }
+
+    /// True when a peer failure is pending replacement.
+    pub fn repair_pending(&self) -> bool {
+        self.inner.lock().repair_pending
+    }
+
+    /// Durability barrier. Records are already synchronous, so this is a
+    /// no-op kept for POSIX-facade symmetry.
+    pub fn fsync(&self) -> Result<(), NclError> {
+        Ok(())
+    }
+
+    /// Releases the file: frees the peer regions and removes the ap-map
+    /// entry (the paper's `release`, run when the application deletes the
+    /// log after a checkpoint). The handle must not be used afterwards;
+    /// subsequent records fail.
+    pub fn release(&self) -> Result<(), NclError> {
+        let ctx = &self.ctx;
+        let mut inner = self.inner.lock();
+        for slot in inner.peers.iter().filter(|s| s.alive) {
+            let _ = slot.endpoint.rpc.call(
+                ctx.node,
+                PeerReq::Free {
+                    app: ctx.app_id.clone(),
+                    file: self.name.clone(),
+                    epoch: inner.epoch,
+                },
+            );
+        }
+        // Drop the peer slots so any later use fails fast instead of writing
+        // to freed regions.
+        inner.peers.clear();
+        ctx.controller
+            .delete_ap_entry(ctx.node, &ctx.app_id, &self.name)?;
+        Ok(())
+    }
+}
+
+/// Pulls completions without blocking and applies them to the slots.
+fn drain_cq(inner: &mut Inner, failure_seen: &mut bool) {
+    let wcs = inner.cq.poll();
+    apply_completions(inner, wcs, failure_seen);
+}
+
+fn apply_completions(
+    inner: &mut Inner,
+    wcs: Vec<(u32, rdma::WorkCompletion)>,
+    failure_seen: &mut bool,
+) {
+    for (qp_num, wc) in wcs {
+        let Some(slot) = inner.peers.iter_mut().find(|s| s.qp.qp_num() == qp_num) else {
+            continue; // Stale completion from a replaced peer.
+        };
+        if !slot.alive {
+            continue;
+        }
+        match wc.status {
+            WcStatus::Success => {
+                // Header writes carry odd ids 2s+1; data writes even 2s.
+                if wc.wr_id.0 % 2 == 1 && wc.wr_id.0 < u64::MAX - 2 {
+                    slot.completed_seq = slot.completed_seq.max(wc.wr_id.0 / 2);
+                }
+            }
+            _ => {
+                slot.alive = false;
+                *failure_seen = true;
+            }
+        }
+    }
+}
+
+/// Waits for a specific work request on a specific QP. Completions belonging
+/// to other queue pairs are preserved in `stash` so callers sharing the CQ
+/// (e.g. a record waiting on surviving peers while a replacement catches up)
+/// can apply them afterwards.
+fn wait_wr_stash(
+    cq: &CompletionQueue,
+    qp_num: u32,
+    wr_id: WrId,
+    timeout: Duration,
+    stash: &mut Vec<(u32, rdma::WorkCompletion)>,
+) -> Option<rdma::WorkCompletion> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        for (num, wc) in cq.wait(Duration::from_millis(5)) {
+            if num == qp_num && wc.wr_id == wr_id {
+                return Some(wc);
+            }
+            stash.push((num, wc));
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+    }
+}
+
+/// [`wait_wr_stash`] for single-QP phases (recovery) where stray completions
+/// cannot exist.
+fn wait_wr(
+    cq: &CompletionQueue,
+    qp_num: u32,
+    wr_id: WrId,
+    timeout: Duration,
+) -> Option<rdma::WorkCompletion> {
+    let mut stash = Vec::new();
+    wait_wr_stash(cq, qp_num, wr_id, timeout, &mut stash)
+}
+
+/// Obtains one fresh peer: ask the controller for candidates (their
+/// availability is only a hint), try to allocate, connect a QP.
+fn acquire_peer(
+    ctx: &Ctx,
+    file: &str,
+    epoch: u64,
+    capacity: usize,
+    cq: &CompletionQueue,
+    exclude: &mut Vec<String>,
+) -> Result<PeerSlot, NclError> {
+    let mut stats = RepairStats::default();
+    acquire_peer_timed(ctx, file, epoch, capacity, cq, exclude, &mut stats)
+}
+
+fn acquire_peer_timed(
+    ctx: &Ctx,
+    file: &str,
+    epoch: u64,
+    capacity: usize,
+    cq: &CompletionQueue,
+    exclude: &mut Vec<String>,
+    stats: &mut RepairStats,
+) -> Result<PeerSlot, NclError> {
+    let need = (HEADER_SIZE + capacity) as u64;
+    loop {
+        let sw = Stopwatch::start();
+        let candidates = ctx.controller.get_peers(ctx.node, need, 4, exclude)?;
+        stats.get_peer += sw.elapsed();
+        if candidates.is_empty() {
+            return Err(NclError::QuorumUnavailable(
+                "controller has no eligible peers".to_string(),
+            ));
+        }
+        for cand in candidates {
+            exclude.push(cand.name.clone());
+            let Some(endpoint) = ctx.registry.lookup(&cand.name) else {
+                continue;
+            };
+            let sw = Stopwatch::start();
+            let resp = endpoint.rpc.call(
+                ctx.node,
+                PeerReq::Alloc {
+                    app: ctx.app_id.clone(),
+                    file: file.to_string(),
+                    epoch,
+                    capacity,
+                },
+            );
+            let Ok(PeerResp::Mr(mr)) = resp else {
+                stats.connect_mr += sw.elapsed();
+                continue; // The hint was stale or the peer is down: retry.
+            };
+            // Connection setup is one more control round trip.
+            ctx.config.control.charge(0);
+            let qp = QueuePair::connect_with_mode(
+                ctx.cluster.clone(),
+                ctx.node,
+                &endpoint.device,
+                cq.clone(),
+                ctx.config.rdma,
+                ctx.config.inline_nic,
+            );
+            stats.connect_mr += sw.elapsed();
+            return Ok(PeerSlot {
+                name: cand.name,
+                endpoint,
+                mr,
+                qp,
+                completed_seq: 0,
+                alive: true,
+            });
+        }
+    }
+}
+
+/// Catches a freshly allocated peer up from the local image: one bulk data
+/// write plus the header, using the current sequence's WR ids so the normal
+/// completion path credits the peer.
+fn catch_up_fresh(
+    ctx: &Ctx,
+    cq: &CompletionQueue,
+    slot: &mut PeerSlot,
+    header: &RegionHeader,
+    buffer: &[u8],
+    stash: &mut Vec<(u32, rdma::WorkCompletion)>,
+) -> Result<(), NclError> {
+    let seq = header.seq;
+    if header.len > 0 {
+        let data = Bytes::copy_from_slice(&buffer[..header.len as usize]);
+        slot.qp
+            .post_write(WrId(2 * seq), &slot.mr, HEADER_SIZE, data)
+            .map_err(|e| NclError::Unavailable(e.to_string()))?;
+    }
+    slot.qp
+        .post_write(
+            WrId(2 * seq + 1),
+            &slot.mr,
+            0,
+            Bytes::copy_from_slice(&header.encode()),
+        )
+        .map_err(|e| NclError::Unavailable(e.to_string()))?;
+    match wait_wr_stash(
+        cq,
+        slot.qp.qp_num(),
+        WrId(2 * seq + 1),
+        ctx.config.write_timeout,
+        stash,
+    ) {
+        Some(wc) if wc.status == WcStatus::Success => {
+            slot.completed_seq = seq;
+            Ok(())
+        }
+        _ => Err(NclError::Unavailable(format!(
+            "catch-up of peer {} failed",
+            slot.name
+        ))),
+    }
+}
+
+/// Recovery catch-up of a peer that still holds a (possibly lagging) region:
+/// stage a fresh region, fill it, and atomically switch.
+///
+/// For append-only files (`overwritten == false`) the staged region is
+/// pre-filled from the peer's current one and only the missing tail is
+/// shipped — the §6 byte-diff optimisation. Circular logs always ship the
+/// full image, because a lagging circular region's bytes are not a prefix of
+/// the recovered image (Figure 7ii).
+#[allow(clippy::too_many_arguments)]
+fn catch_up_existing(
+    ctx: &Ctx,
+    file: &str,
+    epoch: u64,
+    capacity: usize,
+    cq: &CompletionQueue,
+    slot: PeerSlot,
+    peer_header: RegionHeader,
+    rec_header: &RegionHeader,
+    buffer: &[u8],
+) -> Result<PeerSlot, NclError> {
+    let tail_only = ctx.config.tail_diff_catchup
+        && !rec_header.overwritten
+        && !peer_header.overwritten
+        && peer_header.len <= rec_header.len;
+    let copy_current = tail_only;
+    let resp = slot.endpoint.rpc.call(
+        ctx.node,
+        PeerReq::Prepare {
+            app: ctx.app_id.clone(),
+            file: file.to_string(),
+            epoch,
+            capacity,
+            copy_current,
+        },
+    );
+    let Ok(PeerResp::Mr(staged)) = resp else {
+        return Err(NclError::Unavailable(format!(
+            "peer {} rejected prepare",
+            slot.name
+        )));
+    };
+    let seq = rec_header.seq;
+    let (start, end) = if tail_only {
+        (peer_header.len as usize, rec_header.len as usize)
+    } else {
+        (0, rec_header.len as usize)
+    };
+    if end > start {
+        let data = Bytes::copy_from_slice(&buffer[start..end]);
+        slot.qp
+            .post_write(WrId(2 * seq), &staged, HEADER_SIZE + start, data)
+            .map_err(|e| NclError::Unavailable(e.to_string()))?;
+    }
+    slot.qp
+        .post_write(
+            WrId(2 * seq + 1),
+            &staged,
+            0,
+            Bytes::copy_from_slice(&rec_header.encode()),
+        )
+        .map_err(|e| NclError::Unavailable(e.to_string()))?;
+    match wait_wr(
+        cq,
+        slot.qp.qp_num(),
+        WrId(2 * seq + 1),
+        ctx.config.write_timeout,
+    ) {
+        Some(wc) if wc.status == WcStatus::Success => {}
+        _ => {
+            return Err(NclError::Unavailable(format!(
+                "catch-up write to {} failed",
+                slot.name
+            )))
+        }
+    }
+    let resp = slot.endpoint.rpc.call(
+        ctx.node,
+        PeerReq::Commit {
+            app: ctx.app_id.clone(),
+            file: file.to_string(),
+            epoch,
+        },
+    );
+    match resp {
+        Ok(PeerResp::Ok) => Ok(PeerSlot {
+            mr: staged,
+            completed_seq: seq,
+            ..slot
+        }),
+        _ => Err(NclError::Unavailable(format!(
+            "peer {} rejected commit",
+            slot.name
+        ))),
+    }
+}

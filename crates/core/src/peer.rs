@@ -1,0 +1,970 @@
+//! The log-peer daemon.
+//!
+//! Any compute node with spare memory can run a peer daemon (§4.3). The
+//! daemon is involved only in the control plane: allocating memory regions,
+//! validating recovery lookups, the atomic region switch used by catch-up,
+//! epoch-based garbage collection of leaked regions, and voluntary memory
+//! revocation. The data plane — every log write and recovery read — goes
+//! through 1-sided RDMA against the regions the daemon exported, without
+//! the daemon's participation.
+//!
+//! Crash semantics: the daemon's `mr-map` and its regions live in DRAM. When
+//! the peer's node crashes, both are lost; the daemon detects the restart
+//! via the cluster crash generation, wipes its state, and re-registers with
+//! the controller. Recovery lookups for pre-crash regions are rejected —
+//! the behaviour §4.5.1 relies on to keep quorum reasoning sound.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rdma::{LocalMr, RdmaDevice, RemoteMr};
+use sim::{Cluster, NodeId, RpcServer};
+
+use crate::config::NclConfig;
+use crate::controller::{Controller, ControllerClient};
+use crate::layout::HEADER_SIZE;
+use crate::registry::{NclRegistry, PeerEndpoint};
+
+/// Requests served by a peer daemon.
+#[derive(Debug, Clone)]
+pub enum PeerReq {
+    /// Allocate (or re-allocate under a newer epoch) the region for an ncl
+    /// file. `capacity` is the data capacity; the region adds header space.
+    Alloc {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+        /// Epoch the application will stamp its ap-map entry with.
+        epoch: u64,
+        /// Data capacity in bytes.
+        capacity: usize,
+    },
+    /// Release the region for a deleted ncl file.
+    Free {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+        /// Requesting epoch; stale frees (older than the record) are ignored.
+        epoch: u64,
+    },
+    /// During application recovery: does this peer still hold the region?
+    RecoveryLookup {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+    },
+    /// Stage a fresh region for the catch-up's atomic switch, optionally
+    /// pre-filled with the current region's contents (peer-local memcpy —
+    /// the transport saving behind the §6 byte-diff optimisation).
+    Prepare {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+        /// Epoch of the in-progress recovery.
+        epoch: u64,
+        /// Data capacity in bytes.
+        capacity: usize,
+        /// Copy the current region's bytes into the staged one.
+        copy_current: bool,
+    },
+    /// Atomically switch the mr-map entry to the staged region and recycle
+    /// the old one.
+    Commit {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+        /// Epoch given at `Prepare`.
+        epoch: u64,
+    },
+    /// Raise the epoch recorded for a surviving peer's region so the leak GC
+    /// never confuses it with a stale allocation (see DESIGN.md §5 note).
+    BumpEpoch {
+        /// Application identifier.
+        app: String,
+        /// File name.
+        file: String,
+        /// New epoch (monotonic).
+        epoch: u64,
+    },
+}
+
+/// Responses from a peer daemon.
+#[derive(Debug, Clone)]
+pub enum PeerResp {
+    /// Success without payload.
+    Ok,
+    /// The requested/staged region token.
+    Mr(RemoteMr),
+    /// Request refused (insufficient memory, stale epoch, lost region, ...).
+    Rejected(String),
+}
+
+struct Region {
+    epoch: u64,
+    local: LocalMr,
+    remote: RemoteMr,
+}
+
+struct PeerState {
+    gen: u64,
+    total: u64,
+    avail: u64,
+    mr_map: HashMap<(String, String), Region>,
+    staged: HashMap<(String, String), Region>,
+    /// Recycled regions by length, ready for cheap re-allocation.
+    pool: Vec<(usize, LocalMr)>,
+}
+
+/// A running log-peer daemon (see module docs).
+pub struct Peer {
+    name: String,
+    cluster: Cluster,
+    node: NodeId,
+    device: RdmaDevice,
+    controller: ControllerClient,
+    state: Arc<Mutex<PeerState>>,
+    gc: Option<(Arc<std::sync::atomic::AtomicBool>, std::thread::JoinHandle<()>)>,
+    _server: RpcServer<PeerReq, PeerResp>,
+}
+
+impl Drop for Peer {
+    fn drop(&mut self) {
+        self.stop_gc();
+    }
+}
+
+impl Peer {
+    /// Starts a peer daemon named `name` lending `lend_mem` bytes.
+    ///
+    /// Registers a new node on the cluster, announces the peer to the
+    /// controller, and publishes its endpoint in `registry` so that
+    /// applications can dial it by name.
+    pub fn start(
+        cluster: &Cluster,
+        name: &str,
+        lend_mem: u64,
+        config: &NclConfig,
+        controller: &Controller,
+        registry: &Arc<NclRegistry>,
+    ) -> Self {
+        let node = cluster.add_node(format!("peer-{name}"));
+        Self::start_on(cluster, node, name, lend_mem, config, controller, registry)
+    }
+
+    /// Starts a peer daemon on an existing node (for co-location scenarios).
+    pub fn start_on(
+        cluster: &Cluster,
+        node: NodeId,
+        name: &str,
+        lend_mem: u64,
+        config: &NclConfig,
+        controller: &Controller,
+        registry: &Arc<NclRegistry>,
+    ) -> Self {
+        let device = RdmaDevice::new(cluster.clone(), node, config.mr_register);
+        let controller_client = controller.client(config.control);
+        controller_client
+            .register_peer(node, name, node, lend_mem)
+            .expect("controller reachable at peer start");
+        let state = Arc::new(Mutex::new(PeerState {
+            gen: cluster.generation(node),
+            total: lend_mem,
+            avail: lend_mem,
+            mr_map: HashMap::new(),
+            staged: HashMap::new(),
+            pool: Vec::new(),
+        }));
+
+        let server = {
+            let cluster2 = cluster.clone();
+            let device2 = device.clone();
+            let ctrl2 = controller_client.clone();
+            let state2 = Arc::clone(&state);
+            let name2 = name.to_string();
+            RpcServer::spawn(cluster.clone(), node, &format!("peer-{name}"), move |req| {
+                let mut st = state2.lock();
+                ensure_generation(&cluster2, node, &name2, &device2, &ctrl2, &mut st);
+                handle(node, &name2, &device2, &ctrl2, &mut st, req)
+            })
+        };
+
+        registry.publish(
+            name,
+            PeerEndpoint {
+                rpc: server.client(config.control),
+                device: device.clone(),
+                node,
+            },
+        );
+
+        Peer {
+            name: name.to_string(),
+            cluster: cluster.clone(),
+            node,
+            device,
+            controller: controller_client,
+            state,
+            gc: None,
+            _server: server,
+        }
+    }
+
+    /// The peer's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node the daemon runs on (for failure injection).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Currently advertised available memory.
+    pub fn avail(&self) -> u64 {
+        let mut st = self.state.lock();
+        ensure_generation(
+            &self.cluster,
+            self.node,
+            &self.name,
+            &self.device,
+            &self.controller,
+            &mut st,
+        );
+        st.avail
+    }
+
+    /// Number of live regions in the mr-map.
+    pub fn region_count(&self) -> usize {
+        self.state.lock().mr_map.len()
+    }
+
+    /// Host-side read of a region's bytes (test/model-checker introspection;
+    /// the application itself always goes through RDMA).
+    pub fn inspect_region(
+        &self,
+        app: &str,
+        file: &str,
+        offset: usize,
+        len: usize,
+    ) -> Option<Vec<u8>> {
+        let st = self.state.lock();
+        let region = st.mr_map.get(&(app.to_string(), file.to_string()))?;
+        region.local.read_local(offset, len)
+    }
+
+    /// Unilaterally revokes the region for `(app, file)` — e.g. under local
+    /// memory pressure (§4.5.2). Reclamation is local and instantaneous: the
+    /// rkey is reset, subsequent application writes fail, and the
+    /// application handles it as a peer failure.
+    pub fn revoke(&self, app: &str, file: &str) -> bool {
+        let mut st = self.state.lock();
+        ensure_generation(
+            &self.cluster,
+            self.node,
+            &self.name,
+            &self.device,
+            &self.controller,
+            &mut st,
+        );
+        let key = (app.to_string(), file.to_string());
+        if let Some(region) = st.mr_map.remove(&key) {
+            self.device.invalidate(region.remote.mr_id);
+            st.avail += region.remote.len as u64;
+            let avail = st.avail;
+            let _ = self.controller.update_avail(self.node, &self.name, avail);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs one pass of the epoch-based leak GC (§4.5.1): for every region
+    /// held, compares its recorded epoch `e_r` with the application's epoch
+    /// high-water mark `e` at the controller, freeing regions whose epoch
+    /// has been superseded (`e > e_r`) or that lost their ap-map membership
+    /// at the same epoch. Returns the number of regions freed.
+    pub fn gc_sweep(&self) -> usize {
+        run_gc_sweep(
+            &self.cluster,
+            self.node,
+            &self.name,
+            &self.device,
+            &self.controller,
+            &self.state,
+        )
+    }
+
+    /// Spawns the periodic GC thread the paper describes ("periodically,
+    /// for each memory region ... it queries the controller", §4.5.1).
+    /// The thread stops when the `Peer` is dropped. Calling this twice
+    /// replaces the previous schedule.
+    pub fn spawn_gc(&mut self, interval: std::time::Duration) {
+        self.stop_gc();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cluster = self.cluster.clone();
+        let node = self.node;
+        let name = self.name.clone();
+        let device = self.device.clone();
+        let controller = self.controller.clone();
+        let state = Arc::clone(&self.state);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("peer-gc-{name}"))
+            .spawn(move || {
+                let tick = std::time::Duration::from_millis(20).min(interval);
+                let mut since = std::time::Duration::ZERO;
+                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since += tick;
+                    if since >= interval {
+                        since = std::time::Duration::ZERO;
+                        if cluster.is_alive(node) {
+                            run_gc_sweep(&cluster, node, &name, &device, &controller, &state);
+                        }
+                    }
+                }
+            })
+            .expect("spawn gc thread");
+        self.gc = Some((stop, handle));
+    }
+
+    /// Stops the periodic GC thread (no-op if none is running).
+    pub fn stop_gc(&mut self) {
+        if let Some((stop, handle)) = self.gc.take() {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Detects a restart (crash generation moved) and reinitialises: DRAM
+/// contents are gone, so the mr-map, staged regions and pool are dropped,
+/// and the daemon re-announces itself to the controller.
+fn ensure_generation(
+    cluster: &Cluster,
+    node: NodeId,
+    name: &str,
+    device: &RdmaDevice,
+    controller: &ControllerClient,
+    st: &mut PeerState,
+) {
+    let gen = cluster.generation(node);
+    if gen == st.gen {
+        return;
+    }
+    st.gen = gen;
+    st.mr_map.clear();
+    st.staged.clear();
+    st.pool.clear();
+    st.avail = st.total;
+    device.reap_stale();
+    let _ = controller.register_peer(node, name, node, st.total);
+}
+
+
+/// One GC pass over a peer's regions (see [`Peer::gc_sweep`]).
+fn run_gc_sweep(
+    cluster: &Cluster,
+    node: NodeId,
+    name: &str,
+    device: &RdmaDevice,
+    controller: &ControllerClient,
+    state: &Arc<Mutex<PeerState>>,
+) -> usize {
+    let mut st = state.lock();
+    ensure_generation(cluster, node, name, device, controller, &mut st);
+    let mut freed = 0;
+    for map_kind in 0..2 {
+        let keys: Vec<(String, String)> = if map_kind == 0 {
+            st.mr_map.keys().cloned().collect()
+        } else {
+            st.staged.keys().cloned().collect()
+        };
+        for key in keys {
+            let e_r = {
+                let map = if map_kind == 0 { &st.mr_map } else { &st.staged };
+                map.get(&key).map(|r| r.epoch)
+            };
+            let Some(e_r) = e_r else { continue };
+            let Ok(e) = controller.get_app_epoch(node, &key.0, &key.1) else {
+                continue;
+            };
+            let reclaim = if e > e_r {
+                true
+            } else if e == e_r {
+                // Same epoch: keep only if this peer is a member of the
+                // entry (staged regions at the committed epoch have been
+                // superseded by their committed twin and can go too).
+                let member = controller
+                    .get_ap_entry(node, &key.0, &key.1)
+                    .ok()
+                    .flatten()
+                    .map(|entry| entry.peers.contains(&name.to_string()))
+                    .unwrap_or(false);
+                if map_kind == 0 {
+                    !member
+                } else {
+                    false
+                }
+            } else {
+                // e < e_r: allocation might still be in progress.
+                false
+            };
+            if reclaim {
+                let region = if map_kind == 0 {
+                    st.mr_map.remove(&key)
+                } else {
+                    st.staged.remove(&key)
+                }
+                .expect("checked above");
+                recycle(device, &mut st, region);
+                freed += 1;
+            }
+        }
+    }
+    if freed > 0 {
+        let avail = st.avail;
+        let _ = controller.update_avail(node, name, avail);
+    }
+    freed
+}
+
+fn recycle(device: &RdmaDevice, st: &mut PeerState, region: Region) {
+    device.invalidate(region.remote.mr_id);
+    st.avail += region.remote.len as u64;
+    st.pool.push((region.remote.len, region.local));
+}
+
+/// Allocates a region of `region_len` bytes, preferring the recycled pool
+/// (cheap re-key) over fresh registration (charged with page-pinning cost).
+fn allocate_region(
+    device: &RdmaDevice,
+    st: &mut PeerState,
+    region_len: usize,
+) -> Result<(LocalMr, RemoteMr), String> {
+    if (st.avail as usize) < region_len {
+        return Err(format!(
+            "insufficient memory: need {region_len}, have {}",
+            st.avail
+        ));
+    }
+    if let Some(pos) = st.pool.iter().position(|(len, _)| *len == region_len) {
+        let (_, local) = st.pool.swap_remove(pos);
+        if let Some(rkey) = device.rekey(local.mr_id()) {
+            let remote = RemoteMr {
+                node: device.node(),
+                mr_id: local.mr_id(),
+                rkey,
+                len: region_len,
+            };
+            st.avail -= region_len as u64;
+            return Ok((local, remote));
+        }
+        // Region vanished (shouldn't happen outside a crash); fall through.
+    }
+    let (local, remote) = device
+        .register_mr(region_len)
+        .map_err(|e| format!("registration failed: {e}"))?;
+    st.avail -= region_len as u64;
+    Ok((local, remote))
+}
+
+fn handle(
+    node: NodeId,
+    name: &str,
+    device: &RdmaDevice,
+    controller: &ControllerClient,
+    st: &mut PeerState,
+    req: PeerReq,
+) -> PeerResp {
+    match req {
+        PeerReq::Alloc {
+            app,
+            file,
+            epoch,
+            capacity,
+        } => {
+            let key = (app, file);
+            if let Some(existing) = st.mr_map.get(&key) {
+                if existing.epoch >= epoch {
+                    return PeerResp::Rejected(format!(
+                        "region exists at epoch {} >= {epoch}",
+                        existing.epoch
+                    ));
+                }
+                // A newer epoch supersedes the old allocation.
+                let old = st.mr_map.remove(&key).expect("present");
+                recycle(device, st, old);
+            }
+            let region_len = HEADER_SIZE + capacity;
+            match allocate_region(device, st, region_len) {
+                Ok((local, remote)) => {
+                    st.mr_map.insert(
+                        key,
+                        Region {
+                            epoch,
+                            local,
+                            remote,
+                        },
+                    );
+                    let avail = st.avail;
+                    let _ = controller.update_avail(node, name, avail);
+                    PeerResp::Mr(remote)
+                }
+                Err(msg) => PeerResp::Rejected(msg),
+            }
+        }
+        PeerReq::Free { app, file, epoch } => {
+            let key = (app, file);
+            if let Some(region) = st.mr_map.get(&key) {
+                if region.epoch > epoch {
+                    return PeerResp::Rejected(format!(
+                        "free at epoch {epoch} older than region epoch {}",
+                        region.epoch
+                    ));
+                }
+                let region = st.mr_map.remove(&key).expect("present");
+                recycle(device, st, region);
+                let avail = st.avail;
+                let _ = controller.update_avail(node, name, avail);
+            }
+            PeerResp::Ok
+        }
+        PeerReq::RecoveryLookup { app, file } => {
+            match st.mr_map.get(&(app, file)) {
+                Some(region) => PeerResp::Mr(region.remote),
+                // The peer crashed and recovered (mr-map lost) or never had
+                // the region: it must reject so recovery quorum logic treats
+                // it as data-less.
+                None => PeerResp::Rejected("no region for file".to_string()),
+            }
+        }
+        PeerReq::Prepare {
+            app,
+            file,
+            epoch,
+            capacity,
+            copy_current,
+        } => {
+            let key = (app, file);
+            let region_len = HEADER_SIZE + capacity;
+            // Drop any previous staging for this file (aborted recovery).
+            if let Some(old) = st.staged.remove(&key) {
+                recycle(device, st, old);
+            }
+            match allocate_region(device, st, region_len) {
+                Ok((local, remote)) => {
+                    if copy_current {
+                        if let Some(cur) = st.mr_map.get(&key) {
+                            let n = cur.remote.len.min(region_len);
+                            if let Some(bytes) = cur.local.read_local(0, n) {
+                                local.write_local(0, &bytes);
+                            }
+                        }
+                    }
+                    st.staged.insert(
+                        key,
+                        Region {
+                            epoch,
+                            local,
+                            remote,
+                        },
+                    );
+                    PeerResp::Mr(remote)
+                }
+                Err(msg) => PeerResp::Rejected(msg),
+            }
+        }
+        PeerReq::Commit { app, file, epoch } => {
+            let key = (app, file);
+            match st.staged.remove(&key) {
+                Some(staged) if staged.epoch == epoch => {
+                    if let Some(old) = st.mr_map.remove(&key) {
+                        recycle(device, st, old);
+                    }
+                    st.mr_map.insert(key, staged);
+                    let avail = st.avail;
+                    let _ = controller.update_avail(node, name, avail);
+                    PeerResp::Ok
+                }
+                Some(staged) => {
+                    let msg = format!(
+                        "staged epoch {} does not match commit epoch {epoch}",
+                        staged.epoch
+                    );
+                    st.staged.insert(key, staged);
+                    PeerResp::Rejected(msg)
+                }
+                None => PeerResp::Rejected("nothing staged".to_string()),
+            }
+        }
+        PeerReq::BumpEpoch { app, file, epoch } => match st.mr_map.get_mut(&(app, file)) {
+            Some(region) => {
+                region.epoch = region.epoch.max(epoch);
+                PeerResp::Ok
+            }
+            None => PeerResp::Rejected("no region for file".to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::LatencyModel;
+
+    struct Fixture {
+        cluster: Cluster,
+        _controller: Controller,
+        ctrl_client: ControllerClient,
+        registry: Arc<NclRegistry>,
+        peer: Peer,
+        app_node: NodeId,
+    }
+
+    fn setup(lend: u64) -> Fixture {
+        let cluster = Cluster::new();
+        let controller = Controller::start(&cluster);
+        let ctrl_client = controller.client(LatencyModel::ZERO);
+        let registry = NclRegistry::new();
+        let config = NclConfig::zero();
+        let peer = Peer::start(&cluster, "p1", lend, &config, &controller, &registry);
+        let app_node = cluster.add_node("app");
+        Fixture {
+            cluster,
+            _controller: controller,
+            ctrl_client,
+            registry,
+            peer,
+            app_node,
+        }
+    }
+
+    fn alloc(fx: &Fixture, app: &str, file: &str, epoch: u64, cap: usize) -> PeerResp {
+        let ep = fx.registry.lookup("p1").unwrap();
+        ep.rpc
+            .call(
+                fx.app_node,
+                PeerReq::Alloc {
+                    app: app.into(),
+                    file: file.into(),
+                    epoch,
+                    capacity: cap,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn alloc_returns_region_and_decrements_avail() {
+        let fx = setup(1 << 20);
+        let resp = alloc(&fx, "a", "wal", 1, 4096);
+        let PeerResp::Mr(mr) = resp else {
+            panic!("expected Mr, got {resp:?}")
+        };
+        assert_eq!(mr.len, HEADER_SIZE + 4096);
+        assert_eq!(fx.peer.avail(), (1 << 20) - (HEADER_SIZE + 4096) as u64);
+        assert_eq!(fx.peer.region_count(), 1);
+        // The controller sees the updated availability.
+        let peers = fx.ctrl_client.get_peers(fx.app_node, 0, 10, &[]).unwrap();
+        assert_eq!(peers[0].avail, fx.peer.avail());
+    }
+
+    #[test]
+    fn alloc_rejected_when_memory_insufficient() {
+        let fx = setup(1024);
+        let resp = alloc(&fx, "a", "wal", 1, 10_000);
+        assert!(matches!(resp, PeerResp::Rejected(_)));
+        assert_eq!(fx.peer.region_count(), 0);
+    }
+
+    #[test]
+    fn realloc_requires_newer_epoch() {
+        let fx = setup(1 << 20);
+        assert!(matches!(alloc(&fx, "a", "wal", 2, 128), PeerResp::Mr(_)));
+        assert!(matches!(
+            alloc(&fx, "a", "wal", 2, 128),
+            PeerResp::Rejected(_)
+        ));
+        assert!(matches!(
+            alloc(&fx, "a", "wal", 1, 128),
+            PeerResp::Rejected(_)
+        ));
+        assert!(matches!(alloc(&fx, "a", "wal", 3, 128), PeerResp::Mr(_)));
+        assert_eq!(
+            fx.peer.region_count(),
+            1,
+            "newer epoch superseded the region"
+        );
+    }
+
+    #[test]
+    fn free_recycles_into_pool_and_pool_is_reused() {
+        let fx = setup(1 << 20);
+        let PeerResp::Mr(mr1) = alloc(&fx, "a", "wal", 1, 4096) else {
+            panic!()
+        };
+        let ep = fx.registry.lookup("p1").unwrap();
+        ep.rpc
+            .call(
+                fx.app_node,
+                PeerReq::Free {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(fx.peer.avail(), 1 << 20);
+        // Same-size reallocation reuses the pooled region with a fresh rkey.
+        let PeerResp::Mr(mr2) = alloc(&fx, "a", "wal2", 1, 4096) else {
+            panic!()
+        };
+        assert_eq!(mr2.mr_id, mr1.mr_id, "pooled region reused");
+        assert_ne!(mr2.rkey, mr1.rkey, "stale rkey revoked");
+    }
+
+    #[test]
+    fn stale_free_is_rejected() {
+        let fx = setup(1 << 20);
+        alloc(&fx, "a", "wal", 5, 128);
+        let ep = fx.registry.lookup("p1").unwrap();
+        let resp = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::Free {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 4,
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, PeerResp::Rejected(_)));
+        assert_eq!(fx.peer.region_count(), 1);
+    }
+
+    #[test]
+    fn recovery_lookup_found_and_rejected_after_crash() {
+        let fx = setup(1 << 20);
+        alloc(&fx, "a", "wal", 1, 128);
+        let ep = fx.registry.lookup("p1").unwrap();
+        let resp = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::RecoveryLookup {
+                    app: "a".into(),
+                    file: "wal".into(),
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, PeerResp::Mr(_)));
+        // Crash + restart loses the mr-map: lookups must be rejected.
+        fx.cluster.crash(fx.peer.node());
+        fx.cluster.restart(fx.peer.node());
+        let resp = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::RecoveryLookup {
+                    app: "a".into(),
+                    file: "wal".into(),
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, PeerResp::Rejected(_)));
+        assert_eq!(fx.peer.avail(), 1 << 20, "memory recovered after restart");
+    }
+
+    #[test]
+    fn prepare_commit_switches_region_atomically() {
+        let fx = setup(1 << 20);
+        let PeerResp::Mr(old_mr) = alloc(&fx, "a", "wal", 1, 128) else {
+            panic!()
+        };
+        // Write something into the old region via host access (stand-in for
+        // RDMA writes from the app).
+        {
+            let st = fx.peer.state.lock();
+            st.mr_map
+                .get(&("a".into(), "wal".into()))
+                .unwrap()
+                .local
+                .write_local(HEADER_SIZE, b"old!");
+        }
+        let ep = fx.registry.lookup("p1").unwrap();
+        let PeerResp::Mr(new_mr) = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::Prepare {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 2,
+                    capacity: 128,
+                    copy_current: true,
+                },
+            )
+            .unwrap()
+        else {
+            panic!("prepare failed")
+        };
+        assert_ne!(new_mr.mr_id, old_mr.mr_id);
+        // The staged copy carried the old contents.
+        let resp = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::Commit {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 2,
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, PeerResp::Ok));
+        assert_eq!(
+            fx.peer.inspect_region("a", "wal", HEADER_SIZE, 4).unwrap(),
+            b"old!"
+        );
+        // The old region's token is dead.
+        let dev = &fx.registry.lookup("p1").unwrap().device;
+        assert!(dev
+            .apply_remote(old_mr.mr_id, old_mr.rkey, 0, Some(b"x"), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn commit_with_wrong_epoch_rejected() {
+        let fx = setup(1 << 20);
+        alloc(&fx, "a", "wal", 1, 128);
+        let ep = fx.registry.lookup("p1").unwrap();
+        ep.rpc
+            .call(
+                fx.app_node,
+                PeerReq::Prepare {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 2,
+                    capacity: 128,
+                    copy_current: false,
+                },
+            )
+            .unwrap();
+        let resp = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::Commit {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 3,
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, PeerResp::Rejected(_)));
+        // Staging survives a mismatched commit and can be committed later.
+        let resp = ep
+            .rpc
+            .call(
+                fx.app_node,
+                PeerReq::Commit {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 2,
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, PeerResp::Ok));
+    }
+
+    #[test]
+    fn revoke_frees_memory_and_invalidate_token() {
+        let fx = setup(1 << 20);
+        let PeerResp::Mr(mr) = alloc(&fx, "a", "wal", 1, 128) else {
+            panic!()
+        };
+        assert!(fx.peer.revoke("a", "wal"));
+        assert!(!fx.peer.revoke("a", "wal"), "second revoke is a no-op");
+        assert_eq!(fx.peer.avail(), 1 << 20);
+        let dev = &fx.registry.lookup("p1").unwrap().device;
+        assert!(dev
+            .apply_remote(mr.mr_id, mr.rkey, 0, Some(b"x"), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn gc_frees_superseded_epochs_and_non_membership() {
+        let fx = setup(1 << 20);
+        // Region allocated at epoch 1, but the app's ap-map moved to epoch 2
+        // without this peer: e > e_r → reclaim.
+        alloc(&fx, "a", "leaked", 1, 128);
+        fx.ctrl_client
+            .set_ap_entry(fx.app_node, "a", "leaked", vec!["p-other".into()], 2)
+            .unwrap();
+        // Region allocated at epoch 3 and the entry at epoch 3 includes us:
+        // keep.
+        alloc(&fx, "a", "live", 3, 128);
+        fx.ctrl_client
+            .set_ap_entry(fx.app_node, "a", "live", vec!["p1".into()], 3)
+            .unwrap();
+        // Region allocated at epoch 5; entry still at 3: allocation in
+        // progress (e < e_r) → keep.
+        alloc(&fx, "a", "inflight", 5, 128);
+        fx.ctrl_client
+            .set_ap_entry(fx.app_node, "a", "inflight", vec!["p1".into()], 3)
+            .unwrap();
+        // Same epoch but we are not a member → reclaim.
+        alloc(&fx, "a", "evicted", 4, 128);
+        fx.ctrl_client
+            .set_ap_entry(fx.app_node, "a", "evicted", vec!["p9".into()], 4)
+            .unwrap();
+
+        let freed = fx.peer.gc_sweep();
+        assert_eq!(freed, 2);
+        assert!(fx.peer.inspect_region("a", "live", 0, 1).is_some());
+        assert!(fx.peer.inspect_region("a", "inflight", 0, 1).is_some());
+        assert!(fx.peer.inspect_region("a", "leaked", 0, 1).is_none());
+        assert!(fx.peer.inspect_region("a", "evicted", 0, 1).is_none());
+    }
+
+    #[test]
+    fn gc_spares_bumped_survivors() {
+        let fx = setup(1 << 20);
+        alloc(&fx, "a", "wal", 1, 128);
+        fx.ctrl_client
+            .set_ap_entry(fx.app_node, "a", "wal", vec!["p1".into()], 1)
+            .unwrap();
+        // Simulate a peer-replacement: the app bumps the survivor's epoch
+        // BEFORE writing the new ap-map entry.
+        let ep = fx.registry.lookup("p1").unwrap();
+        ep.rpc
+            .call(
+                fx.app_node,
+                PeerReq::BumpEpoch {
+                    app: "a".into(),
+                    file: "wal".into(),
+                    epoch: 2,
+                },
+            )
+            .unwrap();
+        fx.ctrl_client
+            .set_ap_entry(
+                fx.app_node,
+                "a",
+                "wal",
+                vec!["p1".into(), "p-new".into()],
+                2,
+            )
+            .unwrap();
+        assert_eq!(fx.peer.gc_sweep(), 0, "survivor must not be reclaimed");
+        assert!(fx.peer.inspect_region("a", "wal", 0, 1).is_some());
+    }
+}

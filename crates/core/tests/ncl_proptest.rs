@@ -1,0 +1,174 @@
+//! Property-based tests of the NCL durability guarantee.
+//!
+//! For arbitrary interleavings of writes, single-peer crashes/restarts, and
+//! application crash–recover cycles (staying within the `f = 1` failure
+//! budget at any instant), every acknowledged byte must be recovered in
+//! order.
+
+use std::sync::Arc;
+
+use ncl::{Controller, NclConfig, NclFile, NclLib, NclRegistry, Peer};
+use proptest::prelude::*;
+use sim::Cluster;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `len` bytes of the next fill pattern.
+    Write { len: usize },
+    /// Overwrite `len` bytes somewhere inside the existing data.
+    Overwrite { len: usize, pos_seed: u64 },
+    /// Crash one peer (skipped if another peer is already down).
+    CrashPeer { idx_seed: usize },
+    /// Restart every crashed peer.
+    RestartPeers,
+    /// Crash the application and recover on a fresh node.
+    AppRestart,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1usize..48).prop_map(|len| Op::Write { len }),
+        2 => ((1usize..16), any::<u64>()).prop_map(|(len, pos_seed)| Op::Overwrite { len, pos_seed }),
+        1 => (0usize..6).prop_map(|idx_seed| Op::CrashPeer { idx_seed }),
+        1 => Just(Op::RestartPeers),
+        1 => Just(Op::AppRestart),
+    ]
+}
+
+struct World {
+    cluster: Cluster,
+    controller: Controller,
+    registry: Arc<NclRegistry>,
+    peers: Vec<Peer>,
+    config: NclConfig,
+    app_counter: usize,
+}
+
+impl World {
+    fn new() -> Self {
+        let cluster = Cluster::new();
+        let controller = Controller::start(&cluster);
+        let registry = NclRegistry::new();
+        let config = NclConfig::zero();
+        let peers = (0..6)
+            .map(|i| {
+                Peer::start(
+                    &cluster,
+                    &format!("p{i}"),
+                    8 << 20,
+                    &config,
+                    &controller,
+                    &registry,
+                )
+            })
+            .collect();
+        World {
+            cluster,
+            controller,
+            registry,
+            peers,
+            config,
+            app_counter: 0,
+        }
+    }
+
+    fn fresh_app(&mut self) -> NclLib {
+        self.app_counter += 1;
+        let node = self.cluster.add_node(format!("app-{}", self.app_counter));
+        NclLib::new(
+            &self.cluster,
+            node,
+            "propapp",
+            self.config.clone(),
+            &self.controller,
+            &self.registry,
+        )
+        .expect("instance lock free")
+    }
+
+    fn crashed_peer_count(&self) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| !self.cluster.is_alive(p.node()))
+            .count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 20,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn acked_writes_survive_arbitrary_schedules(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let mut world = World::new();
+        let capacity = 8192usize;
+        let mut lib = world.fresh_app();
+        let mut file: NclFile = lib.create("wal", capacity).unwrap();
+        // Model of the acknowledged image.
+        let mut expected: Vec<u8> = Vec::new();
+        let mut fill: u8 = 0;
+
+        for op in ops {
+            match op {
+                Op::Write { len } => {
+                    if expected.len() + len > capacity {
+                        continue;
+                    }
+                    fill = fill.wrapping_add(1);
+                    let data = vec![fill; len];
+                    file.record(expected.len() as u64, &data).unwrap();
+                    expected.extend_from_slice(&data);
+                }
+                Op::Overwrite { len, pos_seed } => {
+                    if expected.is_empty() {
+                        continue;
+                    }
+                    let pos = (pos_seed as usize) % expected.len();
+                    let len = len.min(capacity - pos);
+                    fill = fill.wrapping_add(1);
+                    let data = vec![fill; len];
+                    file.record(pos as u64, &data).unwrap();
+                    if pos + len > expected.len() {
+                        expected.resize(pos + len, 0);
+                    }
+                    expected[pos..pos + len].copy_from_slice(&data);
+                }
+                Op::CrashPeer { idx_seed } => {
+                    if world.crashed_peer_count() >= 1 {
+                        continue; // Stay within the f = 1 budget.
+                    }
+                    let idx = idx_seed % world.peers.len();
+                    world.cluster.crash(world.peers[idx].node());
+                }
+                Op::RestartPeers => {
+                    for p in &world.peers {
+                        if !world.cluster.is_alive(p.node()) {
+                            world.cluster.restart(p.node());
+                        }
+                    }
+                }
+                Op::AppRestart => {
+                    let node = lib.node();
+                    drop(file);
+                    drop(lib);
+                    world.cluster.crash(node);
+                    lib = world.fresh_app();
+                    file = lib.recover("wal").unwrap();
+                    prop_assert_eq!(file.contents(), expected.clone(), "post-restart image");
+                }
+            }
+        }
+
+        // Final crash-recover: the full acknowledged image must survive.
+        let node = lib.node();
+        drop(file);
+        drop(lib);
+        world.cluster.crash(node);
+        let lib2 = world.fresh_app();
+        let file = lib2.recover("wal").unwrap();
+        prop_assert_eq!(file.contents(), expected);
+    }
+}

@@ -1,0 +1,703 @@
+//! End-to-end tests of the NCL replication and recovery protocols.
+//!
+//! These exercise the failure scenarios of §4.5 and the correctness
+//! condition of §4.6: *every acknowledged record — and all records before
+//! it — is recovered, in issued order, as long as at most `f` peers fail
+//! simultaneously.*
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ncl::{Controller, NclConfig, NclError, NclLib, NclRegistry, Peer};
+use sim::Cluster;
+
+struct Harness {
+    cluster: Cluster,
+    controller: Controller,
+    registry: Arc<NclRegistry>,
+    peers: Vec<Peer>,
+    config: NclConfig,
+}
+
+impl Harness {
+    fn new(num_peers: usize) -> Self {
+        Self::with_config(num_peers, NclConfig::zero())
+    }
+
+    fn with_config(num_peers: usize, config: NclConfig) -> Self {
+        let cluster = Cluster::new();
+        let controller = Controller::start(&cluster);
+        let registry = NclRegistry::new();
+        let peers = (0..num_peers)
+            .map(|i| {
+                Peer::start(
+                    &cluster,
+                    &format!("p{i}"),
+                    64 << 20,
+                    &config,
+                    &controller,
+                    &registry,
+                )
+            })
+            .collect();
+        Harness {
+            cluster,
+            controller,
+            registry,
+            peers,
+            config,
+        }
+    }
+
+    fn app(&self, name: &str) -> NclLib {
+        let node = self.cluster.add_node(format!("app-{name}"));
+        NclLib::new(
+            &self.cluster,
+            node,
+            "testapp",
+            self.config.clone(),
+            &self.controller,
+            &self.registry,
+        )
+        .expect("instance lock")
+    }
+
+    fn peer_named(&self, name: &str) -> &Peer {
+        self.peers
+            .iter()
+            .find(|p| p.name() == name)
+            .expect("peer exists")
+    }
+}
+
+#[test]
+fn write_then_read_back() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"hello ").unwrap();
+    file.record(6, b"world").unwrap();
+    assert_eq!(file.len(), 11);
+    assert_eq!(file.seq(), 2);
+    assert_eq!(file.contents(), b"hello world");
+    assert_eq!(file.read(6, 5), b"world");
+    assert_eq!(file.peer_names().len(), 3);
+}
+
+#[test]
+fn create_duplicate_rejected() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let _file = lib.create("wal", 1024).unwrap();
+    assert!(matches!(
+        lib.create("wal", 1024),
+        Err(NclError::AlreadyExists(_))
+    ));
+}
+
+#[test]
+fn capacity_is_enforced() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 64).unwrap();
+    assert!(matches!(
+        file.record(60, b"too much"),
+        Err(NclError::CapacityExceeded { .. })
+    ));
+    // The failed record must not have been acknowledged or change state.
+    assert_eq!(file.len(), 0);
+}
+
+#[test]
+fn recover_after_app_crash_returns_all_acked_writes() {
+    let h = Harness::new(3);
+    let app_node;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        for i in 0..50u32 {
+            file.record((i * 4) as u64, &i.to_le_bytes()).unwrap();
+        }
+    }
+    h.cluster.crash(app_node);
+
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.len(), 200);
+    for i in 0..50u32 {
+        assert_eq!(file.read((i * 4) as u64, 4), i.to_le_bytes());
+    }
+    // Recovery restored the full FT level.
+    assert_eq!(file.peer_names().len(), 3);
+}
+
+#[test]
+fn recover_nonexistent_file_fails() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    assert!(matches!(lib.recover("ghost"), Err(NclError::NotFound(_))));
+}
+
+#[test]
+fn recovery_tolerates_one_crashed_peer() {
+    let h = Harness::new(4);
+    let app_node;
+    let victim;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        file.record(0, b"must survive").unwrap();
+        victim = file.peer_names()[0].clone();
+    }
+    h.cluster.crash(app_node);
+    h.cluster.crash(h.peer_named(&victim).node());
+
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"must survive");
+    // The dead peer was replaced by the spare.
+    assert_eq!(file.peer_names().len(), 3);
+    assert!(!file.peer_names().contains(&victim));
+}
+
+#[test]
+fn recovery_picks_max_seq_from_lagging_quorum() {
+    let h = Harness::new(3);
+    let app_node;
+    let lagging;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        file.record(0, b"AAAA").unwrap();
+        // Partition one peer; further writes complete on the other two.
+        lagging = file.peer_names()[2].clone();
+        let lag_node = h.peer_named(&lagging).node();
+        h.cluster.partition(app_node, lag_node);
+        file.record(4, b"BBBB").unwrap();
+        file.record(8, b"CCCC").unwrap();
+        // Heal so the lagging peer participates in recovery with stale data.
+        h.cluster.heal(app_node, lag_node);
+    }
+    h.cluster.crash(app_node);
+
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(
+        file.contents(),
+        b"AAAABBBBCCCC",
+        "lagging peer must not win"
+    );
+    assert_eq!(file.seq(), 3);
+}
+
+#[test]
+fn repeated_crash_recover_cycles_preserve_data() {
+    let h = Harness::new(4);
+    let mut expected = Vec::new();
+    let mut prev_node = None;
+    for round in 0..4u8 {
+        if let Some(n) = prev_node {
+            h.cluster.crash(n);
+        }
+        let lib = h.app(&format!("round{round}"));
+        prev_node = Some(lib.node());
+        let file = if round == 0 {
+            lib.create("wal", 4096).unwrap()
+        } else {
+            let f = lib.recover("wal").unwrap();
+            assert_eq!(f.contents(), expected, "round {round}");
+            f
+        };
+        let chunk = [round; 8];
+        file.record(expected.len() as u64, &chunk).unwrap();
+        expected.extend_from_slice(&chunk);
+    }
+}
+
+#[test]
+fn peer_crash_during_writes_triggers_inline_replacement() {
+    let h = Harness::new(5);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"one").unwrap();
+    let original = file.peer_names();
+    let victim = original[1].clone();
+    h.cluster.crash(h.peer_named(&victim).node());
+    // The next record detects the failure and replaces the peer inline.
+    file.record(3, b"two").unwrap();
+    file.record(6, b"three").unwrap();
+    let now = file.peer_names();
+    assert_eq!(now.len(), 3, "FT level restored");
+    assert!(!now.contains(&victim));
+    assert!(!file.repair_pending());
+    assert!(file.epoch() > 1, "replacement advanced the epoch");
+
+    // Prove the replacement was caught up: crash BOTH remaining original
+    // peers; the data must be recoverable from the new peer + quorum.
+    drop(file);
+    drop(lib);
+    let survivors: Vec<String> = original.iter().filter(|n| **n != victim).cloned().collect();
+    // Only crash one of them — f = 1 tolerates one simultaneous failure.
+    h.cluster.crash(h.peer_named(&survivors[0]).node());
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"onetwothree");
+}
+
+#[test]
+fn majority_loss_blocks_until_replacements_available() {
+    let h = Harness::new(5);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"x").unwrap();
+    let names = file.peer_names();
+    // Crash two of three peers simultaneously: quorum lost, but two spare
+    // peers exist, so the record must block, replace, and then succeed.
+    h.cluster.crash(h.peer_named(&names[0]).node());
+    h.cluster.crash(h.peer_named(&names[1]).node());
+    file.record(1, b"y").unwrap();
+    assert_eq!(file.peer_names().len(), 3);
+    drop(file);
+    drop(lib);
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"xy");
+}
+
+#[test]
+fn majority_loss_without_spares_times_out() {
+    let mut config = NclConfig::zero();
+    config.write_timeout = Duration::from_millis(300);
+    let h = Harness::with_config(3, config);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"x").unwrap();
+    let names = file.peer_names();
+    h.cluster.crash(h.peer_named(&names[0]).node());
+    h.cluster.crash(h.peer_named(&names[1]).node());
+    assert!(matches!(
+        file.record(1, b"y"),
+        Err(NclError::QuorumUnavailable(_))
+    ));
+}
+
+#[test]
+fn release_frees_peer_state() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 1024).unwrap();
+    file.record(0, b"temp").unwrap();
+    let regions_before: usize = h.peers.iter().map(|p| p.region_count()).sum();
+    assert_eq!(regions_before, 3);
+    file.release().unwrap();
+    assert!(!lib.exists("wal").unwrap());
+    let regions_after: usize = h.peers.iter().map(|p| p.region_count()).sum();
+    assert_eq!(regions_after, 0);
+    // The file can be recreated (epoch must advance past the high-water).
+    let file = lib.create("wal", 1024).unwrap();
+    file.record(0, b"new").unwrap();
+    assert_eq!(file.contents(), b"new");
+}
+
+#[test]
+fn circular_log_overwrite_recovers_current_image() {
+    let h = Harness::new(3);
+    let app_node;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 16).unwrap();
+        // Fill the "circular" log then wrap around, SQLite-style.
+        file.record(0, b"AAAABBBBCCCCDDDD").unwrap();
+        file.record(0, b"EEEE").unwrap(); // Overwrite at the start.
+        file.record(4, b"FFFF").unwrap();
+        assert_eq!(file.contents(), b"EEEEFFFFCCCCDDDD");
+    }
+    h.cluster.crash(app_node);
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"EEEEFFFFCCCCDDDD");
+}
+
+#[test]
+fn circular_log_with_lagging_peer_uses_full_region_catchup() {
+    // Figure 7(ii): a lagging peer of a circular log cannot be caught up by
+    // tail transfer; the full image must be installed.
+    let h = Harness::new(3);
+    let app_node;
+    let lagging;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 8).unwrap();
+        file.record(0, b"AAAABBBB").unwrap();
+        lagging = file.peer_names()[2].clone();
+        let lag_node = h.peer_named(&lagging).node();
+        h.cluster.partition(app_node, lag_node);
+        file.record(0, b"CCCC").unwrap(); // Overwrites the first half.
+        h.cluster.heal(app_node, lag_node);
+    }
+    h.cluster.crash(app_node);
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"CCCCBBBB");
+    drop(file);
+    // Every peer (including the previously lagging one) must now hold the
+    // correct image: crash the two peers that were always up to date.
+    drop(lib2);
+    let up_to_date: Vec<&str> = ["p0", "p1", "p2"]
+        .into_iter()
+        .filter(|n| *n != lagging)
+        .collect();
+    h.cluster.crash(h.peer_named(up_to_date[0]).node());
+    let lib3 = h.app("a3");
+    let file = lib3.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"CCCCBBBB");
+}
+
+#[test]
+fn tail_diff_and_full_catchup_agree() {
+    for tail_diff in [false, true] {
+        let mut config = NclConfig::zero();
+        config.tail_diff_catchup = tail_diff;
+        let h = Harness::with_config(3, config);
+        let app_node;
+        let lagging;
+        {
+            let lib = h.app("a1");
+            app_node = lib.node();
+            let file = lib.create("wal", 4096).unwrap();
+            file.record(0, b"start...").unwrap();
+            lagging = file.peer_names()[2].clone();
+            let lag_node = h.peer_named(&lagging).node();
+            h.cluster.partition(app_node, lag_node);
+            file.record(8, b"tail-data-only-on-majority").unwrap();
+            h.cluster.heal(app_node, lag_node);
+        }
+        h.cluster.crash(app_node);
+        let lib2 = h.app("a2");
+        let file = lib2.recover("wal").unwrap();
+        assert_eq!(
+            file.contents(),
+            b"start...tail-data-only-on-majority",
+            "tail_diff={tail_diff}"
+        );
+        // All three peers must hold the full image after catch-up.
+        drop(file);
+        drop(lib2);
+        h.cluster.crash(h.peer_named("p0").node());
+        let lib3 = h.app("a3");
+        let file = lib3.recover("wal").unwrap();
+        assert_eq!(file.contents(), b"start...tail-data-only-on-majority");
+    }
+}
+
+#[test]
+fn instance_lock_prevents_split_brain() {
+    let h = Harness::new(3);
+    let lib1 = h.app("a1");
+    let node2 = h.cluster.add_node("app-clone");
+    let err = NclLib::new(
+        &h.cluster,
+        node2,
+        "testapp",
+        h.config.clone(),
+        &h.controller,
+        &h.registry,
+    );
+    assert!(matches!(err, Err(NclError::InstanceConflict(_))));
+    // After the holder crashes, a new instance may start.
+    h.cluster.crash(lib1.node());
+    let lib2 = NclLib::new(
+        &h.cluster,
+        node2,
+        "testapp",
+        h.config.clone(),
+        &h.controller,
+        &h.registry,
+    );
+    assert!(lib2.is_ok());
+}
+
+#[test]
+fn instance_lock_released_on_clean_shutdown() {
+    let h = Harness::new(3);
+    {
+        let _lib = h.app("a1");
+    }
+    // Dropped cleanly: the lock must be free.
+    let _lib2 = h.app("a2");
+}
+
+#[test]
+fn memory_revocation_is_handled_as_peer_failure() {
+    let h = Harness::new(4);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"before").unwrap();
+    let victim = file.peer_names()[0].clone();
+    assert!(h.peer_named(&victim).revoke("testapp", "wal"));
+    // Writes keep succeeding; the revoked peer is replaced.
+    file.record(6, b" after").unwrap();
+    assert!(!file.peer_names().contains(&victim) || file.peer_names().len() == 3);
+    drop(file);
+    drop(lib);
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"before after");
+}
+
+#[test]
+fn multiple_files_tracked_independently() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let wal = lib.create("wal", 1024).unwrap();
+    let aof = lib.create("aof", 1024).unwrap();
+    wal.record(0, b"wal-data").unwrap();
+    aof.record(0, b"aof-data").unwrap();
+    assert_eq!(lib.list_files().unwrap(), vec!["aof", "wal"]);
+    assert_eq!(wal.contents(), b"wal-data");
+    assert_eq!(aof.contents(), b"aof-data");
+    wal.release().unwrap();
+    assert_eq!(lib.list_files().unwrap(), vec!["aof"]);
+}
+
+#[test]
+fn read_remote_matches_local_buffer() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"remote readable").unwrap();
+    assert_eq!(file.read_remote(0, 15).unwrap(), b"remote readable");
+    assert_eq!(file.read_remote(7, 8).unwrap(), b"readable");
+    assert_eq!(file.read_remote(100, 10).unwrap(), b"");
+}
+
+#[test]
+fn maintain_repairs_deferred_failures() {
+    // 3 peers, one dies, no spare at first: record proceeds degraded with
+    // repair_pending set; once a spare appears, maintain() fixes it.
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"a").unwrap();
+    let victim = file.peer_names()[0].clone();
+    h.cluster.crash(h.peer_named(&victim).node());
+    file.record(1, b"b").unwrap();
+    assert!(file.repair_pending(), "no spare peer: repair deferred");
+    assert_eq!(file.peer_names().len(), 2);
+    // A new peer joins the pool.
+    let _spare = Peer::start(
+        &h.cluster,
+        "spare",
+        64 << 20,
+        &h.config,
+        &h.controller,
+        &h.registry,
+    );
+    assert!(file.maintain().unwrap());
+    assert!(!file.repair_pending());
+    assert_eq!(file.peer_names().len(), 3);
+    assert!(file.peer_names().contains(&"spare".to_string()));
+}
+
+#[test]
+fn unacked_writes_never_break_acked_prefix() {
+    // Partition both non-recovery peers so a record cannot reach quorum;
+    // the record fails (unacked). Recovery may or may not surface the
+    // unacked bytes, but all acked bytes must be intact and in order.
+    let mut config = NclConfig::zero();
+    config.write_timeout = Duration::from_millis(200);
+    let h = Harness::with_config(3, config);
+    let app_node;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        file.record(0, b"ACKED").unwrap();
+        let names = file.peer_names();
+        h.cluster
+            .partition(app_node, h.peer_named(&names[1]).node());
+        h.cluster
+            .partition(app_node, h.peer_named(&names[2]).node());
+        assert!(file.record(5, b"UNACKED").is_err());
+        for n in &names[1..] {
+            h.cluster.heal(app_node, h.peer_named(n).node());
+        }
+    }
+    h.cluster.crash(app_node);
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    let contents = file.contents();
+    assert!(contents.len() >= 5);
+    assert_eq!(&contents[..5], b"ACKED");
+    if contents.len() > 5 {
+        // If the unacked tail was recovered it must be the issued bytes.
+        assert_eq!(&contents[5..], &b"UNACKED"[..contents.len() - 5]);
+    }
+}
+
+#[test]
+fn gc_reclaims_epoch_superseded_regions_after_recovery() {
+    let h = Harness::new(4);
+    let app_node;
+    let victim;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 1024).unwrap();
+        file.record(0, b"data").unwrap();
+        victim = file.peer_names()[0].clone();
+    }
+    h.cluster.crash(app_node);
+    // The victim is down during recovery and gets replaced.
+    let victim_node = h.peer_named(&victim).node();
+    h.cluster.crash(victim_node);
+    let lib2 = h.app("a2");
+    let _file = lib2.recover("wal").unwrap();
+    // The victim restarts: its old region is gone with its DRAM anyway, but
+    // run the sweep to assert nothing is retained or double-freed.
+    h.cluster.restart(victim_node);
+    let freed = h.peer_named(&victim).gc_sweep();
+    assert_eq!(freed, 0);
+    assert_eq!(h.peer_named(&victim).region_count(), 0);
+}
+
+#[test]
+fn inline_nic_mode_preserves_protocol_guarantees() {
+    // The calibrated profile executes RDMA work requests inline; the full
+    // failure/recovery behaviour must be identical to the threaded NIC.
+    let mut config = NclConfig::zero();
+    config.inline_nic = true;
+    let h = Harness::with_config(5, config);
+    let app_node;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        file.record(0, b"before-").unwrap();
+        // Peer failure mid-stream: inline errors trigger replacement too.
+        let victim = file.peer_names()[0].clone();
+        h.cluster.crash(h.peer_named(&victim).node());
+        file.record(7, b"after").unwrap();
+        assert_eq!(file.peer_names().len(), 3);
+        assert!(!file.peer_names().contains(&victim));
+    }
+    h.cluster.crash(app_node);
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"before-after");
+}
+
+#[test]
+fn background_gc_thread_reclaims_leaks() {
+    let mut h = Harness::new(3);
+    // Leak: a region allocated at an epoch the app then abandoned.
+    let lib = h.app("a1");
+    let file = lib.create("wal", 1024).unwrap();
+    file.record(0, b"live").unwrap();
+    // Manufacture a leak on peer p0 for a *different* file whose ap-map
+    // moved on without it.
+    let ep = h.registry.lookup("p0").unwrap();
+    let app_node = lib.node();
+    let resp = ep
+        .rpc
+        .call(
+            app_node,
+            ncl::peer::PeerReq::Alloc {
+                app: "testapp".into(),
+                file: "leaked".into(),
+                epoch: 1,
+                capacity: 128,
+            },
+        )
+        .unwrap();
+    assert!(matches!(resp, ncl::peer::PeerResp::Mr(_)));
+    h.controller
+        .client(sim::LatencyModel::ZERO)
+        .set_ap_entry(app_node, "testapp", "leaked", vec!["p-elsewhere".into()], 2)
+        .unwrap();
+
+    let before = h.peer_named("p0").region_count();
+    h.peers[0].spawn_gc(std::time::Duration::from_millis(30));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while h.peer_named("p0").region_count() >= before && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        h.peer_named("p0").region_count() < before,
+        "background GC should reclaim the leaked region"
+    );
+    // The live file's region must be untouched.
+    assert!(h.peer_named("p0").inspect_region("testapp", "wal", 0, 1).is_some());
+    h.peers[0].stop_gc();
+}
+
+#[test]
+fn f2_budget_uses_five_peers_and_survives_two_crashes() {
+    let mut config = NclConfig::zero();
+    config.f = 2;
+    let h = Harness::with_config(7, config);
+    let app_node;
+    let victims: Vec<String>;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        assert_eq!(file.peer_names().len(), 5, "2f+1 peers for f=2");
+        file.record(0, b"five-way replicated").unwrap();
+        victims = file.peer_names()[..2].to_vec();
+    }
+    h.cluster.crash(app_node);
+    // Two simultaneous peer failures are inside the f=2 budget.
+    for v in &victims {
+        h.cluster.crash(h.peer_named(v).node());
+    }
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"five-way replicated");
+    assert_eq!(file.peer_names().len(), 5, "FT level restored");
+}
+
+#[test]
+fn many_files_with_concurrent_writers() {
+    let h = Harness::new(4);
+    let lib = std::sync::Arc::new(h.app("a1"));
+    let files: Vec<_> = (0..4)
+        .map(|i| std::sync::Arc::new(lib.create(&format!("wal-{i}"), 64 << 10).unwrap()))
+        .collect();
+    std::thread::scope(|scope| {
+        for (i, file) in files.iter().enumerate() {
+            let file = std::sync::Arc::clone(file);
+            scope.spawn(move || {
+                for j in 0..100u64 {
+                    let data = [(i as u8) ^ (j as u8); 32];
+                    file.record(j * 32, &data).unwrap();
+                }
+            });
+        }
+    });
+    for (i, file) in files.iter().enumerate() {
+        assert_eq!(file.len(), 3200, "file {i}");
+        for j in 0..100u64 {
+            assert_eq!(file.read(j * 32, 32), vec![(i as u8) ^ (j as u8); 32]);
+        }
+    }
+}
+
+#[test]
+fn large_records_replicate_correctly() {
+    let h = Harness::new(3);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 1 << 20).unwrap();
+    let blob: Vec<u8> = (0..256 * 1024).map(|i| (i % 241) as u8).collect();
+    file.record(0, &blob).unwrap();
+    file.record(blob.len() as u64, &blob).unwrap();
+    assert_eq!(file.len(), 2 * blob.len() as u64);
+    let back = file.contents();
+    assert_eq!(&back[..blob.len()], &blob[..]);
+    assert_eq!(&back[blob.len()..], &blob[..]);
+}

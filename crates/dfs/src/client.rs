@@ -1,0 +1,766 @@
+//! The DFS client: a per-application-server "mount".
+//!
+//! Reproduces the behaviour of a CephFS kernel client that the paper's DFT
+//! baseline relies on:
+//!
+//! * `write` buffers dirty data in the client page cache and is cheap;
+//! * `fsync` pushes dirty ranges to the OSDs (striped into objects, each
+//!   replicated on every OSD) and waits for all replicas — this is the
+//!   expensive, milliseconds-scale operation that forces the paper's
+//!   strong/weak dilemma;
+//! * `read` is served from the cache with sequential readahead (CephFS
+//!   clients prefetch aggressively, which Figure 11 highlights), or can
+//!   bypass the cache entirely (`read_direct`, the paper's "DFS direct IO"
+//!   comparison line);
+//! * dropping the client models an application-server crash: clean and
+//!   dirty cached state disappears, but everything fsynced survives in the
+//!   [`crate::DfsCluster`].
+//!
+//! An optional [`IoTrace`] records the sizes of data submitted to the DFS —
+//! exactly the quantity plotted in Figure 1(a–c) of the paper.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim::{Cluster, NodeId, RpcClient};
+
+use crate::config::DfsConfig;
+use crate::extent::ExtentMap;
+use crate::mds::{FileMeta, MdsReq, MdsResp};
+use crate::osd::{OsdReq, OsdResp};
+use crate::DfsError;
+
+/// Classification of a traced IO event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Data submitted to the DFS by an `fsync` (one event per fsync).
+    FlushWrite,
+    /// Data fetched from the OSDs by a read miss.
+    FetchRead,
+}
+
+/// One traced IO event.
+#[derive(Debug, Clone)]
+pub struct IoEvent {
+    /// File path the IO belongs to.
+    pub path: String,
+    /// Flush or fetch.
+    pub kind: IoKind,
+    /// Bytes transferred.
+    pub bytes: usize,
+}
+
+/// Shared recorder for DFS-level IO sizes (Figure 1 / Table 2 evidence).
+#[derive(Debug, Default)]
+pub struct IoTrace {
+    enabled: AtomicBool,
+    events: Mutex<Vec<IoEvent>>,
+}
+
+impl IoTrace {
+    /// Creates a disabled trace; call [`IoTrace::enable`] to start recording.
+    pub fn new() -> Arc<Self> {
+        Arc::new(IoTrace::default())
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Records one event (no-op while disabled). Public so other layers —
+    /// e.g. the SplitFT facade tracing NCL record sizes — can feed the same
+    /// trace.
+    pub fn record(&self, path: &str, kind: IoKind, bytes: usize) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.events.lock().push(IoEvent {
+                path: path.to_string(),
+                kind,
+                bytes,
+            });
+        }
+    }
+
+    /// Returns a snapshot of all recorded events.
+    pub fn events(&self) -> Vec<IoEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Clears recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+struct FileEntry {
+    meta: FileMeta,
+    /// Local view of the size including buffered writes.
+    size: u64,
+    dirty: ExtentMap,
+    cached: ExtentMap,
+    /// End offset of the last read, for sequential-readahead detection.
+    last_read_end: u64,
+    /// A flush is in progress; its data is already in `cached`.
+    flushing: bool,
+}
+
+struct Shared {
+    files: Mutex<HashMap<String, Arc<Mutex<FileEntry>>>>,
+    trace: Mutex<Option<Arc<IoTrace>>>,
+}
+
+/// A mounted DFS client (see module docs).
+///
+/// Cloning shares the cache — clones behave like threads of the same
+/// application process. To model a *restarted* application, mount a fresh
+/// client via [`crate::DfsCluster::client`].
+#[derive(Clone)]
+pub struct DfsClient {
+    #[allow(dead_code)]
+    cluster: Cluster,
+    node: NodeId,
+    config: DfsConfig,
+    mds: RpcClient<MdsReq, MdsResp>,
+    osds: Vec<RpcClient<OsdReq, OsdResp>>,
+    shared: Arc<Shared>,
+}
+
+impl DfsClient {
+    pub(crate) fn new(
+        cluster: Cluster,
+        node: NodeId,
+        config: DfsConfig,
+        mds: RpcClient<MdsReq, MdsResp>,
+        osds: Vec<RpcClient<OsdReq, OsdResp>>,
+    ) -> Self {
+        DfsClient {
+            cluster,
+            node,
+            config,
+            mds,
+            osds,
+            shared: Arc::new(Shared {
+                files: Mutex::new(HashMap::new()),
+                trace: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The application-server node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Attaches an IO trace recorder.
+    pub fn set_trace(&self, trace: Arc<IoTrace>) {
+        *self.shared.trace.lock() = Some(trace);
+    }
+
+    fn trace(&self, path: &str, kind: IoKind, bytes: usize) {
+        if let Some(t) = self.shared.trace.lock().as_ref() {
+            t.record(path, kind, bytes);
+        }
+    }
+
+    fn mds_call(&self, req: MdsReq) -> Result<MdsResp, DfsError> {
+        self.mds
+            .call(self.node, req)
+            .map_err(|e| DfsError::Unavailable(e.to_string()))
+    }
+
+    /// Creates a new empty file.
+    pub fn create(&self, path: &str) -> Result<(), DfsError> {
+        match self.mds_call(MdsReq::Create(path.to_string()))? {
+            MdsResp::Meta(meta) => {
+                let entry = FileEntry {
+                    meta,
+                    size: 0,
+                    dirty: ExtentMap::new(),
+                    cached: ExtentMap::new(),
+                    last_read_end: 0,
+                    flushing: false,
+                };
+                self.shared
+                    .files
+                    .lock()
+                    .insert(path.to_string(), Arc::new(Mutex::new(entry)));
+                Ok(())
+            }
+            MdsResp::Exists => Err(DfsError::AlreadyExists(path.to_string())),
+            other => Err(DfsError::Invalid(format!("unexpected MDS reply {other:?}"))),
+        }
+    }
+
+    /// Opens an existing file (no-op if already in the cache map).
+    pub fn open(&self, path: &str) -> Result<(), DfsError> {
+        self.entry(path).map(|_| ())
+    }
+
+    /// True when the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        if self.shared.files.lock().contains_key(path) {
+            return true;
+        }
+        matches!(
+            self.mds_call(MdsReq::Lookup(path.to_string())),
+            Ok(MdsResp::Meta(_))
+        )
+    }
+
+    fn entry(&self, path: &str) -> Result<Arc<Mutex<FileEntry>>, DfsError> {
+        if let Some(e) = self.shared.files.lock().get(path) {
+            return Ok(Arc::clone(e));
+        }
+        match self.mds_call(MdsReq::Lookup(path.to_string()))? {
+            MdsResp::Meta(meta) => {
+                let entry = Arc::new(Mutex::new(FileEntry {
+                    meta,
+                    size: meta.size,
+                    dirty: ExtentMap::new(),
+                    cached: ExtentMap::new(),
+                    last_read_end: 0,
+                    flushing: false,
+                }));
+                self.shared
+                    .files
+                    .lock()
+                    .entry(path.to_string())
+                    .or_insert_with(|| Arc::clone(&entry));
+                Ok(entry)
+            }
+            _ => Err(DfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Buffered write: lands in the client page cache, cheap and volatile.
+    pub fn write(&self, path: &str, offset: u64, data: &[u8]) -> Result<(), DfsError> {
+        let entry = self.entry(path)?;
+        let mut e = entry.lock();
+        self.config.cache_write.charge(data.len());
+        e.dirty.insert(offset, data);
+        e.size = e.size.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Appends at the current end of file, returning the write offset.
+    pub fn append(&self, path: &str, data: &[u8]) -> Result<u64, DfsError> {
+        let entry = self.entry(path)?;
+        let mut e = entry.lock();
+        self.config.cache_write.charge(data.len());
+        let offset = e.size;
+        e.dirty.insert(offset, data);
+        e.size = offset + data.len() as u64;
+        Ok(offset)
+    }
+
+    /// Flushes all dirty data of `path` to the OSDs and updates the MDS.
+    /// Returns only after every replica of every touched object has
+    /// committed — the durable point of the DFT paradigm.
+    ///
+    /// Concurrent writers are **not** blocked while the flush is on the
+    /// wire (kernel page-cache writeback behaves the same way); concurrent
+    /// fsyncs serialise against each other.
+    pub fn fsync(&self, path: &str) -> Result<(), DfsError> {
+        let entry = self.entry(path)?;
+        let (extents, file_id, size) = loop {
+            let mut e = entry.lock();
+            if e.flushing {
+                drop(e);
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                continue;
+            }
+            let extents = e.drain_dirty();
+            if extents.is_empty() && e.size == e.meta.size {
+                return Ok(());
+            }
+            // The data stays readable from the clean cache while in flight.
+            for (off, data) in &extents {
+                e.cached.insert(*off, data);
+            }
+            e.flushing = true;
+            break (extents, e.meta.id, e.size);
+        };
+        let total: usize = extents.iter().map(|(_, d)| d.len()).sum();
+        let flush_result = self.flush_extents(file_id, &extents);
+        {
+            let mut e = entry.lock();
+            e.flushing = false;
+            if flush_result.is_err() {
+                // Back to dirty so a retry re-flushes.
+                for (off, data) in &extents {
+                    e.dirty.insert(*off, data);
+                }
+            }
+        }
+        flush_result?;
+        match self.mds_call(MdsReq::SetSize {
+            path: path.to_string(),
+            size,
+            exact: false,
+        })? {
+            MdsResp::Meta(meta) => entry.lock().meta = meta,
+            _ => return Err(DfsError::NotFound(path.to_string())),
+        }
+        self.trace(path, IoKind::FlushWrite, total);
+        Ok(())
+    }
+
+    fn flush_extents(&self, file_id: u64, extents: &[(u64, Vec<u8>)]) -> Result<(), DfsError> {
+        // Split extents on object boundaries and group per object.
+        let osz = self.config.object_size as u64;
+        let mut per_object: HashMap<u64, Vec<(usize, Vec<u8>)>> = HashMap::new();
+        for (off, data) in extents {
+            let mut cursor = 0usize;
+            while cursor < data.len() {
+                let abs = off + cursor as u64;
+                let obj = abs / osz;
+                let in_obj = (abs % osz) as usize;
+                let room = osz as usize - in_obj;
+                let n = room.min(data.len() - cursor);
+                per_object
+                    .entry(obj)
+                    .or_default()
+                    .push((in_obj, data[cursor..cursor + n].to_vec()));
+                cursor += n;
+            }
+        }
+        // Write each object to every OSD; the fan-out is parallel, matching
+        // a client→primary write with parallel replica forwarding.
+        let replicas = self.osds.len();
+        let results: Mutex<Vec<Result<(), DfsError>>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (obj, writes) in &per_object {
+                for r in 0..replicas {
+                    let osd = &self.osds[r];
+                    let results = &results;
+                    let primary = (*obj % replicas as u64) as usize == r;
+                    scope.spawn(move || {
+                        for (in_obj, data) in writes {
+                            let res = osd
+                                .call_sized(
+                                    self.node,
+                                    OsdReq::Put {
+                                        file: file_id,
+                                        obj: *obj,
+                                        offset: *in_obj,
+                                        data: data.clone(),
+                                        forwarded: !primary,
+                                    },
+                                    data.len(),
+                                    0,
+                                )
+                                .map(|_| ())
+                                .map_err(|err| DfsError::Unavailable(err.to_string()));
+                            results.lock().push(res);
+                        }
+                    });
+                }
+            }
+        });
+        // Require all replicas to commit (CephFS acks after full replication).
+        for res in results.into_inner() {
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes at `offset`, returning fewer at end of file.
+    /// Served from the page cache; misses fetch whole readahead windows.
+    pub fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, DfsError> {
+        self.read_inner(path, offset, len, true)
+    }
+
+    /// Direct IO read: bypasses the cache and readahead, always fetching
+    /// from the OSDs (the paper's "DFS direct IO" line in Figure 11a).
+    pub fn read_direct(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, DfsError> {
+        self.read_inner(path, offset, len, false)
+    }
+
+    fn read_inner(
+        &self,
+        path: &str,
+        offset: u64,
+        len: usize,
+        use_cache: bool,
+    ) -> Result<Vec<u8>, DfsError> {
+        let entry = self.entry(path)?;
+        let mut e = entry.lock();
+        let size = e.size;
+        if offset >= size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((size - offset) as usize);
+        let mut buf = vec![0u8; len];
+
+        if use_cache {
+            // Readahead only helps sequential streams (log replay, scans);
+            // a random page read fetches just its page-aligned window, like
+            // the kernel's readahead heuristic.
+            let sequential = offset == e.last_read_end;
+            let missing = e.cached.read_into(offset, &mut buf);
+            for (miss_off, miss_len) in missing {
+                let window = if sequential {
+                    self.config.readahead.max(miss_len)
+                } else {
+                    miss_len.max(4096)
+                };
+                let fetch_len = window.min((size - miss_off) as usize);
+                let data = self.fetch(path, e.meta.id, miss_off, fetch_len)?;
+                e.cached.insert(miss_off, &data);
+            }
+            let still_missing = e.cached.read_into(offset, &mut buf);
+            debug_assert!(still_missing.is_empty(), "fetch must fill cache");
+            e.last_read_end = offset + len as u64;
+        } else {
+            let data = self.fetch(path, e.meta.id, offset, len)?;
+            buf.copy_from_slice(&data);
+        }
+        // Dirty data overlays whatever came from the OSDs.
+        e.dirty.read_into(offset, &mut buf);
+        Ok(buf)
+    }
+
+    /// Fetches `[offset, offset+len)` from the OSDs (no cache interaction).
+    fn fetch(
+        &self,
+        path: &str,
+        file_id: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, DfsError> {
+        let osz = self.config.object_size as u64;
+        let mut out = vec![0u8; len];
+        let mut cursor = 0usize;
+        while cursor < len {
+            let abs = offset + cursor as u64;
+            let obj = abs / osz;
+            let in_obj = (abs % osz) as usize;
+            let n = (osz as usize - in_obj).min(len - cursor);
+            let data = self.fetch_object(file_id, obj, in_obj, n)?;
+            out[cursor..cursor + n].copy_from_slice(&data);
+            cursor += n;
+        }
+        self.trace(path, IoKind::FetchRead, len);
+        Ok(out)
+    }
+
+    /// Reads one object range, trying the primary first and failing over to
+    /// the other replicas.
+    fn fetch_object(
+        &self,
+        file_id: u64,
+        obj: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, DfsError> {
+        let replicas = self.osds.len();
+        let primary = (obj % replicas as u64) as usize;
+        for attempt in 0..replicas {
+            let r = (primary + attempt) % replicas;
+            match self.osds[r].call_sized(
+                self.node,
+                OsdReq::Get {
+                    file: file_id,
+                    obj,
+                    offset,
+                    len,
+                },
+                0,
+                len,
+            ) {
+                Ok(OsdResp::Data(data)) => return Ok(data),
+                Ok(_) => continue,
+                Err(_) => continue,
+            }
+        }
+        Err(DfsError::Unavailable(format!(
+            "object {obj} of file {file_id}: all replicas unreachable"
+        )))
+    }
+
+    /// Current size of the file (including buffered writes).
+    pub fn size(&self, path: &str) -> Result<u64, DfsError> {
+        Ok(self.entry(path)?.lock().size)
+    }
+
+    /// Deletes a file: removes metadata, purges OSD objects and local cache.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let meta = match self.mds_call(MdsReq::Delete(path.to_string()))? {
+            MdsResp::Meta(meta) => meta,
+            _ => return Err(DfsError::NotFound(path.to_string())),
+        };
+        self.shared.files.lock().remove(path);
+        for osd in &self.osds {
+            // Deleting on a down OSD is best-effort; its objects are orphaned
+            // (real systems run scrub/GC for this).
+            let _ = osd.call(self.node, OsdReq::DeleteFile(meta.id));
+        }
+        Ok(())
+    }
+
+    /// Renames a file (metadata-only, like CephFS within one directory).
+    pub fn rename(&self, old: &str, new: &str) -> Result<(), DfsError> {
+        match self.mds_call(MdsReq::Rename(old.to_string(), new.to_string()))? {
+            MdsResp::Ok => {
+                let mut files = self.shared.files.lock();
+                if let Some(e) = files.remove(old) {
+                    files.insert(new.to_string(), e);
+                }
+                Ok(())
+            }
+            MdsResp::Exists => Err(DfsError::AlreadyExists(new.to_string())),
+            _ => Err(DfsError::NotFound(old.to_string())),
+        }
+    }
+
+    /// Lists files whose path starts with `prefix`.
+    pub fn list(&self, prefix: &str) -> Result<Vec<String>, DfsError> {
+        match self.mds_call(MdsReq::List(prefix.to_string()))? {
+            MdsResp::Paths(p) => Ok(p),
+            _ => Err(DfsError::Invalid("unexpected MDS reply".into())),
+        }
+    }
+
+    /// Drops clean cached data for `path` (dirty data is preserved).
+    pub fn drop_cache(&self, path: &str) {
+        if let Some(e) = self.shared.files.lock().get(path) {
+            e.lock().cached.clear();
+        }
+    }
+
+    /// Flushes every file with dirty data (used by the weak mode's periodic
+    /// background flusher).
+    pub fn flush_all(&self) -> Result<(), DfsError> {
+        let paths: Vec<String> = {
+            let files = self.shared.files.lock();
+            files
+                .iter()
+                .filter(|(_, e)| !e.lock().dirty.is_empty())
+                .map(|(p, _)| p.clone())
+                .collect()
+        };
+        for p in paths {
+            self.fsync(&p)?;
+        }
+        Ok(())
+    }
+
+    /// Total dirty bytes currently buffered (for tests and the flusher).
+    pub fn dirty_bytes(&self) -> usize {
+        let files = self.shared.files.lock();
+        files.values().map(|e| e.lock().dirty.byte_len()).sum()
+    }
+}
+
+impl FileEntry {
+    fn drain_dirty(&mut self) -> Vec<(u64, Vec<u8>)> {
+        self.dirty.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osd::DfsCluster;
+
+    fn setup() -> (Cluster, DfsCluster, DfsClient) {
+        let cluster = Cluster::new();
+        let dfs = DfsCluster::start(&cluster, DfsConfig::zero_small_objects());
+        let app = cluster.add_node("app");
+        let client = dfs.client(app);
+        (cluster, dfs, client)
+    }
+
+    #[test]
+    fn write_fsync_read_roundtrip() {
+        let (_c, _dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"hello world").unwrap();
+        client.fsync("f").unwrap();
+        assert_eq!(client.read("f", 0, 11).unwrap(), b"hello world");
+        assert_eq!(client.read("f", 6, 5).unwrap(), b"world");
+    }
+
+    #[test]
+    fn unsynced_data_readable_locally_but_lost_on_crash() {
+        let (cluster, dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"volatile").unwrap();
+        // Local read sees the buffered data.
+        assert_eq!(client.read("f", 0, 8).unwrap(), b"volatile");
+        // "Crash": a new client mounts the same DFS.
+        drop(client);
+        let app2 = cluster.add_node("app-restarted");
+        let client2 = dfs.client(app2);
+        // MDS still has size 0: the data never reached the DFS.
+        assert_eq!(client2.size("f").unwrap(), 0);
+        assert_eq!(client2.read("f", 0, 8).unwrap(), b"");
+    }
+
+    #[test]
+    fn fsynced_data_survives_crash() {
+        let (cluster, dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"durable!").unwrap();
+        client.fsync("f").unwrap();
+        drop(client);
+        let client2 = dfs.client(cluster.add_node("app2"));
+        assert_eq!(client2.read("f", 0, 8).unwrap(), b"durable!");
+    }
+
+    #[test]
+    fn multi_object_file_roundtrips() {
+        let (_c, _dfs, client) = setup();
+        client.create("big").unwrap();
+        // 10 KiB with 1 KiB objects => 10 objects.
+        let data: Vec<u8> = (0..10_240).map(|i| (i % 251) as u8).collect();
+        client.write("big", 0, &data).unwrap();
+        client.fsync("big").unwrap();
+        assert_eq!(client.read("big", 0, data.len()).unwrap(), data);
+        // Unaligned read spanning object boundaries.
+        assert_eq!(client.read("big", 1000, 100).unwrap(), &data[1000..1100]);
+    }
+
+    #[test]
+    fn append_tracks_size() {
+        let (_c, _dfs, client) = setup();
+        client.create("log").unwrap();
+        assert_eq!(client.append("log", b"aaa").unwrap(), 0);
+        assert_eq!(client.append("log", b"bb").unwrap(), 3);
+        assert_eq!(client.size("log").unwrap(), 5);
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let (_c, _dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"abc").unwrap();
+        assert_eq!(client.read("f", 0, 100).unwrap(), b"abc");
+        assert_eq!(client.read("f", 3, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn delete_removes_file_everywhere() {
+        let (cluster, dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"x").unwrap();
+        client.fsync("f").unwrap();
+        client.delete("f").unwrap();
+        assert!(!client.exists("f"));
+        let client2 = dfs.client(cluster.add_node("app2"));
+        assert!(matches!(
+            client2.read("f", 0, 1),
+            Err(DfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn rename_preserves_data() {
+        let (_c, _dfs, client) = setup();
+        client.create("a").unwrap();
+        client.write("a", 0, b"data").unwrap();
+        client.fsync("a").unwrap();
+        client.rename("a", "b").unwrap();
+        assert!(!client.exists("a"));
+        assert_eq!(client.read("b", 0, 4).unwrap(), b"data");
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let (_c, _dfs, client) = setup();
+        client.create("f").unwrap();
+        assert!(matches!(
+            client.create("f"),
+            Err(DfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn overwrite_after_fsync_visible_on_fresh_mount() {
+        let (cluster, dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"aaaa").unwrap();
+        client.fsync("f").unwrap();
+        client.write("f", 1, b"bb").unwrap();
+        client.fsync("f").unwrap();
+        let client2 = dfs.client(cluster.add_node("app2"));
+        assert_eq!(client2.read("f", 0, 4).unwrap(), b"abba");
+    }
+
+    #[test]
+    fn direct_read_bypasses_dirty_overlay_is_still_applied() {
+        let (_c, _dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"abcd").unwrap();
+        client.fsync("f").unwrap();
+        client.write("f", 0, b"Z").unwrap(); // Dirty, unsynced.
+                                             // Direct IO fetches from OSDs but the local dirty byte still wins,
+                                             // matching POSIX read-your-writes semantics.
+        assert_eq!(client.read_direct("f", 0, 4).unwrap(), b"Zbcd");
+    }
+
+    #[test]
+    fn osd_failure_tolerated_on_read() {
+        let (cluster, dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 0, b"replicated").unwrap();
+        client.fsync("f").unwrap();
+        client.drop_cache("f");
+        // Kill one OSD; reads fail over to replicas.
+        cluster.crash(dfs.osd_nodes()[0]);
+        assert_eq!(client.read("f", 0, 10).unwrap(), b"replicated");
+    }
+
+    #[test]
+    fn trace_records_flush_sizes() {
+        let (_c, _dfs, client) = setup();
+        let trace = IoTrace::new();
+        trace.enable();
+        client.set_trace(Arc::clone(&trace));
+        client.create("f").unwrap();
+        client.write("f", 0, &[0u8; 100]).unwrap();
+        client.write("f", 100, &[1u8; 50]).unwrap();
+        client.fsync("f").unwrap();
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, IoKind::FlushWrite);
+        assert_eq!(events[0].bytes, 150);
+    }
+
+    #[test]
+    fn flush_all_clears_dirty() {
+        let (_c, _dfs, client) = setup();
+        client.create("a").unwrap();
+        client.create("b").unwrap();
+        client.write("a", 0, b"1").unwrap();
+        client.write("b", 0, b"2").unwrap();
+        assert_eq!(client.dirty_bytes(), 2);
+        client.flush_all().unwrap();
+        assert_eq!(client.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn fsync_with_no_dirty_data_is_cheap_noop() {
+        let (_c, _dfs, client) = setup();
+        client.create("f").unwrap();
+        client.fsync("f").unwrap();
+        client.fsync("f").unwrap();
+    }
+
+    #[test]
+    fn sparse_write_reads_zeros_in_hole() {
+        let (_c, _dfs, client) = setup();
+        client.create("f").unwrap();
+        client.write("f", 4096, b"tail").unwrap();
+        client.fsync("f").unwrap();
+        let head = client.read("f", 0, 4).unwrap();
+        assert_eq!(head, vec![0; 4]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: the extent map must behave exactly like a flat byte
+//! array with an occupancy mask, under arbitrary insert/remove sequences.
+
+use dfs::ExtentMap;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { offset: u16, data: Vec<u8> },
+    Remove { offset: u16, len: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u16..512, prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(offset, data)| Op::Insert { offset, data }),
+        1 => (0u16..512, 0u16..96).prop_map(|(offset, len)| Op::Remove { offset, len }),
+    ]
+}
+
+/// Reference model: value + occupancy per byte.
+#[derive(Default)]
+struct Flat {
+    bytes: Vec<(u8, bool)>,
+}
+
+impl Flat {
+    fn ensure(&mut self, end: usize) {
+        if self.bytes.len() < end {
+            self.bytes.resize(end, (0, false));
+        }
+    }
+
+    fn insert(&mut self, offset: usize, data: &[u8]) {
+        self.ensure(offset + data.len());
+        for (i, &b) in data.iter().enumerate() {
+            self.bytes[offset + i] = (b, true);
+        }
+    }
+
+    fn remove(&mut self, offset: usize, len: usize) {
+        for i in offset..(offset + len).min(self.bytes.len()) {
+            self.bytes[i] = (0, false);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn extent_map_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut map = ExtentMap::new();
+        let mut flat = Flat::default();
+        for op in &ops {
+            match op {
+                Op::Insert { offset, data } => {
+                    map.insert(*offset as u64, data);
+                    flat.insert(*offset as usize, data);
+                }
+                Op::Remove { offset, len } => {
+                    map.remove_range(*offset as u64, *len as u64);
+                    flat.remove(*offset as usize, *len as usize);
+                }
+            }
+        }
+        // Full-range read must agree byte for byte, and the missing ranges
+        // must exactly match the unoccupied bytes.
+        let total = flat.bytes.len().max(1);
+        let mut buf = vec![0u8; total];
+        let missing = map.read_into(0, &mut buf);
+        let mut covered = vec![true; total];
+        for (off, len) in &missing {
+            for i in *off as usize..(*off as usize + len) {
+                covered[i] = false;
+            }
+        }
+        for i in 0..total {
+            let (want_byte, want_covered) = flat.bytes.get(i).copied().unwrap_or((0, false));
+            prop_assert_eq!(covered[i], want_covered, "occupancy at {}", i);
+            if want_covered {
+                prop_assert_eq!(buf[i], want_byte, "byte at {}", i);
+            }
+        }
+        // Invariants: extents are coalesced (no adjacent/overlapping pairs).
+        let extents: Vec<(u64, usize)> = map.iter().map(|(o, d)| (o, d.len())).collect();
+        for w in extents.windows(2) {
+            let first_end = w[0].0 + w[0].1 as u64;
+            prop_assert!(first_end < w[1].0, "extents not coalesced: {:?}", w);
+        }
+        // byte_len equals occupied count.
+        let occupied = flat.bytes.iter().filter(|(_, c)| *c).count();
+        prop_assert_eq!(map.byte_len(), occupied);
+    }
+}

@@ -1,0 +1,29 @@
+//! Explicit-state model checker for NCL's replication and recovery
+//! protocols (§4.6 of the SplitFT paper).
+//!
+//! The paper reports model-checking the protocol over millions of states,
+//! injecting peer and application failures at every point and asserting the
+//! durability condition; it also describes three seeded bugs the checker
+//! catches. This crate reproduces that methodology:
+//!
+//! * [`check`] exhaustively explores an abstract model of the protocol —
+//!   writes replicated as ordered (data, sequence-number) message pairs to
+//!   `2f + 1` peers, majority acknowledgement, peer crash/restart,
+//!   application crash, quorum recovery with catch-up, and two-step peer
+//!   replacement — from budgets on writes and failures.
+//! * [`BugMode`] re-introduces the paper's seeded bugs: writing the
+//!   sequence number before the data, updating the ap-map before catching
+//!   up a replacement peer, and skipping the lagging-peer catch-up during
+//!   recovery. [`check`] must (and does) return a counterexample trace for
+//!   each.
+//!
+//! The invariant asserted at every recovery:
+//!
+//! 1. the recovered sequence number covers every acknowledged write;
+//! 2. it also covers everything externalized by earlier recoveries;
+//! 3. the recovery peer actually holds the data for every sequence number
+//!    it advertises (no sequence-number-without-data).
+
+pub mod model;
+
+pub use model::{check, BugMode, CheckResult, ModelConfig};

@@ -1,0 +1,320 @@
+//! Simulated cluster: node registry, liveness, crash generations, partitions.
+//!
+//! A [`Cluster`] is the root object of every simulation. Components (RDMA
+//! devices, DFS OSDs, NCL peers, application servers) are bound to a
+//! [`NodeId`] at construction and consult the cluster before delivering any
+//! message. Failure injection therefore composes across all layers: crashing
+//! a node makes its RDMA memory unreachable, its RPC services unresponsive,
+//! and — because the crash bumps the node's *generation* — lets long-running
+//! service threads detect that they must discard volatile state, exactly as
+//! a restarted process would have lost it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::SimError;
+
+/// Identifier of a simulated node (machine) within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Point-in-time information about a node.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Human-readable name given at registration.
+    pub name: String,
+    /// Whether the node is currently up.
+    pub alive: bool,
+    /// Crash generation: incremented every time the node crashes. A service
+    /// thread that observes a generation different from the one it started
+    /// with knows its "process" has been killed and must drop all state.
+    pub generation: u64,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    name: String,
+    alive: bool,
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct ClusterState {
+    nodes: Vec<NodeState>,
+    /// Symmetric set of partitioned pairs, stored with `a < b`.
+    partitions: Vec<(NodeId, NodeId)>,
+}
+
+/// A registry of simulated nodes with injectable crashes and partitions.
+///
+/// Cloning a `Cluster` is cheap (it is an `Arc` handle); all clones observe
+/// the same state.
+///
+/// # Examples
+///
+/// ```
+/// let cluster = sim::Cluster::new();
+/// let a = cluster.add_node("app-server");
+/// let b = cluster.add_node("peer-1");
+/// assert!(cluster.can_reach(a, b).is_ok());
+/// cluster.crash(b);
+/// assert!(cluster.can_reach(a, b).is_err());
+/// cluster.restart(b);
+/// assert!(cluster.can_reach(a, b).is_ok());
+/// assert_eq!(cluster.generation(b), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    state: Arc<RwLock<ClusterState>>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Registers a new node and returns its id. Nodes start alive.
+    pub fn add_node(&self, name: impl Into<String>) -> NodeId {
+        let mut st = self.state.write();
+        let id = NodeId(st.nodes.len() as u32);
+        st.nodes.push(NodeState {
+            name: name.into(),
+            alive: true,
+            generation: 0,
+        });
+        id
+    }
+
+    /// Registers `count` nodes named `{prefix}-{i}`.
+    pub fn add_nodes(&self, prefix: &str, count: usize) -> Vec<NodeId> {
+        (0..count)
+            .map(|i| self.add_node(format!("{prefix}-{i}")))
+            .collect()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.state.read().nodes.len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check(&self, id: NodeId) -> usize {
+        let idx = id.0 as usize;
+        assert!(idx < self.state.read().nodes.len(), "unknown node {id}");
+        idx
+    }
+
+    /// Returns a snapshot of the node's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Cluster::add_node`].
+    pub fn info(&self, id: NodeId) -> NodeInfo {
+        let idx = self.check(id);
+        let st = self.state.read();
+        let n = &st.nodes[idx];
+        NodeInfo {
+            id,
+            name: n.name.clone(),
+            alive: n.alive,
+            generation: n.generation,
+        }
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        let idx = self.check(id);
+        self.state.read().nodes[idx].alive
+    }
+
+    /// The node's crash generation (0 until the first crash).
+    pub fn generation(&self, id: NodeId) -> u64 {
+        let idx = self.check(id);
+        self.state.read().nodes[idx].generation
+    }
+
+    /// Crashes a node: it loses volatile state (its generation is bumped) and
+    /// becomes unreachable until [`Cluster::restart`]. Crashing an already
+    /// crashed node is a no-op.
+    pub fn crash(&self, id: NodeId) {
+        let idx = self.check(id);
+        let mut st = self.state.write();
+        let n = &mut st.nodes[idx];
+        if n.alive {
+            n.alive = false;
+            n.generation += 1;
+        }
+    }
+
+    /// Restarts a crashed node. State lost at crash time stays lost — the
+    /// generation keeps its post-crash value so services know to reinitialise.
+    pub fn restart(&self, id: NodeId) {
+        let idx = self.check(id);
+        self.state.write().nodes[idx].alive = true;
+    }
+
+    fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a.0 <= b.0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Partitions two nodes from each other: messages between them are
+    /// dropped, but neither loses state (the paper's "lagging peer" case).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.check(a);
+        self.check(b);
+        let key = Self::pair(a, b);
+        let mut st = self.state.write();
+        if !st.partitions.contains(&key) {
+            st.partitions.push(key);
+        }
+    }
+
+    /// Heals a partition between two nodes (no-op if none exists).
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let key = Self::pair(a, b);
+        self.state.write().partitions.retain(|&p| p != key);
+    }
+
+    /// Checks whether `from` can currently exchange messages with `to`.
+    ///
+    /// Returns the specific failure so callers can distinguish a crashed
+    /// remote (state lost) from a partition (state retained but unreachable).
+    pub fn can_reach(&self, from: NodeId, to: NodeId) -> Result<(), SimError> {
+        self.check(from);
+        self.check(to);
+        let st = self.state.read();
+        if !st.nodes[from.0 as usize].alive {
+            return Err(SimError::NodeDown(from));
+        }
+        if !st.nodes[to.0 as usize].alive {
+            return Err(SimError::NodeDown(to));
+        }
+        if st.partitions.contains(&Self::pair(from, to)) {
+            return Err(SimError::Partitioned(from, to));
+        }
+        Ok(())
+    }
+
+    /// Lists all registered nodes.
+    pub fn nodes(&self) -> Vec<NodeInfo> {
+        let st = self.state.read();
+        st.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeInfo {
+                id: NodeId(i as u32),
+                name: n.name.clone(),
+                alive: n.alive,
+                generation: n.generation,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_start_alive_with_generation_zero() {
+        let c = Cluster::new();
+        let n = c.add_node("a");
+        assert!(c.is_alive(n));
+        assert_eq!(c.generation(n), 0);
+        assert_eq!(c.info(n).name, "a");
+    }
+
+    #[test]
+    fn crash_bumps_generation_once() {
+        let c = Cluster::new();
+        let n = c.add_node("a");
+        c.crash(n);
+        c.crash(n); // Idempotent while down.
+        assert!(!c.is_alive(n));
+        assert_eq!(c.generation(n), 1);
+        c.restart(n);
+        assert_eq!(c.generation(n), 1);
+        c.crash(n);
+        assert_eq!(c.generation(n), 2);
+    }
+
+    #[test]
+    fn reachability_respects_crashes_both_ways() {
+        let c = Cluster::new();
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        assert!(c.can_reach(a, b).is_ok());
+        c.crash(b);
+        assert_eq!(c.can_reach(a, b), Err(SimError::NodeDown(b)));
+        assert_eq!(c.can_reach(b, a), Err(SimError::NodeDown(b)));
+        c.restart(b);
+        assert!(c.can_reach(a, b).is_ok());
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_healable() {
+        let c = Cluster::new();
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        let x = c.add_node("x");
+        c.partition(b, a);
+        assert!(matches!(
+            c.can_reach(a, b),
+            Err(SimError::Partitioned(_, _))
+        ));
+        assert!(matches!(
+            c.can_reach(b, a),
+            Err(SimError::Partitioned(_, _))
+        ));
+        // Unrelated nodes unaffected.
+        assert!(c.can_reach(a, x).is_ok());
+        c.heal(a, b);
+        assert!(c.can_reach(a, b).is_ok());
+    }
+
+    #[test]
+    fn duplicate_partition_entries_are_collapsed() {
+        let c = Cluster::new();
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        c.partition(a, b);
+        c.partition(b, a);
+        c.heal(a, b);
+        assert!(c.can_reach(a, b).is_ok());
+    }
+
+    #[test]
+    fn add_nodes_names_sequentially() {
+        let c = Cluster::new();
+        let ids = c.add_nodes("peer", 3);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(c.info(ids[2]).name, "peer-2");
+        assert_eq!(c.nodes().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_panics() {
+        let c = Cluster::new();
+        c.is_alive(NodeId(3));
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulation substrate for the SplitFT reproduction.
+//!
+//! The SplitFT paper evaluates on a CloudLab cluster: an application server,
+//! three log peers reachable over RDMA, and a three-node CephFS cluster. This
+//! crate provides the in-process stand-in for that hardware:
+//!
+//! * [`Cluster`] — a registry of simulated nodes with liveness, crash
+//!   generations, and pairwise network partitions. Components built on top
+//!   (the RDMA NIC engine, the DFS OSDs, the NCL controller and peers) consult
+//!   the cluster before delivering any message, so failure injection composes
+//!   across every layer.
+//! * [`LatencyModel`] — calibrated base + per-byte delays with optional
+//!   jitter, realised by [`delay`] (busy-wait below a threshold so that
+//!   microsecond-scale RDMA latencies are actually observable, `sleep`
+//!   above it).
+//! * [`rng`] — small deterministic PRNGs (SplitMix64, xoshiro256**) so that
+//!   workloads and failure schedules are reproducible from a seed.
+//! * [`rpc`] — a typed request/response service abstraction over crossbeam
+//!   channels used for *control-plane* traffic (controller RPCs, peer setup,
+//!   DFS client/OSD messages). Data-plane RDMA lives in the `rdma` crate.
+//! * [`stats`] — log-bucketed latency histograms and a windowed throughput
+//!   sampler (used to regenerate Figure 12 of the paper).
+//!
+//! Everything here is deliberately free of global state: a test constructs a
+//! `Cluster`, wires components to it, and drops it at the end.
+
+pub mod cluster;
+pub mod crc;
+pub mod error;
+pub mod latency;
+pub mod rng;
+pub mod rpc;
+pub mod stats;
+pub mod time;
+
+pub use cluster::{Cluster, NodeId, NodeInfo};
+pub use crc::{crc32c, crc32c_extend};
+pub use error::SimError;
+pub use latency::LatencyModel;
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use rpc::{RpcClient, RpcServer};
+pub use stats::{Histogram, Summary, ThroughputSampler};
+pub use time::{delay, now_nanos, Stopwatch};

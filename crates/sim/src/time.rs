@@ -1,0 +1,132 @@
+//! Wall-clock helpers and calibrated delay primitives.
+//!
+//! The simulation charges latencies by actually waiting, so that throughput
+//! and latency measured by the benchmark harnesses reflect the configured
+//! models. Sub-millisecond delays are realised by busy-waiting (OS sleep has
+//! far coarser granularity than the ~1.5 µs RDMA latencies we model); longer
+//! delays fall back to `thread::sleep`.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Delays at or below this poll the clock in a tight loop — short enough
+/// that the burned CPU is negligible, and exact even on a loaded host.
+/// Longer delays use `thread::sleep`, whose wake-ups are scheduled fairly
+/// even when other simulation threads are CPU-bound (a yield-based wait can
+/// balloon by whole timeslices per yield under such co-runners).
+const SPIN_THRESHOLD: Duration = Duration::from_micros(20);
+
+/// Waits for `d`: a tight clock poll for RDMA-scale micro-delays, `sleep`
+/// otherwise (see [`SPIN_THRESHOLD`]).
+///
+/// A zero duration returns immediately without touching the clock, so tests
+/// configured with [`crate::LatencyModel::ZERO`] run at full speed.
+pub fn delay(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + d;
+    if d > SPIN_THRESHOLD {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep(deadline - now);
+        }
+    } else {
+        // Micro-delays (RDMA-scale): a tight clock poll. Sleeping or
+        // yielding here would cost (far) more than the modelled latency.
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Nanoseconds since the Unix epoch; used for coarse event timestamps in
+/// traces and logs (monotonic measurement uses [`Stopwatch`]).
+pub fn now_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// A small monotonic stopwatch for measuring elapsed intervals.
+///
+/// # Examples
+///
+/// ```
+/// let sw = sim::Stopwatch::start();
+/// let _elapsed = sw.elapsed();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch at the current instant.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in whole nanoseconds (saturating).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.elapsed().as_nanos() as u64
+    }
+
+    /// Elapsed time in microseconds as a float, convenient for reporting.
+    pub fn elapsed_micros_f64(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delay_returns_immediately() {
+        let sw = Stopwatch::start();
+        delay(Duration::ZERO);
+        assert!(sw.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn short_delay_is_at_least_requested() {
+        let want = Duration::from_micros(50);
+        let sw = Stopwatch::start();
+        delay(want);
+        assert!(sw.elapsed() >= want);
+    }
+
+    #[test]
+    fn long_delay_is_at_least_requested() {
+        let want = Duration::from_millis(2);
+        let sw = Stopwatch::start();
+        delay(want);
+        assert!(sw.elapsed() >= want);
+        // Not absurdly longer either (sleep + spin tail should be tight).
+        assert!(sw.elapsed() < want + Duration::from_millis(20));
+    }
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn now_nanos_nonzero() {
+        assert!(now_nanos() > 0);
+    }
+}

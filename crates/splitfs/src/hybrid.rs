@@ -1,0 +1,420 @@
+//! Fine-granular write splitting (§6 of the paper).
+//!
+//! The file-level `O_NCL` classification works because most applications
+//! segregate small synchronous writes and bulk writes into different files.
+//! For applications that mix both *in one file*, the paper sketches a
+//! size-threshold split: writes below the threshold go to NCL, larger ones
+//! to the DFS, with byte-range metadata — "conveniently stored in the NCL
+//! layer" — tracking where the latest data for each range lives.
+//!
+//! [`HybridFile`] implements that design. The NCL region holds a framed
+//! *journal*: each small write is appended as a `(offset, data)` record,
+//! and each large write appends a small *supersede* marker for its range
+//! before the bulk data goes to the DFS. Recovery replays the journal in
+//! order over the DFS image, so the newest writer of every byte wins —
+//! whichever tier it used. When the journal fills, a checkpoint flushes the
+//! outstanding small-write overlay to the DFS and starts a fresh journal.
+
+use dfs::ExtentMap;
+use ncl::{NclFile, NclLib};
+use parking_lot::Mutex;
+
+use crate::{FsError, SplitFs};
+
+/// Journal record tags.
+const TAG_DATA: u8 = 1;
+const TAG_SUPERSEDE: u8 = 2;
+
+/// Configuration for a hybrid file.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridOptions {
+    /// Writes strictly smaller than this go to NCL; the rest to the DFS.
+    pub threshold: usize,
+    /// NCL journal capacity; a checkpoint runs when it fills.
+    pub journal_capacity: usize,
+}
+
+impl Default for HybridOptions {
+    fn default() -> Self {
+        HybridOptions {
+            threshold: 16 << 10,
+            journal_capacity: 16 << 20,
+        }
+    }
+}
+
+struct HybridInner {
+    journal: NclFile,
+    journal_used: u64,
+    /// Byte ranges whose latest data lives in the journal (the recovery
+    /// metadata the paper describes, reconstructed from the journal).
+    overlay: ExtentMap,
+    size: u64,
+}
+
+/// A file whose writes are split by *size*, not by file classification.
+pub struct HybridFile {
+    fs: SplitFs,
+    path: String,
+    journal_path: String,
+    opts: HybridOptions,
+    inner: Mutex<HybridInner>,
+}
+
+fn encode_data_record(offset: u64, data: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(data.len() + 16);
+    body.push(TAG_DATA);
+    body.extend_from_slice(&offset.to_le_bytes());
+    body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    body.extend_from_slice(data);
+    frame(&body)
+}
+
+fn encode_supersede_record(offset: u64, len: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24);
+    body.push(TAG_SUPERSEDE);
+    body.extend_from_slice(&offset.to_le_bytes());
+    body.extend_from_slice(&len.to_le_bytes());
+    frame(&body)
+}
+
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&sim::crc32c(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Replays a journal image into the overlay map.
+fn replay_journal(image: &[u8]) -> (ExtentMap, u64) {
+    let mut overlay = ExtentMap::new();
+    let mut max_end = 0u64;
+    let mut pos = 0usize;
+    while pos + 8 <= image.len() {
+        let len = u32::from_le_bytes(image[pos..pos + 4].try_into().expect("4")) as usize;
+        if len == 0 {
+            break;
+        }
+        let crc = u32::from_le_bytes(image[pos + 4..pos + 8].try_into().expect("4"));
+        if pos + 8 + len > image.len() {
+            break;
+        }
+        let body = &image[pos + 8..pos + 8 + len];
+        if sim::crc32c(body) != crc || body.is_empty() {
+            break;
+        }
+        match body[0] {
+            TAG_DATA if body.len() >= 13 => {
+                let offset = u64::from_le_bytes(body[1..9].try_into().expect("8"));
+                let dlen = u32::from_le_bytes(body[9..13].try_into().expect("4")) as usize;
+                if 13 + dlen <= body.len() {
+                    overlay.insert(offset, &body[13..13 + dlen]);
+                    max_end = max_end.max(offset + dlen as u64);
+                }
+            }
+            TAG_SUPERSEDE if body.len() >= 17 => {
+                let offset = u64::from_le_bytes(body[1..9].try_into().expect("8"));
+                let slen = u64::from_le_bytes(body[9..17].try_into().expect("8"));
+                overlay.remove_range(offset, slen);
+                max_end = max_end.max(offset + slen);
+            }
+            _ => break,
+        }
+        pos += 8 + len;
+    }
+    (overlay, max_end)
+}
+
+impl HybridFile {
+    /// Opens (creating or recovering) a hybrid file. `fs` must be mounted in
+    /// SplitFT mode.
+    pub fn open(fs: &SplitFs, path: &str, opts: HybridOptions) -> Result<Self, FsError> {
+        let ncl: &NclLib = fs
+            .ncl()
+            .ok_or_else(|| FsError::Unsupported("hybrid files need SplitFT mode".to_string()))?;
+        let journal_path = format!("{path}.ncl-journal");
+
+        // Base file on the DFS.
+        let dfs = fs.dfs().expect("splitft mode has a dfs");
+        if !dfs.exists(path) {
+            dfs.create(path).map_err(FsError::from)?;
+        } else {
+            dfs.open(path).map_err(FsError::from)?;
+        }
+
+        let (journal, overlay, journal_used, size) =
+            if ncl.exists(&journal_path).map_err(FsError::from)? {
+                // Recovery: replay the journal over the DFS image.
+                let journal = ncl.recover(&journal_path).map_err(FsError::from)?;
+                let image = journal.contents();
+                let (overlay, overlay_end) = replay_journal(&image);
+                let dfs_size = dfs.size(path).map_err(FsError::from)?;
+                (
+                    journal,
+                    overlay,
+                    image.len() as u64,
+                    dfs_size.max(overlay_end),
+                )
+            } else {
+                let journal = ncl
+                    .create(&journal_path, opts.journal_capacity)
+                    .map_err(FsError::from)?;
+                let dfs_size = dfs.size(path).map_err(FsError::from)?;
+                (journal, ExtentMap::new(), 0, dfs_size)
+            };
+
+        Ok(HybridFile {
+            fs: fs.clone(),
+            path: path.to_string(),
+            journal_path,
+            opts,
+            inner: Mutex::new(HybridInner {
+                journal,
+                journal_used,
+                overlay,
+                size,
+            }),
+        })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Current size.
+    pub fn size(&self) -> u64 {
+        self.inner.lock().size
+    }
+
+    /// Bytes currently living in the NCL overlay (diagnostics/tests).
+    pub fn overlay_bytes(&self) -> usize {
+        self.inner.lock().overlay.byte_len()
+    }
+
+    /// Writes `data` at `offset`, routing by size: small writes are durable
+    /// on return (NCL); large writes go to the DFS and are durable after
+    /// [`HybridFile::fsync`], as bulk writes usually are.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        if data.len() < self.opts.threshold {
+            let record = encode_data_record(offset, data);
+            self.append_journal(&mut inner, &record)?;
+            inner.overlay.insert(offset, data);
+        } else {
+            // Large write: supersede marker into the journal *first* (so a
+            // crash between the two cannot resurrect stale overlay bytes —
+            // the DFS write below is only acknowledged at the next fsync,
+            // exactly like any bulk DFT write), then bulk data to the DFS.
+            let record = encode_supersede_record(offset, data.len() as u64);
+            self.append_journal(&mut inner, &record)?;
+            inner.overlay.remove_range(offset, data.len() as u64);
+            let dfs = self.fs.dfs().expect("splitft");
+            dfs.write(&self.path, offset, data).map_err(FsError::from)?;
+        }
+        inner.size = inner.size.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn append_journal(&self, inner: &mut HybridInner, record: &[u8]) -> Result<(), FsError> {
+        if inner.journal_used as usize + record.len() > self.opts.journal_capacity {
+            self.checkpoint_locked(inner)?;
+        }
+        inner
+            .journal
+            .record(inner.journal_used, record)
+            .map_err(FsError::from)?;
+        inner.journal_used += record.len() as u64;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset`: DFS base with the NCL overlay on top.
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let inner = self.inner.lock();
+        if offset >= inner.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((inner.size - offset) as usize);
+        let dfs = self.fs.dfs().expect("splitft");
+        let base = dfs.read(&self.path, offset, len).map_err(FsError::from)?;
+        let mut buf = base;
+        buf.resize(len, 0);
+        inner.overlay.read_into(offset, &mut buf);
+        Ok(buf)
+    }
+
+    /// Flushes the DFS-resident part (bulk writes) to durability.
+    pub fn fsync(&self) -> Result<(), FsError> {
+        let dfs = self.fs.dfs().expect("splitft");
+        dfs.fsync(&self.path).map_err(FsError::from)
+    }
+
+    /// Checkpoint: pushes the NCL overlay into the DFS and resets the
+    /// journal (the journal's GC, run automatically when it fills).
+    pub fn checkpoint(&self) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        self.checkpoint_locked(&mut inner)
+    }
+
+    fn checkpoint_locked(&self, inner: &mut HybridInner) -> Result<(), FsError> {
+        let dfs = self.fs.dfs().expect("splitft");
+        for (off, data) in inner.overlay.iter() {
+            dfs.write(&self.path, off, data).map_err(FsError::from)?;
+        }
+        dfs.fsync(&self.path).map_err(FsError::from)?;
+        inner.overlay.clear();
+        // Fresh journal (new region, new epoch) replaces the full one.
+        inner.journal.release().map_err(FsError::from)?;
+        let ncl = self.fs.ncl().expect("splitft");
+        inner.journal = ncl
+            .create(&self.journal_path, self.opts.journal_capacity)
+            .map_err(FsError::from)?;
+        inner.journal_used = 0;
+        Ok(())
+    }
+
+    /// Deletes the file and its journal.
+    pub fn delete(self) -> Result<(), FsError> {
+        let inner = self.inner.lock();
+        inner.journal.release().map_err(FsError::from)?;
+        let dfs = self.fs.dfs().expect("splitft");
+        dfs.delete(&self.path).map_err(FsError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{Testbed, TestbedConfig};
+    use crate::Mode;
+
+    fn setup() -> (Testbed, SplitFs, sim::NodeId) {
+        let tb = Testbed::start(TestbedConfig::zero(4));
+        let (fs, node) = tb.mount(Mode::SplitFt, "hybrid-app");
+        (tb, fs, node)
+    }
+
+    #[test]
+    fn small_and_large_writes_roundtrip() {
+        let (_tb, fs, _) = setup();
+        let opts = HybridOptions {
+            threshold: 1024,
+            journal_capacity: 64 << 10,
+        };
+        let f = HybridFile::open(&fs, "mixed", opts).unwrap();
+        f.write_at(0, &vec![1u8; 4096]).unwrap(); // Large → DFS.
+        f.write_at(4096, b"small-tail").unwrap(); // Small → NCL.
+        f.write_at(10, b"patch").unwrap(); // Small overwrite of DFS range.
+        assert_eq!(f.size(), 4096 + 10);
+        let back = f.read(0, 4106).unwrap();
+        assert_eq!(&back[0..10], &[1u8; 10]);
+        assert_eq!(&back[10..15], b"patch");
+        assert_eq!(&back[15..4096], &vec![1u8; 4081][..]);
+        assert_eq!(&back[4096..], b"small-tail");
+        assert!(f.overlay_bytes() > 0);
+    }
+
+    #[test]
+    fn small_writes_survive_crash_without_fsync() {
+        let (tb, fs, node) = setup();
+        let opts = HybridOptions {
+            threshold: 1024,
+            journal_capacity: 64 << 10,
+        };
+        {
+            let f = HybridFile::open(&fs, "mixed", opts).unwrap();
+            f.write_at(0, &vec![7u8; 2048]).unwrap(); // Large.
+            f.fsync().unwrap(); // Bulk data made durable.
+            f.write_at(100, b"latest-small").unwrap(); // Small, no fsync.
+        }
+        tb.cluster.crash(node);
+        drop(fs);
+        let (fs2, _) = tb.mount(Mode::SplitFt, "hybrid-app");
+        let f = HybridFile::open(&fs2, "mixed", opts).unwrap();
+        let back = f.read(0, 2048).unwrap();
+        assert_eq!(&back[0..100], &vec![7u8; 100][..]);
+        assert_eq!(&back[100..112], b"latest-small");
+        assert_eq!(&back[112..], &vec![7u8; 2048 - 112][..]);
+    }
+
+    #[test]
+    fn large_write_supersedes_earlier_small_writes() {
+        let (tb, fs, node) = setup();
+        let opts = HybridOptions {
+            threshold: 1024,
+            journal_capacity: 64 << 10,
+        };
+        {
+            let f = HybridFile::open(&fs, "mixed", opts).unwrap();
+            f.write_at(50, b"old-small-data").unwrap();
+            f.write_at(0, &vec![9u8; 2048]).unwrap(); // Covers the range.
+            f.fsync().unwrap();
+        }
+        tb.cluster.crash(node);
+        drop(fs);
+        let (fs2, _) = tb.mount(Mode::SplitFt, "hybrid-app");
+        let f = HybridFile::open(&fs2, "mixed", opts).unwrap();
+        // The stale small write must NOT resurrect over the newer bulk data.
+        assert_eq!(f.read(0, 2048).unwrap(), vec![9u8; 2048]);
+    }
+
+    #[test]
+    fn journal_overflow_triggers_checkpoint() {
+        let (_tb, fs, _) = setup();
+        let opts = HybridOptions {
+            threshold: 512,
+            journal_capacity: 4 << 10,
+        };
+        let f = HybridFile::open(&fs, "mixed", opts).unwrap();
+        for i in 0..100u64 {
+            f.write_at(i * 100, &[i as u8; 100]).unwrap();
+        }
+        // The journal filled several times over; data is all intact.
+        for i in 0..100u64 {
+            assert_eq!(f.read(i * 100, 100).unwrap(), vec![i as u8; 100]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_flushes_overlay_and_resets_journal() {
+        let (tb, fs, node) = setup();
+        let opts = HybridOptions {
+            threshold: 1024,
+            journal_capacity: 64 << 10,
+        };
+        {
+            let f = HybridFile::open(&fs, "mixed", opts).unwrap();
+            f.write_at(0, b"journaled").unwrap();
+            f.checkpoint().unwrap();
+            assert_eq!(f.overlay_bytes(), 0);
+            f.write_at(9, b"-after").unwrap();
+        }
+        tb.cluster.crash(node);
+        drop(fs);
+        let (fs2, _) = tb.mount(Mode::SplitFt, "hybrid-app");
+        let f = HybridFile::open(&fs2, "mixed", opts).unwrap();
+        assert_eq!(f.read(0, 15).unwrap(), b"journaled-after");
+    }
+
+    #[test]
+    fn delete_removes_both_tiers() {
+        let (_tb, fs, _) = setup();
+        let opts = HybridOptions::default();
+        let f = HybridFile::open(&fs, "mixed", opts).unwrap();
+        f.write_at(0, b"x").unwrap();
+        f.delete().unwrap();
+        assert!(!fs.exists("mixed"));
+        assert!(!fs.exists("mixed.ncl-journal"));
+    }
+
+    #[test]
+    fn requires_splitft_mode() {
+        let tb = Testbed::start(TestbedConfig::zero(3));
+        let (fs, _) = tb.mount(Mode::StrongDft, "plain");
+        assert!(matches!(
+            HybridFile::open(&fs, "f", HybridOptions::default()),
+            Err(FsError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,578 @@
+//! The SplitFT file facade: POSIX-style files with `O_NCL` routing.
+//!
+//! SplitFT intercepts file-system operations and directs them either to the
+//! underlying disaggregated file system or to NCL (§4.1 of the paper). The
+//! classification is **per file and static**: the application tags a file
+//! that will receive small, synchronous writes with the `O_NCL` open flag
+//! (its write-ahead log, append-only file, ...), and everything else — bulk
+//! checkpoint and compaction output — takes the usual DFS path.
+//!
+//! The same facade also implements the paper's two baselines so that all
+//! three configurations run the exact same application code:
+//!
+//! * [`Mode::StrongDft`] — every `fsync` flushes to the DFS before
+//!   returning (strong guarantees, milliseconds per flush);
+//! * [`Mode::WeakDft`] — `fsync` is a no-op; dirty data is flushed by a
+//!   background thread, so acknowledged writes are lost if the application
+//!   crashes (the weak configuration the paper's Table 1 contrasts);
+//! * [`Mode::SplitFt`] — `O_NCL` files go to near-compute logs (synchronous
+//!   replication, microseconds), the rest to the DFS with real `fsync`s;
+//! * [`Mode::Local`] — everything on a local file system (the unrealistic
+//!   `ext4` reference of Figure 11b).
+
+pub mod hybrid;
+pub mod testbed;
+
+pub use hybrid::{HybridFile, HybridOptions};
+pub use testbed::{Testbed, TestbedConfig};
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dfs::{DfsClient, DfsError, IoKind, IoTrace, LocalFs};
+use ncl::{NclError, NclFile, NclLib};
+use parking_lot::Mutex;
+
+/// How the facade maps file operations onto storage tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// DFT with synchronous flushes: strong guarantees, slow small writes.
+    StrongDft,
+    /// DFT with lazy flushes: fast but loses acknowledged data on a crash.
+    WeakDft,
+    /// The paper's contribution: `O_NCL` files on near-compute logs, bulk
+    /// files on the DFS.
+    SplitFt,
+    /// Local file system baseline.
+    Local,
+}
+
+/// Errors from the facade (a union of the tiers' error domains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path not found.
+    NotFound(String),
+    /// Path already exists.
+    AlreadyExists(String),
+    /// Storage tier failure.
+    Unavailable(String),
+    /// Operation not supported on this file class (e.g. rename of an ncl
+    /// file).
+    Unsupported(String),
+    /// Capacity of an ncl region exceeded.
+    CapacityExceeded(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            FsError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            FsError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            FsError::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<DfsError> for FsError {
+    fn from(e: DfsError) -> Self {
+        match e {
+            DfsError::NotFound(p) => FsError::NotFound(p),
+            DfsError::AlreadyExists(p) => FsError::AlreadyExists(p),
+            DfsError::Unavailable(m) => FsError::Unavailable(m),
+            DfsError::Invalid(m) => FsError::Unavailable(m),
+        }
+    }
+}
+
+impl From<NclError> for FsError {
+    fn from(e: NclError) -> Self {
+        match e {
+            NclError::NotFound(p) => FsError::NotFound(p),
+            NclError::AlreadyExists(p) => FsError::AlreadyExists(p),
+            NclError::CapacityExceeded { capacity, needed } => {
+                FsError::CapacityExceeded(format!("need {needed}, capacity {capacity}"))
+            }
+            other => FsError::Unavailable(other.to_string()),
+        }
+    }
+}
+
+/// Options for [`SplitFs::open`], mirroring the POSIX flags the paper's
+/// port touches: `O_CREAT` and the new `O_NCL`.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenOptions {
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Tag the file as an ncl file (small synchronous writes). Ignored —
+    /// exactly like an unknown `open` flag — outside [`Mode::SplitFt`].
+    pub ncl: bool,
+    /// Region capacity for ncl files (the application's configured log
+    /// size). Ignored for non-ncl files.
+    pub capacity: usize,
+}
+
+impl OpenOptions {
+    /// Plain open of an existing file.
+    pub fn plain() -> Self {
+        OpenOptions {
+            create: false,
+            ncl: false,
+            capacity: 0,
+        }
+    }
+
+    /// `O_CREAT` for a bulk (non-ncl) file.
+    pub fn create() -> Self {
+        OpenOptions {
+            create: true,
+            ncl: false,
+            capacity: 0,
+        }
+    }
+
+    /// `O_CREAT | O_NCL` with the given log capacity.
+    pub fn create_ncl(capacity: usize) -> Self {
+        OpenOptions {
+            create: true,
+            ncl: true,
+            capacity,
+        }
+    }
+}
+
+struct FsInner {
+    mode: Mode,
+    dfs: Option<DfsClient>,
+    local: Option<LocalFs>,
+    ncl: Option<NclLib>,
+    ncl_files: Mutex<HashMap<String, Arc<NclFile>>>,
+    trace: Mutex<Option<Arc<IoTrace>>>,
+    flusher_stop: Arc<AtomicBool>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Phase breakdown of the most recent NCL file recovery (Figure 11b).
+    last_recovery: Mutex<Option<ncl::file::RecoveryStats>>,
+}
+
+/// The mounted SplitFT facade (see module docs).
+#[derive(Clone)]
+pub struct SplitFs {
+    inner: Arc<FsInner>,
+}
+
+impl SplitFs {
+    fn new(
+        mode: Mode,
+        dfs: Option<DfsClient>,
+        local: Option<LocalFs>,
+        ncl: Option<NclLib>,
+    ) -> Self {
+        SplitFs {
+            inner: Arc::new(FsInner {
+                mode,
+                dfs,
+                local,
+                ncl,
+                ncl_files: Mutex::new(HashMap::new()),
+                trace: Mutex::new(None),
+                flusher_stop: Arc::new(AtomicBool::new(false)),
+                flusher: Mutex::new(None),
+                last_recovery: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Strong DFT: every fsync is a synchronous replicated flush.
+    pub fn dft_strong(dfs: DfsClient) -> Self {
+        SplitFs::new(Mode::StrongDft, Some(dfs), None, None)
+    }
+
+    /// Weak DFT: fsync is a no-op; a background thread flushes dirty data
+    /// every `flush_interval` (1 s is a typical weak-configuration value).
+    pub fn dft_weak(dfs: DfsClient, flush_interval: Duration) -> Self {
+        let fs = SplitFs::new(Mode::WeakDft, Some(dfs), None, None);
+        let stop = Arc::clone(&fs.inner.flusher_stop);
+        let client = fs.inner.dfs.clone().expect("dfs present");
+        let handle = std::thread::Builder::new()
+            .name("weak-flusher".to_string())
+            .spawn(move || {
+                let tick = Duration::from_millis(20);
+                let mut since_flush = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_flush += tick;
+                    if since_flush >= flush_interval {
+                        since_flush = Duration::ZERO;
+                        let _ = client.flush_all();
+                    }
+                }
+            })
+            .expect("spawn flusher");
+        *fs.inner.flusher.lock() = Some(handle);
+        fs
+    }
+
+    /// SplitFT: `O_NCL` files on near-compute logs, the rest on the DFS.
+    pub fn splitft(dfs: DfsClient, ncl: NclLib) -> Self {
+        SplitFs::new(Mode::SplitFt, Some(dfs), None, Some(ncl))
+    }
+
+    /// Local file system baseline.
+    pub fn local(local: LocalFs) -> Self {
+        SplitFs::new(Mode::Local, None, Some(local), None)
+    }
+
+    /// The mounted mode.
+    pub fn mode(&self) -> Mode {
+        self.inner.mode
+    }
+
+    /// Attaches an IO trace that records NCL record sizes and DFS flush
+    /// sizes (the Figure 1 measurement).
+    pub fn set_trace(&self, trace: Arc<IoTrace>) {
+        if let Some(dfs) = &self.inner.dfs {
+            dfs.set_trace(Arc::clone(&trace));
+        }
+        *self.inner.trace.lock() = Some(trace);
+    }
+
+    /// Access to the NCL library (SplitFT mode only).
+    pub fn ncl(&self) -> Option<&NclLib> {
+        self.inner.ncl.as_ref()
+    }
+
+    /// Access to the DFS client (all modes except Local).
+    pub fn dfs(&self) -> Option<&DfsClient> {
+        self.inner.dfs.as_ref()
+    }
+
+    /// Phase breakdown of the most recent NCL recovery triggered through
+    /// this facade (used by the Figure 11b harness).
+    pub fn last_ncl_recovery(&self) -> Option<ncl::file::RecoveryStats> {
+        *self.inner.last_recovery.lock()
+    }
+
+    /// The underlying local store ([`Mode::Local`] only) — lets harnesses
+    /// evict its page cache to model a reboot.
+    pub fn local_store(&self) -> Option<LocalFs> {
+        self.inner.local.clone()
+    }
+
+    fn is_ncl_route(&self, opts: &OpenOptions) -> bool {
+        self.inner.mode == Mode::SplitFt && opts.ncl
+    }
+
+    /// Opens (optionally creating) a file.
+    pub fn open(&self, path: &str, opts: OpenOptions) -> Result<File, FsError> {
+        if self.is_ncl_route(&opts) {
+            let ncl = self.inner.ncl.as_ref().expect("splitft mode has ncl");
+            // Reuse an already-open handle (multiple writers of one WAL).
+            if let Some(f) = self.inner.ncl_files.lock().get(path) {
+                return Ok(File {
+                    fs: self.clone(),
+                    path: path.to_string(),
+                    backend: Backend::Ncl(Arc::clone(f)),
+                });
+            }
+            let exists = ncl.exists(path)?;
+            let file = if exists {
+                // An open of an existing ncl file during application
+                // recovery triggers the recover call (§4.2).
+                let f = ncl.recover(path)?;
+                *self.inner.last_recovery.lock() = Some(f.recovery_stats());
+                f
+            } else if opts.create {
+                ncl.create(path, opts.capacity)?
+            } else {
+                return Err(FsError::NotFound(path.to_string()));
+            };
+            let file = Arc::new(file);
+            self.inner
+                .ncl_files
+                .lock()
+                .insert(path.to_string(), Arc::clone(&file));
+            return Ok(File {
+                fs: self.clone(),
+                path: path.to_string(),
+                backend: Backend::Ncl(file),
+            });
+        }
+        match self.inner.mode {
+            Mode::Local => {
+                let local = self.inner.local.as_ref().expect("local mode");
+                if !local.exists(path) {
+                    if opts.create {
+                        local.create(path)?;
+                    } else {
+                        return Err(FsError::NotFound(path.to_string()));
+                    }
+                }
+                Ok(File {
+                    fs: self.clone(),
+                    path: path.to_string(),
+                    backend: Backend::Local,
+                })
+            }
+            _ => {
+                let dfs = self.inner.dfs.as_ref().expect("dft modes have dfs");
+                if !dfs.exists(path) {
+                    if opts.create {
+                        dfs.create(path)?;
+                    } else {
+                        return Err(FsError::NotFound(path.to_string()));
+                    }
+                } else {
+                    dfs.open(path)?;
+                }
+                Ok(File {
+                    fs: self.clone(),
+                    path: path.to_string(),
+                    backend: Backend::Dfs,
+                })
+            }
+        }
+    }
+
+    /// True when the path exists on any tier.
+    pub fn exists(&self, path: &str) -> bool {
+        if let Some(ncl) = &self.inner.ncl {
+            if ncl.exists(path).unwrap_or(false) {
+                return true;
+            }
+        }
+        if let Some(local) = &self.inner.local {
+            return local.exists(path);
+        }
+        self.inner
+            .dfs
+            .as_ref()
+            .map(|d| d.exists(path))
+            .unwrap_or(false)
+    }
+
+    /// Removes a file. For ncl files this is the `release` path: the log
+    /// peers' regions are freed (the application just checkpointed and is
+    /// garbage-collecting its log).
+    pub fn unlink(&self, path: &str) -> Result<(), FsError> {
+        if let Some(ncl) = &self.inner.ncl {
+            if ncl.exists(path)? {
+                if let Some(open) = self.inner.ncl_files.lock().remove(path) {
+                    open.release()?;
+                } else {
+                    ncl.delete(path)?;
+                }
+                return Ok(());
+            }
+        }
+        if let Some(local) = &self.inner.local {
+            return Ok(local.delete(path)?);
+        }
+        Ok(self.inner.dfs.as_ref().expect("dfs").delete(path)?)
+    }
+
+    /// Renames a bulk file. NCL files cannot be renamed (the applications
+    /// ported in the paper never rename their logs — they delete or reuse
+    /// them, Table 2).
+    pub fn rename(&self, old: &str, new: &str) -> Result<(), FsError> {
+        if let Some(ncl) = &self.inner.ncl {
+            if ncl.exists(old)? {
+                return Err(FsError::Unsupported("rename of an ncl file".to_string()));
+            }
+        }
+        if let Some(local) = &self.inner.local {
+            return Ok(local.rename(old, new)?);
+        }
+        Ok(self.inner.dfs.as_ref().expect("dfs").rename(old, new)?)
+    }
+
+    /// Lists files with the given prefix across tiers (sorted, deduped).
+    pub fn list(&self, prefix: &str) -> Result<Vec<String>, FsError> {
+        let mut out = Vec::new();
+        if let Some(ncl) = &self.inner.ncl {
+            out.extend(
+                ncl.list_files()?
+                    .into_iter()
+                    .filter(|f| f.starts_with(prefix)),
+            );
+        }
+        if let Some(local) = &self.inner.local {
+            out.extend(local.list(prefix));
+        } else if let Some(dfs) = &self.inner.dfs {
+            out.extend(dfs.list(prefix)?);
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Flushes all dirty DFS data now (weak mode exposes this so tests can
+    /// force the background flush deterministically).
+    pub fn flush_all(&self) -> Result<(), FsError> {
+        if let Some(dfs) = &self.inner.dfs {
+            dfs.flush_all()?;
+        }
+        Ok(())
+    }
+
+    fn trace_ncl_write(&self, path: &str, bytes: usize) {
+        if let Some(t) = self.inner.trace.lock().as_ref() {
+            t.record(path, IoKind::FlushWrite, bytes);
+        }
+    }
+}
+
+impl Drop for FsInner {
+    fn drop(&mut self) {
+        self.flusher_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+enum Backend {
+    Dfs,
+    Local,
+    Ncl(Arc<NclFile>),
+}
+
+/// An open file handle.
+pub struct File {
+    fs: SplitFs,
+    path: String,
+    backend: Backend,
+}
+
+impl File {
+    /// The file's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// True when this handle routes to a near-compute log.
+    pub fn is_ncl(&self) -> bool {
+        matches!(self.backend, Backend::Ncl(_))
+    }
+
+    /// Writes `data` at `offset`.
+    ///
+    /// NCL files replicate synchronously here (acknowledged when a majority
+    /// of peers hold the write); bulk files buffer until [`File::fsync`].
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        match &self.backend {
+            Backend::Ncl(f) => {
+                f.record(offset, data)?;
+                self.fs.trace_ncl_write(&self.path, data.len());
+                Ok(())
+            }
+            Backend::Local => Ok(self
+                .fs
+                .inner
+                .local
+                .as_ref()
+                .expect("local")
+                .write(&self.path, offset, data)?),
+            Backend::Dfs => Ok(self
+                .fs
+                .inner
+                .dfs
+                .as_ref()
+                .expect("dfs")
+                .write(&self.path, offset, data)?),
+        }
+    }
+
+    /// Appends at the end of file, returning the write offset.
+    pub fn append(&self, data: &[u8]) -> Result<u64, FsError> {
+        match &self.backend {
+            Backend::Ncl(f) => {
+                let offset = f.len();
+                f.record(offset, data)?;
+                self.fs.trace_ncl_write(&self.path, data.len());
+                Ok(offset)
+            }
+            Backend::Local => {
+                let local = self.fs.inner.local.as_ref().expect("local");
+                let offset = local.size(&self.path)?;
+                local.write(&self.path, offset, data)?;
+                Ok(offset)
+            }
+            Backend::Dfs => Ok(self
+                .fs
+                .inner
+                .dfs
+                .as_ref()
+                .expect("dfs")
+                .append(&self.path, data)?),
+        }
+    }
+
+    /// Durability barrier. Mode-dependent: strong flushes to the DFS, weak
+    /// is a no-op, NCL files are already durable, local flushes to "disk".
+    pub fn fsync(&self) -> Result<(), FsError> {
+        match &self.backend {
+            Backend::Ncl(f) => Ok(f.fsync()?),
+            Backend::Local => Ok(self
+                .fs
+                .inner
+                .local
+                .as_ref()
+                .expect("local")
+                .fsync(&self.path)?),
+            Backend::Dfs => match self.fs.inner.mode {
+                Mode::WeakDft => Ok(()), // Lazy: background flusher owns it.
+                _ => Ok(self.fs.inner.dfs.as_ref().expect("dfs").fsync(&self.path)?),
+            },
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset` (short at end of file).
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        match &self.backend {
+            Backend::Ncl(f) => Ok(f.read(offset, len)),
+            Backend::Local => Ok(self
+                .fs
+                .inner
+                .local
+                .as_ref()
+                .expect("local")
+                .read(&self.path, offset, len)?),
+            Backend::Dfs => Ok(self
+                .fs
+                .inner
+                .dfs
+                .as_ref()
+                .expect("dfs")
+                .read(&self.path, offset, len)?),
+        }
+    }
+
+    /// Current file size.
+    pub fn size(&self) -> Result<u64, FsError> {
+        match &self.backend {
+            Backend::Ncl(f) => Ok(f.len()),
+            Backend::Local => Ok(self
+                .fs
+                .inner
+                .local
+                .as_ref()
+                .expect("local")
+                .size(&self.path)?),
+            Backend::Dfs => Ok(self.fs.inner.dfs.as_ref().expect("dfs").size(&self.path)?),
+        }
+    }
+
+    /// The underlying NCL handle for ncl files (used by recovery-oriented
+    /// benchmarks that need `read_remote`/stats access).
+    pub fn ncl_handle(&self) -> Option<&Arc<NclFile>> {
+        match &self.backend {
+            Backend::Ncl(f) => Some(f),
+            _ => None,
+        }
+    }
+}

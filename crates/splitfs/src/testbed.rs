@@ -1,0 +1,187 @@
+//! A full simulated deployment in one value — the "CloudLab cluster" of the
+//! paper's evaluation (§5): a DFS cluster, the NCL controller, a pool of log
+//! peers, and as many application servers as you mount.
+//!
+//! Used by integration tests, the YCSB harness, the benchmark binaries and
+//! the examples; exposed here (rather than in a test-only crate) because a
+//! downstream user wanting to try SplitFT needs exactly this wiring.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dfs::{DfsCluster, DfsConfig, LocalFs};
+use ncl::{Controller, NclConfig, NclLib, NclRegistry, Peer};
+use sim::{Cluster, NodeId};
+
+use crate::{Mode, SplitFs};
+
+/// Parameters for [`Testbed::start`].
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// DFS latency/striping configuration.
+    pub dfs: DfsConfig,
+    /// NCL latency/failure-budget configuration.
+    pub ncl: NclConfig,
+    /// Number of log peers to start.
+    pub peers: usize,
+    /// Memory each peer lends, in bytes.
+    pub peer_mem: u64,
+    /// Weak-mode background flush interval.
+    pub weak_flush_interval: Duration,
+}
+
+impl TestbedConfig {
+    /// Zero latencies everywhere: functional testing at memory speed.
+    pub fn zero(peers: usize) -> Self {
+        TestbedConfig {
+            dfs: DfsConfig::zero(),
+            ncl: NclConfig::zero(),
+            peers,
+            peer_mem: 256 << 20,
+            weak_flush_interval: Duration::from_millis(100),
+        }
+    }
+
+    /// Calibrated latencies reproducing the paper's testbed shape.
+    pub fn calibrated(peers: usize) -> Self {
+        TestbedConfig {
+            dfs: DfsConfig::calibrated(),
+            ncl: NclConfig::calibrated(),
+            peers,
+            peer_mem: 1 << 30,
+            weak_flush_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The assembled simulated datacenter.
+pub struct Testbed {
+    /// Node registry and failure injection.
+    pub cluster: Cluster,
+    /// The disaggregated file system.
+    pub dfs: DfsCluster,
+    /// The NCL controller.
+    pub controller: Controller,
+    /// Peer name resolution.
+    pub registry: Arc<NclRegistry>,
+    /// The running log peers.
+    pub peers: Vec<Peer>,
+    config: TestbedConfig,
+}
+
+impl Testbed {
+    /// Starts every service described by `config`.
+    pub fn start(config: TestbedConfig) -> Self {
+        let cluster = Cluster::new();
+        let dfs = DfsCluster::start(&cluster, config.dfs.clone());
+        let controller = Controller::start(&cluster);
+        let registry = NclRegistry::new();
+        let peers = (0..config.peers)
+            .map(|i| {
+                Peer::start(
+                    &cluster,
+                    &format!("peer-{i}"),
+                    config.peer_mem,
+                    &config.ncl,
+                    &controller,
+                    &registry,
+                )
+            })
+            .collect();
+        Testbed {
+            cluster,
+            dfs,
+            controller,
+            registry,
+            peers,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    /// Registers a fresh application-server node.
+    pub fn add_app_node(&self, name: &str) -> NodeId {
+        self.cluster.add_node(name)
+    }
+
+    /// Mounts a facade for application `app_id` in `mode` on a fresh node,
+    /// returning the facade and the node (for failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`Mode::SplitFt`] and another live instance of
+    /// `app_id` holds the NCL instance lock.
+    pub fn mount(&self, mode: Mode, app_id: &str) -> (SplitFs, NodeId) {
+        let node = self.add_app_node(&format!("app-{app_id}"));
+        let fs = match mode {
+            Mode::StrongDft => SplitFs::dft_strong(self.dfs.client(node)),
+            Mode::WeakDft => {
+                SplitFs::dft_weak(self.dfs.client(node), self.config.weak_flush_interval)
+            }
+            Mode::SplitFt => {
+                let ncl = NclLib::new(
+                    &self.cluster,
+                    node,
+                    app_id,
+                    self.config.ncl.clone(),
+                    &self.controller,
+                    &self.registry,
+                )
+                .expect("NCL instance lock available");
+                SplitFs::splitft(self.dfs.client(node), ncl)
+            }
+            Mode::Local => SplitFs::local(LocalFs::new()),
+        };
+        (fs, node)
+    }
+
+    /// Finds a peer by its published name.
+    pub fn peer_named(&self, name: &str) -> Option<&Peer> {
+        self.peers.iter().find(|p| p.name() == name)
+    }
+
+    /// Adds one more peer to the pool at runtime.
+    pub fn add_peer(&mut self, name: &str) -> &Peer {
+        let peer = Peer::start(
+            &self.cluster,
+            name,
+            self.config.peer_mem,
+            &self.config.ncl,
+            &self.controller,
+            &self.registry,
+        );
+        self.peers.push(peer);
+        self.peers.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpenOptions;
+
+    #[test]
+    fn testbed_mounts_all_modes() {
+        let tb = Testbed::start(TestbedConfig::zero(3));
+        for mode in [Mode::StrongDft, Mode::WeakDft, Mode::SplitFt, Mode::Local] {
+            let (fs, _node) = tb.mount(mode, &format!("app-{mode:?}"));
+            let f = fs.open("probe", OpenOptions::create()).unwrap();
+            f.write_at(0, b"ok").unwrap();
+            f.fsync().unwrap();
+            assert_eq!(f.read(0, 2).unwrap(), b"ok");
+        }
+    }
+
+    #[test]
+    fn add_peer_grows_pool() {
+        let mut tb = Testbed::start(TestbedConfig::zero(1));
+        assert_eq!(tb.peers.len(), 1);
+        tb.add_peer("late-peer");
+        assert_eq!(tb.peers.len(), 2);
+        assert!(tb.peer_named("late-peer").is_some());
+    }
+}

@@ -1,0 +1,310 @@
+//! Full-stack tests of the SplitFT facade: DFS + controller + peers + NCL.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dfs::{DfsCluster, DfsConfig, IoTrace, LocalFs};
+use ncl::{Controller, NclConfig, NclLib, NclRegistry, Peer};
+use sim::Cluster;
+use splitfs::{FsError, Mode, OpenOptions, SplitFs};
+
+struct Harness {
+    cluster: Cluster,
+    dfs: DfsCluster,
+    controller: Controller,
+    registry: Arc<NclRegistry>,
+    peers: Vec<Peer>,
+    config: NclConfig,
+    app_seq: std::cell::Cell<u32>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let cluster = Cluster::new();
+        let dfs = DfsCluster::start(&cluster, DfsConfig::zero_small_objects());
+        let controller = Controller::start(&cluster);
+        let registry = NclRegistry::new();
+        let config = NclConfig::zero();
+        let peers = (0..4)
+            .map(|i| {
+                Peer::start(
+                    &cluster,
+                    &format!("p{i}"),
+                    32 << 20,
+                    &config,
+                    &controller,
+                    &registry,
+                )
+            })
+            .collect();
+        Harness {
+            cluster,
+            dfs,
+            controller,
+            registry,
+            peers,
+            config,
+            app_seq: std::cell::Cell::new(0),
+        }
+    }
+
+    fn next_node(&self, tag: &str) -> sim::NodeId {
+        self.app_seq.set(self.app_seq.get() + 1);
+        self.cluster
+            .add_node(format!("{tag}-{}", self.app_seq.get()))
+    }
+
+    fn splitft(&self, app: &str) -> SplitFs {
+        let node = self.next_node("app");
+        let ncl = NclLib::new(
+            &self.cluster,
+            node,
+            app,
+            self.config.clone(),
+            &self.controller,
+            &self.registry,
+        )
+        .expect("instance lock");
+        SplitFs::splitft(self.dfs.client(node), ncl)
+    }
+
+    fn strong(&self) -> SplitFs {
+        SplitFs::dft_strong(self.dfs.client(self.next_node("app")))
+    }
+
+    fn weak(&self, interval: Duration) -> SplitFs {
+        SplitFs::dft_weak(self.dfs.client(self.next_node("app")), interval)
+    }
+}
+
+#[test]
+fn splitft_routes_by_oncl_flag() {
+    let h = Harness::new();
+    let fs = h.splitft("db");
+    let wal = fs.open("wal", OpenOptions::create_ncl(4096)).unwrap();
+    let sst = fs.open("sst-1", OpenOptions::create()).unwrap();
+    assert!(wal.is_ncl());
+    assert!(!sst.is_ncl());
+    wal.write_at(0, b"log entry").unwrap();
+    sst.write_at(0, b"bulk data").unwrap();
+    sst.fsync().unwrap();
+    assert_eq!(wal.read(0, 9).unwrap(), b"log entry");
+    assert_eq!(sst.read(0, 9).unwrap(), b"bulk data");
+}
+
+#[test]
+fn oncl_flag_is_ignored_in_dft_modes() {
+    let h = Harness::new();
+    let fs = h.strong();
+    let f = fs.open("wal", OpenOptions::create_ncl(4096)).unwrap();
+    assert!(!f.is_ncl(), "strong DFT must route O_NCL files to the DFS");
+}
+
+#[test]
+fn strong_mode_survives_crash_weak_mode_loses_data() {
+    let h = Harness::new();
+
+    // Strong: fsync makes data durable in the DFS.
+    {
+        let fs = h.strong();
+        let f = fs.open("strong.log", OpenOptions::create()).unwrap();
+        f.write_at(0, b"durable").unwrap();
+        f.fsync().unwrap();
+    } // Application crash: facade dropped.
+    {
+        let fs = h.strong();
+        let f = fs.open("strong.log", OpenOptions::plain()).unwrap();
+        assert_eq!(f.read(0, 7).unwrap(), b"durable");
+    }
+
+    // Weak: fsync is a no-op and the flusher never ran before the crash.
+    {
+        let fs = h.weak(Duration::from_secs(3600));
+        let f = fs.open("weak.log", OpenOptions::create()).unwrap();
+        f.write_at(0, b"vanishes").unwrap();
+        f.fsync().unwrap(); // Returns instantly, durability not guaranteed.
+    }
+    {
+        let fs = h.strong();
+        let f = fs.open("weak.log", OpenOptions::plain()).unwrap();
+        assert_eq!(f.size().unwrap(), 0, "acknowledged write was lost");
+    }
+}
+
+#[test]
+fn splitft_ncl_file_survives_app_crash() {
+    let h = Harness::new();
+    let app_node;
+    {
+        let fs = h.splitft("kv");
+        app_node = fs.ncl().unwrap().node();
+        let wal = fs.open("wal", OpenOptions::create_ncl(4096)).unwrap();
+        wal.append(b"rec1;").unwrap();
+        wal.append(b"rec2;").unwrap();
+        // No fsync needed: records are synchronously replicated.
+    }
+    h.cluster.crash(app_node);
+    let fs2 = h.splitft("kv");
+    // Opening the existing ncl file triggers recovery.
+    let wal = fs2.open("wal", OpenOptions::create_ncl(4096)).unwrap();
+    assert_eq!(wal.read(0, 10).unwrap(), b"rec1;rec2;");
+}
+
+#[test]
+fn splitft_bulk_files_survive_via_dfs() {
+    let h = Harness::new();
+    let app_node;
+    {
+        let fs = h.splitft("kv");
+        app_node = fs.ncl().unwrap().node();
+        let sst = fs.open("sst-9", OpenOptions::create()).unwrap();
+        sst.write_at(0, b"compacted").unwrap();
+        sst.fsync().unwrap();
+    }
+    h.cluster.crash(app_node);
+    let fs2 = h.splitft("kv");
+    let sst = fs2.open("sst-9", OpenOptions::plain()).unwrap();
+    assert_eq!(sst.read(0, 9).unwrap(), b"compacted");
+}
+
+#[test]
+fn unlink_ncl_file_releases_peer_regions() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    let wal = fs.open("wal", OpenOptions::create_ncl(1024)).unwrap();
+    wal.append(b"x").unwrap();
+    let before: usize = h.peers.iter().map(|p| p.region_count()).sum();
+    assert_eq!(before, 3);
+    drop(wal);
+    fs.unlink("wal").unwrap();
+    let after: usize = h.peers.iter().map(|p| p.region_count()).sum();
+    assert_eq!(after, 0);
+    assert!(!fs.exists("wal"));
+}
+
+#[test]
+fn unlink_unopened_ncl_file_after_restart() {
+    // The delete-the-stale-WAL-at-startup pattern (RocksDB, Table 2).
+    let h = Harness::new();
+    let app_node;
+    {
+        let fs = h.splitft("kv");
+        app_node = fs.ncl().unwrap().node();
+        let wal = fs.open("old-wal", OpenOptions::create_ncl(1024)).unwrap();
+        wal.append(b"obsolete").unwrap();
+    }
+    h.cluster.crash(app_node);
+    let fs2 = h.splitft("kv");
+    fs2.unlink("old-wal").unwrap();
+    assert!(!fs2.exists("old-wal"));
+    let regions: usize = h.peers.iter().map(|p| p.region_count()).sum();
+    assert_eq!(regions, 0);
+}
+
+#[test]
+fn list_merges_ncl_and_dfs_namespaces() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    fs.open("wal-1", OpenOptions::create_ncl(1024)).unwrap();
+    fs.open("sst-1", OpenOptions::create()).unwrap();
+    fs.open("sst-2", OpenOptions::create()).unwrap();
+    assert_eq!(fs.list("").unwrap(), vec!["sst-1", "sst-2", "wal-1"]);
+    assert_eq!(fs.list("sst").unwrap(), vec!["sst-1", "sst-2"]);
+}
+
+#[test]
+fn rename_bulk_ok_ncl_rejected() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    fs.open("wal", OpenOptions::create_ncl(1024)).unwrap();
+    fs.open("tmp", OpenOptions::create()).unwrap();
+    fs.rename("tmp", "final").unwrap();
+    assert!(fs.exists("final"));
+    assert!(matches!(
+        fs.rename("wal", "wal2"),
+        Err(FsError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn weak_flusher_eventually_persists() {
+    let h = Harness::new();
+    {
+        let fs = h.weak(Duration::from_millis(50));
+        let f = fs.open("bg.log", OpenOptions::create()).unwrap();
+        f.write_at(0, b"eventually").unwrap();
+        // Wait for at least one flush cycle.
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    let fs2 = h.strong();
+    let f = fs2.open("bg.log", OpenOptions::plain()).unwrap();
+    assert_eq!(f.read(0, 10).unwrap(), b"eventually");
+}
+
+#[test]
+fn open_missing_without_create_fails() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    assert!(matches!(
+        fs.open("nope", OpenOptions::plain()),
+        Err(FsError::NotFound(_))
+    ));
+    let mut opts = OpenOptions::plain();
+    opts.ncl = true;
+    assert!(matches!(fs.open("nope", opts), Err(FsError::NotFound(_))));
+}
+
+#[test]
+fn reopening_ncl_file_shares_handle() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    let a = fs.open("wal", OpenOptions::create_ncl(1024)).unwrap();
+    let b = fs.open("wal", OpenOptions::create_ncl(1024)).unwrap();
+    a.append(b"one").unwrap();
+    b.append(b"two").unwrap();
+    assert_eq!(a.read(0, 6).unwrap(), b"onetwo");
+    let regions: usize = h.peers.iter().map(|p| p.region_count()).sum();
+    assert_eq!(regions, 3, "no duplicate allocation");
+}
+
+#[test]
+fn trace_captures_ncl_record_sizes() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    let trace = IoTrace::new();
+    trace.enable();
+    fs.set_trace(Arc::clone(&trace));
+    let wal = fs.open("wal", OpenOptions::create_ncl(4096)).unwrap();
+    wal.append(&[0u8; 124]).unwrap();
+    wal.append(&[0u8; 124]).unwrap();
+    let events = trace.events();
+    assert_eq!(events.len(), 2);
+    assert!(events.iter().all(|e| e.bytes == 124 && e.path == "wal"));
+}
+
+#[test]
+fn local_mode_roundtrip() {
+    let fs = SplitFs::local(LocalFs::zero());
+    assert_eq!(fs.mode(), Mode::Local);
+    let f = fs.open("f", OpenOptions::create()).unwrap();
+    f.write_at(0, b"local").unwrap();
+    f.fsync().unwrap();
+    assert_eq!(f.read(0, 5).unwrap(), b"local");
+    assert_eq!(f.size().unwrap(), 5);
+    fs.rename("f", "g").unwrap();
+    assert!(fs.exists("g"));
+    fs.unlink("g").unwrap();
+    assert!(!fs.exists("g"));
+}
+
+#[test]
+fn append_returns_monotonic_offsets() {
+    let h = Harness::new();
+    let fs = h.splitft("kv");
+    let wal = fs.open("wal", OpenOptions::create_ncl(4096)).unwrap();
+    assert_eq!(wal.append(b"aaa").unwrap(), 0);
+    assert_eq!(wal.append(b"bb").unwrap(), 3);
+    let sst = fs.open("sst", OpenOptions::create()).unwrap();
+    assert_eq!(sst.append(b"xxxx").unwrap(), 0);
+    assert_eq!(sst.append(b"y").unwrap(), 4);
+}

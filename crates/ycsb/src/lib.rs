@@ -1,0 +1,19 @@
+//! YCSB workload generation and a closed-loop benchmark runner.
+//!
+//! Reimplements the slice of the Yahoo! Cloud Serving Benchmark the paper
+//! evaluates with (§5.3): workloads A (update-heavy), B (read-mostly),
+//! C (read-only), D (read-latest) and F (read-modify-write), driven by
+//! closed-loop client threads against any [`apps::KvApp`]. Workload E
+//! (scans) is omitted, as in the paper.
+//!
+//! Key/value shapes follow the paper's setup: 24-byte keys and 100-byte
+//! values, zipfian request distributions, and per-thread latency histograms
+//! merged into a [`Report`].
+
+pub mod generator;
+pub mod runner;
+pub mod workload;
+
+pub use generator::{KeyChooser, ScrambledZipfian, Zipfian};
+pub use runner::{LoadSpec, Report, RunSpec, Runner};
+pub use workload::{OpKind, Workload, WorkloadMix};

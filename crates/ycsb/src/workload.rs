@@ -1,0 +1,228 @@
+//! YCSB workload definitions (A, B, C, D, F).
+
+use sim::Xoshiro256StarStar;
+
+use crate::generator::{KeyChooser, ScrambledZipfian, Zipfian};
+
+/// One benchmark operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// Overwrite of an existing key.
+    Update,
+    /// Insert of a new key.
+    Insert,
+    /// Read-modify-write of an existing key.
+    ReadModifyWrite,
+}
+
+/// Operation proportions (must sum to ~1.0).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadMix {
+    /// Fraction of reads.
+    pub read: f64,
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+}
+
+impl WorkloadMix {
+    fn pick(&self, rng: &mut Xoshiro256StarStar) -> OpKind {
+        let x = rng.next_f64();
+        if x < self.read {
+            OpKind::Read
+        } else if x < self.read + self.update {
+            OpKind::Update
+        } else if x < self.read + self.update + self.insert {
+            OpKind::Insert
+        } else {
+            OpKind::ReadModifyWrite
+        }
+    }
+}
+
+/// A named workload: an operation mix plus a request distribution.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name ("a".."f").
+    pub name: &'static str,
+    /// Operation proportions.
+    pub mix: WorkloadMix,
+    /// Key selection for reads/updates/RMWs.
+    pub chooser: KeyChooser,
+}
+
+impl Workload {
+    /// YCSB-A: 50% reads, 50% updates, zipfian.
+    pub fn a(record_count: u64) -> Self {
+        Workload {
+            name: "a",
+            mix: WorkloadMix {
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                rmw: 0.0,
+            },
+            chooser: KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+        }
+    }
+
+    /// YCSB-B: 95% reads, 5% updates, zipfian.
+    pub fn b(record_count: u64) -> Self {
+        Workload {
+            name: "b",
+            mix: WorkloadMix {
+                read: 0.95,
+                update: 0.05,
+                insert: 0.0,
+                rmw: 0.0,
+            },
+            chooser: KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+        }
+    }
+
+    /// YCSB-C: 100% reads, zipfian.
+    pub fn c(record_count: u64) -> Self {
+        Workload {
+            name: "c",
+            mix: WorkloadMix {
+                read: 1.0,
+                update: 0.0,
+                insert: 0.0,
+                rmw: 0.0,
+            },
+            chooser: KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+        }
+    }
+
+    /// YCSB-D: 95% reads of recent keys, 5% inserts.
+    pub fn d(record_count: u64) -> Self {
+        Workload {
+            name: "d",
+            mix: WorkloadMix {
+                read: 0.95,
+                update: 0.0,
+                insert: 0.05,
+                rmw: 0.0,
+            },
+            chooser: KeyChooser::Latest(Zipfian::new(record_count)),
+        }
+    }
+
+    /// YCSB-F: 50% reads, 50% read-modify-writes, zipfian.
+    pub fn f(record_count: u64) -> Self {
+        Workload {
+            name: "f",
+            mix: WorkloadMix {
+                read: 0.5,
+                update: 0.0,
+                insert: 0.0,
+                rmw: 0.5,
+            },
+            chooser: KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+        }
+    }
+
+    /// A 100%-update workload (the paper's §5.2 write-only benchmark).
+    pub fn write_only(record_count: u64) -> Self {
+        Workload {
+            name: "write-only",
+            mix: WorkloadMix {
+                read: 0.0,
+                update: 1.0,
+                insert: 0.0,
+                rmw: 0.0,
+            },
+            chooser: KeyChooser::Zipfian(ScrambledZipfian::new(record_count)),
+        }
+    }
+
+    /// All five paper workloads in figure order.
+    pub fn paper_suite(record_count: u64) -> Vec<Workload> {
+        vec![
+            Workload::a(record_count),
+            Workload::b(record_count),
+            Workload::c(record_count),
+            Workload::d(record_count),
+            Workload::f(record_count),
+        ]
+    }
+
+    /// Draws the next operation kind.
+    pub fn next_op(&self, rng: &mut Xoshiro256StarStar) -> OpKind {
+        self.mix.pick(rng)
+    }
+}
+
+/// Formats a key index in the paper's shape: 24-byte keys.
+pub fn key_of(index: u64) -> String {
+    format!("user{index:020}")
+}
+
+/// Generates a deterministic value of `len` bytes for a key index.
+pub fn value_of(index: u64, len: usize) -> Vec<u8> {
+    let mut rng = Xoshiro256StarStar::new(index ^ 0x5911_17F7);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_24_bytes() {
+        assert_eq!(key_of(0).len(), 24);
+        assert_eq!(key_of(u64::MAX / 2).len(), 24);
+    }
+
+    #[test]
+    fn value_is_deterministic() {
+        assert_eq!(value_of(7, 100), value_of(7, 100));
+        assert_ne!(value_of(7, 100), value_of(8, 100));
+        assert_eq!(value_of(7, 100).len(), 100);
+    }
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for w in Workload::paper_suite(100) {
+            let m = w.mix;
+            let sum = m.read + m.update + m.insert + m.rmw;
+            assert!((sum - 1.0).abs() < 1e-9, "workload {}", w.name);
+        }
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let w = Workload::c(100);
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..1000 {
+            assert_eq!(w.next_op(&mut rng), OpKind::Read);
+        }
+    }
+
+    #[test]
+    fn workload_a_is_half_updates() {
+        let w = Workload::a(100);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let updates = (0..10_000)
+            .filter(|_| w.next_op(&mut rng) == OpKind::Update)
+            .count();
+        assert!((4_000..6_000).contains(&updates), "got {updates}");
+    }
+
+    #[test]
+    fn workload_d_inserts_present() {
+        let w = Workload::d(100);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let inserts = (0..10_000)
+            .filter(|_| w.next_op(&mut rng) == OpKind::Insert)
+            .count();
+        assert!((300..800).contains(&inserts), "got {inserts}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Key-value store failover: the paper's headline scenario end to end.
+//!
+//! A RocksDB-style store runs in all three configurations. After an
+//! application-server crash, SplitFT and strong-DFT recover every
+//! acknowledged write; the weak configuration silently loses its tail —
+//! while SplitFT's writes cost microseconds like weak's, not milliseconds
+//! like strong's.
+//!
+//! Run with: `cargo run --release --example kvstore_failover`
+
+use splitft::apps::minirocks::{MiniRocks, RocksOptions};
+use splitft::sim::Stopwatch;
+use splitft::splitfs::{Mode, Testbed, TestbedConfig};
+
+fn main() {
+    let tb = Testbed::start(TestbedConfig::calibrated(4));
+    let writes = 400u32;
+
+    for (name, mode) in [
+        ("strong-app DFT", Mode::StrongDft),
+        ("weak-app DFT  ", Mode::WeakDft),
+        ("SplitFT       ", Mode::SplitFt),
+    ] {
+        let app_id = format!("kv-{}", name.trim());
+        let prefix = format!("{app_id}/");
+        let (fs, node) = tb.mount(mode, &app_id);
+        let db = MiniRocks::open(fs, &prefix, RocksOptions::default()).unwrap();
+
+        let sw = Stopwatch::start();
+        for i in 0..writes {
+            db.put(format!("key{i:06}").as_bytes(), b"acknowledged-to-client")
+                .unwrap();
+        }
+        let per_op_us = sw.elapsed_micros_f64() / writes as f64;
+
+        // Crash the application server without a clean shutdown.
+        tb.cluster.crash(node);
+        drop(db);
+
+        // Fail over: a new instance on new hardware.
+        let (fs2, _) = tb.mount(mode, &app_id);
+        let db = MiniRocks::open(fs2, &prefix, RocksOptions::default()).unwrap();
+        let survivors = (0..writes)
+            .filter(|i| db.get(format!("key{i:06}").as_bytes()).unwrap().is_some())
+            .count();
+
+        println!(
+            "{name}  write latency {per_op_us:>8.1} µs/op   recovered {survivors:>4}/{writes} acknowledged writes{}",
+            if survivors < writes as usize { "  ← DATA LOSS" } else { "" }
+        );
+    }
+
+    println!(
+        "\nSplitFT gives the durability of strong at (close to) the latency of weak — \
+         the paper's Table 1 dilemma, resolved."
+    );
+}

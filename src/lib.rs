@@ -1,0 +1,31 @@
+//! # SplitFT
+//!
+//! A Rust reproduction of *SplitFT: Fault Tolerance for Disaggregated
+//! Datacenters via Remote Memory Logging* (EuroSys '24).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`ncl`] — the paper's core contribution: near-compute logs (controller,
+//!   log peers, and the `ncl-lib` replication/recovery client).
+//! * [`splitfs`] — the POSIX-style file facade that routes `O_NCL` files to
+//!   NCL and everything else to the disaggregated file system.
+//! * [`dfs`] — the simulated disaggregated file system (CephFS stand-in).
+//! * [`rdma`] — simulated RDMA verbs used by NCL's data plane.
+//! * [`sim`] — the cluster/latency/fault-injection substrate.
+//! * [`apps`] — three ported applications: `minirocks` (LSM key-value
+//!   store), `miniredis` (data-structure store), `minisql` (relational-style
+//!   engine with a circular WAL).
+//! * [`ycsb`] — YCSB workload generators and a closed-loop runner.
+//! * [`modelcheck`] — an explicit-state model checker for the NCL protocol.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
+//! the per-experiment index.
+
+pub use apps;
+pub use dfs;
+pub use modelcheck;
+pub use ncl;
+pub use rdma;
+pub use sim;
+pub use splitfs;
+pub use ycsb;

@@ -1,0 +1,116 @@
+//! Failure-storm integration test: a workload runs while peers crash and
+//! restart around it; after the dust settles every acknowledged write must
+//! be recovered.
+//!
+//! Unlike the per-crate tests, this exercises the whole stack (application
+//! → facade → NCL → simulated RDMA) under *concurrent* failure injection —
+//! failures land while records are in flight, not between operations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use splitft::apps::minirocks::{MiniRocks, RocksOptions};
+use splitft::sim::Xoshiro256StarStar;
+use splitft::splitfs::{Mode, Testbed, TestbedConfig};
+
+#[test]
+fn acked_writes_survive_a_peer_failure_storm() {
+    for seed in [1u64, 7, 42] {
+        let tb = Testbed::start(TestbedConfig::zero(6));
+        let (fs, app_node) = tb.mount(Mode::SplitFt, "storm");
+        let db = MiniRocks::open(fs, "db/", RocksOptions::default()).unwrap();
+
+        let stop = AtomicBool::new(false);
+        let acked = std::thread::scope(|scope| {
+            // Chaos thread: crash/restart peers at random, keeping at most
+            // one down at a time (the f = 1 budget).
+            let cluster = tb.cluster.clone();
+            let peer_nodes: Vec<_> = tb.peers.iter().map(|p| p.node()).collect();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut rng = Xoshiro256StarStar::new(seed);
+                let mut down: Option<usize> = None;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(17));
+                    match down.take() {
+                        Some(idx) => cluster.restart(peer_nodes[idx]),
+                        None => {
+                            let idx = rng.next_below(peer_nodes.len() as u64) as usize;
+                            cluster.crash(peer_nodes[idx]);
+                            down = Some(idx);
+                        }
+                    }
+                }
+                if let Some(idx) = down {
+                    cluster.restart(peer_nodes[idx]);
+                }
+            });
+
+            // Writer: every put that returns Ok is an acknowledged write.
+            let mut acked = 0u32;
+            let deadline = std::time::Instant::now() + Duration::from_millis(800);
+            while std::time::Instant::now() < deadline {
+                let key = format!("key{acked:06}");
+                if db.put(key.as_bytes(), b"storm-value").is_ok() {
+                    acked += 1;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            acked
+        });
+        assert!(acked > 0, "some writes must succeed during the storm");
+
+        // Crash the application; recover on a fresh node; audit.
+        tb.cluster.crash(app_node);
+        drop(db);
+        let (fs2, _) = tb.mount(Mode::SplitFt, "storm");
+        let db = MiniRocks::open(fs2, "db/", RocksOptions::default()).unwrap();
+        for i in 0..acked {
+            assert_eq!(
+                db.get(format!("key{i:06}").as_bytes()).unwrap(),
+                Some(b"storm-value".to_vec()),
+                "seed {seed}: acknowledged key{i:06} lost"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_whole_stack_restarts_with_peer_churn() {
+    let tb = Testbed::start(TestbedConfig::zero(5));
+    let mut expected: Vec<(String, String)> = Vec::new();
+    let mut rng = Xoshiro256StarStar::new(99);
+    let mut prev_node = None;
+
+    for round in 0..4 {
+        if let Some(node) = prev_node {
+            tb.cluster.crash(node);
+        }
+        // Churn one peer per round.
+        let idx = rng.next_below(tb.peers.len() as u64) as usize;
+        let peer_node = tb.peers[idx].node();
+        if tb.cluster.is_alive(peer_node) {
+            tb.cluster.crash(peer_node);
+        } else {
+            tb.cluster.restart(peer_node);
+        }
+
+        let (fs, node) = tb.mount(Mode::SplitFt, "churn");
+        prev_node = Some(node);
+        let db = MiniRocks::open(fs, "db/", RocksOptions::default()).unwrap();
+        // Everything from previous rounds must still be there.
+        for (k, v) in &expected {
+            assert_eq!(
+                db.get(k.as_bytes()).unwrap(),
+                Some(v.clone().into_bytes()),
+                "round {round}: {k} lost"
+            );
+        }
+        for i in 0..40 {
+            let k = format!("r{round}-k{i:03}");
+            let v = format!("value-{round}-{i}");
+            db.put(k.as_bytes(), v.as_bytes()).unwrap();
+            expected.push((k, v));
+        }
+    }
+}

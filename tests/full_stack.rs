@@ -1,0 +1,117 @@
+//! Cross-crate integration: all three applications sharing one simulated
+//! datacenter, surviving a coordinated crash.
+
+use splitft::apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
+use splitft::apps::minirocks::{MiniRocks, RocksOptions};
+use splitft::apps::minisql::{MiniSql, SqlOptions};
+use splitft::splitfs::{Mode, Testbed, TestbedConfig};
+
+#[test]
+fn three_apps_share_one_datacenter_and_all_survive_crashes() {
+    let tb = Testbed::start(TestbedConfig::zero(5));
+
+    // Three independent applications, each with its own instance identity,
+    // all multiplexed over the same DFS, controller and peer pool.
+    let (rocks_fs, rocks_node) = tb.mount(Mode::SplitFt, "rocks");
+    let (redis_fs, redis_node) = tb.mount(Mode::SplitFt, "redis");
+    let (sql_fs, sql_node) = tb.mount(Mode::SplitFt, "sql");
+
+    let rocks = MiniRocks::open(rocks_fs, "rocks/", RocksOptions::tiny()).unwrap();
+    let redis = MiniRedis::open(redis_fs, "redis/", RedisOptions::tiny()).unwrap();
+    let sql = MiniSql::open(sql_fs, "sql/", SqlOptions::tiny()).unwrap();
+
+    for i in 0..120u32 {
+        rocks
+            .put(format!("rk{i:04}").as_bytes(), b"rocks-value")
+            .unwrap();
+        redis
+            .execute(Command::Set(format!("rd{i:04}"), b"redis-value".to_vec()))
+            .unwrap();
+        sql.put(format!("sq{i:04}").as_bytes(), b"sql-value")
+            .unwrap();
+    }
+
+    // Every peer carries regions for several applications at once.
+    let total_regions: usize = tb.peers.iter().map(|p| p.region_count()).sum();
+    assert!(
+        total_regions >= 9,
+        "3 apps x 3 replicas expected, got {total_regions}"
+    );
+
+    // Coordinated crash of all three application servers plus one peer.
+    tb.cluster.crash(rocks_node);
+    tb.cluster.crash(redis_node);
+    tb.cluster.crash(sql_node);
+    tb.cluster.crash(tb.peers[0].node());
+    drop(rocks);
+    drop(redis);
+    drop(sql);
+
+    // Fresh instances on fresh nodes recover everything.
+    let (rocks_fs, _) = tb.mount(Mode::SplitFt, "rocks");
+    let (redis_fs, _) = tb.mount(Mode::SplitFt, "redis");
+    let (sql_fs, _) = tb.mount(Mode::SplitFt, "sql");
+    let rocks = MiniRocks::open(rocks_fs, "rocks/", RocksOptions::tiny()).unwrap();
+    let redis = MiniRedis::open(redis_fs, "redis/", RedisOptions::tiny()).unwrap();
+    let sql = MiniSql::open(sql_fs, "sql/", SqlOptions::tiny()).unwrap();
+
+    for i in 0..120u32 {
+        assert_eq!(
+            rocks.get(format!("rk{i:04}").as_bytes()).unwrap(),
+            Some(b"rocks-value".to_vec())
+        );
+        assert_eq!(
+            redis.query(Query::Get(format!("rd{i:04}"))).unwrap(),
+            Reply::Bulk(Some(b"redis-value".to_vec()))
+        );
+        assert_eq!(
+            sql.get(format!("sq{i:04}").as_bytes()).unwrap(),
+            Some(b"sql-value".to_vec())
+        );
+    }
+}
+
+#[test]
+fn instance_lock_isolates_each_application() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (_fs_a, _) = tb.mount(Mode::SplitFt, "app-a");
+    // A second instance of app-a is rejected while the first lives…
+    let node = tb.add_app_node("app-a-clone");
+    let dup = splitft::ncl::NclLib::new(
+        &tb.cluster,
+        node,
+        "app-a",
+        tb.config().ncl.clone(),
+        &tb.controller,
+        &tb.registry,
+    );
+    assert!(dup.is_err());
+    // …but an unrelated application mounts fine.
+    let (_fs_b, _) = tb.mount(Mode::SplitFt, "app-b");
+}
+
+#[test]
+fn facade_crate_reexports_compile_and_work() {
+    // Exercise the re-export surface of the root `splitft` crate.
+    let cluster = splitft::sim::Cluster::new();
+    let node = cluster.add_node("x");
+    assert!(cluster.is_alive(node));
+    assert_eq!(splitft::sim::crc32c(b"123456789"), 0xE306_9283);
+    let header = splitft::ncl::RegionHeader {
+        seq: 1,
+        len: 2,
+        overwritten: false,
+    };
+    assert_eq!(
+        splitft::ncl::RegionHeader::decode(&header.encode()),
+        Some(header)
+    );
+    let result = splitft::modelcheck::check(&splitft::modelcheck::ModelConfig {
+        max_writes: 1,
+        crash_budget: 1,
+        peers: 3,
+        bug: splitft::modelcheck::BugMode::None,
+        max_states: 10_000,
+    });
+    assert!(result.violation.is_none());
+}
