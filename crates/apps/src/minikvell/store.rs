@@ -140,6 +140,7 @@ impl MiniKvell {
                     create: true,
                     ncl: true,
                     capacity: opts.staging_capacity,
+                    pipelined: false,
                 },
             )?)
         } else {
@@ -324,6 +325,7 @@ impl MiniKvell {
                     create: true,
                     ncl: true,
                     capacity: self.opts.staging_capacity,
+                    pipelined: false,
                 },
             )?);
             inner.staging_used = 0;

@@ -122,6 +122,7 @@ impl MiniRedis {
                     create: false,
                     ncl: true,
                     capacity: opts.aof_capacity,
+                    pipelined: false,
                 },
             )?;
             let buf = aof.read(0, aof.size()? as usize)?;
@@ -138,6 +139,7 @@ impl MiniRedis {
                         create: true,
                         ncl: true,
                         capacity: opts.aof_capacity,
+                        pipelined: false,
                     },
                 )?,
                 0,
@@ -347,6 +349,7 @@ impl Executor {
                     create: true,
                     ncl: true,
                     capacity: self.opts.aof_capacity,
+                    pipelined: false,
                 },
             )?;
             let mut size = 0usize;

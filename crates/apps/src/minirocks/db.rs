@@ -48,6 +48,12 @@ pub struct RocksOptions {
     pub target_sst_bytes: usize,
     /// Maximum requests folded into one group commit.
     pub batch_max: usize,
+    /// Open the WAL in pipelined mode: the commit thread posts a batch's
+    /// WAL record without waiting and folds the next batch while it
+    /// replicates, settling (durability barrier + memtable apply + ack)
+    /// just before the next batch is posted. Only changes behaviour on an
+    /// NCL-backed WAL; batches are still acknowledged strictly in order.
+    pub pipelined_wal: bool,
 }
 
 impl Default for RocksOptions {
@@ -61,6 +67,7 @@ impl Default for RocksOptions {
             l0_stall_trigger: 10,
             target_sst_bytes: 4 << 20,
             batch_max: 64,
+            pipelined_wal: true,
         }
     }
 }
@@ -151,7 +158,10 @@ impl MiniRocks {
             if !fs.exists(&path) {
                 continue; // Crash between manifest edit and file creation.
             }
-            let file = fs.open(&path, open_wal_opts(opts.wal_capacity, false))?;
+            let file = fs.open(
+                &path,
+                open_wal_opts(opts.wal_capacity, false, opts.pipelined_wal),
+            )?;
             let size = file.size()? as usize;
             let buf = file.read(0, size)?;
             let (max_seq, batches) = replay_records(&buf);
@@ -202,7 +212,7 @@ impl MiniRocks {
         next_file += 1;
         let wal_file = fs.open(
             &wal_name(prefix, wal_number),
-            open_wal_opts(opts.wal_capacity, true),
+            open_wal_opts(opts.wal_capacity, true, opts.pipelined_wal),
         )?;
         manifest.log(&[Edit::AddWal { file: wal_number }])?;
 
@@ -279,47 +289,66 @@ impl MiniRocks {
 
     /// Point lookup through memtable → frozen → L0 → L1.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, AppError> {
-        // Snapshot the lookup candidates, then search without the lock.
-        let (mem_hit, frozen_hit, candidates) = {
-            let st = self.inner.state.read();
-            if let Some(v) = st.mem.get(key) {
-                (Some(v.map(|b| b.to_vec())), None, Vec::new())
-            } else {
-                let mut frozen_hit = None;
-                for (_, m) in st.frozen.iter().rev() {
-                    if let Some(v) = m.get(key) {
-                        frozen_hit = Some(v.map(|b| b.to_vec()));
-                        break;
-                    }
-                }
-                let mut candidates = Vec::new();
-                if frozen_hit.is_none() {
-                    for r in st.levels[0].iter().rev() {
-                        if r.covers(key) {
-                            candidates.push(Arc::clone(r));
+        // Reading a snapshotted table can race a compaction that has
+        // already deleted its file; the replacement tables are always
+        // published before the inputs are unlinked, so re-snapshotting is
+        // guaranteed to observe a consistent newer state.
+        let mut attempts = 0;
+        loop {
+            // Snapshot the lookup candidates, then search without the lock.
+            let (mem_hit, frozen_hit, candidates) = {
+                let st = self.inner.state.read();
+                if let Some(v) = st.mem.get(key) {
+                    (Some(v.map(|b| b.to_vec())), None, Vec::new())
+                } else {
+                    let mut frozen_hit = None;
+                    for (_, m) in st.frozen.iter().rev() {
+                        if let Some(v) = m.get(key) {
+                            frozen_hit = Some(v.map(|b| b.to_vec()));
+                            break;
                         }
                     }
-                    for r in st.levels[1].iter() {
-                        if r.covers(key) {
-                            candidates.push(Arc::clone(r));
+                    let mut candidates = Vec::new();
+                    if frozen_hit.is_none() {
+                        for r in st.levels[0].iter().rev() {
+                            if r.covers(key) {
+                                candidates.push(Arc::clone(r));
+                            }
+                        }
+                        for r in st.levels[1].iter() {
+                            if r.covers(key) {
+                                candidates.push(Arc::clone(r));
+                            }
                         }
                     }
+                    (None, frozen_hit, candidates)
                 }
-                (None, frozen_hit, candidates)
-            }
-        };
-        if let Some(v) = mem_hit {
-            return Ok(v);
-        }
-        if let Some(v) = frozen_hit {
-            return Ok(v);
-        }
-        for reader in candidates {
-            if let Some(v) = reader.get(key)? {
+            };
+            if let Some(v) = mem_hit {
                 return Ok(v);
             }
+            if let Some(v) = frozen_hit {
+                return Ok(v);
+            }
+            let mut raced = false;
+            'tables: for reader in candidates {
+                match reader.get(key) {
+                    Ok(Some(v)) => return Ok(v),
+                    Ok(None) => {}
+                    Err(e) => {
+                        attempts += 1;
+                        if attempts > 3 {
+                            return Err(e);
+                        }
+                        raced = true;
+                        break 'tables;
+                    }
+                }
+            }
+            if !raced {
+                return Ok(None);
+            }
         }
-        Ok(None)
     }
 
     /// Number of background flushes performed.
@@ -408,16 +437,24 @@ fn sst_name(prefix: &str, n: u64) -> String {
     format!("{prefix}sst-{n:06}.sst")
 }
 
-fn open_wal_opts(capacity: usize, create: bool) -> OpenOptions {
+fn open_wal_opts(capacity: usize, create: bool, pipelined: bool) -> OpenOptions {
     OpenOptions {
         create,
         ncl: true,
         capacity,
+        pipelined,
     }
 }
 
 fn self_seq_max(_m: &MemTable, seq: u64) -> u64 {
     seq
+}
+
+/// A group commit whose WAL record has been posted but not yet settled
+/// (durability barrier, memtable apply, acknowledgement).
+struct PendingBatch {
+    reqs: Vec<CommitReq>,
+    entries: Vec<Entry>,
 }
 
 fn spawn_commit_thread(
@@ -431,16 +468,45 @@ fn spawn_commit_thread(
         .name("rocks-commit".to_string())
         .spawn(move || {
             let mut wal_written = 0usize;
+            // The pipelined group commit: batch k's WAL record is posted,
+            // then batch k+1 is folded from the request channel while k
+            // replicates, then k is settled — durability barrier, memtable
+            // apply, acknowledgement — just before k+1 is posted (the
+            // barrier must not cover k+1). On a synchronous (non-pipelined)
+            // WAL the same loop degenerates to the classic
+            // write+fsync+ack-per-batch, since the posted write is already
+            // durable when settle runs.
+            let mut pending: Option<PendingBatch> = None;
             loop {
-                let first = match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(req) => req,
-                    Err(RecvTimeoutError::Timeout) => {
-                        if inner.closed.load(Ordering::SeqCst) && rx.is_empty() {
-                            break;
+                let first = if pending.is_some() {
+                    // A batch is replicating: fold whatever is already
+                    // queued, but don't block holding back its settle.
+                    rx.try_recv().ok()
+                } else {
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(req) => Some(req),
+                        Err(RecvTimeoutError::Timeout) => {
+                            if inner.closed.load(Ordering::SeqCst) && rx.is_empty() {
+                                break;
+                            }
+                            continue;
                         }
-                        continue;
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
-                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let Some(first) = first else {
+                    // Nothing new arrived while the batch replicated.
+                    if let Some(batch) = pending.take() {
+                        settle(
+                            &inner,
+                            &flush_tx,
+                            &mut wal_file,
+                            &mut wal_number,
+                            &mut wal_written,
+                            batch,
+                        );
+                    }
+                    continue;
                 };
                 // Group commit: fold waiting requests into this batch.
                 let mut reqs = vec![first];
@@ -463,6 +529,20 @@ fn spawn_commit_thread(
                     std::thread::sleep(Duration::from_millis(1));
                 }
 
+                // Settle the in-flight batch before this one is posted: its
+                // fsync barrier may not cover the new record, and a WAL
+                // rotation must never run with an unsettled batch pending.
+                if let Some(batch) = pending.take() {
+                    settle(
+                        &inner,
+                        &flush_tx,
+                        &mut wal_file,
+                        &mut wal_number,
+                        &mut wal_written,
+                        batch,
+                    );
+                }
+
                 // Rotate first if this record would overflow the WAL region.
                 if wal_written + record.len() > inner.opts.wal_capacity * 9 / 10 {
                     if let Err(e) = rotate(
@@ -479,38 +559,15 @@ fn spawn_commit_thread(
                     }
                 }
 
-                // One write system call + one durability barrier for the
-                // whole group.
-                let result = wal_file
+                // One write system call for the whole group; on a pipelined
+                // WAL this returns with the record merely posted.
+                match wal_file
                     .write_at(wal_written as u64, &record)
-                    .and_then(|()| wal_file.fsync())
-                    .map_err(AppError::from);
-                match result {
+                    .map_err(AppError::from)
+                {
                     Ok(()) => {
                         wal_written += record.len();
-                        {
-                            let mut st = inner.state.write();
-                            for e in &entries {
-                                st.mem.apply(e);
-                            }
-                        }
-                        for req in reqs {
-                            let _ = req.reply.send(Ok(()));
-                        }
-                        // Memtable full → freeze and hand to the flusher.
-                        let needs_rotate = {
-                            let st = inner.state.read();
-                            st.mem.approx_bytes() >= inner.opts.memtable_bytes
-                        };
-                        if needs_rotate {
-                            let _ = rotate(
-                                &inner,
-                                &flush_tx,
-                                &mut wal_file,
-                                &mut wal_number,
-                                &mut wal_written,
-                            );
-                        }
+                        pending = Some(PendingBatch { reqs, entries });
                     }
                     Err(e) => {
                         for req in reqs {
@@ -519,8 +576,58 @@ fn spawn_commit_thread(
                     }
                 }
             }
+            // Shutdown: settle the last posted batch.
+            if let Some(batch) = pending.take() {
+                settle(
+                    &inner,
+                    &flush_tx,
+                    &mut wal_file,
+                    &mut wal_number,
+                    &mut wal_written,
+                    batch,
+                );
+            }
         })
         .expect("spawn commit thread")
+}
+
+/// Settles a posted group commit: one durability barrier, memtable apply,
+/// acknowledgement, and the memtable-full rotation check. Runs with no
+/// other batch in flight.
+fn settle(
+    inner: &Arc<Inner>,
+    flush_tx: &Sender<FlushJob>,
+    wal_file: &mut File,
+    wal_number: &mut u64,
+    wal_written: &mut usize,
+    batch: PendingBatch,
+) {
+    match wal_file.fsync().map_err(AppError::from) {
+        Ok(()) => {
+            {
+                let mut st = inner.state.write();
+                for e in &batch.entries {
+                    st.mem.apply(e);
+                }
+            }
+            for req in batch.reqs {
+                let _ = req.reply.send(Ok(()));
+            }
+            // Memtable full → freeze and hand to the flusher.
+            let needs_rotate = {
+                let st = inner.state.read();
+                st.mem.approx_bytes() >= inner.opts.memtable_bytes
+            };
+            if needs_rotate {
+                let _ = rotate(inner, flush_tx, wal_file, wal_number, wal_written);
+            }
+        }
+        Err(e) => {
+            for req in batch.reqs {
+                let _ = req.reply.send(Err(e.clone()));
+            }
+        }
+    }
 }
 
 /// Freezes the memtable, creates a fresh WAL, and queues the flush.
@@ -534,7 +641,7 @@ fn rotate(
     let new_number = inner.next_file.fetch_add(1, Ordering::SeqCst);
     let new_file = inner.fs.open(
         &wal_name(&inner.prefix, new_number),
-        open_wal_opts(inner.opts.wal_capacity, true),
+        open_wal_opts(inner.opts.wal_capacity, true, inner.opts.pipelined_wal),
     )?;
     inner
         .manifest

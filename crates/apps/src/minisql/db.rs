@@ -115,6 +115,7 @@ impl MiniSql {
                 create: true,
                 ncl: true,
                 capacity: opts.wal_capacity,
+                pipelined: false,
             },
         )?;
 

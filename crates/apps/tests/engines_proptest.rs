@@ -12,8 +12,14 @@ use splitfs::{Mode, Testbed, TestbedConfig};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { key_seed: u8, value_seed: u8, len: usize },
-    Delete { key_seed: u8 },
+    Put {
+        key_seed: u8,
+        value_seed: u8,
+        len: usize,
+    },
+    Delete {
+        key_seed: u8,
+    },
     CrashRecover,
 }
 
@@ -50,18 +56,21 @@ fn drive<E>(
     let mut app_node = node;
     let mut model: HashMap<String, Vec<u8>> = HashMap::new();
 
-    let check =
-        |engine: &E, model: &HashMap<String, Vec<u8>>| -> Result<(), TestCaseError> {
-            for (k, v) in model {
-                let got = get(engine, k);
-                prop_assert_eq!(got.as_ref(), Some(v), "key {}", k);
-            }
-            Ok(())
-        };
+    let check = |engine: &E, model: &HashMap<String, Vec<u8>>| -> Result<(), TestCaseError> {
+        for (k, v) in model {
+            let got = get(engine, k);
+            prop_assert_eq!(got.as_ref(), Some(v), "key {}", k);
+        }
+        Ok(())
+    };
 
     for op in ops {
         match op {
-            Op::Put { key_seed, value_seed, len } => {
+            Op::Put {
+                key_seed,
+                value_seed,
+                len,
+            } => {
                 let k = key_of(*key_seed);
                 let v = value_of(*value_seed, *len);
                 if put(engine.as_ref().expect("open"), &k, &v) {
@@ -91,7 +100,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
         max_shrink_iters: 60,
-        ..ProptestConfig::default()
     })]
 
     #[test]

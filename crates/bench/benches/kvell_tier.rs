@@ -24,7 +24,7 @@ fn kvell_tier(c: &mut Criterion) {
             ..KvellOptions::default()
         };
         let db = MiniKvell::open(fs, "kv/", opts).unwrap();
-        let mut rng = Xoshiro256StarStar::new(0x4B45_59u64);
+        let mut rng = Xoshiro256StarStar::new(0x004B_4559_u64);
         group.bench_with_input(BenchmarkId::from_parameter(name), &ncl_tier, |b, _| {
             b.iter(|| {
                 let k = rng.next_below(10_000);

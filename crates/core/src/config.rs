@@ -45,6 +45,12 @@ pub struct NclConfig {
     pub local_copy: LatencyModel,
     /// Acknowledgement quorum policy.
     pub ack_policy: AckPolicy,
+    /// Maximum records a [`record_nowait`](crate::NclFile::record_nowait)
+    /// caller may have posted but not yet durable before the next post
+    /// blocks draining the window. `record` (the synchronous path) ignores
+    /// it. Depth 1 allows one outstanding record; the paper's baseline
+    /// protocol corresponds to the synchronous `record` call.
+    pub pipeline_window: u64,
     /// Execute RDMA work requests inline at post time instead of on NIC
     /// engine threads. Semantically equivalent (ordering, permissions,
     /// failures) but avoids cross-thread handoffs whose scheduler cost
@@ -67,6 +73,7 @@ impl NclConfig {
             tail_diff_catchup: true,
             local_copy: LatencyModel::from_nanos(250, 120.0, 0.0),
             ack_policy: AckPolicy::Majority,
+            pipeline_window: 8,
             inline_nic: true,
         }
     }
@@ -83,6 +90,7 @@ impl NclConfig {
             tail_diff_catchup: true,
             local_copy: LatencyModel::ZERO,
             ack_policy: AckPolicy::Majority,
+            pipeline_window: 8,
             inline_nic: false,
         }
     }

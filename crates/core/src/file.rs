@@ -14,6 +14,27 @@
 //! completes in post order, "peer completed header `2s+1`" implies all
 //! records `≤ s` are fully present on that peer.
 //!
+//! ## Pipelining
+//!
+//! That prefix guarantee is also what makes the write path pipelinable:
+//! acknowledging record `s` never requires records `> s` to be absent, so a
+//! writer may post several records back to back and wait once. The split is
+//! [`NclFile::record_nowait`] (stage + post, returns the sequence number)
+//! and [`NclFile::wait_durable`] (the durability barrier); the synchronous
+//! [`NclFile::record`] is the composition of the two. A bounded in-flight
+//! window ([`NclConfig::pipeline_window`]) keeps a runaway producer from
+//! queueing unbounded work on the NIC. Failure handling — peer death,
+//! majority loss, inline replacement — lives entirely in the drain path
+//! (`wait_durable`), which preserves the invariant that an acknowledged
+//! record implies its whole prefix is durable on a quorum.
+//!
+//! Internally the file state is split into two locks: `stage` (the local
+//! buffer, length, and sequence counter) and `rep` (peer slots, completion
+//! bookkeeping). Posting holds both briefly so per-QP post order equals
+//! sequence order; the durability wait holds neither while blocking on the
+//! completion queue, so concurrent posters are never stalled behind a
+//! waiter.
+//!
 //! ## Recovery (§4.5.1)
 //!
 //! A restarted application reads the region header from at least `f + 1` of
@@ -26,25 +47,30 @@
 //! atomically switches its mr-map entry. Only then is the ap-map advanced to
 //! the new epoch. Doing these steps in the opposite order loses data — the
 //! model checker in `crates/modelcheck` demonstrates both seeded bugs.
+//! The per-peer header reads and catch-up transfers are independent, so
+//! both phases fan out across the peers with scoped threads instead of
+//! paying one peer round trip after another.
 //!
 //! ## Peer replacement (§4.5.2)
 //!
 //! When a work request fails, the peer is declared dead. If a majority is
 //! still alive the current record completes first; replacement then runs
 //! inline (the paper's Figure 12 "blip"): allocate on a fresh peer at the
-//! next epoch, copy the local buffer, wait for the copy to complete, bump
-//! the surviving peers' region epochs, and only then swing the ap-map. If a
-//! majority is lost, the record blocks until replacement restores a quorum.
+//! next epoch, copy the local buffer (all replacements in parallel), wait
+//! for the copies to complete, bump the surviving peers' region epochs, and
+//! only then swing the ap-map. If a majority is lost, the record blocks
+//! until replacement restores a quorum.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WrId};
+use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WorkCompletion, WrId};
 use sim::{Cluster, NodeId, Stopwatch};
 
-use crate::config::NclConfig;
+use crate::config::{AckPolicy, NclConfig};
 use crate::controller::{Controller, ControllerClient};
 use crate::layout::{RegionHeader, HEADER_SIZE, HEADER_WIRE_SIZE};
 use crate::peer::{PeerReq, PeerResp};
@@ -177,18 +203,20 @@ impl NclLib {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
             capacity,
-            inner: Mutex::new(Inner {
+            stage: Mutex::new(Stage {
                 buffer: vec![0; capacity],
                 len: 0,
                 seq: 0,
-                epoch,
                 overwritten: false,
-                peers: slots,
-                cq,
-                repair_pending: false,
-                last_recovery: RecoveryStats::default(),
-                last_repair: RepairStats::default(),
             }),
+            rep: Mutex::new(Rep::new(
+                slots,
+                cq,
+                epoch,
+                0,
+                false,
+                RecoveryStats::default(),
+            )),
         })
     }
 
@@ -196,7 +224,7 @@ impl NclLib {
     /// the file handle with its contents reconstructed from the peers (read
     /// them with [`NclFile::contents`] / [`NclFile::read`]).
     pub fn recover(&self, file: &str) -> Result<NclFile, NclError> {
-        let ctx = &self.ctx;
+        let ctx = &*self.ctx;
         let mut stats = RecoveryStats::default();
 
         // Phase 1: ap-map from the controller.
@@ -207,57 +235,72 @@ impl NclLib {
             .ok_or_else(|| NclError::NotFound(file.to_string()))?;
         stats.get_peer = sw.elapsed();
 
-        // Phase 2: contact peers, connect, read headers.
+        // Phase 2: contact peers, connect, read headers — one thread per
+        // peer; the connect RPC and the header-read latency of the ap-map
+        // peers overlap instead of accumulating.
         let sw = Stopwatch::start();
         let cq = CompletionQueue::new();
-        let mut responders: Vec<(PeerSlot, RegionHeader)> = Vec::new();
-        for name in &entry.peers {
-            let Some(endpoint) = ctx.registry.lookup(name) else {
-                continue;
-            };
-            let resp = endpoint.rpc.call(
-                ctx.node,
-                PeerReq::RecoveryLookup {
-                    app: ctx.app_id.clone(),
-                    file: file.to_string(),
-                },
-            );
-            let Ok(PeerResp::Mr(mr)) = resp else { continue };
-            let qp = QueuePair::connect_with_mode(
-                ctx.cluster.clone(),
-                ctx.node,
-                &endpoint.device,
-                cq.clone(),
-                ctx.config.rdma,
-                ctx.config.inline_nic,
-            );
-            // Read the fixed-location header.
-            if qp
-                .post_read(WrId(u64::MAX), &mr, 0, HEADER_WIRE_SIZE)
-                .is_err()
-            {
-                continue;
-            }
-            let header = match wait_wr(&cq, qp.qp_num(), WrId(u64::MAX), ctx.config.write_timeout) {
-                Some(wc) if wc.status == WcStatus::Success => wc
-                    .read_data
-                    .as_deref()
-                    .and_then(RegionHeader::decode)
-                    .unwrap_or_default(),
-                _ => continue,
-            };
-            responders.push((
-                PeerSlot {
-                    name: name.clone(),
-                    endpoint,
-                    mr,
-                    qp,
-                    completed_seq: 0,
-                    alive: true,
-                },
-                header,
-            ));
-        }
+        let router = WcRouter::new(&cq);
+        let responders: Vec<(PeerSlot, RegionHeader)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = entry
+                .peers
+                .iter()
+                .map(|name| {
+                    let (router, cq) = (&router, &cq);
+                    scope.spawn(move || -> Option<(PeerSlot, RegionHeader)> {
+                        let endpoint = ctx.registry.lookup(name)?;
+                        let resp = endpoint.rpc.call(
+                            ctx.node,
+                            PeerReq::RecoveryLookup {
+                                app: ctx.app_id.clone(),
+                                file: file.to_string(),
+                            },
+                        );
+                        let Ok(PeerResp::Mr(mr)) = resp else {
+                            return None;
+                        };
+                        let qp = QueuePair::connect_with_mode(
+                            ctx.cluster.clone(),
+                            ctx.node,
+                            &endpoint.device,
+                            cq.clone(),
+                            ctx.config.rdma,
+                            ctx.config.inline_nic,
+                        );
+                        // Read the fixed-location header.
+                        qp.post_read(WrId(u64::MAX), &mr, 0, HEADER_WIRE_SIZE)
+                            .ok()?;
+                        let header = match router.wait_for(
+                            qp.qp_num(),
+                            WrId(u64::MAX),
+                            ctx.config.write_timeout,
+                        ) {
+                            Some(wc) if wc.status == WcStatus::Success => wc
+                                .read_data
+                                .as_deref()
+                                .and_then(RegionHeader::decode)
+                                .unwrap_or_default(),
+                            _ => return None,
+                        };
+                        Some((
+                            PeerSlot {
+                                name: name.clone(),
+                                endpoint,
+                                mr,
+                                qp,
+                                completed_seq: 0,
+                                alive: true,
+                            },
+                            header,
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("header-read thread"))
+                .collect()
+        });
         if responders.len() < ctx.config.quorum() {
             return Err(NclError::QuorumUnavailable(format!(
                 "{} of {} peers responded, need {}",
@@ -284,8 +327,7 @@ impl NclLib {
             slot.qp
                 .post_read(WrId(u64::MAX - 1), &slot.mr, HEADER_SIZE, len)
                 .map_err(|e| NclError::Unavailable(e.to_string()))?;
-            match wait_wr(
-                &cq,
+            match router.wait_for(
                 slot.qp.qp_num(),
                 WrId(u64::MAX - 1),
                 ctx.config.write_timeout,
@@ -304,26 +346,29 @@ impl NclLib {
         stats.rdma_read = sw.elapsed();
 
         // Phase 4: catch every peer up to the recovered image under a new
-        // epoch, then (and only then) advance the ap-map.
+        // epoch, then (and only then) advance the ap-map. The per-peer
+        // prepare/copy/commit pipelines are independent — run them in
+        // parallel, dropping any peer that dies mid-catch-up.
         let sw = Stopwatch::start();
         let epoch = entry.epoch + 1;
-        let mut slots: Vec<PeerSlot> = Vec::new();
-        for (slot, header) in responders {
-            match catch_up_existing(
-                ctx,
-                file,
-                epoch,
-                capacity,
-                &cq,
-                slot,
-                header,
-                &rec_header,
-                &buffer,
-            ) {
-                Ok(s) => slots.push(s),
-                Err(_) => continue, // Peer died mid-catch-up; replace below.
-            }
-        }
+        let mut slots: Vec<PeerSlot> = std::thread::scope(|scope| {
+            let handles: Vec<_> = responders
+                .into_iter()
+                .map(|(slot, header)| {
+                    let (router, buffer, rec_header) = (&router, &buffer, &rec_header);
+                    scope.spawn(move || {
+                        catch_up_existing(
+                            ctx, file, epoch, capacity, router, slot, header, rec_header, buffer,
+                        )
+                        .ok()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("catch-up thread"))
+                .collect()
+        });
         // Replace unreachable/failed peers to restore the FT level.
         let mut exclude: Vec<String> = entry.peers.clone();
         exclude.extend(slots.iter().map(|s| s.name.clone()));
@@ -332,9 +377,7 @@ impl NclLib {
         while slots.len() < ctx.config.replicas() {
             match acquire_peer(ctx, file, epoch, capacity, &cq, &mut exclude) {
                 Ok(mut slot) => {
-                    let mut stash = Vec::new();
-                    if catch_up_fresh(ctx, &cq, &mut slot, &rec_header, &buffer, &mut stash).is_ok()
-                    {
+                    if catch_up_fresh(ctx, &router, &mut slot, &rec_header, &buffer).is_ok() {
                         slots.push(slot);
                     }
                 }
@@ -360,18 +403,13 @@ impl NclLib {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
             capacity,
-            inner: Mutex::new(Inner {
+            stage: Mutex::new(Stage {
                 buffer,
                 len: rec_header.len,
                 seq,
-                epoch,
                 overwritten: rec_header.overwritten,
-                peers: slots,
-                cq,
-                repair_pending,
-                last_recovery: stats,
-                last_repair: RepairStats::default(),
             }),
+            rep: Mutex::new(Rep::new(slots, cq, epoch, seq, repair_pending, stats)),
         })
     }
 
@@ -430,14 +468,38 @@ struct PeerSlot {
     alive: bool,
 }
 
-struct Inner {
+/// Staging state: the local image and the sequence counter. Held while a
+/// record is staged and posted (so per-QP post order equals sequence order)
+/// and while a replacement copies the buffer; never held across a
+/// durability wait.
+struct Stage {
     buffer: Vec<u8>,
     len: u64,
     seq: u64,
-    epoch: u64,
     overwritten: bool,
+}
+
+/// Replication state: peer slots and completion bookkeeping. Locked briefly
+/// to post work requests or absorb completions; all blocking happens on the
+/// completion queue with no lock held. Lock order is `stage` before `rep`.
+struct Rep {
     peers: Vec<PeerSlot>,
+    /// `qp_num → index into peers`, so absorbing a completion is a hash
+    /// lookup rather than a linear scan; rebuilt whenever slots change.
+    /// Completions from replaced peers simply miss the map.
+    slot_of_qp: HashMap<u32, usize>,
     cq: CompletionQueue,
+    epoch: u64,
+    /// Highest sequence number acknowledged durable (prefix on a quorum).
+    durable_seq: u64,
+    /// A completion reported a peer failure that has not been repaired yet.
+    failure_seen: bool,
+    /// Completions that could not be attributed to a slot but have a
+    /// registered waiter: one-off RDMA reads (`wr_id ≥ u64::MAX - 2`) and
+    /// fresh replacement peers mid-catch-up (`expecting`).
+    stray: Vec<(u32, WorkCompletion)>,
+    /// QP numbers of fresh peers whose catch-up is in flight.
+    expecting: HashSet<u32>,
     /// A peer failed but replacement was deferred (no spare peer available
     /// while a quorum was still alive); [`NclFile::maintain`] retries.
     repair_pending: bool,
@@ -445,16 +507,137 @@ struct Inner {
     last_repair: RepairStats,
 }
 
+impl Rep {
+    fn new(
+        peers: Vec<PeerSlot>,
+        cq: CompletionQueue,
+        epoch: u64,
+        durable_seq: u64,
+        repair_pending: bool,
+        last_recovery: RecoveryStats,
+    ) -> Self {
+        let mut rep = Rep {
+            peers,
+            slot_of_qp: HashMap::new(),
+            cq,
+            epoch,
+            durable_seq,
+            failure_seen: false,
+            stray: Vec::new(),
+            expecting: HashSet::new(),
+            repair_pending,
+            last_recovery,
+            last_repair: RepairStats::default(),
+        };
+        rep.rebuild_qp_map();
+        rep
+    }
+
+    fn rebuild_qp_map(&mut self) {
+        self.slot_of_qp = self
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.qp.qp_num(), i))
+            .collect();
+    }
+
+    fn alive(&self) -> usize {
+        self.peers.iter().filter(|s| s.alive).count()
+    }
+
+    /// Applies completions to the slots. Unattributable completions with a
+    /// registered waiter are parked in `stray`; everything else (stale
+    /// completions from replaced peers) is dropped.
+    fn absorb(&mut self, wcs: Vec<(u32, WorkCompletion)>) {
+        for (qp_num, wc) in wcs {
+            if wc.wr_id.0 >= u64::MAX - 2 {
+                // One-off RDMA read (recovery lookup / read_remote): a
+                // failure still means the peer died; the data (or error) is
+                // routed to the waiter via `stray`.
+                if wc.status != WcStatus::Success {
+                    if let Some(&idx) = self.slot_of_qp.get(&qp_num) {
+                        self.peers[idx].alive = false;
+                        self.failure_seen = true;
+                    }
+                }
+                self.stray.push((qp_num, wc));
+                continue;
+            }
+            let Some(&idx) = self.slot_of_qp.get(&qp_num) else {
+                if self.expecting.contains(&qp_num) {
+                    self.stray.push((qp_num, wc));
+                }
+                continue; // Stale completion from a replaced peer.
+            };
+            let slot = &mut self.peers[idx];
+            if !slot.alive {
+                continue;
+            }
+            match wc.status {
+                WcStatus::Success => {
+                    // Header writes carry odd ids 2s+1; data writes even 2s.
+                    if wc.wr_id.0 % 2 == 1 {
+                        slot.completed_seq = slot.completed_seq.max(wc.wr_id.0 / 2);
+                    }
+                }
+                _ => {
+                    slot.alive = false;
+                    self.failure_seen = true;
+                }
+            }
+        }
+    }
+
+    /// Drains the completion queue without blocking and applies the result.
+    fn drain(&mut self) {
+        let wcs = self.cq.poll();
+        self.absorb(wcs);
+    }
+
+    /// Advances `durable_seq` to the highest sequence number complete on the
+    /// acknowledgement quorum. Monotonic: peer replacement catches fresh
+    /// peers up to the full staged image before they join, so the watermark
+    /// never has to move backwards.
+    fn refresh_durable(&mut self, config: &NclConfig) {
+        let mut seqs: Vec<u64> = self
+            .peers
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.completed_seq)
+            .collect();
+        if seqs.len() < config.quorum() {
+            return;
+        }
+        seqs.sort_unstable();
+        let candidate = match config.ack_policy {
+            AckPolicy::Majority => seqs[seqs.len() - config.quorum()],
+            AckPolicy::All => seqs[0],
+        };
+        self.durable_seq = self.durable_seq.max(candidate);
+    }
+
+    /// Removes routed-but-unclaimed completions whose waiter is gone.
+    fn prune_stray(&mut self) {
+        let (map, expecting) = (&self.slot_of_qp, &self.expecting);
+        self.stray.retain(|(qp_num, wc)| {
+            wc.wr_id.0 >= u64::MAX - 2 || map.contains_key(qp_num) || expecting.contains(qp_num)
+        });
+    }
+}
+
 /// A fault-tolerant near-compute log file.
 ///
-/// All methods are safe to call from multiple application threads; records
-/// are serialised per file (matching WAL usage, where the application's own
-/// group commit funnels writers).
+/// All methods are safe to call from multiple application threads. Records
+/// may be pipelined: [`NclFile::record_nowait`] posts without waiting and
+/// [`NclFile::wait_durable`] is the barrier; [`NclFile::record`] composes
+/// the two for the paper's synchronous semantics.
 pub struct NclFile {
     ctx: Arc<Ctx>,
     name: String,
     capacity: usize,
-    inner: Mutex<Inner>,
+    stage: Mutex<Stage>,
+    rep: Mutex<Rep>,
 }
 
 impl NclFile {
@@ -470,7 +653,7 @@ impl NclFile {
 
     /// Current valid length.
     pub fn len(&self) -> u64 {
-        self.inner.lock().len
+        self.stage.lock().len
     }
 
     /// True when no data has been recorded.
@@ -478,20 +661,25 @@ impl NclFile {
         self.len() == 0
     }
 
-    /// Sequence number of the latest acknowledged record.
+    /// Sequence number of the latest issued record.
     pub fn seq(&self) -> u64 {
-        self.inner.lock().seq
+        self.stage.lock().seq
+    }
+
+    /// Highest sequence number known durable on an acknowledgement quorum.
+    pub fn durable_seq(&self) -> u64 {
+        self.rep.lock().durable_seq
     }
 
     /// Current ap-map epoch.
     pub fn epoch(&self) -> u64 {
-        self.inner.lock().epoch
+        self.rep.lock().epoch
     }
 
     /// Names of the currently assigned peers (alive ones first-class; dead
     /// ones pending replacement are excluded).
     pub fn peer_names(&self) -> Vec<String> {
-        self.inner
+        self.rep
             .lock()
             .peers
             .iter()
@@ -502,55 +690,57 @@ impl NclFile {
 
     /// Phase timings of the recovery that produced this handle.
     pub fn recovery_stats(&self) -> RecoveryStats {
-        self.inner.lock().last_recovery
+        self.rep.lock().last_recovery
     }
 
     /// Phase timings of the most recent peer replacement.
     pub fn repair_stats(&self) -> RepairStats {
-        self.inner.lock().last_repair
+        self.rep.lock().last_repair
     }
 
     /// Reads from the local buffer (logs are only read during recovery; this
     /// serves the application's replay pass from the prefetched image).
     pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
-        let inner = self.inner.lock();
-        if offset >= inner.len {
+        let stage = self.stage.lock();
+        if offset >= stage.len {
             return Vec::new();
         }
-        let end = (offset as usize + len).min(inner.len as usize);
-        inner.buffer[offset as usize..end].to_vec()
+        let end = (offset as usize + len).min(stage.len as usize);
+        stage.buffer[offset as usize..end].to_vec()
     }
 
     /// Returns the full valid contents (`[0, len)`).
     pub fn contents(&self) -> Vec<u8> {
-        let inner = self.inner.lock();
-        inner.buffer[..inner.len as usize].to_vec()
+        let stage = self.stage.lock();
+        stage.buffer[..stage.len as usize].to_vec()
     }
 
     /// Reads directly from a peer via one-sided RDMA, bypassing the local
     /// buffer — the "NCL no prefetch" variant measured in Figure 11(a).
     pub fn read_remote(&self, offset: u64, len: usize) -> Result<Vec<u8>, NclError> {
-        let inner = self.inner.lock();
-        let slot = inner
-            .peers
-            .iter()
-            .find(|s| s.alive)
-            .ok_or_else(|| NclError::QuorumUnavailable("no live peer".to_string()))?;
-        let end = (offset as usize + len).min(inner.len as usize);
+        let flen = self.stage.lock().len;
+        let end = (offset as usize + len).min(flen as usize);
         if offset as usize >= end {
             return Ok(Vec::new());
         }
         let n = end - offset as usize;
         let wr = WrId(u64::MAX - 2);
-        slot.qp
-            .post_read(wr, &slot.mr, HEADER_SIZE + offset as usize, n)
-            .map_err(|e| NclError::Unavailable(e.to_string()))?;
-        match wait_wr(
-            &inner.cq,
-            slot.qp.qp_num(),
-            wr,
-            self.ctx.config.write_timeout,
-        ) {
+        let qp_num = {
+            let mut rep = self.rep.lock();
+            // Clear leftovers of an earlier timed-out read before reposting.
+            rep.stray.retain(|(_, wc)| wc.wr_id != wr);
+            let slot = rep
+                .peers
+                .iter()
+                .find(|s| s.alive)
+                .ok_or_else(|| NclError::QuorumUnavailable("no live peer".to_string()))?;
+            slot.qp
+                .post_read(wr, &slot.mr, HEADER_SIZE + offset as usize, n)
+                .map_err(|e| NclError::Unavailable(e.to_string()))?;
+            slot.qp.qp_num()
+        };
+        let wait = RepWait { file: self };
+        match wait.wait_for(qp_num, wr, self.ctx.config.write_timeout) {
             Some(wc) if wc.status == WcStatus::Success => {
                 Ok(wc.read_data.expect("read data").to_vec())
             }
@@ -565,169 +755,264 @@ impl NclFile {
     /// a short stall if a quorum survives, blocking until a quorum is
     /// restored otherwise.
     pub fn record(&self, offset: u64, data: &[u8]) -> Result<(), NclError> {
-        let ctx = &self.ctx;
-        let mut inner = self.inner.lock();
-        let end = offset as usize + data.len();
-        if end > self.capacity {
-            return Err(NclError::CapacityExceeded {
-                capacity: self.capacity,
-                needed: end,
-            });
-        }
-        // Stage locally.
-        ctx.config.local_copy.charge(data.len());
-        inner.buffer[offset as usize..end].copy_from_slice(data);
-        if offset < inner.len {
-            inner.overwritten = true;
-        }
-        inner.len = inner.len.max(end as u64);
-        inner.seq += 1;
-        let seq = inner.seq;
-        let header = RegionHeader {
-            seq,
-            len: inner.len,
-            overwritten: inner.overwritten,
-        };
-        let header_bytes = Bytes::copy_from_slice(&header.encode());
-        let payload = Bytes::copy_from_slice(data);
-
-        // Data WR first, header WR second — the ordering correctness hinges
-        // on (§4.4).
-        for slot in inner.peers.iter().filter(|s| s.alive) {
-            let _ = slot.qp.post_write(
-                WrId(2 * seq),
-                &slot.mr,
-                HEADER_SIZE + offset as usize,
-                payload.clone(),
-            );
-            let _ = slot
-                .qp
-                .post_write(WrId(2 * seq + 1), &slot.mr, 0, header_bytes.clone());
-        }
-        self.wait_majority(&mut inner, seq)
+        let seq = self.record_nowait(offset, data)?;
+        self.wait_durable(seq)
     }
 
-    /// Waits until `seq` is complete on a majority, handling peer failures.
-    fn wait_majority(&self, inner: &mut Inner, seq: u64) -> Result<(), NclError> {
+    /// Stages a write and posts its work requests to all live peers without
+    /// waiting for durability; returns the record's sequence number for a
+    /// later [`NclFile::wait_durable`] barrier.
+    ///
+    /// At most [`NclConfig::pipeline_window`] records may be in flight; a
+    /// post beyond the window first drains the oldest in-flight record. On
+    /// a drain error the record has still been staged and posted — a
+    /// subsequent barrier reports its fate.
+    pub fn record_nowait(&self, offset: u64, data: &[u8]) -> Result<u64, NclError> {
+        let ctx = &self.ctx;
+        let seq;
+        {
+            let mut stage = self.stage.lock();
+            let end = offset as usize + data.len();
+            if end > self.capacity {
+                return Err(NclError::CapacityExceeded {
+                    capacity: self.capacity,
+                    needed: end,
+                });
+            }
+            // Stage locally.
+            ctx.config.local_copy.charge(data.len());
+            stage.buffer[offset as usize..end].copy_from_slice(data);
+            if offset < stage.len {
+                stage.overwritten = true;
+            }
+            stage.len = stage.len.max(end as u64);
+            stage.seq += 1;
+            seq = stage.seq;
+            let header = RegionHeader {
+                seq,
+                len: stage.len,
+                overwritten: stage.overwritten,
+            };
+            // One wire image per record: the header (encoded into a stack
+            // array) and the payload share a single allocation; the per-peer
+            // copies are refcount bumps (`Bytes::clone`/`slice` do not
+            // copy).
+            let mut wire = Vec::with_capacity(HEADER_WIRE_SIZE + data.len());
+            wire.extend_from_slice(&header.encode());
+            wire.extend_from_slice(data);
+            let wire = Bytes::from(wire);
+            let header_bytes = wire.slice(..HEADER_WIRE_SIZE);
+            let payload = wire.slice(HEADER_WIRE_SIZE..);
+
+            // Data WR first, header WR second — the ordering correctness
+            // hinges on it (§4.4). Posting happens under both locks so the
+            // per-QP post order is exactly sequence order; the replication
+            // lock is never held across a durability wait.
+            let rep = self.rep.lock();
+            for slot in rep.peers.iter().filter(|s| s.alive) {
+                let _ = slot.qp.post_write(
+                    WrId(2 * seq),
+                    &slot.mr,
+                    HEADER_SIZE + offset as usize,
+                    payload.clone(),
+                );
+                let _ = slot
+                    .qp
+                    .post_write(WrId(2 * seq + 1), &slot.mr, 0, header_bytes.clone());
+            }
+        }
+        // Bounded in-flight window.
+        let window = ctx.config.pipeline_window.max(1);
+        if seq > window {
+            self.wait_durable(seq - window)?;
+        }
+        Ok(seq)
+    }
+
+    /// Durability barrier: returns once every record up to and including
+    /// `seq` is durable on the acknowledgement quorum.
+    ///
+    /// All failure handling of the write path lives here, in the drain
+    /// path: a dead peer is replaced inline once the awaited prefix is
+    /// durable on the survivors (the Figure 12 "blip"); a lost majority
+    /// blocks until replacement restores a quorum (replacement catch-up
+    /// copies the staged image, which includes every in-flight record, so
+    /// the prefix-acknowledgement invariant is preserved).
+    pub fn wait_durable(&self, seq: u64) -> Result<(), NclError> {
+        enum Next {
+            Done,
+            Repair { must: bool },
+            Wait,
+        }
         let ctx = &self.ctx;
         let deadline = Instant::now() + ctx.config.write_timeout;
-        let mut failure_seen = false;
         loop {
-            drain_cq(inner, &mut failure_seen);
-            let done = inner
-                .peers
-                .iter()
-                .filter(|s| s.alive && s.completed_seq >= seq)
-                .count();
-            let alive = inner.peers.iter().filter(|s| s.alive).count();
-            let needed = match ctx.config.ack_policy {
-                crate::config::AckPolicy::Majority => ctx.config.quorum(),
-                crate::config::AckPolicy::All => alive.max(ctx.config.quorum()),
+            let (next, cq) = {
+                let mut rep = self.rep.lock();
+                rep.drain();
+                rep.refresh_durable(&ctx.config);
+                let next = if rep.durable_seq >= seq {
+                    if rep.failure_seen {
+                        Next::Repair { must: false }
+                    } else {
+                        Next::Done
+                    }
+                } else if rep.alive() < ctx.config.quorum() {
+                    Next::Repair { must: true }
+                } else {
+                    Next::Wait
+                };
+                (next, rep.cq.clone())
             };
-            if done >= needed {
-                // Durable. Restore the FT level inline if we just lost
-                // someone (the Figure 12 "blip").
-                if failure_seen && self.replace_failed(inner).is_err() {
-                    inner.repair_pending = true;
-                }
-                return Ok(());
-            }
-            if alive < ctx.config.quorum() {
-                // Majority lost: writes must block until peers are replaced
-                // and caught up (which includes the in-flight record, since
-                // catch-up copies the local buffer).
-                match self.replace_failed(inner) {
-                    Ok(()) => continue,
-                    Err(e) => {
-                        if Instant::now() >= deadline {
-                            return Err(e);
+            match next {
+                Next::Done => return Ok(()),
+                Next::Repair { must } => {
+                    let mut stage = self.stage.lock();
+                    match self.replace_failed(&mut stage) {
+                        Ok(()) => continue,
+                        Err(e) => {
+                            if !must {
+                                // The awaited prefix is durable on the
+                                // survivors; replacement is deferred to
+                                // `maintain` instead of failing the record.
+                                let mut rep = self.rep.lock();
+                                rep.repair_pending = true;
+                                rep.failure_seen = false;
+                                return Ok(());
+                            }
+                            if Instant::now() >= deadline {
+                                return Err(e);
+                            }
+                            drop(stage);
+                            sim::delay(Duration::from_millis(1));
                         }
-                        sim::delay(Duration::from_millis(1));
-                        continue;
                     }
                 }
-            }
-            if Instant::now() >= deadline {
-                return Err(NclError::QuorumUnavailable(format!(
-                    "record {seq} not durable within timeout"
-                )));
-            }
-            // NCL polls the completion queues (§4.4): poll-and-yield for the
-            // microsecond-scale RDMA completions (letting the NIC engine
-            // threads run), then fall back to a blocking wait so stalls
-            // (peer failures) do not burn a core.
-            let mut got = false;
-            for _ in 0..64 {
-                let wcs = inner.cq.poll();
-                if !wcs.is_empty() {
-                    apply_completions(inner, wcs, &mut failure_seen);
-                    got = true;
-                    break;
+                Next::Wait => {
+                    if Instant::now() >= deadline {
+                        return Err(NclError::QuorumUnavailable(format!(
+                            "record {seq} not durable within timeout"
+                        )));
+                    }
+                    // NCL polls the completion queues (§4.4). With NIC
+                    // engine threads a short poll-and-yield loop catches the
+                    // microsecond-scale completions; with an inline NIC
+                    // completions only ever appear when another thread
+                    // posts, so spinning is pure waste — go straight to the
+                    // blocking wait, whose timeout is derived from the
+                    // record deadline (the queue wakes on every completion,
+                    // so a long timeout costs nothing in the common case).
+                    let mut wcs = Vec::new();
+                    if !ctx.config.inline_nic {
+                        for _ in 0..64 {
+                            wcs = cq.poll();
+                            if !wcs.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                    if wcs.is_empty() {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        wcs = cq.wait(remaining.min(Duration::from_millis(50)));
+                    }
+                    if !wcs.is_empty() {
+                        self.rep.lock().absorb(wcs);
+                    }
                 }
-                std::thread::yield_now();
-            }
-            if !got {
-                let wcs = inner.cq.wait(Duration::from_millis(1));
-                apply_completions(inner, wcs, &mut failure_seen);
             }
         }
     }
 
     /// Replaces every dead peer slot, restoring `2f + 1` live peers.
     ///
-    /// Steps per the paper (§4.5.2) and Table 3: get a new peer from the
-    /// controller; connect and set up its memory region; catch it up from
-    /// the local buffer (so it holds everything up to the current sequence
-    /// number); and only after that update the ap-map — first bumping the
-    /// surviving peers' region epochs so the leak GC cannot misfire.
-    fn replace_failed(&self, inner: &mut Inner) -> Result<(), NclError> {
-        let ctx = &self.ctx;
-        if inner.peers.iter().all(|s| s.alive) && inner.peers.len() == ctx.config.replicas() {
-            inner.repair_pending = false;
-            return Ok(());
-        }
+    /// Steps per the paper (§4.5.2) and Table 3: get new peers from the
+    /// controller; connect and set up their memory regions; catch them up
+    /// from the local buffer in parallel (so each holds everything up to
+    /// the current sequence number); and only after that update the ap-map —
+    /// first bumping the surviving peers' region epochs so the leak GC
+    /// cannot misfire.
+    ///
+    /// The caller holds the staging lock (freezing the image and blocking
+    /// new posts); the replication lock is dropped during the catch-up
+    /// copies so concurrent durability waiters keep draining completions.
+    fn replace_failed(&self, stage: &mut Stage) -> Result<(), NclError> {
+        let ctx = &*self.ctx;
         let mut stats = RepairStats::default();
-        let epoch = inner.epoch + 1;
         let header = RegionHeader {
-            seq: inner.seq,
-            len: inner.len,
-            overwritten: inner.overwritten,
+            seq: stage.seq,
+            len: stage.len,
+            overwritten: stage.overwritten,
         };
 
-        // Drop dead slots entirely (their QPs are in error state).
-        let mut exclude: Vec<String> = inner.peers.iter().map(|s| s.name.clone()).collect();
-        inner.peers.retain(|s| s.alive);
+        // Phase A: drop dead slots (their QPs are in error state) and
+        // acquire all replacements.
+        let (epoch, mut fresh) = {
+            let mut rep = self.rep.lock();
+            if rep.peers.iter().all(|s| s.alive) && rep.peers.len() == ctx.config.replicas() {
+                rep.repair_pending = false;
+                rep.failure_seen = false;
+                return Ok(());
+            }
+            let epoch = rep.epoch + 1;
+            let mut exclude: Vec<String> = rep.peers.iter().map(|s| s.name.clone()).collect();
+            rep.peers.retain(|s| s.alive);
+            rep.rebuild_qp_map();
+            let mut fresh: Vec<PeerSlot> = Vec::new();
+            while rep.peers.len() + fresh.len() < ctx.config.replicas() {
+                let slot = acquire_peer_timed(
+                    ctx,
+                    &self.name,
+                    epoch,
+                    self.capacity,
+                    &rep.cq,
+                    &mut exclude,
+                    &mut stats,
+                )?;
+                fresh.push(slot);
+            }
+            for s in &fresh {
+                rep.expecting.insert(s.qp.qp_num());
+            }
+            (epoch, fresh)
+        };
 
-        let mut fresh: Vec<PeerSlot> = Vec::new();
-        let mut stash: Vec<(u32, rdma::WorkCompletion)> = Vec::new();
-        while inner.peers.len() + fresh.len() < ctx.config.replicas() {
-            let mut slot = acquire_peer_timed(
-                ctx,
-                &self.name,
-                epoch,
-                self.capacity,
-                &inner.cq,
-                &mut exclude,
-                &mut stats,
-            )?;
-            let sw = Stopwatch::start();
-            catch_up_fresh(
-                ctx,
-                &inner.cq,
-                &mut slot,
-                &header,
-                &inner.buffer,
-                &mut stash,
-            )?;
-            stats.catch_up += sw.elapsed();
-            slot.completed_seq = inner.seq;
-            fresh.push(slot);
+        // Phase B (replication lock released): catch the fresh peers up in
+        // parallel — each copy is a bulk RDMA write whose latency would
+        // otherwise serialise.
+        let sw = Stopwatch::start();
+        let wait = RepWait { file: self };
+        let buffer = &stage.buffer;
+        let results: Vec<Result<(), NclError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = fresh
+                .iter_mut()
+                .map(|slot| {
+                    let wait = &wait;
+                    scope.spawn(move || catch_up_fresh(ctx, wait, slot, &header, buffer))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("catch-up thread"))
+                .collect()
+        });
+        stats.catch_up += sw.elapsed();
+
+        // Phase C: commit.
+        let mut rep = self.rep.lock();
+        for s in &fresh {
+            rep.expecting.remove(&s.qp.qp_num());
         }
-
+        rep.prune_stray();
+        if let Some(e) = results.into_iter().find_map(|r| r.err()) {
+            // Survivors are kept; the fresh regions are abandoned (their
+            // peers GC them by epoch). The caller defers or retries.
+            return Err(e);
+        }
         let sw = Stopwatch::start();
         // Survivors first: bump their region epochs so e_r stays ≥ the
         // ap-map epoch (see peer::PeerReq::BumpEpoch).
-        for slot in inner.peers.iter() {
+        for slot in rep.peers.iter() {
             let _ = slot.endpoint.rpc.call(
                 ctx.node,
                 PeerReq::BumpEpoch {
@@ -737,44 +1022,50 @@ impl NclFile {
                 },
             );
         }
-        inner.peers.extend(fresh);
-        let names: Vec<String> = inner.peers.iter().map(|s| s.name.clone()).collect();
+        rep.peers.extend(fresh);
+        rep.rebuild_qp_map();
+        let names: Vec<String> = rep.peers.iter().map(|s| s.name.clone()).collect();
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, &self.name, names, epoch)?;
         stats.update_ap_map = sw.elapsed();
 
-        inner.epoch = epoch;
-        inner.repair_pending = false;
-        inner.last_repair = stats;
-        // Apply any completions for surviving peers that arrived while we
-        // were waiting on the replacement's catch-up.
-        let mut sink = false;
-        apply_completions(inner, stash, &mut sink);
+        rep.epoch = epoch;
+        rep.repair_pending = false;
+        // A survivor may have died while the replacements caught up; leave
+        // the flag set so the next barrier repairs again.
+        rep.failure_seen = rep.peers.iter().any(|s| !s.alive);
+        rep.last_repair = stats;
+        rep.refresh_durable(&ctx.config);
         Ok(())
     }
 
     /// Retries a deferred peer replacement (call from a background
     /// maintenance loop; the paper's "maintaining FT level").
     pub fn maintain(&self) -> Result<bool, NclError> {
-        let mut inner = self.inner.lock();
-        let mut sink = false;
-        drain_cq(&mut inner, &mut sink);
-        if !inner.repair_pending && inner.peers.iter().all(|s| s.alive) {
-            return Ok(false);
+        {
+            let mut rep = self.rep.lock();
+            rep.drain();
+            rep.refresh_durable(&self.ctx.config);
+            if !rep.repair_pending && rep.peers.iter().all(|s| s.alive) {
+                return Ok(false);
+            }
         }
-        self.replace_failed(&mut inner)?;
+        let mut stage = self.stage.lock();
+        self.replace_failed(&mut stage)?;
         Ok(true)
     }
 
     /// True when a peer failure is pending replacement.
     pub fn repair_pending(&self) -> bool {
-        self.inner.lock().repair_pending
+        self.rep.lock().repair_pending
     }
 
-    /// Durability barrier. Records are already synchronous, so this is a
-    /// no-op kept for POSIX-facade symmetry.
+    /// Durability barrier over everything issued so far: waits until the
+    /// latest staged record is durable. A no-op after synchronous `record`
+    /// calls; the real fence for `record_nowait` pipelines.
     pub fn fsync(&self) -> Result<(), NclError> {
-        Ok(())
+        let seq = self.stage.lock().seq;
+        self.wait_durable(seq)
     }
 
     /// Releases the file: frees the peer regions and removes the ap-map
@@ -783,94 +1074,125 @@ impl NclFile {
     /// subsequent records fail.
     pub fn release(&self) -> Result<(), NclError> {
         let ctx = &self.ctx;
-        let mut inner = self.inner.lock();
-        for slot in inner.peers.iter().filter(|s| s.alive) {
+        let _stage = self.stage.lock();
+        let mut rep = self.rep.lock();
+        for slot in rep.peers.iter().filter(|s| s.alive) {
             let _ = slot.endpoint.rpc.call(
                 ctx.node,
                 PeerReq::Free {
                     app: ctx.app_id.clone(),
                     file: self.name.clone(),
-                    epoch: inner.epoch,
+                    epoch: rep.epoch,
                 },
             );
         }
         // Drop the peer slots so any later use fails fast instead of writing
         // to freed regions.
-        inner.peers.clear();
+        rep.peers.clear();
+        rep.rebuild_qp_map();
         ctx.controller
             .delete_ap_entry(ctx.node, &ctx.app_id, &self.name)?;
         Ok(())
     }
 }
 
-/// Pulls completions without blocking and applies them to the slots.
-fn drain_cq(inner: &mut Inner, failure_seen: &mut bool) {
-    let wcs = inner.cq.poll();
-    apply_completions(inner, wcs, failure_seen);
+/// Targeted wait for one work completion on a completion queue that other
+/// waiters may be draining concurrently.
+trait WcWait: Sync {
+    fn wait_for(&self, qp_num: u32, wr_id: WrId, timeout: Duration) -> Option<WorkCompletion>;
 }
 
-fn apply_completions(
-    inner: &mut Inner,
-    wcs: Vec<(u32, rdma::WorkCompletion)>,
-    failure_seen: &mut bool,
-) {
-    for (qp_num, wc) in wcs {
-        let Some(slot) = inner.peers.iter_mut().find(|s| s.qp.qp_num() == qp_num) else {
-            continue; // Stale completion from a replaced peer.
-        };
-        if !slot.alive {
-            continue;
+/// [`WcWait`] over a private completion queue (recovery, before the file
+/// handle exists): concurrent per-peer threads share a stash so none of
+/// them loses a completion another thread drained.
+struct WcRouter<'a> {
+    cq: &'a CompletionQueue,
+    stash: Mutex<Vec<(u32, WorkCompletion)>>,
+}
+
+impl<'a> WcRouter<'a> {
+    fn new(cq: &'a CompletionQueue) -> Self {
+        WcRouter {
+            cq,
+            stash: Mutex::new(Vec::new()),
         }
-        match wc.status {
-            WcStatus::Success => {
-                // Header writes carry odd ids 2s+1; data writes even 2s.
-                if wc.wr_id.0 % 2 == 1 && wc.wr_id.0 < u64::MAX - 2 {
-                    slot.completed_seq = slot.completed_seq.max(wc.wr_id.0 / 2);
+    }
+}
+
+impl WcWait for WcRouter<'_> {
+    fn wait_for(&self, qp_num: u32, wr_id: WrId, timeout: Duration) -> Option<WorkCompletion> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut stash = self.stash.lock();
+                if let Some(pos) = stash
+                    .iter()
+                    .position(|(n, wc)| *n == qp_num && wc.wr_id == wr_id)
+                {
+                    return Some(stash.remove(pos).1);
                 }
             }
-            _ => {
-                slot.alive = false;
-                *failure_seen = true;
+            let wcs = self.cq.wait(Duration::from_millis(2));
+            if !wcs.is_empty() {
+                let mut found = None;
+                let mut stash = self.stash.lock();
+                for (n, wc) in wcs {
+                    if found.is_none() && n == qp_num && wc.wr_id == wr_id {
+                        found = Some(wc);
+                    } else {
+                        stash.push((n, wc));
+                    }
+                }
+                drop(stash);
+                if found.is_some() {
+                    return found;
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
             }
         }
     }
 }
 
-/// Waits for a specific work request on a specific QP. Completions belonging
-/// to other queue pairs are preserved in `stash` so callers sharing the CQ
-/// (e.g. a record waiting on surviving peers while a replacement catches up)
-/// can apply them afterwards.
-fn wait_wr_stash(
-    cq: &CompletionQueue,
-    qp_num: u32,
-    wr_id: WrId,
-    timeout: Duration,
-    stash: &mut Vec<(u32, rdma::WorkCompletion)>,
-) -> Option<rdma::WorkCompletion> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        for (num, wc) in cq.wait(Duration::from_millis(5)) {
-            if num == qp_num && wc.wr_id == wr_id {
-                return Some(wc);
-            }
-            stash.push((num, wc));
-        }
-        if Instant::now() >= deadline {
-            return None;
-        }
-    }
+/// [`WcWait`] over a live file's shared completion queue: everything drained
+/// is absorbed into the replication state, and the waiter's own completion
+/// comes back out of [`Rep::stray`] where `absorb` parks it.
+struct RepWait<'a> {
+    file: &'a NclFile,
 }
 
-/// [`wait_wr_stash`] for single-QP phases (recovery) where stray completions
-/// cannot exist.
-fn wait_wr(
-    cq: &CompletionQueue,
-    qp_num: u32,
-    wr_id: WrId,
-    timeout: Duration,
-) -> Option<rdma::WorkCompletion> {
-    let mut stash = Vec::new();
-    wait_wr_stash(cq, qp_num, wr_id, timeout, &mut stash)
+impl WcWait for RepWait<'_> {
+    fn wait_for(&self, qp_num: u32, wr_id: WrId, timeout: Duration) -> Option<WorkCompletion> {
+        let deadline = Instant::now() + timeout;
+        let take = |rep: &mut Rep| -> Option<WorkCompletion> {
+            rep.stray
+                .iter()
+                .position(|(n, wc)| *n == qp_num && wc.wr_id == wr_id)
+                .map(|pos| rep.stray.remove(pos).1)
+        };
+        loop {
+            let cq = {
+                let mut rep = self.file.rep.lock();
+                rep.drain();
+                if let Some(wc) = take(&mut rep) {
+                    return Some(wc);
+                }
+                rep.cq.clone()
+            };
+            let wcs = cq.wait(Duration::from_millis(2));
+            if !wcs.is_empty() {
+                let mut rep = self.file.rep.lock();
+                rep.absorb(wcs);
+                if let Some(wc) = take(&mut rep) {
+                    return Some(wc);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
 }
 
 /// Obtains one fresh peer: ask the controller for candidates (their
@@ -953,11 +1275,10 @@ fn acquire_peer_timed(
 /// completion path credits the peer.
 fn catch_up_fresh(
     ctx: &Ctx,
-    cq: &CompletionQueue,
+    wait: &dyn WcWait,
     slot: &mut PeerSlot,
     header: &RegionHeader,
     buffer: &[u8],
-    stash: &mut Vec<(u32, rdma::WorkCompletion)>,
 ) -> Result<(), NclError> {
     let seq = header.seq;
     if header.len > 0 {
@@ -974,12 +1295,10 @@ fn catch_up_fresh(
             Bytes::copy_from_slice(&header.encode()),
         )
         .map_err(|e| NclError::Unavailable(e.to_string()))?;
-    match wait_wr_stash(
-        cq,
+    match wait.wait_for(
         slot.qp.qp_num(),
         WrId(2 * seq + 1),
         ctx.config.write_timeout,
-        stash,
     ) {
         Some(wc) if wc.status == WcStatus::Success => {
             slot.completed_seq = seq;
@@ -1006,7 +1325,7 @@ fn catch_up_existing(
     file: &str,
     epoch: u64,
     capacity: usize,
-    cq: &CompletionQueue,
+    wait: &dyn WcWait,
     slot: PeerSlot,
     peer_header: RegionHeader,
     rec_header: &RegionHeader,
@@ -1053,8 +1372,7 @@ fn catch_up_existing(
             Bytes::copy_from_slice(&rec_header.encode()),
         )
         .map_err(|e| NclError::Unavailable(e.to_string()))?;
-    match wait_wr(
-        cq,
+    match wait.wait_for(
         slot.qp.qp_num(),
         WrId(2 * seq + 1),
         ctx.config.write_timeout,

@@ -129,7 +129,10 @@ pub struct Peer {
     device: RdmaDevice,
     controller: ControllerClient,
     state: Arc<Mutex<PeerState>>,
-    gc: Option<(Arc<std::sync::atomic::AtomicBool>, std::thread::JoinHandle<()>)>,
+    gc: Option<(
+        Arc<std::sync::atomic::AtomicBool>,
+        std::thread::JoinHandle<()>,
+    )>,
     _server: RpcServer<PeerReq, PeerResp>,
 }
 
@@ -367,7 +370,6 @@ fn ensure_generation(
     let _ = controller.register_peer(node, name, node, st.total);
 }
 
-
 /// One GC pass over a peer's regions (see [`Peer::gc_sweep`]).
 fn run_gc_sweep(
     cluster: &Cluster,
@@ -388,7 +390,11 @@ fn run_gc_sweep(
         };
         for key in keys {
             let e_r = {
-                let map = if map_kind == 0 { &st.mr_map } else { &st.staged };
+                let map = if map_kind == 0 {
+                    &st.mr_map
+                } else {
+                    &st.staged
+                };
                 map.get(&key).map(|r| r.epoch)
             };
             let Some(e_r) = e_r else { continue };

@@ -98,7 +98,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 20,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     #[test]

@@ -71,8 +71,8 @@ proptest! {
         let missing = map.read_into(0, &mut buf);
         let mut covered = vec![true; total];
         for (off, len) in &missing {
-            for i in *off as usize..(*off as usize + len) {
-                covered[i] = false;
+            for c in covered.iter_mut().skip(*off as usize).take(*len) {
+                *c = false;
             }
         }
         for i in 0..total {

@@ -46,6 +46,11 @@ pub struct ModelConfig {
     pub bug: BugMode,
     /// Hard cap on explored states (0 = unlimited).
     pub max_states: usize,
+    /// Maximum writes in flight (issued but not acknowledged) at once.
+    /// 1 models the paper's synchronous `record`; larger values model the
+    /// pipelined `record_nowait` path, where later records' messages race
+    /// the acknowledgement of earlier ones.
+    pub window: u8,
 }
 
 impl Default for ModelConfig {
@@ -56,6 +61,7 @@ impl Default for ModelConfig {
             peers: 4,
             bug: BugMode::None,
             max_states: 0,
+            window: 1,
         }
     }
 }
@@ -211,8 +217,9 @@ fn successors(config: &ModelConfig, st: &State) -> Vec<Successor> {
             out.push((format!("ack(w{})", st.acked + 1), next, None));
         }
 
-        // --- Issue the next write (records are serialised). ---
-        if st.issued == st.acked && st.issued < config.max_writes {
+        // --- Issue the next write. Up to `window` records may be in
+        // flight; depth 1 serialises them (the synchronous baseline). ---
+        if st.issued - st.acked < config.window.max(1) && st.issued < config.max_writes {
             let mut next = st.clone();
             next.issued += 1;
             out.push((format!("issue(w{})", st.issued + 1), next, None));
@@ -460,6 +467,7 @@ mod tests {
             peers: 4,
             bug,
             max_states: 0,
+            window: 1,
         }
     }
 
@@ -478,6 +486,7 @@ mod tests {
             peers: 4,
             bug: BugMode::None,
             max_states: 400_000,
+            window: 1,
         };
         let result = check(&config);
         assert!(result.violation.is_none(), "{:?}", result.violation);
@@ -541,5 +550,48 @@ mod tests {
         let b = check(&small(BugMode::None));
         assert_eq!(a.states_explored, b.states_explored);
         assert_eq!(a.transitions, b.transitions);
+    }
+
+    #[test]
+    fn pipelined_window_correct_protocol_has_no_violation() {
+        // With two records in flight the checker covers every interleaving
+        // of a later record's messages with an earlier record's
+        // acknowledgement — including peer crashes between a record's data
+        // and sequence-number writes while the next record is already
+        // posted. The prefix-acknowledgement protocol must survive all of
+        // them.
+        let mut config = small(BugMode::None);
+        config.window = 2;
+        let result = check(&config);
+        assert!(result.violation.is_none(), "{:?}", result.violation);
+    }
+
+    #[test]
+    fn pipelined_window_widens_exploration() {
+        let baseline = check(&small(BugMode::None)).states_explored;
+        let mut config = small(BugMode::None);
+        config.window = 2;
+        let pipelined = check(&config).states_explored;
+        assert!(
+            pipelined > baseline,
+            "window 2 must strictly widen the state space ({pipelined} vs {baseline})"
+        );
+    }
+
+    #[test]
+    fn pipelined_window_still_catches_seeded_bugs() {
+        for bug in [
+            BugMode::SeqBeforeData,
+            BugMode::ApMapBeforeCatchup,
+            BugMode::NoCatchupOnRecovery,
+        ] {
+            let mut config = small(bug);
+            config.window = 2;
+            let result = check(&config);
+            assert!(
+                result.violation.is_some(),
+                "{bug:?} must still be caught with pipelined records"
+            );
+        }
     }
 }

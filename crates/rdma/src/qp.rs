@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -95,8 +95,17 @@ enum NicMode {
     /// A dedicated engine thread drains the send queue asynchronously —
     /// the most adversarial model (work requests can be in flight when the
     /// application "crashes"). Default for correctness tests.
+    ///
+    /// The engine models the wire as a *pipe*, the way a real RC QP behaves:
+    /// each request occupies the link for its serialization time (the
+    /// per-byte term), while the propagation delay (the base term) overlaps
+    /// across back-to-back requests. A request posted at `t` completes at
+    /// `max(wire_free, t) + serialization + base`, which keeps completions
+    /// in post order but lets a deep send queue achieve far higher
+    /// throughput than one request per round trip — the behaviour NCL's
+    /// pipelined `record_nowait` path exists to exploit.
     Threaded {
-        sq: Sender<WorkRequest>,
+        sq: Sender<(Instant, WorkRequest)>,
         engine: JoinHandle<()>,
     },
     /// Work requests execute synchronously at post time, in post order.
@@ -124,8 +133,10 @@ impl QueuePair {
     /// Connects `local_node` to `remote_dev`, posting completions to `cq`,
     /// with an asynchronous NIC engine thread.
     ///
-    /// `latency` is charged per work request (base + per-byte). Connection
-    /// setup itself is control-plane work and is charged by the caller.
+    /// `latency` is charged per work request: the per-byte term serializes
+    /// on the wire, the base term is propagation that overlaps across
+    /// back-to-back requests (see [`NicMode::Threaded`]). Connection setup
+    /// itself is control-plane work and is charged by the caller.
     pub fn connect(
         cluster: Cluster,
         local_node: NodeId,
@@ -155,7 +166,7 @@ impl QueuePair {
                 latency,
             }
         } else {
-            let (tx, rx): (Sender<WorkRequest>, Receiver<WorkRequest>) = unbounded();
+            let (tx, rx) = unbounded::<(Instant, WorkRequest)>();
             let engine = spawn_engine(
                 qp_num,
                 cluster,
@@ -240,14 +251,22 @@ impl QueuePair {
 
     fn post(&self, wr: WorkRequest) -> Result<(), SimError> {
         match self.mode.as_ref().expect("mode present until drop") {
-            NicMode::Threaded { sq, .. } => sq.send(wr).map_err(|_| SimError::ServiceStopped),
+            NicMode::Threaded { sq, .. } => sq
+                .send((Instant::now(), wr))
+                .map_err(|_| SimError::ServiceStopped),
             NicMode::Inline {
                 cluster,
                 remote_dev,
                 latency,
             } => {
-                let (wr_id, status, read_data) =
-                    execute(cluster, self.local, remote_dev, latency, &self.errored, wr);
+                let (wr_id, status, read_data) = execute(
+                    cluster,
+                    self.local,
+                    remote_dev,
+                    &self.errored,
+                    wr,
+                    |bytes| latency.charge(bytes),
+                );
                 if status != WcStatus::Success {
                     self.errored.store(true, Ordering::SeqCst);
                 }
@@ -281,32 +300,44 @@ fn spawn_engine(
     cluster: Cluster,
     local: NodeId,
     remote_dev: RdmaDevice,
-    rx: Receiver<WorkRequest>,
+    rx: Receiver<(Instant, WorkRequest)>,
     cq: CompletionQueue,
     errored: Arc<AtomicBool>,
     latency: LatencyModel,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("nic-qp{qp_num}"))
-        .spawn(move || loop {
-            let wr = match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(wr) => wr,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => break,
-            };
-            let (wr_id, status, read_data) =
-                execute(&cluster, local, &remote_dev, &latency, &errored, wr);
-            if status != WcStatus::Success {
-                errored.store(true, Ordering::SeqCst);
+        .spawn(move || {
+            // The instant the wire becomes idle. A request posted at `t`
+            // starts serializing at `max(wire_free, t)` and completes one
+            // propagation delay after it leaves the wire, so back-to-back
+            // requests overlap their propagation (pipelining) while staying
+            // in post order (`wire_free` is monotone).
+            let mut wire_free = Instant::now();
+            loop {
+                let (posted_at, wr) = match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(entry) => entry,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let (wr_id, status, read_data) =
+                    execute(&cluster, local, &remote_dev, &errored, wr, |bytes| {
+                        let ser = Duration::from_nanos((latency.per_byte_ns * bytes as f64) as u64);
+                        wire_free = wire_free.max(posted_at) + ser;
+                        sim::delay_until(wire_free + latency.base);
+                    });
+                if status != WcStatus::Success {
+                    errored.store(true, Ordering::SeqCst);
+                }
+                cq.push(
+                    qp_num,
+                    WorkCompletion {
+                        wr_id,
+                        status,
+                        read_data,
+                    },
+                );
             }
-            cq.push(
-                qp_num,
-                WorkCompletion {
-                    wr_id,
-                    status,
-                    read_data,
-                },
-            );
         })
         .expect("spawn NIC engine")
 }
@@ -315,9 +346,9 @@ fn execute(
     cluster: &Cluster,
     local: NodeId,
     remote_dev: &RdmaDevice,
-    latency: &LatencyModel,
     errored: &AtomicBool,
     wr: WorkRequest,
+    wait: impl FnOnce(usize),
 ) -> (WrId, WcStatus, Option<Bytes>) {
     let (wr_id, bytes) = match &wr {
         WorkRequest::Write { wr_id, data, .. } => (*wr_id, data.len()),
@@ -329,9 +360,10 @@ fn execute(
     if cluster.can_reach(local, remote_dev.node()).is_err() {
         return (wr_id, WcStatus::RetryExceeded, None);
     }
-    // Time on the wire. A crash or partition during flight means the
-    // operation is not applied.
-    latency.charge(bytes);
+    // Time on the wire (serial charge in inline mode, an absolute completion
+    // target in the pipelined threaded engine). A crash or partition during
+    // flight means the operation is not applied.
+    wait(bytes);
     if cluster.can_reach(local, remote_dev.node()).is_err() {
         return (wr_id, WcStatus::RetryExceeded, None);
     }

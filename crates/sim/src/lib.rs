@@ -40,4 +40,4 @@ pub use latency::LatencyModel;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use rpc::{RpcClient, RpcServer};
 pub use stats::{Histogram, Summary, ThroughputSampler};
-pub use time::{delay, now_nanos, Stopwatch};
+pub use time::{delay, delay_until, now_nanos, Stopwatch};

@@ -42,6 +42,18 @@ pub fn delay(d: Duration) {
     }
 }
 
+/// Waits until `deadline` (a no-op if it has already passed), with the same
+/// spin-vs-sleep policy as [`delay`]. Used by components that model a
+/// pipelined resource — e.g. a NIC engine completing work requests at
+/// absolute target instants so that the propagation delays of back-to-back
+/// requests overlap instead of accumulating serially.
+pub fn delay_until(deadline: Instant) {
+    let now = Instant::now();
+    if deadline > now {
+        delay(deadline - now);
+    }
+}
+
 /// Nanoseconds since the Unix epoch; used for coarse event timestamps in
 /// traces and logs (monotonic measurement uses [`Stopwatch`]).
 pub fn now_nanos() -> u64 {

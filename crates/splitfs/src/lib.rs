@@ -115,6 +115,12 @@ pub struct OpenOptions {
     /// Region capacity for ncl files (the application's configured log
     /// size). Ignored for non-ncl files.
     pub capacity: usize,
+    /// Route writes through the pipelined NCL path: `write` posts the
+    /// record without waiting ([`ncl::NclFile::record_nowait`]) and `fsync`
+    /// is the durability barrier. For applications with their own group
+    /// commit this overlaps replication of consecutive records. Ignored for
+    /// non-ncl files.
+    pub pipelined: bool,
 }
 
 impl OpenOptions {
@@ -124,6 +130,7 @@ impl OpenOptions {
             create: false,
             ncl: false,
             capacity: 0,
+            pipelined: false,
         }
     }
 
@@ -133,15 +140,30 @@ impl OpenOptions {
             create: true,
             ncl: false,
             capacity: 0,
+            pipelined: false,
         }
     }
 
-    /// `O_CREAT | O_NCL` with the given log capacity.
+    /// `O_CREAT | O_NCL` with the given log capacity; every write is
+    /// synchronously durable (the paper's baseline semantics).
     pub fn create_ncl(capacity: usize) -> Self {
         OpenOptions {
             create: true,
             ncl: true,
             capacity,
+            pipelined: false,
+        }
+    }
+
+    /// `O_CREAT | O_NCL` with pipelined writes: durability is deferred to
+    /// the `fsync` barrier, letting consecutive records' replication
+    /// overlap.
+    pub fn create_ncl_pipelined(capacity: usize) -> Self {
+        OpenOptions {
+            create: true,
+            ncl: true,
+            capacity,
+            pipelined: true,
         }
     }
 }
@@ -277,6 +299,7 @@ impl SplitFs {
                     fs: self.clone(),
                     path: path.to_string(),
                     backend: Backend::Ncl(Arc::clone(f)),
+                    pipelined: opts.pipelined,
                 });
             }
             let exists = ncl.exists(path)?;
@@ -300,6 +323,7 @@ impl SplitFs {
                 fs: self.clone(),
                 path: path.to_string(),
                 backend: Backend::Ncl(file),
+                pipelined: opts.pipelined,
             });
         }
         match self.inner.mode {
@@ -316,6 +340,7 @@ impl SplitFs {
                     fs: self.clone(),
                     path: path.to_string(),
                     backend: Backend::Local,
+                    pipelined: false,
                 })
             }
             _ => {
@@ -333,6 +358,7 @@ impl SplitFs {
                     fs: self.clone(),
                     path: path.to_string(),
                     backend: Backend::Dfs,
+                    pipelined: false,
                 })
             }
         }
@@ -446,6 +472,9 @@ pub struct File {
     fs: SplitFs,
     path: String,
     backend: Backend,
+    /// NCL files only: writes post without waiting and `fsync` is the
+    /// durability barrier (see [`OpenOptions::pipelined`]).
+    pipelined: bool,
 }
 
 impl File {
@@ -459,14 +488,24 @@ impl File {
         matches!(self.backend, Backend::Ncl(_))
     }
 
+    /// True when writes through this handle defer durability to `fsync`.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined && self.is_ncl()
+    }
+
     /// Writes `data` at `offset`.
     ///
-    /// NCL files replicate synchronously here (acknowledged when a majority
-    /// of peers hold the write); bulk files buffer until [`File::fsync`].
+    /// NCL files replicate here — synchronously (acknowledged when a
+    /// majority of peers hold the write), or posted without waiting when
+    /// the handle is pipelined; bulk files buffer until [`File::fsync`].
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         match &self.backend {
             Backend::Ncl(f) => {
-                f.record(offset, data)?;
+                if self.pipelined {
+                    f.record_nowait(offset, data)?;
+                } else {
+                    f.record(offset, data)?;
+                }
                 self.fs.trace_ncl_write(&self.path, data.len());
                 Ok(())
             }
@@ -492,7 +531,11 @@ impl File {
         match &self.backend {
             Backend::Ncl(f) => {
                 let offset = f.len();
-                f.record(offset, data)?;
+                if self.pipelined {
+                    f.record_nowait(offset, data)?;
+                } else {
+                    f.record(offset, data)?;
+                }
                 self.fs.trace_ncl_write(&self.path, data.len());
                 Ok(offset)
             }
@@ -513,7 +556,9 @@ impl File {
     }
 
     /// Durability barrier. Mode-dependent: strong flushes to the DFS, weak
-    /// is a no-op, NCL files are already durable, local flushes to "disk".
+    /// is a no-op, local flushes to "disk". For NCL files this waits until
+    /// every issued record is durable — a no-op after synchronous writes,
+    /// the real barrier for pipelined handles.
     pub fn fsync(&self) -> Result<(), FsError> {
         match &self.backend {
             Backend::Ncl(f) => Ok(f.fsync()?),

@@ -1,0 +1,330 @@
+//! Offline shim for the `criterion` API subset used in this workspace.
+//!
+//! Implements a small wall-clock measurement harness behind the familiar
+//! `criterion_group!` / `criterion_main!` / `benchmark_group` surface. Each
+//! benchmark is warmed up, then timed in adaptive batches until the
+//! measurement window (or sample budget) is exhausted; mean/min/max per
+//! iteration and optional throughput are printed to stdout.
+//!
+//! Environment knobs:
+//! - `CRITERION_FAST=1` clamps warm-up to 50 ms and measurement to 500 ms —
+//!   used by CI smoke runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One completed measurement, exposed so benches can post-process results
+/// (e.g. emit JSON for CI trend tracking).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub iters: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Throughput in units (bytes or elements) per second, if configured.
+    pub fn per_second(&self) -> Option<f64> {
+        let per_iter = match self.throughput? {
+            Throughput::Bytes(n) => n as f64,
+            Throughput::Elements(n) => n as f64,
+        };
+        Some(per_iter / (self.mean_ns / 1e9))
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let fast = std::env::var("CRITERION_FAST").is_ok_and(|v| v == "1");
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(if fast { 50 } else { 500 }),
+            measurement: Duration::from_millis(if fast { 500 } else { 3000 }),
+            fast,
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far (in registration order).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    fast: bool,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if !self.fast {
+            self.warm_up = d;
+        }
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if !self.fast {
+            self.measurement = d;
+        }
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        let full_id = format!("{}/{}", self.name, id);
+        if b.samples.is_empty() {
+            println!("{full_id:<50} (no samples)");
+            return;
+        }
+        let mean_ns = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min_ns = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_ns = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        let m = Measurement {
+            id: full_id.clone(),
+            iters: b.iters,
+            mean_ns,
+            min_ns,
+            max_ns,
+            throughput: self.throughput,
+        };
+        let thrpt = match m.per_second() {
+            Some(rate) => match m.throughput {
+                Some(Throughput::Bytes(_)) => format!("  thrpt: {:>10}/s", human_bytes(rate)),
+                Some(Throughput::Elements(_)) => format!("  thrpt: {rate:>12.0} elem/s"),
+                None => String::new(),
+            },
+            None => String::new(),
+        };
+        println!(
+            "{:<50} time: [{} {} {}]{}",
+            m.id,
+            human_time(min_ns),
+            human_time(mean_ns),
+            human_time(max_ns),
+            thrpt
+        );
+        self.parent.results.push(m);
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    if rate < 1024.0 {
+        format!("{rate:.0} B")
+    } else if rate < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", rate / 1024.0)
+    } else if rate < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} MiB", rate / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", rate / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch so each sample costs ≥ ~20 µs, keeping timer noise small.
+        let batch = ((20e-6 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let deadline = Instant::now() + self.measurement;
+        while self.samples.len() < self.sample_size
+            || (Instant::now() < deadline && self.samples.len() < self.sample_size * 16)
+        {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+            self.iters += batch;
+            if Instant::now() >= deadline && self.samples.len() >= self.sample_size {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_with_setup<S, O, Setup: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+    ) {
+        // Setup time is excluded from the timed region; batching is not
+        // possible because each run consumes its setup value.
+        let warm_start = Instant::now();
+        let mut warmed = false;
+        while warm_start.elapsed() < self.warm_up || !warmed {
+            let s = setup();
+            black_box(routine(s));
+            warmed = true;
+        }
+        let deadline = Instant::now() + self.measurement;
+        while self.samples.len() < self.sample_size
+            || (Instant::now() < deadline && self.samples.len() < self.sample_size * 16)
+        {
+            let s = setup();
+            let t0 = Instant::now();
+            black_box(routine(s));
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64);
+            self.iters += 1;
+            if Instant::now() >= deadline && self.samples.len() >= self.sample_size {
+                break;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; ignore them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.warm_up_time(Duration::from_millis(1));
+            g.measurement_time(Duration::from_millis(5));
+            g.throughput(Throughput::Bytes(128));
+            g.bench_with_input(BenchmarkId::from_parameter(1), &1usize, |b, &n| {
+                b.iter(|| std::hint::black_box(n * 2));
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].mean_ns > 0.0);
+        assert!(c.measurements()[0].per_second().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Offline shim for the `proptest` API subset used in this workspace.
+//!
+//! Provides deterministic random case generation behind the familiar
+//! `proptest!` / `Strategy` / `prop_oneof!` surface. Differences from the
+//! real crate: cases are generated from a fixed per-test seed (fully
+//! reproducible across runs), and failing inputs are reported but not
+//! shrunk (`max_shrink_iters` is accepted and ignored).
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 generator, seeded per (test name, case).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish value in `[lo, hi)`; `hi` must exceed `lo`.
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(hi > lo, "empty range {lo}..{hi}");
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct BoxedStrategy<V> {
+        inner: Box<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Weighted choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(0, self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for ::std::ops::Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.below(self.start as u64, self.end as u64) as $t
+                    }
+                }
+                impl Strategy for ::std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.below(*self.start() as u64, *self.end() as u64 + 1) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, usize);
+
+    impl Strategy for ::std::ops::Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.below(self.start, self.end)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {
+            $(
+                impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                    type Value = ($($s::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.below(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($var:ident in $strat:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = $strat;
+                let total = cfg.cases.max(1);
+                for case in 0..total {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    let $var = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let shown = format!("{:?}", &$var);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  input: {}",
+                            stringify!($name),
+                            case + 1,
+                            total,
+                            err,
+                            shown,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => any::<u8>().prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = prop::collection::vec(op_strategy(), 1..20);
+        let mut r1 = crate::test_runner::TestRng::for_case("t", 3);
+        let mut r2 = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u16..512).generate(&mut rng);
+            assert!(w < 512);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn vec_model_matches(ops in prop::collection::vec(op_strategy(), 1..24)) {
+            let mut stack = Vec::new();
+            let mut depth = 0usize;
+            for op in &ops {
+                match op {
+                    Op::Push(v) => { stack.push(*v); depth += 1; }
+                    Op::Pop => { stack.pop(); depth = depth.saturating_sub(1); }
+                }
+            }
+            prop_assert_eq!(stack.len(), depth, "depth model diverged");
+            prop_assert!(stack.len() <= ops.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_input() {
+        __proptest_cases!(
+            (ProptestConfig { cases: 4, ..ProptestConfig::default() })
+            fn always_fails(n in 0u16..4) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        );
+        always_fails();
+    }
+}

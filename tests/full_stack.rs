@@ -112,6 +112,7 @@ fn facade_crate_reexports_compile_and_work() {
         peers: 3,
         bug: splitft::modelcheck::BugMode::None,
         max_states: 10_000,
+        window: 1,
     });
     assert!(result.violation.is_none());
 }
