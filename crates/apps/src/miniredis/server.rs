@@ -2,7 +2,8 @@
 //!
 //! Like Redis, all commands are executed by **one** thread, in arrival
 //! order. Each event-loop iteration drains a batch of pending requests,
-//! applies the writes, appends their commands to the AOF as a single write,
+//! applies the writes, appends one AOF record per command (staged on the
+//! pipelined NCL handle and flushed as a single doorbell batch per peer),
 //! and — in strong/SplitFT configurations — waits for durability *before
 //! replying to anything in the batch*. That head-of-line blocking is why
 //! strong-mode Redis is slow even on read-heavy YCSB mixes (§5.3), and the
@@ -122,7 +123,7 @@ impl MiniRedis {
                     create: false,
                     ncl: true,
                     capacity: opts.aof_capacity,
-                    pipelined: false,
+                    pipelined: true,
                 },
             )?;
             let buf = aof.read(0, aof.size()? as usize)?;
@@ -139,7 +140,7 @@ impl MiniRedis {
                         create: true,
                         ncl: true,
                         capacity: opts.aof_capacity,
-                        pipelined: false,
+                        pipelined: true,
                     },
                 )?,
                 0,
@@ -272,20 +273,29 @@ impl Executor {
                     }
                 }
             }
-            // One AOF append + one durability barrier for the whole batch;
-            // *all* replies (reads included) wait behind it — Redis's
-            // single-threaded head-of-line blocking.
+            // One AOF record per command, staged on the pipelined handle and
+            // flushed to every peer as a single doorbell batch; the fsync is
+            // the group's one durability barrier. *All* replies (reads
+            // included) wait behind it — Redis's single-threaded
+            // head-of-line blocking.
             let flush_result = if commands.is_empty() {
                 Ok(())
             } else {
-                let frame = aof::encode_batch(&commands);
-                self.aof
-                    .write_at(self.aof_size as u64, &frame)
-                    .and_then(|()| self.aof.fsync())
-                    .map(|()| {
-                        self.aof_size += frame.len();
-                    })
-                    .map_err(AppError::from)
+                let mut staged = Ok(());
+                for cmd in &commands {
+                    let frame = aof::encode_batch(std::slice::from_ref(cmd));
+                    match self.aof.write_at(self.aof_size as u64, &frame) {
+                        Ok(()) => self.aof_size += frame.len(),
+                        Err(e) => {
+                            staged = Err(AppError::from(e));
+                            break;
+                        }
+                    }
+                }
+                staged.and_then(|()| {
+                    self.aof.submit();
+                    self.aof.fsync().map_err(AppError::from)
+                })
             };
             match flush_result {
                 Ok(()) => {
@@ -349,7 +359,7 @@ impl Executor {
                     create: true,
                     ncl: true,
                     capacity: self.opts.aof_capacity,
-                    pipelined: false,
+                    pipelined: true,
                 },
             )?;
             let mut size = 0usize;

@@ -560,12 +560,16 @@ fn spawn_commit_thread(
                 }
 
                 // One write system call for the whole group; on a pipelined
-                // WAL this returns with the record merely posted.
+                // WAL this returns with the record merely staged. Ring the
+                // doorbell now — one batched post per peer — so the group's
+                // replication runs while the next batch is folded, instead
+                // of waiting for the fsync barrier to flush the stage.
                 match wal_file
                     .write_at(wal_written as u64, &record)
                     .map_err(AppError::from)
                 {
                     Ok(()) => {
+                        wal_file.submit();
                         wal_written += record.len();
                         pending = Some(PendingBatch { reqs, entries });
                     }

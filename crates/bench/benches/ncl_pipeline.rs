@@ -195,8 +195,12 @@ fn emit_json(c: &mut Criterion) {
         .collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
-    let path =
-        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_ncl_pipeline.json".to_string());
+    // Deterministic location: the repo root, regardless of the harness's
+    // working directory (cargo bench runs with cwd = the crate directory,
+    // which previously left the JSON stranded in `crates/bench/`).
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ncl_pipeline.json").to_string()
+    });
     std::fs::write(&path, out).expect("write bench json");
     println!("ncl_pipeline: wrote {path}");
 }

@@ -16,7 +16,12 @@
 //! one synchronous `record` at a time (the paper's baseline), deeper
 //! windows post through `record_nowait` and fence once at the end, so the
 //! reported figure is the amortized per-record latency the pipelined path
-//! achieves at that depth.
+//! achieves at that depth. The p-columns keep one header write per record
+//! (`coalesce_headers = false`, PR 1 behaviour); the `NCL batch` columns
+//! (`b4` / `b16`) rerun the same depths with batched submission and
+//! coalesced headers — one doorbell and one header write per flushed
+//! burst — showing what the posting-side batching is worth on top of the
+//! window overlap.
 
 use bench::{calibrated_testbed, f1, header, quick, row};
 use ncl::NclLib;
@@ -38,6 +43,8 @@ fn main() {
         "NCL p1".into(),
         "NCL p4".into(),
         "NCL p16".into(),
+        "NCL b4".into(),
+        "NCL b16".into(),
     ]);
 
     for &size in &sizes {
@@ -86,15 +93,17 @@ fn main() {
         // Window-depth sweep on the threaded NIC: amortized per-record
         // latency at pipeline depth 1 (synchronous baseline), 4, and 16.
         let pipe_ops = ncl_ops.min(2_000);
-        let pipelined_us = |window: u64| {
+        let pipelined_us = |window: u64, coalesce: bool| {
+            let tag = if coalesce { "b" } else { "p" };
             let mut config = tb.config().ncl.clone();
             config.inline_nic = false;
             config.pipeline_window = window;
-            let node = tb.add_app_node(&format!("fig8-p{window}-{size}"));
+            config.coalesce_headers = coalesce;
+            let node = tb.add_app_node(&format!("fig8-{tag}{window}-{size}"));
             let ncl = NclLib::new(
                 &tb.cluster,
                 node,
-                &format!("fig8-p{window}-{size}"),
+                &format!("fig8-{tag}{window}-{size}"),
                 config,
                 &tb.controller,
                 &tb.registry,
@@ -114,9 +123,11 @@ fn main() {
             file.release().unwrap();
             us
         };
-        let p1_us = pipelined_us(1);
-        let p4_us = pipelined_us(4);
-        let p16_us = pipelined_us(16);
+        let p1_us = pipelined_us(1, false);
+        let p4_us = pipelined_us(4, false);
+        let p16_us = pipelined_us(16, false);
+        let b4_us = pipelined_us(4, true);
+        let b16_us = pipelined_us(16, true);
 
         row(&[
             format!("{size}B"),
@@ -126,13 +137,17 @@ fn main() {
             f1(p1_us),
             f1(p4_us),
             f1(p16_us),
+            f1(b4_us),
+            f1(b16_us),
         ]);
     }
 
     println!(
         "\npaper reference @128B: strong ≈ 2000 µs | weak ≈ 1.2 µs | NCL ≈ 4.6 µs\n\
          expectation: NCL within ~5x of weak; strong 2+ orders of magnitude above both\n\
-         p-columns: threaded-NIC amortized latency at pipeline depth 1/4/16 —\n\
-         deeper windows overlap the in-flight period and shrink the per-record cost"
+         p-columns: threaded-NIC amortized latency at pipeline depth 1/4/16 with\n\
+         per-record headers — deeper windows overlap the in-flight period\n\
+         b-columns: batched submission at depth 4/16 — one doorbell and one\n\
+         coalesced header write per flushed burst on top of the window overlap"
     );
 }

@@ -51,6 +51,14 @@ pub struct NclConfig {
     /// it. Depth 1 allows one outstanding record; the paper's baseline
     /// protocol corresponds to the synchronous `record` call.
     pub pipeline_window: u64,
+    /// Coalesce header writes within a flushed burst: post the data WR of
+    /// every record but only the burst-final record's header WR. Safe
+    /// because recovery reads the single fixed-location header and the
+    /// prefix-acknowledgement rule (§4.4) only needs the highest sequence
+    /// number per durability barrier — intermediate header overwrites of
+    /// the same slot are pure overhead. `false` restores one header WR per
+    /// record (the pre-batching behaviour), kept as an ablation.
+    pub coalesce_headers: bool,
     /// Execute RDMA work requests inline at post time instead of on NIC
     /// engine threads. Semantically equivalent (ordering, permissions,
     /// failures) but avoids cross-thread handoffs whose scheduler cost
@@ -74,6 +82,7 @@ impl NclConfig {
             local_copy: LatencyModel::from_nanos(250, 120.0, 0.0),
             ack_policy: AckPolicy::Majority,
             pipeline_window: 8,
+            coalesce_headers: true,
             inline_nic: true,
         }
     }
@@ -91,6 +100,7 @@ impl NclConfig {
             local_copy: LatencyModel::ZERO,
             ack_policy: AckPolicy::Majority,
             pipeline_window: 8,
+            coalesce_headers: true,
             inline_nic: false,
         }
     }

@@ -19,14 +19,31 @@
 //! That prefix guarantee is also what makes the write path pipelinable:
 //! acknowledging record `s` never requires records `> s` to be absent, so a
 //! writer may post several records back to back and wait once. The split is
-//! [`NclFile::record_nowait`] (stage + post, returns the sequence number)
-//! and [`NclFile::wait_durable`] (the durability barrier); the synchronous
+//! [`NclFile::record_nowait`] (stage, returns the sequence number) and
+//! [`NclFile::wait_durable`] (the durability barrier); the synchronous
 //! [`NclFile::record`] is the composition of the two. A bounded in-flight
 //! window ([`NclConfig::pipeline_window`]) keeps a runaway producer from
 //! queueing unbounded work on the NIC. Failure handling — peer death,
 //! majority loss, inline replacement — lives entirely in the drain path
 //! (`wait_durable`), which preserves the invariant that an acknowledged
 //! record implies its whole prefix is durable on a quorum.
+//!
+//! ## Batched submission
+//!
+//! `record_nowait` does not post to the NIC at all: it stages the record
+//! into a pending burst, and the whole burst is posted with **one doorbell
+//! per peer** ([`rdma::QueuePair::post_many`]) when the burst reaches the
+//! pipeline window, when a barrier needs it, or when the application rings
+//! the doorbell explicitly ([`NclFile::submit`]). Within a burst,
+//! remotely-contiguous data WRs are merged into scatter-gather WRs, and —
+//! when [`NclConfig::coalesce_headers`] is set — only the burst-final
+//! record's header WR is posted: all headers overwrite the same fixed
+//! location, recovery reads only the latest one, and the prefix rule above
+//! needs only the highest sequence number per barrier. A crash mid-burst
+//! can therefore lose records whose data landed but whose (coalesced)
+//! header did not — exactly the un-acknowledged tail, which the protocol
+//! never promised to keep. `crates/modelcheck` explores the coalesced
+//! interleavings explicitly.
 //!
 //! Internally the file state is split into two locks: `stage` (the local
 //! buffer, length, and sequence counter) and `rep` (peer slots, completion
@@ -67,7 +84,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WorkCompletion, WrId};
+use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WorkCompletion, WorkRequest, WrId};
 use sim::{Cluster, NodeId, Stopwatch};
 
 use crate::config::{AckPolicy, NclConfig};
@@ -208,6 +225,8 @@ impl NclLib {
                 len: 0,
                 seq: 0,
                 overwritten: false,
+                pending: Vec::new(),
+                flushed_seq: 0,
             }),
             rep: Mutex::new(Rep::new(
                 slots,
@@ -408,6 +427,8 @@ impl NclLib {
                 len: rec_header.len,
                 seq,
                 overwritten: rec_header.overwritten,
+                pending: Vec::new(),
+                flushed_seq: seq,
             }),
             rep: Mutex::new(Rep::new(slots, cq, epoch, seq, repair_pending, stats)),
         })
@@ -468,15 +489,29 @@ struct PeerSlot {
     alive: bool,
 }
 
-/// Staging state: the local image and the sequence counter. Held while a
-/// record is staged and posted (so per-QP post order equals sequence order)
-/// and while a replacement copies the buffer; never held across a
-/// durability wait.
+/// One staged-but-unposted record: its slice of the shared wire image plus
+/// the header encoded when it was staged. A run of these is a burst, posted
+/// as one doorbell batch per peer at flush time.
+struct PendingRecord {
+    seq: u64,
+    offset: usize,
+    payload: Bytes,
+    header: Bytes,
+}
+
+/// Staging state: the local image, the sequence counter, and the pending
+/// burst. Held while a record is staged and while a burst is flushed (so
+/// per-QP post order equals sequence order) and while a replacement copies
+/// the buffer; never held across a durability wait.
 struct Stage {
     buffer: Vec<u8>,
     len: u64,
     seq: u64,
     overwritten: bool,
+    /// Records staged by `record_nowait` but not yet posted to the peers.
+    pending: Vec<PendingRecord>,
+    /// Highest sequence number whose work requests have been posted.
+    flushed_seq: u64,
 }
 
 /// Replication state: peer slots and completion bookkeeping. Locked briefly
@@ -503,6 +538,9 @@ struct Rep {
     /// A peer failed but replacement was deferred (no spare peer available
     /// while a quorum was still alive); [`NclFile::maintain`] retries.
     repair_pending: bool,
+    /// Reusable work-request buffer for burst flushes, so the steady-state
+    /// inline-NIC flush path allocates nothing per doorbell.
+    wr_scratch: Vec<WorkRequest>,
     last_recovery: RecoveryStats,
     last_repair: RepairStats,
 }
@@ -526,6 +564,7 @@ impl Rep {
             stray: Vec::new(),
             expecting: HashSet::new(),
             repair_pending,
+            wr_scratch: Vec::new(),
             last_recovery,
             last_repair: RepairStats::default(),
         };
@@ -759,16 +798,19 @@ impl NclFile {
         self.wait_durable(seq)
     }
 
-    /// Stages a write and posts its work requests to all live peers without
-    /// waiting for durability; returns the record's sequence number for a
-    /// later [`NclFile::wait_durable`] barrier.
+    /// Stages a write into the pending burst without posting or waiting;
+    /// returns the record's sequence number for a later
+    /// [`NclFile::wait_durable`] barrier.
     ///
-    /// At most [`NclConfig::pipeline_window`] records may be in flight; a
-    /// post beyond the window first drains the oldest in-flight record. On
-    /// a drain error the record has still been staged and posted — a
-    /// subsequent barrier reports its fate.
+    /// The burst is posted with one doorbell per peer when it reaches the
+    /// pipeline window, when a barrier needs one of its records, or on an
+    /// explicit [`NclFile::submit`]. At most [`NclConfig::pipeline_window`]
+    /// records may be in flight; a post beyond the window first drains the
+    /// oldest in-flight record. On a drain error the record has still been
+    /// staged — a subsequent barrier reports its fate.
     pub fn record_nowait(&self, offset: u64, data: &[u8]) -> Result<u64, NclError> {
         let ctx = &self.ctx;
+        let window = ctx.config.pipeline_window.max(1);
         let seq;
         {
             let mut stage = self.stage.lock();
@@ -803,30 +845,57 @@ impl NclFile {
             let wire = Bytes::from(wire);
             let header_bytes = wire.slice(..HEADER_WIRE_SIZE);
             let payload = wire.slice(HEADER_WIRE_SIZE..);
-
-            // Data WR first, header WR second — the ordering correctness
-            // hinges on it (§4.4). Posting happens under both locks so the
-            // per-QP post order is exactly sequence order; the replication
-            // lock is never held across a durability wait.
-            let rep = self.rep.lock();
-            for slot in rep.peers.iter().filter(|s| s.alive) {
-                let _ = slot.qp.post_write(
-                    WrId(2 * seq),
-                    &slot.mr,
-                    HEADER_SIZE + offset as usize,
-                    payload.clone(),
-                );
-                let _ = slot
-                    .qp
-                    .post_write(WrId(2 * seq + 1), &slot.mr, 0, header_bytes.clone());
+            stage.pending.push(PendingRecord {
+                seq,
+                offset: offset as usize,
+                payload,
+                header: header_bytes,
+            });
+            // Window-full: ring the doorbell for the accumulated burst.
+            if stage.pending.len() as u64 >= window {
+                self.flush_staged(&mut stage);
             }
         }
         // Bounded in-flight window.
-        let window = ctx.config.pipeline_window.max(1);
         if seq > window {
             self.wait_durable(seq - window)?;
         }
         Ok(seq)
+    }
+
+    /// Rings the doorbell for the staged burst without waiting: every record
+    /// staged since the last flush is posted to all live peers, one doorbell
+    /// batch per peer. Durability still requires a barrier
+    /// ([`NclFile::wait_durable`] / [`NclFile::fsync`]); group-commit
+    /// callers use this to start replicating a finished group while they
+    /// assemble the next one. A no-op when nothing is pending.
+    pub fn submit(&self) {
+        let mut stage = self.stage.lock();
+        self.flush_staged(&mut stage);
+    }
+
+    /// Posts the pending burst to every live peer as one doorbell batch
+    /// each. Data WRs go first in sequence order (remotely-contiguous runs
+    /// merged into scatter-gather WRs); headers follow per the configured
+    /// coalescing mode. Post errors are left to the completion path, like
+    /// every other posting site.
+    fn flush_staged(&self, stage: &mut Stage) {
+        let Some(last) = stage.pending.last() else {
+            return;
+        };
+        let flushed = last.seq;
+        let coalesce = self.ctx.config.coalesce_headers;
+        let mut rep = self.rep.lock();
+        let mut wrs = std::mem::take(&mut rep.wr_scratch);
+        for slot in rep.peers.iter().filter(|s| s.alive) {
+            wrs.clear();
+            build_burst(&mut wrs, &stage.pending, &slot.mr, coalesce);
+            let _ = slot.qp.post_many(&wrs);
+        }
+        wrs.clear();
+        rep.wr_scratch = wrs;
+        stage.flushed_seq = flushed;
+        stage.pending.clear();
     }
 
     /// Durability barrier: returns once every record up to and including
@@ -846,6 +915,14 @@ impl NclFile {
         }
         let ctx = &self.ctx;
         let deadline = Instant::now() + ctx.config.write_timeout;
+        // A barrier on a record still sitting in the staged burst must ring
+        // the doorbell first, or it would wait on never-posted requests.
+        {
+            let mut stage = self.stage.lock();
+            if stage.flushed_seq < seq {
+                self.flush_staged(&mut stage);
+            }
+        }
         loop {
             let (next, cq) = {
                 let mut rep = self.rep.lock();
@@ -939,6 +1016,12 @@ impl NclFile {
     fn replace_failed(&self, stage: &mut Stage) -> Result<(), NclError> {
         let ctx = &*self.ctx;
         let mut stats = RepairStats::default();
+        // Catch-up stamps `stage.seq`, which covers any records still in the
+        // pending burst (the staged image already contains their bytes).
+        // Post the burst to the survivors first so the flush boundary and
+        // the catch-up header agree — the model checker's
+        // replace-implies-flush rule.
+        self.flush_staged(stage);
         let header = RegionHeader {
             seq: stage.seq,
             len: stage.len,
@@ -1094,6 +1177,79 @@ impl NclFile {
             .delete_ap_entry(ctx.node, &ctx.app_id, &self.name)?;
         Ok(())
     }
+}
+
+/// Translates one staged burst into the work-request sequence for a peer.
+///
+/// Data WRs come first in sequence order, with remotely-contiguous
+/// neighbours merged into scatter-gather WRs (a pure append burst collapses
+/// into a single data WR); ordering between non-contiguous runs is kept, so
+/// overlapping overwrites still apply in sequence order. With coalesced
+/// headers only the burst-final record's header follows — every header
+/// overwrites the same fixed location and the prefix rule needs only the
+/// highest sequence number per barrier. Without coalescing, each record's
+/// data WR is chased by its own header WR, reproducing the pre-batching
+/// wire history (the `coalesce_headers: false` ablation).
+fn build_burst(
+    wrs: &mut Vec<WorkRequest>,
+    pending: &[PendingRecord],
+    mr: &RemoteMr,
+    coalesce: bool,
+) {
+    if !coalesce {
+        for rec in pending {
+            wrs.push(WorkRequest::Write {
+                wr_id: WrId(2 * rec.seq),
+                mr: *mr,
+                offset: HEADER_SIZE + rec.offset,
+                data: rec.payload.clone(),
+            });
+            wrs.push(WorkRequest::Write {
+                wr_id: WrId(2 * rec.seq + 1),
+                mr: *mr,
+                offset: 0,
+                data: rec.header.clone(),
+            });
+        }
+        return;
+    }
+    let mut i = 0;
+    while i < pending.len() {
+        let start = pending[i].offset;
+        let mut end = start + pending[i].payload.len();
+        let mut j = i + 1;
+        while j < pending.len() && pending[j].offset == end {
+            end += pending[j].payload.len();
+            j += 1;
+        }
+        // The merged WR borrows the run-final record's data id; data ids
+        // never drive acknowledgement (only odd header ids do), they only
+        // have to stay unique per QP.
+        let wr_id = WrId(2 * pending[j - 1].seq);
+        if j - i == 1 {
+            wrs.push(WorkRequest::Write {
+                wr_id,
+                mr: *mr,
+                offset: HEADER_SIZE + start,
+                data: pending[i].payload.clone(),
+            });
+        } else {
+            wrs.push(WorkRequest::WriteSg {
+                wr_id,
+                mr: *mr,
+                offset: HEADER_SIZE + start,
+                slices: pending[i..j].iter().map(|r| r.payload.clone()).collect(),
+            });
+        }
+        i = j;
+    }
+    let last = pending.last().expect("burst nonempty");
+    wrs.push(WorkRequest::Write {
+        wr_id: WrId(2 * last.seq + 1),
+        mr: *mr,
+        offset: 0,
+        data: last.header.clone(),
+    });
 }
 
 /// Targeted wait for one work completion on a completion queue that other

@@ -803,3 +803,94 @@ fn peer_crash_mid_pipeline_preserves_acked_prefix() {
         assert_eq!(file.read(4 + i * 8, 8), (i + 1).to_le_bytes());
     }
 }
+
+#[test]
+fn peer_crash_between_burst_data_and_coalesced_header() {
+    // Batched submission fault injection, case 1: a peer dies after a
+    // burst's data WRs have applied but before the burst's single coalesced
+    // header WR. A slow fabric (5 ms/byte, threaded NIC) turns the gap
+    // between the two into a ~140 ms window: the burst's 8 data bytes apply
+    // ~40 ms after the doorbell, its 28-byte header ~180 ms after.
+    let mut config = NclConfig::zero();
+    config.coalesce_headers = true;
+    config.pipeline_window = 64;
+    config.rdma = sim::LatencyModel::from_nanos(0, 1.6e-6, 0.0);
+    let h = Harness::with_config(3, config);
+    let app_node;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        // Burst 1: records 1..=4, one doorbell, acked at the barrier.
+        for i in 0..4u64 {
+            file.record_nowait(i * 2, &[i as u8; 2]).unwrap();
+        }
+        file.fsync().unwrap();
+        // Burst 2: records 5..=8, one doorbell; kill p2 mid-burst, after
+        // its data landed but before the header covering them.
+        for i in 4..8u64 {
+            file.record_nowait(i * 2, &[i as u8; 2]).unwrap();
+        }
+        file.submit();
+        std::thread::sleep(Duration::from_millis(100));
+        h.cluster.crash(h.peer_named("p2").node());
+        // The burst still reaches durability on the surviving majority.
+        file.fsync().unwrap();
+    }
+    h.cluster.crash(app_node);
+
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.seq(), 8);
+    assert_eq!(file.len(), 16);
+    for i in 0..8u64 {
+        assert_eq!(file.read(i * 2, 2), [i as u8; 2]);
+    }
+}
+
+#[test]
+fn coalesced_header_on_minority_tail_is_not_resurrected() {
+    // Batched submission fault injection, case 2: a burst's coalesced
+    // header completes on only `f` peers (one short of a quorum) before the
+    // holder and the application are both lost. Recovery from the surviving
+    // majority must return exactly the acked prefix — the un-acked tail
+    // records must not reappear, and nothing acked may be missing.
+    let mut config = NclConfig::zero();
+    config.coalesce_headers = true;
+    config.pipeline_window = 64;
+    config.inline_nic = true;
+    let h = Harness::with_config(3, config);
+    let app_node;
+    {
+        let lib = h.app("a1");
+        app_node = lib.node();
+        let file = lib.create("wal", 4096).unwrap();
+        for i in 0..4u64 {
+            file.record_nowait(i * 4, &(i as u32).to_le_bytes())
+                .unwrap();
+        }
+        // Acked prefix: records 1..=4.
+        file.fsync().unwrap();
+        // Cut the app off from p1 and p2: burst 2 (data + coalesced header)
+        // lands on p0 alone. Posted, never awaited — records 5..=8 are
+        // un-acked.
+        h.cluster.partition(app_node, h.peer_named("p1").node());
+        h.cluster.partition(app_node, h.peer_named("p2").node());
+        for i in 4..8u64 {
+            file.record_nowait(i * 4, &(i as u32).to_le_bytes())
+                .unwrap();
+        }
+        file.submit();
+    }
+    // The only peer holding the tail is lost, along with the app.
+    h.cluster.crash(h.peer_named("p0").node());
+    h.cluster.crash(app_node);
+
+    let lib2 = h.app("a2");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.seq(), 4, "un-acked tail must not be resurrected");
+    assert_eq!(file.len(), 16);
+    for i in 0..4u64 {
+        assert_eq!(file.read(i * 4, 4), (i as u32).to_le_bytes());
+    }
+}

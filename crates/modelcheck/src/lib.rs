@@ -16,6 +16,11 @@
 //!   up a replacement peer, and skipping the lagging-peer catch-up during
 //!   recovery. [`check`] must (and does) return a counterexample trace for
 //!   each.
+//! * [`ModelConfig::coalesce`] switches the model to the batched submission
+//!   path (one header message per flushed burst, stamped with the
+//!   burst-final sequence number) and explores every burst partition; the
+//!   acked prefix must survive crashes mid-burst, and every seeded bug must
+//!   still be caught.
 //!
 //! The invariant asserted at every recovery:
 //!

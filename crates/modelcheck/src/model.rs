@@ -14,6 +14,14 @@
 //! a majority. The application issues writes one at a time (NCL's `record`
 //! blocks), crashes at any point, and recovers by reading sequence numbers
 //! from an adversarially chosen majority of the ap-map peers.
+//!
+//! With [`ModelConfig::coalesce`] the model follows the batched submission
+//! path instead: issued records are staged until a nondeterministic *flush*
+//! posts them as one burst — every record's data message but a single
+//! header message stamped with the burst-final sequence number. The per-peer
+//! history becomes `d…d h(b1) d…d h(b2) …` over the burst boundaries `bᵢ`,
+//! and the checker explores every partition of the issue stream into bursts
+//! alongside every crash point.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -51,6 +59,14 @@ pub struct ModelConfig {
     /// pipelined `record_nowait` path, where later records' messages race
     /// the acknowledgement of earlier ones.
     pub window: u8,
+    /// Model the coalesced-header submission path: issued records are
+    /// *staged* until a nondeterministic flush posts them as one burst that
+    /// carries every record's data message but a **single** header message,
+    /// stamped with the burst-final sequence number. A crash mid-burst may
+    /// lose the un-headered tail, but the acked prefix (covered by the last
+    /// completed header) must survive every interleaving. `false` keeps the
+    /// one-header-per-record stream.
+    pub coalesce: bool,
 }
 
 impl Default for ModelConfig {
@@ -62,6 +78,7 @@ impl Default for ModelConfig {
             bug: BugMode::None,
             max_states: 0,
             window: 1,
+            coalesce: false,
         }
     }
 }
@@ -128,6 +145,14 @@ struct State {
     pending: Option<Replacement>,
     app: AppPhase,
     crashes_left: u8,
+    /// Coalesced mode only: highest sequence number flushed to the wire —
+    /// records in `flushed+1..=issued` are staged in application memory and
+    /// have no messages in flight. Always `0` when `coalesce` is off.
+    flushed: u8,
+    /// Coalesced mode only: burst boundaries, ascending. Exactly the
+    /// sequence numbers that got a header message; `max(bursts) == flushed`
+    /// whenever nonempty.
+    bursts: Vec<u8>,
 }
 
 impl State {
@@ -151,6 +176,8 @@ impl State {
             pending: None,
             app: AppPhase::Running,
             crashes_left: config.crash_budget,
+            flushed: 0,
+            bursts: Vec::new(),
         }
     }
 
@@ -189,7 +216,33 @@ fn successors(config: &ModelConfig, st: &State) -> Vec<Successor> {
                 continue;
             }
             let Some((d, s)) = peer.region else { continue };
-            let (nd, ns) = if bug == BugMode::SeqBeforeData {
+            let (nd, ns) = if config.coalesce {
+                // Coalesced submission: only flushed records are on the
+                // wire, and the per-peer post order is
+                // `d…d h(b1) d…d h(b2) …` with one header per burst,
+                // stamped with the burst boundary.
+                if bug == BugMode::SeqBeforeData {
+                    // Seeded bug: the burst's header is posted before the
+                    // burst's data.
+                    let boundary = st.bursts.iter().copied().filter(|&b| b > s).min();
+                    if s == d {
+                        match boundary {
+                            Some(b) => (d, b),
+                            None => continue,
+                        }
+                    } else if d < s {
+                        (d + 1, s)
+                    } else {
+                        continue;
+                    }
+                } else if st.bursts.contains(&d) && s < d {
+                    (d, d) // The burst-final header jumps seq to the boundary.
+                } else if d < st.flushed {
+                    (d + 1, s) // Next data message of a flushed burst.
+                } else {
+                    continue; // Staged records have no messages in flight.
+                }
+            } else if bug == BugMode::SeqBeforeData {
                 // Seeded bug: the sequence number lands first.
                 if s == d && s < st.issued {
                     (d, s + 1)
@@ -223,6 +276,16 @@ fn successors(config: &ModelConfig, st: &State) -> Vec<Successor> {
             let mut next = st.clone();
             next.issued += 1;
             out.push((format!("issue(w{})", st.issued + 1), next, None));
+        }
+
+        // --- Flush the staged burst (coalesced mode). Nondeterministic, so
+        // every partition of the issue stream into bursts is explored —
+        // this subsumes window-full, `wait_durable`, and `fsync` flushes. ---
+        if config.coalesce && st.flushed < st.issued {
+            let mut next = st.clone();
+            next.flushed = st.issued;
+            next.bursts.push(st.issued);
+            out.push((format!("flush(b{})", st.issued), next, None));
         }
 
         // --- Peer replacement (two steps whose order the bug flips). ---
@@ -261,6 +324,14 @@ fn successors(config: &ModelConfig, st: &State) -> Vec<Successor> {
             // Step: catch the candidate up from the local buffer.
             if !rep.caught_up && cand_alive {
                 let mut next = st.clone();
+                // The implementation flushes the staged burst before the
+                // catch-up write (catch-up stamps the header at the stage's
+                // tip, so everything staged must be on the wire for the
+                // surviving peers too).
+                if config.coalesce && next.flushed < next.issued {
+                    next.flushed = next.issued;
+                    next.bursts.push(next.issued);
+                }
                 next.peers[cand].region = Some((st.issued, st.issued));
                 next.pending = Some(Replacement {
                     caught_up: true,
@@ -304,6 +375,13 @@ fn successors(config: &ModelConfig, st: &State) -> Vec<Successor> {
         next.acked = max_seq;
         next.issued = max_seq;
         next.externalized = next.externalized.max(max_seq);
+        if config.coalesce {
+            // The recovered image defines a fresh stream: staged-but-lost
+            // records are gone and every live ap-map peer sits at
+            // `(max_seq, max_seq)`, so old burst boundaries are spent.
+            next.flushed = max_seq;
+            next.bursts.clear();
+        }
         out.push(("recover_catchup_and_resume".to_string(), next, None));
     }
 
@@ -383,6 +461,10 @@ fn successors(config: &ModelConfig, st: &State) -> Vec<Successor> {
                     next.acked = max_seq;
                     next.issued = max_seq;
                     next.externalized = next.externalized.max(max_seq);
+                    if config.coalesce {
+                        next.flushed = max_seq;
+                        next.bursts.clear();
+                    }
                 } else {
                     next.app = AppPhase::NeedCatchup { max_seq };
                 }
@@ -468,6 +550,15 @@ mod tests {
             bug,
             max_states: 0,
             window: 1,
+            coalesce: false,
+        }
+    }
+
+    fn coalesced(bug: BugMode) -> ModelConfig {
+        ModelConfig {
+            window: 2,
+            coalesce: true,
+            ..small(bug)
         }
     }
 
@@ -487,6 +578,7 @@ mod tests {
             bug: BugMode::None,
             max_states: 400_000,
             window: 1,
+            coalesce: false,
         };
         let result = check(&config);
         assert!(result.violation.is_none(), "{:?}", result.violation);
@@ -593,5 +685,55 @@ mod tests {
                 "{bug:?} must still be caught with pipelined records"
             );
         }
+    }
+
+    #[test]
+    fn coalesced_correct_protocol_has_no_violation() {
+        // Every partition of the issue stream into bursts, every crash
+        // point between a burst's data and its single header, every
+        // recovery quorum: the acked prefix must survive them all. A crash
+        // mid-burst may lose the un-headered tail — those records were
+        // never acknowledgeable, so that is not a violation.
+        let result = check(&coalesced(BugMode::None));
+        assert!(result.violation.is_none(), "{:?}", result.violation);
+    }
+
+    #[test]
+    fn coalesced_mode_still_catches_seeded_bugs() {
+        for bug in [
+            BugMode::SeqBeforeData,
+            BugMode::ApMapBeforeCatchup,
+            BugMode::NoCatchupOnRecovery,
+        ] {
+            let result = check(&coalesced(bug));
+            assert!(
+                result.violation.is_some(),
+                "{bug:?} must still be caught with coalesced headers"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesced_seq_before_data_advertises_unheld_data() {
+        // The coalesced variant of the seeded ordering bug posts a burst's
+        // header before the burst's data: a peer can advertise the burst
+        // boundary while holding none of its data writes — exactly the
+        // invariant clause 3 violation.
+        let result = check(&coalesced(BugMode::SeqBeforeData));
+        let v = result.violation.expect("bug must be found");
+        assert!(v.reason.contains("data"), "{}", v.reason);
+    }
+
+    #[test]
+    fn coalesced_mode_widens_exploration() {
+        let mut pipelined = small(BugMode::None);
+        pipelined.window = 2;
+        let baseline = check(&pipelined).states_explored;
+        let coalesced = check(&coalesced(BugMode::None)).states_explored;
+        assert!(
+            coalesced > baseline,
+            "burst-boundary nondeterminism must widen the state space \
+             ({coalesced} vs {baseline})"
+        );
     }
 }

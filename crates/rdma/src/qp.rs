@@ -22,25 +22,70 @@ use parking_lot::{Condvar, Mutex};
 use sim::{Cluster, LatencyModel, NodeId, SimError};
 
 use crate::device::{RdmaDevice, RemoteMr};
-use crate::types::{RKey, WcStatus, WorkCompletion, WrId};
+use crate::types::{WcStatus, WorkCompletion, WrId};
 
 static NEXT_QP_NUM: AtomicU32 = AtomicU32::new(1);
 
-enum WorkRequest {
+/// A work request, built by the caller and posted with
+/// [`QueuePair::post_many`] (or one of the single-WR convenience methods).
+///
+/// `WriteSg` is a scatter-gather WRITE: the source slices are gathered in
+/// order and applied contiguously starting at `offset`, as one work request
+/// with one completion — the verbs `sg_list` idiom that lets a burst of
+/// adjacent records ride a single WR.
+#[derive(Debug, Clone)]
+pub enum WorkRequest {
+    /// One-sided RDMA WRITE of `data` at `offset` within `mr`.
     Write {
         wr_id: WrId,
-        mr_id: u64,
-        rkey: RKey,
+        mr: RemoteMr,
         offset: usize,
         data: Bytes,
     },
+    /// One-sided RDMA WRITE gathering `slices` contiguously at `offset`.
+    WriteSg {
+        wr_id: WrId,
+        mr: RemoteMr,
+        offset: usize,
+        slices: Vec<Bytes>,
+    },
+    /// One-sided RDMA READ of `len` bytes at `offset` within `mr`; the data
+    /// arrives in the completion's `read_data`.
     Read {
         wr_id: WrId,
-        mr_id: u64,
-        rkey: RKey,
+        mr: RemoteMr,
         offset: usize,
         len: usize,
     },
+}
+
+impl WorkRequest {
+    /// The caller-assigned identifier echoed in the completion.
+    pub fn wr_id(&self) -> WrId {
+        match self {
+            WorkRequest::Write { wr_id, .. }
+            | WorkRequest::WriteSg { wr_id, .. }
+            | WorkRequest::Read { wr_id, .. } => *wr_id,
+        }
+    }
+
+    /// Bytes this request occupies on the wire (payload or read length).
+    fn wire_bytes(&self) -> usize {
+        match self {
+            WorkRequest::Write { data, .. } => data.len(),
+            WorkRequest::WriteSg { slices, .. } => slices.iter().map(Bytes::len).sum(),
+            WorkRequest::Read { len, .. } => *len,
+        }
+    }
+}
+
+/// What one channel send to the NIC engine carries: a lone work request or a
+/// doorbell batch. Single posts stay allocation-free; a batch moves its
+/// vector across in one send, which is the whole point of doorbell batching
+/// (one channel operation and one engine wakeup for N requests).
+enum Submission {
+    One(WorkRequest),
+    Many(Vec<WorkRequest>),
 }
 
 #[derive(Default)]
@@ -104,8 +149,14 @@ enum NicMode {
     /// in post order but lets a deep send queue achieve far higher
     /// throughput than one request per round trip — the behaviour NCL's
     /// pipelined `record_nowait` path exists to exploit.
+    /// A doorbell batch posted via [`QueuePair::post_many`] arrives as one
+    /// channel send: every request in the batch shares the batch's post
+    /// instant, each is charged its own serialization time back to back on
+    /// the wire, and the propagation delay overlaps across the whole batch —
+    /// so N batched requests cost N serializations but a single propagation
+    /// tail, while completions still appear one per request, in post order.
     Threaded {
-        sq: Sender<(Instant, WorkRequest)>,
+        sq: Sender<(Instant, Submission)>,
         engine: JoinHandle<()>,
     },
     /// Work requests execute synchronously at post time, in post order.
@@ -166,7 +217,7 @@ impl QueuePair {
                 latency,
             }
         } else {
-            let (tx, rx) = unbounded::<(Instant, WorkRequest)>();
+            let (tx, rx) = unbounded::<(Instant, Submission)>();
             let engine = spawn_engine(
                 qp_num,
                 cluster,
@@ -224,10 +275,27 @@ impl QueuePair {
     ) -> Result<(), SimError> {
         self.post(WorkRequest::Write {
             wr_id,
-            mr_id: mr.mr_id,
-            rkey: mr.rkey,
+            mr: *mr,
             offset,
             data,
+        })
+    }
+
+    /// Posts a scatter-gather WRITE: `slices` are gathered in order and
+    /// written contiguously starting at `offset` within `mr`, as a single
+    /// work request with a single completion.
+    pub fn post_write_sg(
+        &self,
+        wr_id: WrId,
+        mr: &RemoteMr,
+        offset: usize,
+        slices: Vec<Bytes>,
+    ) -> Result<(), SimError> {
+        self.post(WorkRequest::WriteSg {
+            wr_id,
+            mr: *mr,
+            offset,
+            slices,
         })
     }
 
@@ -242,17 +310,39 @@ impl QueuePair {
     ) -> Result<(), SimError> {
         self.post(WorkRequest::Read {
             wr_id,
-            mr_id: mr.mr_id,
-            rkey: mr.rkey,
+            mr: *mr,
             offset,
             len,
         })
     }
 
+    /// Posts a doorbell batch: all of `wrs` with one channel send and one
+    /// engine wakeup (one "doorbell ring"). Execution and completions keep
+    /// post order exactly as if the requests had been posted one by one; the
+    /// saving is the per-request posting overhead and, on the wire, a single
+    /// shared propagation tail (see [`NicMode::Threaded`]).
+    pub fn post_many(&self, wrs: &[WorkRequest]) -> Result<(), SimError> {
+        match wrs.len() {
+            0 => Ok(()),
+            1 => self.post(wrs[0].clone()),
+            _ => match self.mode.as_ref().expect("mode present until drop") {
+                NicMode::Threaded { sq, .. } => sq
+                    .send((Instant::now(), Submission::Many(wrs.to_vec())))
+                    .map_err(|_| SimError::ServiceStopped),
+                NicMode::Inline { .. } => {
+                    for wr in wrs {
+                        self.post(wr.clone())?;
+                    }
+                    Ok(())
+                }
+            },
+        }
+    }
+
     fn post(&self, wr: WorkRequest) -> Result<(), SimError> {
         match self.mode.as_ref().expect("mode present until drop") {
             NicMode::Threaded { sq, .. } => sq
-                .send((Instant::now(), wr))
+                .send((Instant::now(), Submission::One(wr)))
                 .map_err(|_| SimError::ServiceStopped),
             NicMode::Inline {
                 cluster,
@@ -300,7 +390,7 @@ fn spawn_engine(
     cluster: Cluster,
     local: NodeId,
     remote_dev: RdmaDevice,
-    rx: Receiver<(Instant, WorkRequest)>,
+    rx: Receiver<(Instant, Submission)>,
     cq: CompletionQueue,
     errored: Arc<AtomicBool>,
     latency: LatencyModel,
@@ -312,19 +402,18 @@ fn spawn_engine(
             // starts serializing at `max(wire_free, t)` and completes one
             // propagation delay after it leaves the wire, so back-to-back
             // requests overlap their propagation (pipelining) while staying
-            // in post order (`wire_free` is monotone).
+            // in post order (`wire_free` is monotone). A doorbell batch is
+            // one channel entry: its requests share the batch's post
+            // instant, serialize back to back, and each completes at its own
+            // point on the wire — N serializations, one overlapped
+            // propagation tail.
             let mut wire_free = Instant::now();
-            loop {
-                let (posted_at, wr) = match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(entry) => entry,
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                };
+            let run = |posted_at: Instant, wr: WorkRequest, wire_free: &mut Instant| {
                 let (wr_id, status, read_data) =
                     execute(&cluster, local, &remote_dev, &errored, wr, |bytes| {
                         let ser = Duration::from_nanos((latency.per_byte_ns * bytes as f64) as u64);
-                        wire_free = wire_free.max(posted_at) + ser;
-                        sim::delay_until(wire_free + latency.base);
+                        *wire_free = (*wire_free).max(posted_at) + ser;
+                        sim::delay_until(*wire_free + latency.base);
                     });
                 if status != WcStatus::Success {
                     errored.store(true, Ordering::SeqCst);
@@ -337,6 +426,21 @@ fn spawn_engine(
                         read_data,
                     },
                 );
+            };
+            loop {
+                let (posted_at, sub) = match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(entry) => entry,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                match sub {
+                    Submission::One(wr) => run(posted_at, wr, &mut wire_free),
+                    Submission::Many(wrs) => {
+                        for wr in wrs {
+                            run(posted_at, wr, &mut wire_free);
+                        }
+                    }
+                }
             }
         })
         .expect("spawn NIC engine")
@@ -350,10 +454,7 @@ fn execute(
     wr: WorkRequest,
     wait: impl FnOnce(usize),
 ) -> (WrId, WcStatus, Option<Bytes>) {
-    let (wr_id, bytes) = match &wr {
-        WorkRequest::Write { wr_id, data, .. } => (*wr_id, data.len()),
-        WorkRequest::Read { wr_id, len, .. } => (*wr_id, *len),
-    };
+    let (wr_id, bytes) = (wr.wr_id(), wr.wire_bytes());
     if errored.load(Ordering::SeqCst) {
         return (wr_id, WcStatus::FlushErr, None);
     }
@@ -362,26 +463,33 @@ fn execute(
     }
     // Time on the wire (serial charge in inline mode, an absolute completion
     // target in the pipelined threaded engine). A crash or partition during
-    // flight means the operation is not applied.
+    // flight means the operation is not applied. A scatter-gather write is
+    // one request: its slices serialize as one contiguous wire occupancy.
     wait(bytes);
     if cluster.can_reach(local, remote_dev.node()).is_err() {
         return (wr_id, WcStatus::RetryExceeded, None);
     }
     let result = match wr {
         WorkRequest::Write {
-            mr_id,
-            rkey,
-            offset,
-            data,
-            ..
-        } => remote_dev.apply_remote(mr_id, rkey, offset, Some(&data), 0),
+            mr, offset, data, ..
+        } => remote_dev.apply_remote(mr.mr_id, mr.rkey, offset, Some(&data), 0),
+        WorkRequest::WriteSg {
+            mr, offset, slices, ..
+        } => {
+            let mut at = offset;
+            let mut result = Ok(None);
+            for slice in &slices {
+                result = remote_dev.apply_remote(mr.mr_id, mr.rkey, at, Some(slice), 0);
+                if result.is_err() {
+                    break;
+                }
+                at += slice.len();
+            }
+            result
+        }
         WorkRequest::Read {
-            mr_id,
-            rkey,
-            offset,
-            len,
-            ..
-        } => remote_dev.apply_remote(mr_id, rkey, offset, None, len),
+            mr, offset, len, ..
+        } => remote_dev.apply_remote(mr.mr_id, mr.rkey, offset, None, len),
     };
     match result {
         Ok(read_data) => (wr_id, WcStatus::Success, read_data),
@@ -392,6 +500,7 @@ fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::RKey;
 
     fn setup() -> (Cluster, NodeId, RdmaDevice, NodeId) {
         let cluster = Cluster::new();
@@ -570,6 +679,159 @@ mod tests {
         qp.post_write(WrId(4), &mr, 0, Bytes::from_static(b"y"))
             .unwrap();
         assert_eq!(cq.poll()[0].1.status, WcStatus::FlushErr);
+    }
+
+    #[test]
+    fn post_many_executes_in_order_with_one_doorbell() {
+        let (cluster, app, dev, _peer) = setup();
+        let (local, mr) = dev.register_mr(1024).unwrap();
+        let cq = CompletionQueue::new();
+        let qp = QueuePair::connect(cluster, app, &dev, cq.clone(), LatencyModel::ZERO);
+        let wrs: Vec<WorkRequest> = (0..32u64)
+            .map(|i| WorkRequest::Write {
+                wr_id: WrId(i),
+                mr,
+                offset: (i as usize) * 8,
+                data: Bytes::from(i.to_le_bytes().to_vec()),
+            })
+            .chain(std::iter::once(WorkRequest::Read {
+                wr_id: WrId(99),
+                mr,
+                offset: 0,
+                len: 8,
+            }))
+            .collect();
+        qp.post_many(&wrs).unwrap();
+        let wcs = wait_n(&cq, 33);
+        let ids: Vec<u64> = wcs.iter().map(|(_, wc)| wc.wr_id.0).collect();
+        let expect: Vec<u64> = (0..32).chain(std::iter::once(99)).collect();
+        assert_eq!(ids, expect, "batch completions keep post order");
+        assert!(wcs.iter().all(|(_, wc)| wc.is_success()));
+        assert_eq!(local.read_local(8, 8).unwrap(), 1u64.to_le_bytes());
+        assert_eq!(
+            wcs[32].1.read_data.as_deref(),
+            Some(&0u64.to_le_bytes()[..])
+        );
+    }
+
+    #[test]
+    fn scatter_gather_write_lands_contiguously() {
+        let (cluster, app, dev, _peer) = setup();
+        let (local, mr) = dev.register_mr(64).unwrap();
+        let cq = CompletionQueue::new();
+        let qp = QueuePair::connect(cluster, app, &dev, cq.clone(), LatencyModel::ZERO);
+        qp.post_write_sg(
+            WrId(7),
+            &mr,
+            4,
+            vec![
+                Bytes::from_static(b"sp"),
+                Bytes::from_static(b"lit"),
+                Bytes::from_static(b"ft"),
+            ],
+        )
+        .unwrap();
+        let wcs = wait_n(&cq, 1);
+        assert_eq!(wcs.len(), 1, "one WR, one completion");
+        assert_eq!(wcs[0].1.wr_id, WrId(7));
+        assert!(wcs[0].1.is_success());
+        assert_eq!(local.read_local(4, 7).unwrap(), b"splitft");
+    }
+
+    #[test]
+    fn batch_failure_mid_batch_flushes_the_rest() {
+        let (cluster, app, dev, _peer) = setup();
+        let (_local, mr) = dev.register_mr(64).unwrap();
+        let bad = RemoteMr {
+            rkey: RKey(0xdead),
+            ..mr
+        };
+        let cq = CompletionQueue::new();
+        let qp = QueuePair::connect(cluster, app, &dev, cq.clone(), LatencyModel::ZERO);
+        let wrs = vec![
+            WorkRequest::Write {
+                wr_id: WrId(1),
+                mr,
+                offset: 0,
+                data: Bytes::from_static(b"a"),
+            },
+            WorkRequest::Write {
+                wr_id: WrId(2),
+                mr: bad,
+                offset: 0,
+                data: Bytes::from_static(b"b"),
+            },
+            WorkRequest::Write {
+                wr_id: WrId(3),
+                mr,
+                offset: 0,
+                data: Bytes::from_static(b"c"),
+            },
+        ];
+        qp.post_many(&wrs).unwrap();
+        let wcs = wait_n(&cq, 3);
+        assert_eq!(wcs[0].1.status, WcStatus::Success);
+        assert_eq!(wcs[1].1.status, WcStatus::RemoteAccessErr);
+        assert_eq!(wcs[2].1.status, WcStatus::FlushErr);
+        assert!(qp.is_errored());
+    }
+
+    #[test]
+    fn inline_post_many_matches_threaded_semantics() {
+        let (cluster, app, dev, _peer) = setup();
+        let (local, mr) = dev.register_mr(64).unwrap();
+        let cq = CompletionQueue::new();
+        let qp =
+            QueuePair::connect_with_mode(cluster, app, &dev, cq.clone(), LatencyModel::ZERO, true);
+        let wrs = vec![
+            WorkRequest::Write {
+                wr_id: WrId(1),
+                mr,
+                offset: 0,
+                data: Bytes::from_static(b"ab"),
+            },
+            WorkRequest::WriteSg {
+                wr_id: WrId(2),
+                mr,
+                offset: 2,
+                slices: vec![Bytes::from_static(b"cd"), Bytes::from_static(b"ef")],
+            },
+        ];
+        qp.post_many(&wrs).unwrap();
+        let wcs = cq.poll();
+        assert_eq!(wcs.len(), 2);
+        assert!(wcs.iter().all(|(_, wc)| wc.is_success()));
+        assert_eq!(local.read_local(0, 6).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn doorbell_batch_overlaps_propagation() {
+        // 8 batched requests pay one overlapped propagation tail, not 8
+        // round trips: with base = 200 µs and no bandwidth term the batch
+        // must finish far sooner than 8 × base.
+        let (cluster, app, dev, _peer) = setup();
+        let (_local, mr) = dev.register_mr(1024).unwrap();
+        let cq = CompletionQueue::new();
+        let lat = LatencyModel::from_nanos(200_000, 0.0, 0.0);
+        let qp = QueuePair::connect(cluster, app, &dev, cq.clone(), lat);
+        let wrs: Vec<WorkRequest> = (0..8u64)
+            .map(|i| WorkRequest::Write {
+                wr_id: WrId(i),
+                mr,
+                offset: (i as usize) * 8,
+                data: Bytes::from(i.to_le_bytes().to_vec()),
+            })
+            .collect();
+        let sw = sim::Stopwatch::start();
+        qp.post_many(&wrs).unwrap();
+        let wcs = wait_n(&cq, 8);
+        let elapsed = sw.elapsed();
+        assert!(wcs.iter().all(|(_, wc)| wc.is_success()));
+        assert!(elapsed >= Duration::from_micros(200), "base is charged");
+        assert!(
+            elapsed < Duration::from_micros(8 * 200),
+            "propagation must overlap across the batch, took {elapsed:?}"
+        );
     }
 
     #[test]

@@ -555,6 +555,17 @@ impl File {
         }
     }
 
+    /// Flushes any staged (pipelined) NCL records to the NIC — one doorbell
+    /// batch per peer — without waiting for durability. Lets a caller start
+    /// a group's replication and overlap it with other work before the
+    /// [`File::fsync`] barrier. A no-op for non-NCL backends and for
+    /// synchronous NCL handles (nothing is ever staged there).
+    pub fn submit(&self) {
+        if let Backend::Ncl(f) = &self.backend {
+            f.submit();
+        }
+    }
+
     /// Durability barrier. Mode-dependent: strong flushes to the DFS, weak
     /// is a no-op, local flushes to "disk". For NCL files this waits until
     /// every issued record is durable — a no-op after synchronous writes,

@@ -113,6 +113,7 @@ fn facade_crate_reexports_compile_and_work() {
         bug: splitft::modelcheck::BugMode::None,
         max_states: 10_000,
         window: 1,
+        coalesce: false,
     });
     assert!(result.violation.is_none());
 }
