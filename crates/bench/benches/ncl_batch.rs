@@ -16,12 +16,17 @@
 //! contiguous, so each burst's data WRs merge into one scatter-gather WR.
 //!
 //! Asserts coalesced beats per-record at every burst ≥ 4, with ≥1.3x
-//! throughput at burst 16 (the acceptance bar). Emits `BENCH_ncl_batch.json`
-//! at the repo root for CI trend tracking.
+//! throughput at burst 16 (the acceptance bar). Two telemetry measurements
+//! ride along: an on/off overhead gate (the instrumented record path must
+//! keep ≥90% of the uninstrumented throughput) and a per-stage latency
+//! breakdown at burst 16 emitted as `stage_breakdown`. Emits
+//! `BENCH_ncl_batch.json` at the repo root for CI trend tracking.
 
+use bench::{BenchJson, NCL_STAGES};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ncl::NclLib;
 use splitfs::{Testbed, TestbedConfig};
+use telemetry::Telemetry;
 
 const RECORD_SIZE: usize = 32;
 const BATCH: u64 = 64;
@@ -32,7 +37,7 @@ const CAPACITY: usize = 32 << 20;
 /// so burst size is the only variable the sweep changes.
 const WINDOW: u64 = 256;
 
-fn batch_lib(tb: &Testbed, coalesce: bool, tag: &str) -> NclLib {
+fn batch_lib(tb: &Testbed, coalesce: bool, tag: &str, telemetry: Telemetry) -> NclLib {
     let mut config = tb.config().ncl.clone();
     // Threaded NIC with a slow fabric (100 µs propagation, 100 ns/B): work
     // requests spend their modelled latency genuinely on the wire, and the
@@ -43,6 +48,7 @@ fn batch_lib(tb: &Testbed, coalesce: bool, tag: &str) -> NclLib {
     config.rdma = sim::LatencyModel::from_nanos(100_000, 0.08, 0.0);
     config.pipeline_window = WINDOW;
     config.coalesce_headers = coalesce;
+    config.telemetry = telemetry;
     let node = tb.add_app_node(tag);
     NclLib::new(&tb.cluster, node, tag, config, &tb.controller, &tb.registry).unwrap()
 }
@@ -58,7 +64,7 @@ fn burst_sweep(c: &mut Criterion) {
         for coalesce in [true, false] {
             let mode = if coalesce { "coalesced" } else { "per_record" };
             let tag = format!("bench-batch-{mode}-{burst}");
-            let lib = batch_lib(&tb, coalesce, &tag);
+            let lib = batch_lib(&tb, coalesce, &tag, tb.config().ncl.telemetry.clone());
             let file = lib.create("wal", CAPACITY).unwrap();
             let mut offset = 0usize;
             group.throughput(Throughput::Elements(BATCH));
@@ -114,30 +120,125 @@ fn burst_sweep(c: &mut Criterion) {
     }
 }
 
-fn emit_json(c: &mut Criterion) {
-    let mut out = String::from("{\n  \"bench\": \"ncl_batch\",\n  \"results\": [\n");
-    let rows: Vec<String> = c
-        .measurements()
-        .iter()
-        .map(|m| {
-            format!(
-                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"per_second\": {:.1}}}",
-                m.id,
-                m.mean_ns,
-                m.per_second().unwrap_or(0.0)
-            )
-        })
-        .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    // Deterministic location: the repo root, regardless of the harness's
-    // working directory (cargo bench runs with cwd = the crate directory).
-    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ncl_batch.json").to_string()
-    });
-    std::fs::write(&path, out).expect("write bench json");
-    println!("ncl_batch: wrote {path}");
+/// The telemetry-overhead smoke gate: the same burst-16 coalesced workload
+/// with the instrumented record path (spans, flight tracking, counters) and
+/// with telemetry disabled (every handle dead, no flights kept). The
+/// instrumented run must keep ≥90% of the uninstrumented throughput — the
+/// "always-on telemetry" promise CI holds the line on.
+fn telemetry_overhead(c: &mut Criterion) {
+    let tb = Testbed::start(TestbedConfig::calibrated(3));
+    let mut group = c.benchmark_group("ncl_batch");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let data = vec![0x5Au8; RECORD_SIZE];
+    for enabled in [true, false] {
+        let mode = if enabled {
+            "telemetry_on"
+        } else {
+            "telemetry_off"
+        };
+        let telemetry = if enabled {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
+        let tag = format!("bench-batch-{mode}");
+        let lib = batch_lib(&tb, true, &tag, telemetry);
+        let file = lib.create("wal", CAPACITY).unwrap();
+        let mut offset = 0usize;
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(mode, |b| {
+            b.iter(|| {
+                for i in 0..BATCH {
+                    if offset + RECORD_SIZE > CAPACITY {
+                        offset = 0;
+                    }
+                    file.record_nowait(offset as u64, &data).unwrap();
+                    offset += RECORD_SIZE;
+                    if (i + 1) % 16 == 0 {
+                        file.submit();
+                    }
+                }
+            });
+        });
+        file.fsync().unwrap();
+        file.release().unwrap();
+    }
+    group.finish();
+
+    let per_second = |mode: &str| -> f64 {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == format!("ncl_batch/{mode}"))
+            .and_then(|m| m.per_second())
+            .expect("measurement present")
+    };
+    let ratio = per_second("telemetry_on") / per_second("telemetry_off");
+    println!("ncl_batch: telemetry on/off throughput ratio = {ratio:.3}");
+    assert!(
+        ratio >= 0.9,
+        "telemetry overhead gate: instrumented throughput fell below 90% of \
+         the uninstrumented baseline (ratio {ratio:.3})"
+    );
 }
 
-criterion_group!(benches, burst_sweep, emit_json);
+/// One clean burst-16 run against a private telemetry handle, returning the
+/// per-stage latency snapshot for the `stage_breakdown` JSON section.
+fn collect_stage_breakdown(tb: &Testbed) -> telemetry::TelemetrySnapshot {
+    let telemetry = Telemetry::new();
+    let lib = batch_lib(tb, true, "bench-batch-breakdown", telemetry.clone());
+    let file = lib.create("wal", CAPACITY).unwrap();
+    let data = vec![0x5Au8; RECORD_SIZE];
+    let mut offset = 0usize;
+    for i in 0..(BATCH * 8) {
+        if offset + RECORD_SIZE > CAPACITY {
+            offset = 0;
+        }
+        file.record_nowait(offset as u64, &data).unwrap();
+        offset += RECORD_SIZE;
+        if (i + 1) % 16 == 0 {
+            file.submit();
+        }
+    }
+    file.fsync().unwrap();
+    file.release().unwrap();
+    let snap = telemetry.snapshot();
+
+    // The four stages partition the end-to-end interval by construction
+    // (shared boundary timestamps), so their means must re-add to the e2e
+    // mean. A drift beyond 20% means a span boundary moved or a stage is
+    // dropping samples.
+    let mean = |name: &str| -> f64 { snap.summary(name).map(|s| s.mean_ns).unwrap_or(0.0) };
+    for stage in NCL_STAGES {
+        let count = snap.summary(stage).map(|s| s.count).unwrap_or(0);
+        assert!(count > 0, "stage histogram {stage} is empty");
+    }
+    let sum = mean("ncl.record.stage")
+        + mean("ncl.record.doorbell")
+        + mean("ncl.record.wire")
+        + mean("ncl.record.ack");
+    let e2e = mean("ncl.record.e2e");
+    let drift = (sum - e2e).abs() / e2e;
+    println!("ncl_batch: stage-sum {sum:.0} ns vs e2e {e2e:.0} ns (drift {drift:.3})");
+    assert!(
+        drift <= 0.2,
+        "stage means must re-add to the e2e mean within 20% \
+         (sum {sum:.0} ns, e2e {e2e:.0} ns)"
+    );
+    snap
+}
+
+fn emit_json(c: &mut Criterion) {
+    let tb = Testbed::start(TestbedConfig::calibrated(3));
+    let snap = collect_stage_breakdown(&tb);
+    let mut json = BenchJson::new("ncl_batch");
+    for m in c.measurements() {
+        json.result(&m.id, m.mean_ns, m.per_second().unwrap_or(0.0));
+    }
+    json.stage_breakdown(&snap, &NCL_STAGES);
+    json.write();
+}
+
+criterion_group!(benches, burst_sweep, telemetry_overhead, emit_json);
 criterion_main!(benches);

@@ -23,9 +23,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bench::{BenchJson, NCL_STAGES};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ncl::NclLib;
 use splitfs::{Testbed, TestbedConfig};
+use telemetry::Telemetry;
 
 struct CountingAlloc;
 
@@ -59,8 +61,9 @@ const RECORD_SIZE: usize = 128;
 const BATCH: u64 = 64;
 const CAPACITY: usize = 32 << 20;
 
-fn pipeline_lib(tb: &Testbed, window: u64) -> NclLib {
+fn pipeline_lib(tb: &Testbed, window: u64, tag: &str, telemetry: Telemetry) -> NclLib {
     let mut config = tb.config().ncl.clone();
+    config.telemetry = telemetry;
     // Threaded NIC: work requests spend their modelled latency genuinely in
     // flight, which is what a deeper window overlaps. (The inline NIC
     // executes at post time, where pipelining cannot help by construction.)
@@ -74,16 +77,8 @@ fn pipeline_lib(tb: &Testbed, window: u64) -> NclLib {
     // effect pipelining exists to exploit — rather than scheduler jitter.
     config.rdma = sim::LatencyModel::from_nanos(100_000, 25.0, 0.0);
     config.pipeline_window = window;
-    let node = tb.add_app_node(&format!("bench-pipe-{window}"));
-    NclLib::new(
-        &tb.cluster,
-        node,
-        &format!("bench-pipe-{window}"),
-        config,
-        &tb.controller,
-        &tb.registry,
-    )
-    .unwrap()
+    let node = tb.add_app_node(tag);
+    NclLib::new(&tb.cluster, node, tag, config, &tb.controller, &tb.registry).unwrap()
 }
 
 fn window_sweep(c: &mut Criterion) {
@@ -94,7 +89,12 @@ fn window_sweep(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     let data = vec![0xA5u8; RECORD_SIZE];
     for window in [1u64, 2, 4, 8, 16] {
-        let lib = pipeline_lib(&tb, window);
+        let lib = pipeline_lib(
+            &tb,
+            window,
+            &format!("bench-pipe-{window}"),
+            tb.config().ncl.telemetry.clone(),
+        );
         let file = lib.create("wal", CAPACITY).unwrap();
         let mut offset = 0usize;
         group.throughput(Throughput::Elements(BATCH));
@@ -179,30 +179,42 @@ fn allocation_count(c: &mut Criterion) {
     let _ = c; // Allocation check is an assertion, not a timing measurement.
 }
 
+/// One clean window-16 pipelined run against a private telemetry handle,
+/// returning the per-stage latency snapshot for the `stage_breakdown` JSON
+/// section. The stage/doorbell/wire/ack spans partition the end-to-end
+/// interval by construction, so their means must re-add to the e2e mean.
+fn collect_stage_breakdown(tb: &Testbed) -> telemetry::TelemetrySnapshot {
+    let telemetry = Telemetry::new();
+    let lib = pipeline_lib(tb, 16, "bench-pipe-breakdown", telemetry.clone());
+    let file = lib.create("wal", CAPACITY).unwrap();
+    let data = vec![0xA5u8; RECORD_SIZE];
+    let mut offset = 0usize;
+    for _ in 0..(BATCH * 8) {
+        if offset + RECORD_SIZE > CAPACITY {
+            offset = 0;
+        }
+        file.record_nowait(offset as u64, &data).unwrap();
+        offset += RECORD_SIZE;
+    }
+    file.fsync().unwrap();
+    file.release().unwrap();
+    let snap = telemetry.snapshot();
+    for stage in NCL_STAGES {
+        let count = snap.summary(stage).map(|s| s.count).unwrap_or(0);
+        assert!(count > 0, "stage histogram {stage} is empty");
+    }
+    snap
+}
+
 fn emit_json(c: &mut Criterion) {
-    let mut out = String::from("{\n  \"bench\": \"ncl_pipeline\",\n  \"results\": [\n");
-    let rows: Vec<String> = c
-        .measurements()
-        .iter()
-        .map(|m| {
-            format!(
-                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"per_second\": {:.1}}}",
-                m.id,
-                m.mean_ns,
-                m.per_second().unwrap_or(0.0)
-            )
-        })
-        .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    // Deterministic location: the repo root, regardless of the harness's
-    // working directory (cargo bench runs with cwd = the crate directory,
-    // which previously left the JSON stranded in `crates/bench/`).
-    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ncl_pipeline.json").to_string()
-    });
-    std::fs::write(&path, out).expect("write bench json");
-    println!("ncl_pipeline: wrote {path}");
+    let tb = Testbed::start(TestbedConfig::calibrated(3));
+    let snap = collect_stage_breakdown(&tb);
+    let mut json = BenchJson::new("ncl_pipeline");
+    for m in c.measurements() {
+        json.result(&m.id, m.mean_ns, m.per_second().unwrap_or(0.0));
+    }
+    json.stage_breakdown(&snap, &NCL_STAGES);
+    json.write();
 }
 
 criterion_group!(benches, window_sweep, allocation_count, emit_json);

@@ -23,10 +23,11 @@
 //! burst — showing what the posting-side batching is worth on top of the
 //! window overlap.
 
-use bench::{calibrated_testbed, f1, header, quick, row};
+use bench::{calibrated_testbed, f1, header, quick, row, NCL_STAGES};
 use ncl::NclLib;
 use sim::Stopwatch;
 use splitfs::{Mode, OpenOptions};
+use telemetry::Telemetry;
 
 fn main() {
     let tb = calibrated_testbed();
@@ -140,6 +141,53 @@ fn main() {
             f1(b4_us),
             f1(b16_us),
         ]);
+    }
+
+    // Where does an NCL record's latency go? One telemetry-instrumented
+    // 128 B pipelined run (threaded NIC, window 16), decomposed into the
+    // staging / doorbell / wire / ack spans the record path stamps.
+    let telemetry = Telemetry::new();
+    let mut config = tb.config().ncl.clone();
+    config.inline_nic = false;
+    config.pipeline_window = 16;
+    config.telemetry = telemetry.clone();
+    let node = tb.add_app_node("fig8-breakdown");
+    let ncl = NclLib::new(
+        &tb.cluster,
+        node,
+        "fig8-breakdown",
+        config,
+        &tb.controller,
+        &tb.registry,
+    )
+    .unwrap();
+    let data = vec![0xABu8; 128];
+    let ops = if quick() { 500 } else { 2_000 };
+    let file = ncl.create("bench", ops * 128).unwrap();
+    for i in 0..ops {
+        file.record_nowait((i * 128) as u64, &data).unwrap();
+    }
+    file.fsync().unwrap();
+    file.release().unwrap();
+    let snap = telemetry.snapshot();
+    header("NCL per-record stage breakdown @128B, window 16 (µs)");
+    row(&[
+        "stage".into(),
+        "count".into(),
+        "mean".into(),
+        "p50".into(),
+        "p99".into(),
+    ]);
+    for stage in NCL_STAGES {
+        if let Some(s) = snap.summary(stage) {
+            row(&[
+                stage.trim_start_matches("ncl.record.").to_string(),
+                s.count.to_string(),
+                f1(s.mean_ns / 1e3),
+                f1(s.p50_ns as f64 / 1e3),
+                f1(s.p99_ns as f64 / 1e3),
+            ]);
+        }
     }
 
     println!(

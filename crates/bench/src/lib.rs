@@ -176,6 +176,107 @@ pub fn human_bytes(b: f64) -> String {
     }
 }
 
+/// Schema version stamped into every `BENCH_*.json`. Bump when the file
+/// layout changes so trend-tracking tooling can dispatch on it. Version 2
+/// added `schema_version` itself and the `stage_breakdown` section.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Builder for the `BENCH_<name>.json` files the criterion benches emit for
+/// CI trend tracking. Produces one schema-versioned JSON object and writes
+/// it atomically (temp file + rename), so a bench killed mid-emit can never
+/// leave a truncated file for CI to choke on.
+pub struct BenchJson {
+    bench: String,
+    results: Vec<String>,
+    sections: Vec<(String, String)>,
+}
+
+impl BenchJson {
+    /// Starts a report for the bench called `bench`.
+    pub fn new(bench: &str) -> Self {
+        BenchJson {
+            bench: bench.to_string(),
+            results: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement row.
+    pub fn result(&mut self, id: &str, mean_ns: f64, per_second: f64) {
+        self.results.push(format!(
+            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}, \"per_second\": {per_second:.1}}}"
+        ));
+    }
+
+    /// Adds an extra top-level section. `value` must be rendered JSON.
+    pub fn section(&mut self, key: &str, value: String) {
+        self.sections.push((key.to_string(), value));
+    }
+
+    /// Adds a `stage_breakdown` section: per-stage latency summaries pulled
+    /// from a telemetry snapshot, keyed by histogram name.
+    pub fn stage_breakdown(&mut self, snap: &telemetry::TelemetrySnapshot, names: &[&str]) {
+        let entries: Vec<String> = names
+            .iter()
+            .filter_map(|name| {
+                snap.summary(name)
+                    .map(|s| format!("    \"{name}\": {}", s.to_json()))
+            })
+            .collect();
+        self.section(
+            "stage_breakdown",
+            format!("{{\n{}\n  }}", entries.join(",\n")),
+        );
+    }
+
+    /// Renders the complete JSON document.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"{}\",\n  \"results\": [\n{}\n  ]",
+            self.bench,
+            self.results.join(",\n")
+        );
+        for (key, value) in &self.sections {
+            out.push_str(&format!(",\n  \"{key}\": {value}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the report to `path` atomically: the document lands in a
+    /// sibling temp file first and is renamed into place, so readers only
+    /// ever observe a complete file.
+    pub fn write_to(&self, path: &str) {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, self.render()).expect("write bench json temp");
+        std::fs::rename(&tmp, path).expect("rename bench json into place");
+        println!("{}: wrote {path}", self.bench);
+    }
+
+    /// Writes to `BENCH_JSON_PATH` if set, else `BENCH_<bench>.json` at the
+    /// repo root (deterministic regardless of the harness's working
+    /// directory — cargo bench runs with cwd = the crate directory).
+    pub fn write(&self) {
+        let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+            format!(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
+                self.bench
+            )
+        });
+        self.write_to(&path);
+    }
+}
+
+/// The per-record NCL span histograms, in lifecycle order. `e2e` is the
+/// whole submit-to-majority-durable interval; the first four partition it.
+pub const NCL_STAGES: [&str; 5] = [
+    "ncl.record.stage",
+    "ncl.record.doorbell",
+    "ncl.record.wire",
+    "ncl.record.ack",
+    "ncl.record.e2e",
+];
+
 /// Percentile of a sorted `u64` slice.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -213,5 +314,70 @@ mod tests {
         assert_eq!(human_bytes(2048.0), "2.0KB");
         assert_eq!(human_bytes(3.5e6), "3.5MB");
         assert_eq!(human_bytes(2e9), "2.0GB");
+    }
+
+    #[test]
+    fn bench_json_renders_schema_results_and_sections() {
+        let mut json = BenchJson::new("demo");
+        json.result("demo/1", 1234.5, 1_000_000.0);
+        json.result("demo/2", 2469.0, 500_000.0);
+        json.section("extra", "{\"k\": 1}".to_string());
+        let body = json.render();
+        assert!(body.starts_with(&format!(
+            "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},"
+        )));
+        assert!(body.contains("\"bench\": \"demo\""));
+        assert!(body.contains("\"id\": \"demo/1\", \"mean_ns\": 1234.5"));
+        assert!(body.contains("\"extra\": {\"k\": 1}"));
+        assert!(body.ends_with("}\n"));
+    }
+
+    #[test]
+    fn bench_json_write_is_atomic() {
+        let dir = std::env::temp_dir().join("splitft-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let path_str = path.to_str().unwrap();
+        let mut json = BenchJson::new("demo");
+        json.result("demo/1", 1.0, 2.0);
+        json.write_to(path_str);
+        // The temp file must be renamed away, and the target complete.
+        assert!(!path.with_extension("json.tmp").exists());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, json.render());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The checked-in trend files must carry the current schema and a
+    /// populated per-stage breakdown — CI's guard against a bench run that
+    /// silently stopped exporting telemetry.
+    #[test]
+    fn checked_in_bench_jsons_carry_stage_breakdown() {
+        for bench in ["ncl_pipeline", "ncl_batch"] {
+            let path = format!(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
+                bench
+            );
+            let body =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"));
+            assert!(
+                body.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")),
+                "{bench}: wrong or missing schema_version"
+            );
+            assert!(
+                body.contains("\"stage_breakdown\""),
+                "{bench}: no stage_breakdown section"
+            );
+            for stage in NCL_STAGES {
+                let line = body
+                    .lines()
+                    .find(|l| l.contains(&format!("\"{stage}\"")))
+                    .unwrap_or_else(|| panic!("{bench}: no {stage} in stage_breakdown"));
+                assert!(
+                    !line.contains("\"count\": 0,"),
+                    "{bench}: {stage} summary is empty: {line}"
+                );
+            }
+        }
     }
 }

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use sim::LatencyModel;
+use telemetry::Telemetry;
 
 /// How many peers must complete a record before it is acknowledged.
 ///
@@ -66,6 +67,12 @@ pub struct NclConfig {
     /// profile enables it; the zero (testing) profile keeps the more
     /// adversarial threaded NIC.
     pub inline_nic: bool,
+    /// Observability handle. Every component wired from one config — files,
+    /// peers, controller, registry — reports into the same registry and
+    /// event trace, so one snapshot covers a whole deployment. Cloning the
+    /// config shares the handle. [`Telemetry::disabled`] turns all
+    /// instrumentation into no-ops (the overhead-gate baseline).
+    pub telemetry: Telemetry,
 }
 
 impl NclConfig {
@@ -84,6 +91,7 @@ impl NclConfig {
             pipeline_window: 8,
             coalesce_headers: true,
             inline_nic: true,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -102,6 +110,7 @@ impl NclConfig {
             pipeline_window: 8,
             coalesce_headers: true,
             inline_nic: false,
+            telemetry: Telemetry::new(),
         }
     }
 

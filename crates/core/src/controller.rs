@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use sim::{Cluster, NodeId, RpcClient, RpcServer, SimError};
+use telemetry::{events, Telemetry};
 
 use crate::NclError;
 
@@ -151,6 +152,9 @@ struct CtrlState {
     /// Epoch high-water marks, surviving entry deletion.
     epochs: HashMap<(String, String), u64>,
     locks: HashMap<String, NodeId>,
+    /// Event trace for ap-map transitions (the control-plane history the
+    /// paper reads off ZooKeeper's znode log).
+    telemetry: Telemetry,
 }
 
 /// Handle to a running controller service.
@@ -165,6 +169,13 @@ impl Controller {
     /// The node is registered by this call; the simulation does not crash it
     /// (the paper assumes a fault-tolerant ZooKeeper ensemble).
     pub fn start(cluster: &Cluster) -> Self {
+        Self::start_with_telemetry(cluster, Telemetry::disabled())
+    }
+
+    /// Starts the controller with an explicit telemetry handle, so ap-map
+    /// transitions land in the same event trace as the application's file
+    /// and peer events (pass the deployment's shared handle).
+    pub fn start_with_telemetry(cluster: &Cluster, telemetry: Telemetry) -> Self {
         let node = cluster.add_node("ncl-controller");
         let cluster2 = cluster.clone();
         let mut st = CtrlState {
@@ -172,6 +183,7 @@ impl Controller {
             entries: HashMap::new(),
             epochs: HashMap::new(),
             locks: HashMap::new(),
+            telemetry,
         };
         let server = RpcServer::spawn(cluster.clone(), node, "controller", move |req| {
             handle(&cluster2, &mut st, req)
@@ -234,13 +246,26 @@ fn handle(cluster: &Cluster, st: &mut CtrlState, req: CtrlReq) -> CtrlResp {
             if epoch <= hw {
                 return CtrlResp::Rejected(format!("stale epoch {epoch} (high-water {hw})"));
             }
+            st.telemetry.event(
+                events::AP_MAP_UPDATE,
+                &format!("{}/{}", key.0, key.1),
+                epoch,
+                format!("peers=[{}]", peers.join(", ")),
+            );
             st.epochs.insert(key.clone(), epoch);
             st.entries.insert(key, ApEntry { peers, epoch });
             CtrlResp::Ok
         }
         CtrlReq::GetApEntry { app, file } => CtrlResp::Entry(st.entries.get(&(app, file)).cloned()),
         CtrlReq::DeleteApEntry { app, file } => {
-            st.entries.remove(&(app, file));
+            if let Some(old) = st.entries.remove(&(app.clone(), file.clone())) {
+                st.telemetry.event(
+                    events::AP_MAP_DELETE,
+                    &format!("{app}/{file}"),
+                    old.epoch,
+                    "entry removed (epoch high-water retained)",
+                );
+            }
             CtrlResp::Ok
         }
         CtrlReq::ListAppFiles { app } => {

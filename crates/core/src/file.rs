@@ -86,6 +86,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WorkCompletion, WorkRequest, WrId};
 use sim::{Cluster, NodeId, Stopwatch};
+use telemetry::{events, Counter, HistHandle, Telemetry};
 
 use crate::config::{AckPolicy, NclConfig};
 use crate::controller::{Controller, ControllerClient};
@@ -128,6 +129,89 @@ pub struct RepairStats {
     pub catch_up: Duration,
     /// Updating the ap-map on the controller.
     pub update_ap_map: Duration,
+}
+
+/// Why a staged burst was posted to the peers — each flush site increments
+/// its own counter, so ablation runs can see which trigger dominates.
+#[derive(Clone, Copy)]
+enum FlushReason {
+    /// The application rang the doorbell explicitly ([`NclFile::submit`]).
+    Submit,
+    /// The pending burst reached the pipeline window.
+    WindowFull,
+    /// A durability barrier needed a record still sitting in the burst.
+    Barrier,
+    /// Peer replacement froze the image (replace-implies-flush).
+    Replace,
+}
+
+/// Per-file metric handles, interned once at open so the record hot path
+/// never touches the registry. The span histograms decompose a record's
+/// lifetime into consecutive segments — `stage` (staging the wire image) →
+/// `doorbell` (staged, waiting for a flush) → `wire` (posted until the first
+/// peer completes it) → `ack` (first peer until the quorum watermark passes
+/// it) — so their means sum to the `e2e` mean by construction.
+struct FileMetrics {
+    /// Cached `telemetry.is_enabled()`: gates the per-record timestamping
+    /// and flight bookkeeping behind one branch.
+    enabled: bool,
+    tel: Telemetry,
+    stage: HistHandle,
+    doorbell: HistHandle,
+    wire: HistHandle,
+    ack: HistHandle,
+    e2e: HistHandle,
+    flush_submit: Counter,
+    flush_window_full: Counter,
+    flush_barrier: Counter,
+    flush_replace: Counter,
+    /// Header WRs posted in the per-record fallback (`coalesce_headers`
+    /// off) — the silent cost of the ablation.
+    hdr_per_record: Counter,
+    /// `record_nowait` entered its barrier with the window full and the
+    /// oldest in-flight record not yet durable.
+    window_stall: Counter,
+}
+
+impl FileMetrics {
+    fn new(tel: &Telemetry) -> Arc<Self> {
+        Arc::new(FileMetrics {
+            enabled: tel.is_enabled(),
+            tel: tel.clone(),
+            stage: tel.histogram("ncl.record.stage"),
+            doorbell: tel.histogram("ncl.record.doorbell"),
+            wire: tel.histogram("ncl.record.wire"),
+            ack: tel.histogram("ncl.record.ack"),
+            e2e: tel.histogram("ncl.record.e2e"),
+            flush_submit: tel.counter("ncl.flush.submit"),
+            flush_window_full: tel.counter("ncl.flush.window_full"),
+            flush_barrier: tel.counter("ncl.flush.barrier"),
+            flush_replace: tel.counter("ncl.flush.replace"),
+            hdr_per_record: tel.counter("ncl.header.per_record"),
+            window_stall: tel.counter("ncl.window.stall"),
+        })
+    }
+
+    fn count_flush(&self, reason: FlushReason) {
+        match reason {
+            FlushReason::Submit => self.flush_submit.inc(),
+            FlushReason::WindowFull => self.flush_window_full.inc(),
+            FlushReason::Barrier => self.flush_barrier.inc(),
+            FlushReason::Replace => self.flush_replace.inc(),
+        }
+    }
+}
+
+/// Lifecycle timestamps of one posted-but-not-yet-acked record; keyed by
+/// sequence number in [`Rep::flights`] and retired when the durability
+/// watermark passes it. Bounded by the pipeline window.
+struct Flight {
+    /// `record_nowait` entry.
+    t0: Instant,
+    /// Doorbell time (posted to the peers).
+    posted: Instant,
+    /// First peer whose header completion covered this record.
+    first_peer: Option<Instant>,
 }
 
 /// Handle to the NCL layer for one application instance.
@@ -181,6 +265,12 @@ impl NclLib {
         &self.ctx.config
     }
 
+    /// The telemetry handle shared by every file opened through this
+    /// instance (same handle as `config().telemetry`).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ctx.config.telemetry
+    }
+
     /// True when `(app, file)` has NCL state to recover.
     pub fn exists(&self, file: &str) -> Result<bool, NclError> {
         Ok(self
@@ -216,10 +306,12 @@ impl NclLib {
         let names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
+        let metrics = FileMetrics::new(&ctx.config.telemetry);
         Ok(NclFile {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
             capacity,
+            metrics: Arc::clone(&metrics),
             stage: Mutex::new(Stage {
                 buffer: vec![0; capacity],
                 len: 0,
@@ -234,6 +326,7 @@ impl NclLib {
                 epoch,
                 0,
                 false,
+                metrics,
                 RecoveryStats::default(),
             )),
         })
@@ -245,6 +338,7 @@ impl NclLib {
     pub fn recover(&self, file: &str) -> Result<NclFile, NclError> {
         let ctx = &*self.ctx;
         let mut stats = RecoveryStats::default();
+        let scope = format!("{}/{}", ctx.app_id, file);
 
         // Phase 1: ap-map from the controller.
         let sw = Stopwatch::start();
@@ -253,6 +347,12 @@ impl NclLib {
             .get_ap_entry(ctx.node, &ctx.app_id, file)?
             .ok_or_else(|| NclError::NotFound(file.to_string()))?;
         stats.get_peer = sw.elapsed();
+        ctx.config.telemetry.event(
+            events::RECOVERY_START,
+            &scope,
+            entry.epoch,
+            format!("{} ap-map peers", entry.peers.len()),
+        );
 
         // Phase 2: contact peers, connect, read headers — one thread per
         // peer; the connect RPC and the header-read latency of the ap-map
@@ -286,6 +386,9 @@ impl NclLib {
                             ctx.config.rdma,
                             ctx.config.inline_nic,
                         );
+                        if ctx.config.telemetry.is_enabled() {
+                            qp.set_wire_hist(ctx.config.telemetry.histogram("rdma.wr.wire"));
+                        }
                         // Read the fixed-location header.
                         qp.post_read(WrId(u64::MAX), &mr, 0, HEADER_WIRE_SIZE)
                             .ok()?;
@@ -396,7 +499,8 @@ impl NclLib {
         while slots.len() < ctx.config.replicas() {
             match acquire_peer(ctx, file, epoch, capacity, &cq, &mut exclude) {
                 Ok(mut slot) => {
-                    if catch_up_fresh(ctx, &router, &mut slot, &rec_header, &buffer).is_ok() {
+                    if catch_up_fresh(ctx, &router, &mut slot, epoch, &rec_header, &buffer).is_ok()
+                    {
                         slots.push(slot);
                     }
                 }
@@ -418,10 +522,25 @@ impl NclLib {
             s.completed_seq = seq;
         }
         let repair_pending = slots.len() < ctx.config.replicas();
+        ctx.config.telemetry.event(
+            events::RECOVERY_FINISH,
+            &scope,
+            epoch,
+            format!(
+                "seq={seq} peers={} get_peer={:?} connect={:?} rdma_read={:?} sync_peer={:?}",
+                slots.len(),
+                stats.get_peer,
+                stats.connect,
+                stats.rdma_read,
+                stats.sync_peer
+            ),
+        );
+        let metrics = FileMetrics::new(&ctx.config.telemetry);
         Ok(NclFile {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
             capacity,
+            metrics: Arc::clone(&metrics),
             stage: Mutex::new(Stage {
                 buffer,
                 len: rec_header.len,
@@ -430,7 +549,15 @@ impl NclLib {
                 pending: Vec::new(),
                 flushed_seq: seq,
             }),
-            rep: Mutex::new(Rep::new(slots, cq, epoch, seq, repair_pending, stats)),
+            rep: Mutex::new(Rep::new(
+                slots,
+                cq,
+                epoch,
+                seq,
+                repair_pending,
+                metrics,
+                stats,
+            )),
         })
     }
 
@@ -497,6 +624,10 @@ struct PendingRecord {
     offset: usize,
     payload: Bytes,
     header: Bytes,
+    /// `record_nowait` entry and staging-complete timestamps; consumed at
+    /// flush time to close the stage/doorbell spans and open a [`Flight`].
+    t0: Instant,
+    staged_at: Instant,
 }
 
 /// Staging state: the local image, the sequence counter, and the pending
@@ -541,6 +672,11 @@ struct Rep {
     /// Reusable work-request buffer for burst flushes, so the steady-state
     /// inline-NIC flush path allocates nothing per doorbell.
     wr_scratch: Vec<WorkRequest>,
+    /// Posted-but-not-durable records being timed (empty with telemetry
+    /// disabled). Entries retire in [`Rep::refresh_durable`]; size is
+    /// bounded by the pipeline window.
+    flights: HashMap<u64, Flight>,
+    metrics: Arc<FileMetrics>,
     last_recovery: RecoveryStats,
     last_repair: RepairStats,
 }
@@ -552,6 +688,7 @@ impl Rep {
         epoch: u64,
         durable_seq: u64,
         repair_pending: bool,
+        metrics: Arc<FileMetrics>,
         last_recovery: RecoveryStats,
     ) -> Self {
         let mut rep = Rep {
@@ -565,6 +702,8 @@ impl Rep {
             expecting: HashSet::new(),
             repair_pending,
             wr_scratch: Vec::new(),
+            flights: HashMap::new(),
+            metrics,
             last_recovery,
             last_repair: RepairStats::default(),
         };
@@ -598,6 +737,12 @@ impl Rep {
                     if let Some(&idx) = self.slot_of_qp.get(&qp_num) {
                         self.peers[idx].alive = false;
                         self.failure_seen = true;
+                        self.metrics.tel.event(
+                            events::PEER_FAILURE,
+                            &self.peers[idx].name,
+                            self.epoch,
+                            "one-off read failed",
+                        );
                     }
                 }
                 self.stray.push((qp_num, wc));
@@ -617,12 +762,34 @@ impl Rep {
                 WcStatus::Success => {
                     // Header writes carry odd ids 2s+1; data writes even 2s.
                     if wc.wr_id.0 % 2 == 1 {
-                        slot.completed_seq = slot.completed_seq.max(wc.wr_id.0 / 2);
+                        let seq = wc.wr_id.0 / 2;
+                        slot.completed_seq = slot.completed_seq.max(seq);
+                        // Wire span closes at the first peer whose header
+                        // covers the record; a coalesced header for `seq`
+                        // acknowledges every flight at or below it.
+                        if self.metrics.enabled && !self.flights.is_empty() {
+                            let now = Instant::now();
+                            let metrics = &self.metrics;
+                            for (&fseq, flight) in self.flights.iter_mut() {
+                                if fseq <= seq && flight.first_peer.is_none() {
+                                    flight.first_peer = Some(now);
+                                    metrics
+                                        .wire
+                                        .record_duration(now.duration_since(flight.posted));
+                                }
+                            }
+                        }
                     }
                 }
                 _ => {
                     slot.alive = false;
                     self.failure_seen = true;
+                    self.metrics.tel.event(
+                        events::PEER_FAILURE,
+                        &self.peers[idx].name,
+                        self.epoch,
+                        "work request failed",
+                    );
                 }
             }
         }
@@ -653,7 +820,24 @@ impl Rep {
             AckPolicy::Majority => seqs[seqs.len() - config.quorum()],
             AckPolicy::All => seqs[0],
         };
+        let prev = self.durable_seq;
         self.durable_seq = self.durable_seq.max(candidate);
+        // Retire flights the watermark just passed: close their ack and
+        // end-to-end spans.
+        if self.metrics.enabled && self.durable_seq > prev && !self.flights.is_empty() {
+            let now = Instant::now();
+            let durable = self.durable_seq;
+            let metrics = &self.metrics;
+            self.flights.retain(|&fseq, flight| {
+                if fseq > durable {
+                    return true;
+                }
+                let first = flight.first_peer.unwrap_or(flight.posted);
+                metrics.ack.record_duration(now.duration_since(first));
+                metrics.e2e.record_duration(now.duration_since(flight.t0));
+                false
+            });
+        }
     }
 
     /// Removes routed-but-unclaimed completions whose waiter is gone.
@@ -675,6 +859,7 @@ pub struct NclFile {
     ctx: Arc<Ctx>,
     name: String,
     capacity: usize,
+    metrics: Arc<FileMetrics>,
     stage: Mutex<Stage>,
     rep: Mutex<Rep>,
 }
@@ -725,6 +910,11 @@ impl NclFile {
             .filter(|s| s.alive)
             .map(|s| s.name.clone())
             .collect()
+    }
+
+    /// The telemetry handle this file reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ctx.config.telemetry
     }
 
     /// Phase timings of the recovery that produced this handle.
@@ -811,6 +1001,7 @@ impl NclFile {
     pub fn record_nowait(&self, offset: u64, data: &[u8]) -> Result<u64, NclError> {
         let ctx = &self.ctx;
         let window = ctx.config.pipeline_window.max(1);
+        let t0 = Instant::now();
         let seq;
         {
             let mut stage = self.stage.lock();
@@ -845,19 +1036,26 @@ impl NclFile {
             let wire = Bytes::from(wire);
             let header_bytes = wire.slice(..HEADER_WIRE_SIZE);
             let payload = wire.slice(HEADER_WIRE_SIZE..);
+            let staged_at = Instant::now();
+            self.metrics.stage.record_duration(staged_at - t0);
             stage.pending.push(PendingRecord {
                 seq,
                 offset: offset as usize,
                 payload,
                 header: header_bytes,
+                t0,
+                staged_at,
             });
             // Window-full: ring the doorbell for the accumulated burst.
             if stage.pending.len() as u64 >= window {
-                self.flush_staged(&mut stage);
+                self.flush_staged(&mut stage, FlushReason::WindowFull);
             }
         }
         // Bounded in-flight window.
         if seq > window {
+            if self.metrics.enabled && self.rep.lock().durable_seq < seq - window {
+                self.metrics.window_stall.inc();
+            }
             self.wait_durable(seq - window)?;
         }
         Ok(seq)
@@ -871,7 +1069,7 @@ impl NclFile {
     /// assemble the next one. A no-op when nothing is pending.
     pub fn submit(&self) {
         let mut stage = self.stage.lock();
-        self.flush_staged(&mut stage);
+        self.flush_staged(&mut stage, FlushReason::Submit);
     }
 
     /// Posts the pending burst to every live peer as one doorbell batch
@@ -879,13 +1077,40 @@ impl NclFile {
     /// merged into scatter-gather WRs); headers follow per the configured
     /// coalescing mode. Post errors are left to the completion path, like
     /// every other posting site.
-    fn flush_staged(&self, stage: &mut Stage) {
+    fn flush_staged(&self, stage: &mut Stage, reason: FlushReason) {
         let Some(last) = stage.pending.last() else {
             return;
         };
         let flushed = last.seq;
         let coalesce = self.ctx.config.coalesce_headers;
+        self.metrics.count_flush(reason);
+        if !coalesce {
+            // The ablation posts one header WR per record (per peer, but
+            // count records once — the wire cost scales with both).
+            self.metrics.hdr_per_record.add(stage.pending.len() as u64);
+        }
         let mut rep = self.rep.lock();
+        // Stamp the doorbell before posting: an inline NIC executes the
+        // writes during `post_many`, so stamping after would misattribute
+        // the wire time to the doorbell span. Flights are registered before
+        // the posts too — completions cannot be absorbed concurrently
+        // because this thread holds the replication lock.
+        if self.metrics.enabled {
+            let posted_at = Instant::now();
+            for rec in &stage.pending {
+                self.metrics
+                    .doorbell
+                    .record_duration(posted_at.duration_since(rec.staged_at));
+                rep.flights.insert(
+                    rec.seq,
+                    Flight {
+                        t0: rec.t0,
+                        posted: posted_at,
+                        first_peer: None,
+                    },
+                );
+            }
+        }
         let mut wrs = std::mem::take(&mut rep.wr_scratch);
         for slot in rep.peers.iter().filter(|s| s.alive) {
             wrs.clear();
@@ -920,7 +1145,7 @@ impl NclFile {
         {
             let mut stage = self.stage.lock();
             if stage.flushed_seq < seq {
-                self.flush_staged(&mut stage);
+                self.flush_staged(&mut stage, FlushReason::Barrier);
             }
         }
         loop {
@@ -1021,7 +1246,7 @@ impl NclFile {
         // Post the burst to the survivors first so the flush boundary and
         // the catch-up header agree — the model checker's
         // replace-implies-flush rule.
-        self.flush_staged(stage);
+        self.flush_staged(stage, FlushReason::Replace);
         let header = RegionHeader {
             seq: stage.seq,
             len: stage.len,
@@ -1039,6 +1264,18 @@ impl NclFile {
             }
             let epoch = rep.epoch + 1;
             let mut exclude: Vec<String> = rep.peers.iter().map(|s| s.name.clone()).collect();
+            let dead: Vec<String> = rep
+                .peers
+                .iter()
+                .filter(|s| !s.alive)
+                .map(|s| s.name.clone())
+                .collect();
+            ctx.config.telemetry.event(
+                events::PEER_REPLACE_START,
+                &format!("{}/{}", ctx.app_id, self.name),
+                epoch,
+                format!("replacing [{}]", dead.join(", ")),
+            );
             rep.peers.retain(|s| s.alive);
             rep.rebuild_qp_map();
             let mut fresh: Vec<PeerSlot> = Vec::new();
@@ -1071,7 +1308,7 @@ impl NclFile {
                 .iter_mut()
                 .map(|slot| {
                     let wait = &wait;
-                    scope.spawn(move || catch_up_fresh(ctx, wait, slot, &header, buffer))
+                    scope.spawn(move || catch_up_fresh(ctx, wait, slot, epoch, &header, buffer))
                 })
                 .collect();
             handles
@@ -1105,12 +1342,29 @@ impl NclFile {
                 },
             );
         }
+        ctx.config.telemetry.event(
+            events::EPOCH_BUMP,
+            &format!("{}/{}", ctx.app_id, self.name),
+            epoch,
+            format!("bumped {} survivors", rep.peers.len()),
+        );
         rep.peers.extend(fresh);
         rep.rebuild_qp_map();
         let names: Vec<String> = rep.peers.iter().map(|s| s.name.clone()).collect();
         ctx.controller
-            .set_ap_entry(ctx.node, &ctx.app_id, &self.name, names, epoch)?;
+            .set_ap_entry(ctx.node, &ctx.app_id, &self.name, names.clone(), epoch)?;
         stats.update_ap_map = sw.elapsed();
+        ctx.config.telemetry.event(
+            events::PEER_REPLACE_FINISH,
+            &format!("{}/{}", ctx.app_id, self.name),
+            epoch,
+            format!(
+                "peers=[{}] catch_up={:?} update_ap_map={:?}",
+                names.join(", "),
+                stats.catch_up,
+                stats.update_ap_map
+            ),
+        );
 
         rep.epoch = epoch;
         rep.repair_pending = false;
@@ -1413,6 +1667,9 @@ fn acquire_peer_timed(
                 ctx.config.rdma,
                 ctx.config.inline_nic,
             );
+            if ctx.config.telemetry.is_enabled() {
+                qp.set_wire_hist(ctx.config.telemetry.histogram("rdma.wr.wire"));
+            }
             stats.connect_mr += sw.elapsed();
             return Ok(PeerSlot {
                 name: cand.name,
@@ -1433,10 +1690,17 @@ fn catch_up_fresh(
     ctx: &Ctx,
     wait: &dyn WcWait,
     slot: &mut PeerSlot,
+    epoch: u64,
     header: &RegionHeader,
     buffer: &[u8],
 ) -> Result<(), NclError> {
     let seq = header.seq;
+    ctx.config.telemetry.event(
+        events::CATCH_UP_START,
+        &slot.name,
+        epoch,
+        format!("fresh peer, {} bytes", header.len),
+    );
     if header.len > 0 {
         let data = Bytes::copy_from_slice(&buffer[..header.len as usize]);
         slot.qp
@@ -1458,6 +1722,12 @@ fn catch_up_fresh(
     ) {
         Some(wc) if wc.status == WcStatus::Success => {
             slot.completed_seq = seq;
+            ctx.config.telemetry.event(
+                events::CATCH_UP_FINISH,
+                &slot.name,
+                epoch,
+                format!("fresh peer caught up to seq={seq}"),
+            );
             Ok(())
         }
         _ => Err(NclError::Unavailable(format!(
@@ -1492,6 +1762,16 @@ fn catch_up_existing(
         && !peer_header.overwritten
         && peer_header.len <= rec_header.len;
     let copy_current = tail_only;
+    ctx.config.telemetry.event(
+        events::CATCH_UP_START,
+        &slot.name,
+        epoch,
+        format!(
+            "existing peer at seq={}, {}",
+            peer_header.seq,
+            if tail_only { "tail-diff" } else { "full copy" }
+        ),
+    );
     let resp = slot.endpoint.rpc.call(
         ctx.node,
         PeerReq::Prepare {
@@ -1550,11 +1830,19 @@ fn catch_up_existing(
         },
     );
     match resp {
-        Ok(PeerResp::Ok) => Ok(PeerSlot {
-            mr: staged,
-            completed_seq: seq,
-            ..slot
-        }),
+        Ok(PeerResp::Ok) => {
+            ctx.config.telemetry.event(
+                events::CATCH_UP_FINISH,
+                &slot.name,
+                epoch,
+                format!("existing peer caught up to seq={seq}"),
+            );
+            Ok(PeerSlot {
+                mr: staged,
+                completed_seq: seq,
+                ..slot
+            })
+        }
         _ => Err(NclError::Unavailable(format!(
             "peer {} rejected commit",
             slot.name

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rdma::{LocalMr, RdmaDevice, RemoteMr};
 use sim::{Cluster, NodeId, RpcServer};
+use telemetry::{events, Telemetry};
 
 use crate::config::NclConfig;
 use crate::controller::{Controller, ControllerClient};
@@ -119,6 +120,8 @@ struct PeerState {
     staged: HashMap<(String, String), Region>,
     /// Recycled regions by length, ready for cheap re-allocation.
     pool: Vec<(usize, LocalMr)>,
+    /// Event trace for region lifecycle transitions (shared via the config).
+    telemetry: Telemetry,
 }
 
 /// A running log-peer daemon (see module docs).
@@ -182,6 +185,7 @@ impl Peer {
             mr_map: HashMap::new(),
             staged: HashMap::new(),
             pool: Vec::new(),
+            telemetry: config.telemetry.clone(),
         }));
 
         let server = {
@@ -277,6 +281,12 @@ impl Peer {
         );
         let key = (app.to_string(), file.to_string());
         if let Some(region) = st.mr_map.remove(&key) {
+            st.telemetry.event(
+                events::REGION_FREE,
+                &self.name,
+                region.epoch,
+                format!("{app}/{file}: revoked under memory pressure"),
+            );
             self.device.invalidate(region.remote.mr_id);
             st.avail += region.remote.len as u64;
             let avail = st.avail;
@@ -429,6 +439,12 @@ fn run_gc_sweep(
                     st.staged.remove(&key)
                 }
                 .expect("checked above");
+                st.telemetry.event(
+                    events::REGION_FREE,
+                    name,
+                    region.epoch,
+                    format!("{}/{}: leak GC (app epoch {e})", key.0, key.1),
+                );
                 recycle(device, &mut st, region);
                 freed += 1;
             }
@@ -511,6 +527,12 @@ fn handle(
             let region_len = HEADER_SIZE + capacity;
             match allocate_region(device, st, region_len) {
                 Ok((local, remote)) => {
+                    st.telemetry.event(
+                        events::REGION_ALLOC,
+                        name,
+                        epoch,
+                        format!("{}/{}: {region_len} bytes", key.0, key.1),
+                    );
                     st.mr_map.insert(
                         key,
                         Region {
@@ -536,6 +558,12 @@ fn handle(
                     ));
                 }
                 let region = st.mr_map.remove(&key).expect("present");
+                st.telemetry.event(
+                    events::REGION_FREE,
+                    name,
+                    region.epoch,
+                    format!("{}/{}: released by application", key.0, key.1),
+                );
                 recycle(device, st, region);
                 let avail = st.avail;
                 let _ = controller.update_avail(node, name, avail);
@@ -610,13 +638,22 @@ fn handle(
                 None => PeerResp::Rejected("nothing staged".to_string()),
             }
         }
-        PeerReq::BumpEpoch { app, file, epoch } => match st.mr_map.get_mut(&(app, file)) {
-            Some(region) => {
-                region.epoch = region.epoch.max(epoch);
-                PeerResp::Ok
+        PeerReq::BumpEpoch { app, file, epoch } => {
+            match st.mr_map.get_mut(&(app.clone(), file.clone())) {
+                Some(region) => {
+                    region.epoch = region.epoch.max(epoch);
+                    let bumped = region.epoch;
+                    st.telemetry.event(
+                        events::EPOCH_BUMP,
+                        name,
+                        bumped,
+                        format!("{app}/{file}: survivor region epoch raised"),
+                    );
+                    PeerResp::Ok
+                }
+                None => PeerResp::Rejected("no region for file".to_string()),
             }
-            None => PeerResp::Rejected("no region for file".to_string()),
-        },
+        }
     }
 }
 

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use rdma::RdmaDevice;
 use sim::{NodeId, RpcClient};
+use telemetry::{events, Telemetry};
 
 use crate::peer::{PeerReq, PeerResp};
 
@@ -29,17 +30,30 @@ pub struct PeerEndpoint {
 #[derive(Default)]
 pub struct NclRegistry {
     peers: RwLock<HashMap<String, PeerEndpoint>>,
+    telemetry: Telemetry,
 }
 
 impl NclRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with no event tracing.
     pub fn new() -> Arc<Self> {
-        Arc::new(NclRegistry::default())
+        Self::with_telemetry(Telemetry::disabled())
+    }
+
+    /// Creates an empty registry that traces membership changes into the
+    /// deployment's shared event trace.
+    pub fn with_telemetry(telemetry: Telemetry) -> Arc<Self> {
+        Arc::new(NclRegistry {
+            peers: RwLock::new(HashMap::new()),
+            telemetry,
+        })
     }
 
     /// Publishes (or replaces) a peer's endpoint.
     pub fn publish(&self, name: &str, endpoint: PeerEndpoint) {
+        let node = endpoint.node;
         self.peers.write().insert(name.to_string(), endpoint);
+        self.telemetry
+            .event(events::PEER_PUBLISH, name, 0, format!("on {node}"));
     }
 
     /// Resolves a peer name to its endpoint.
@@ -49,7 +63,10 @@ impl NclRegistry {
 
     /// Removes a peer from the directory (decommissioned machine).
     pub fn withdraw(&self, name: &str) {
-        self.peers.write().remove(name);
+        if self.peers.write().remove(name).is_some() {
+            self.telemetry
+                .event(events::PEER_WITHDRAW, name, 0, "decommissioned");
+        }
     }
 
     /// Names of all published peers, sorted.

@@ -26,8 +26,10 @@ impl Harness {
 
     fn with_config(num_peers: usize, config: NclConfig) -> Self {
         let cluster = Cluster::new();
-        let controller = Controller::start(&cluster);
-        let registry = NclRegistry::new();
+        // Share the config's telemetry handle so controller ap-map events
+        // and peer region events land in the same trace as file events.
+        let controller = Controller::start_with_telemetry(&cluster, config.telemetry.clone());
+        let registry = NclRegistry::with_telemetry(config.telemetry.clone());
         let peers = (0..num_peers)
             .map(|i| {
                 Peer::start(
@@ -725,6 +727,18 @@ fn pipelined_records_are_durable_at_the_barrier() {
     }
     // A barrier on an already-durable prefix returns immediately.
     file.wait_durable(1).unwrap();
+    // Flush-reason telemetry: 20 records at the default window of 8 ring
+    // the doorbell twice on window-full (records 8 and 16) and once at the
+    // fsync barrier (records 17..=20); nothing called submit().
+    let tel = file.telemetry();
+    assert_eq!(tel.counter_value("ncl.flush.window_full"), 2);
+    assert_eq!(tel.counter_value("ncl.flush.barrier"), 1);
+    assert_eq!(tel.counter_value("ncl.flush.submit"), 0);
+    assert_eq!(
+        tel.counter_value("ncl.header.per_record"),
+        0,
+        "coalesced headers must not count fallback header WRs"
+    );
 }
 
 #[test]
@@ -746,6 +760,45 @@ fn pipeline_window_bounds_in_flight_records() {
     }
     file.fsync().unwrap();
     assert_eq!(file.durable_seq(), 50);
+    // 50 records at window 2 flush exclusively on window-full (25 bursts of
+    // two), and the first drain necessarily found its record not yet
+    // durable (nothing refreshes the watermark before the first barrier).
+    let tel = file.telemetry();
+    assert_eq!(tel.counter_value("ncl.flush.window_full"), 25);
+    assert_eq!(tel.counter_value("ncl.flush.barrier"), 0);
+    assert!(
+        tel.counter_value("ncl.window.stall") >= 1,
+        "window drains must count at least one stall"
+    );
+}
+
+#[test]
+fn submit_and_header_fallback_counters_track_ablation_cost() {
+    // With header coalescing off, every record in a flushed burst posts its
+    // own header WR; the telemetry counter makes that silent ablation cost
+    // visible. Explicit submits are tallied separately from barriers.
+    let mut config = NclConfig::zero();
+    config.coalesce_headers = false;
+    let h = Harness::with_config(3, config);
+    let lib = h.app("a1");
+    let file = lib.create("wal", 4096).unwrap();
+    for i in 0..3u64 {
+        file.record_nowait(i * 4, &[i as u8; 4]).unwrap();
+    }
+    file.submit();
+    for i in 3..5u64 {
+        file.record_nowait(i * 4, &[i as u8; 4]).unwrap();
+    }
+    file.fsync().unwrap();
+    let tel = file.telemetry();
+    assert_eq!(tel.counter_value("ncl.flush.submit"), 1);
+    assert_eq!(tel.counter_value("ncl.flush.barrier"), 1);
+    assert_eq!(tel.counter_value("ncl.flush.window_full"), 0);
+    assert_eq!(
+        tel.counter_value("ncl.header.per_record"),
+        5,
+        "each record pays a header WR when coalescing is off"
+    );
 }
 
 #[test]

@@ -1,0 +1,194 @@
+//! Fault-injection test of the recovery event trace: a peer killed
+//! mid-burst must leave a failure-detect → catch-up → ap-map-update trail
+//! in the shared telemetry trace, with monotonically non-decreasing epochs.
+
+use std::sync::Arc;
+
+use ncl::{Controller, NclConfig, NclLib, NclRegistry, Peer};
+use sim::Cluster;
+use telemetry::events;
+
+fn harness(
+    num_peers: usize,
+    config: &NclConfig,
+) -> (Cluster, Controller, Arc<NclRegistry>, Vec<Peer>) {
+    let cluster = Cluster::new();
+    let controller = Controller::start_with_telemetry(&cluster, config.telemetry.clone());
+    let registry = NclRegistry::with_telemetry(config.telemetry.clone());
+    let peers = (0..num_peers)
+        .map(|i| {
+            Peer::start(
+                &cluster,
+                &format!("p{i}"),
+                64 << 20,
+                config,
+                &controller,
+                &registry,
+            )
+        })
+        .collect();
+    (cluster, controller, registry, peers)
+}
+
+#[test]
+fn peer_kill_mid_burst_traces_detect_catchup_apmap_in_order() {
+    let config = NclConfig::zero();
+    let (cluster, controller, registry, peers) = harness(4, &config);
+    let node = cluster.add_node("app");
+    let lib = NclLib::new(
+        &cluster,
+        node,
+        "traced",
+        config.clone(),
+        &controller,
+        &registry,
+    )
+    .expect("instance lock");
+    let file = lib.create("wal", 4096).unwrap();
+    file.record(0, b"base").unwrap();
+
+    // Kill one assigned peer in the middle of a pipelined burst: the next
+    // barrier detects the failure and replaces the peer inline.
+    let victim = file.peer_names()[0].clone();
+    let mut last = 0;
+    for i in 0..6u64 {
+        last = file.record_nowait(4 + i * 4, &[i as u8; 4]).unwrap();
+        if i == 2 {
+            let victim_node = peers
+                .iter()
+                .find(|p| p.name() == victim)
+                .expect("victim exists")
+                .node();
+            cluster.crash(victim_node);
+        }
+    }
+    file.wait_durable(last).unwrap();
+    // The barrier can return on the surviving majority before the victim's
+    // error completions drain; pump maintain() until replacement happens.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while file.peer_names().contains(&victim) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "victim never replaced"
+        );
+        file.maintain().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(!file.peer_names().contains(&victim), "victim replaced");
+
+    let trace = config.telemetry.events();
+    let pos = |kind: &str| {
+        trace
+            .iter()
+            .position(|e| e.kind == kind)
+            .unwrap_or_else(|| panic!("no {kind} event in trace: {trace:?}"))
+    };
+    // The victim's failure is detected before its replacement is caught up,
+    // and the ap-map only moves after catch-up finished (§4.5.2 ordering).
+    let failure = pos(events::PEER_FAILURE);
+    let catch_up_start = pos(events::CATCH_UP_START);
+    let catch_up_finish = pos(events::CATCH_UP_FINISH);
+    assert!(failure < catch_up_start, "failure detected before catch-up");
+    assert!(catch_up_start < catch_up_finish);
+    let ap_map_after_catchup = trace
+        .iter()
+        .enumerate()
+        .any(|(i, e)| e.kind == events::AP_MAP_UPDATE && i > catch_up_finish);
+    assert!(
+        ap_map_after_catchup,
+        "ap-map update must follow catch-up: {trace:?}"
+    );
+    assert_eq!(trace[failure].scope, victim);
+
+    // The replacement epoch trail: every epoch-carrying replacement event
+    // is monotonically non-decreasing in trace order, and the final ap-map
+    // entry carries the bumped epoch.
+    let epochs: Vec<u64> = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                "peer-replace-start"
+                    | "peer-replace-finish"
+                    | "catch-up-start"
+                    | "catch-up-finish"
+                    | "epoch-bump"
+                    | "ap-map-update"
+            )
+        })
+        .map(|e| e.epoch)
+        .collect();
+    assert!(
+        epochs.windows(2).all(|w| w[0] <= w[1]),
+        "epochs must be monotonic: {epochs:?}"
+    );
+    let last_ap = trace
+        .iter()
+        .rev()
+        .find(|e| e.kind == events::AP_MAP_UPDATE)
+        .expect("ap-map update present");
+    assert_eq!(last_ap.epoch, file.epoch());
+    assert!(last_ap.epoch > 1, "replacement bumped the epoch");
+
+    // Region lifecycle events from the peers share the same trace.
+    assert!(trace.iter().any(|e| e.kind == events::REGION_ALLOC));
+    assert!(trace.iter().any(|e| e.kind == events::PEER_PUBLISH));
+    // Timestamps are monotone (ring preserves append order).
+    assert!(trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+}
+
+#[test]
+fn recovery_after_app_crash_traces_start_and_finish() {
+    let config = NclConfig::zero();
+    let (cluster, controller, registry, _peers) = harness(3, &config);
+    let node = cluster.add_node("app");
+    {
+        let lib = NclLib::new(
+            &cluster,
+            node,
+            "traced",
+            config.clone(),
+            &controller,
+            &registry,
+        )
+        .expect("instance lock");
+        let file = lib.create("wal", 1024).unwrap();
+        file.record(0, b"persisted").unwrap();
+    }
+    cluster.crash(node);
+
+    let node2 = cluster.add_node("app2");
+    let lib2 = NclLib::new(
+        &cluster,
+        node2,
+        "traced",
+        config.clone(),
+        &controller,
+        &registry,
+    )
+    .expect("instance lock");
+    let file = lib2.recover("wal").unwrap();
+    assert_eq!(file.contents(), b"persisted");
+
+    let trace = config.telemetry.events();
+    let start = trace
+        .iter()
+        .position(|e| e.kind == events::RECOVERY_START)
+        .expect("recovery start traced");
+    let finish = trace
+        .iter()
+        .position(|e| e.kind == events::RECOVERY_FINISH)
+        .expect("recovery finish traced");
+    assert!(start < finish);
+    assert_eq!(trace[finish].scope, "traced/wal");
+    assert!(
+        trace[finish].epoch > trace[start].epoch,
+        "recovery re-publishes the ap-map under a higher epoch"
+    );
+    // Recovery catch-up of the existing peers is traced between the two.
+    assert!(trace
+        .iter()
+        .skip(start)
+        .take(finish - start)
+        .any(|e| e.kind == events::CATCH_UP_START));
+}

@@ -20,6 +20,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use sim::{Cluster, LatencyModel, NodeId, SimError};
+use telemetry::HistHandle;
 
 use crate::device::{RdmaDevice, RemoteMr};
 use crate::types::{WcStatus, WorkCompletion, WrId};
@@ -178,6 +179,10 @@ pub struct QueuePair {
     mode: Option<NicMode>,
     cq: CompletionQueue,
     errored: Arc<AtomicBool>,
+    /// Optional wire-span histogram: post→completion nanoseconds per WR.
+    /// Installed after connect (the engine thread shares the cell), so the
+    /// QP API stays unchanged for callers that don't measure.
+    wire_hist: Arc<Mutex<Option<HistHandle>>>,
 }
 
 impl QueuePair {
@@ -210,6 +215,7 @@ impl QueuePair {
     ) -> Self {
         let qp_num = NEXT_QP_NUM.fetch_add(1, Ordering::Relaxed);
         let errored = Arc::new(AtomicBool::new(false));
+        let wire_hist: Arc<Mutex<Option<HistHandle>>> = Arc::new(Mutex::new(None));
         let mode = if inline {
             NicMode::Inline {
                 cluster,
@@ -227,6 +233,7 @@ impl QueuePair {
                 cq.clone(),
                 Arc::clone(&errored),
                 latency,
+                Arc::clone(&wire_hist),
             );
             NicMode::Threaded { sq: tx, engine }
         };
@@ -237,7 +244,15 @@ impl QueuePair {
             mode: Some(mode),
             cq,
             errored,
+            wire_hist,
         }
+    }
+
+    /// Installs a histogram recording, per work request, the nanoseconds from
+    /// post (doorbell) to completion — the wire span of the record lifecycle.
+    /// Takes effect for all subsequently completed requests.
+    pub fn set_wire_hist(&self, hist: HistHandle) {
+        *self.wire_hist.lock() = Some(hist);
     }
 
     /// This queue pair's number (used to attribute shared-CQ completions).
@@ -349,6 +364,7 @@ impl QueuePair {
                 remote_dev,
                 latency,
             } => {
+                let posted_at = Instant::now();
                 let (wr_id, status, read_data) = execute(
                     cluster,
                     self.local,
@@ -359,6 +375,9 @@ impl QueuePair {
                 );
                 if status != WcStatus::Success {
                     self.errored.store(true, Ordering::SeqCst);
+                }
+                if let Some(hist) = self.wire_hist.lock().as_ref() {
+                    hist.record_since(posted_at);
                 }
                 self.cq.push(
                     self.qp_num,
@@ -394,6 +413,7 @@ fn spawn_engine(
     cq: CompletionQueue,
     errored: Arc<AtomicBool>,
     latency: LatencyModel,
+    wire_hist: Arc<Mutex<Option<HistHandle>>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("nic-qp{qp_num}"))
@@ -417,6 +437,9 @@ fn spawn_engine(
                     });
                 if status != WcStatus::Success {
                     errored.store(true, Ordering::SeqCst);
+                }
+                if let Some(hist) = wire_hist.lock().as_ref() {
+                    hist.record_since(posted_at);
                 }
                 cq.push(
                     qp_num,
@@ -832,6 +855,25 @@ mod tests {
             elapsed < Duration::from_micros(8 * 200),
             "propagation must overlap across the batch, took {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn wire_hist_records_post_to_completion_span() {
+        let (cluster, app, dev, _peer) = setup();
+        let (_local, mr) = dev.register_mr(64).unwrap();
+        let cq = CompletionQueue::new();
+        let lat = LatencyModel::from_nanos(50_000, 0.0, 0.0);
+        let qp = QueuePair::connect(cluster, app, &dev, cq.clone(), lat);
+        let tel = telemetry::Telemetry::new();
+        qp.set_wire_hist(tel.histogram("rdma.wr.wire"));
+        for i in 0..4u64 {
+            qp.post_write(WrId(i), &mr, 0, Bytes::from_static(b"w"))
+                .unwrap();
+        }
+        assert_eq!(wait_n(&cq, 4).len(), 4);
+        let s = tel.snapshot().summary("rdma.wr.wire").unwrap();
+        assert_eq!(s.count, 4);
+        assert!(s.min_ns >= 50_000, "wire span includes propagation: {s:?}");
     }
 
     #[test]

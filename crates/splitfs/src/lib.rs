@@ -29,11 +29,12 @@ pub use testbed::{Testbed, TestbedConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dfs::{DfsClient, DfsError, IoKind, IoTrace, LocalFs};
 use ncl::{NclError, NclFile, NclLib};
 use parking_lot::Mutex;
+use telemetry::{HistHandle, Telemetry};
 
 /// How the facade maps file operations onto storage tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +180,13 @@ struct FsInner {
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Phase breakdown of the most recent NCL file recovery (Figure 11b).
     last_recovery: Mutex<Option<ncl::file::RecoveryStats>>,
+    /// Shared telemetry handle (inherited from the NCL library when
+    /// mounted in SplitFT mode; disabled otherwise).
+    telemetry: Telemetry,
+    /// Latency of bulk writes taking the DFS route.
+    dfs_write: HistHandle,
+    /// Latency of the `fsync` durability barrier, whichever tier serves it.
+    fsync_barrier: HistHandle,
 }
 
 /// The mounted SplitFT facade (see module docs).
@@ -194,6 +202,10 @@ impl SplitFs {
         local: Option<LocalFs>,
         ncl: Option<NclLib>,
     ) -> Self {
+        let telemetry = ncl
+            .as_ref()
+            .map(|n| n.telemetry().clone())
+            .unwrap_or_else(Telemetry::disabled);
         SplitFs {
             inner: Arc::new(FsInner {
                 mode,
@@ -205,6 +217,9 @@ impl SplitFs {
                 flusher_stop: Arc::new(AtomicBool::new(false)),
                 flusher: Mutex::new(None),
                 last_recovery: Mutex::new(None),
+                dfs_write: telemetry.histogram("splitfs.dfs.write"),
+                fsync_barrier: telemetry.histogram("splitfs.fsync.barrier"),
+                telemetry,
             }),
         }
     }
@@ -266,6 +281,12 @@ impl SplitFs {
     /// Access to the NCL library (SplitFT mode only).
     pub fn ncl(&self) -> Option<&NclLib> {
         self.inner.ncl.as_ref()
+    }
+
+    /// The facade's telemetry handle — the same registry and event trace
+    /// the NCL library records into (disabled outside SplitFT mode).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Access to the DFS client (all modes except Local).
@@ -516,13 +537,15 @@ impl File {
                 .as_ref()
                 .expect("local")
                 .write(&self.path, offset, data)?),
-            Backend::Dfs => Ok(self
-                .fs
-                .inner
-                .dfs
-                .as_ref()
-                .expect("dfs")
-                .write(&self.path, offset, data)?),
+            Backend::Dfs => {
+                let t0 = self.fs.inner.dfs_write.is_live().then(Instant::now);
+                let dfs = self.fs.inner.dfs.as_ref().expect("dfs");
+                dfs.write(&self.path, offset, data)?;
+                if let Some(t0) = t0 {
+                    self.fs.inner.dfs_write.record_since(t0);
+                }
+                Ok(())
+            }
         }
     }
 
@@ -545,13 +568,15 @@ impl File {
                 local.write(&self.path, offset, data)?;
                 Ok(offset)
             }
-            Backend::Dfs => Ok(self
-                .fs
-                .inner
-                .dfs
-                .as_ref()
-                .expect("dfs")
-                .append(&self.path, data)?),
+            Backend::Dfs => {
+                let t0 = self.fs.inner.dfs_write.is_live().then(Instant::now);
+                let dfs = self.fs.inner.dfs.as_ref().expect("dfs");
+                let offset = dfs.append(&self.path, data)?;
+                if let Some(t0) = t0 {
+                    self.fs.inner.dfs_write.record_since(t0);
+                }
+                Ok(offset)
+            }
         }
     }
 
@@ -571,7 +596,8 @@ impl File {
     /// every issued record is durable — a no-op after synchronous writes,
     /// the real barrier for pipelined handles.
     pub fn fsync(&self) -> Result<(), FsError> {
-        match &self.backend {
+        let t0 = self.fs.inner.fsync_barrier.is_live().then(Instant::now);
+        let result = match &self.backend {
             Backend::Ncl(f) => Ok(f.fsync()?),
             Backend::Local => Ok(self
                 .fs
@@ -584,7 +610,11 @@ impl File {
                 Mode::WeakDft => Ok(()), // Lazy: background flusher owns it.
                 _ => Ok(self.fs.inner.dfs.as_ref().expect("dfs").fsync(&self.path)?),
             },
+        };
+        if let (Some(t0), Ok(())) = (t0, &result) {
+            self.fs.inner.fsync_barrier.record_since(t0);
         }
+        result
     }
 
     /// Reads up to `len` bytes at `offset` (short at end of file).

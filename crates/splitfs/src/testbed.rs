@@ -74,8 +74,10 @@ impl Testbed {
     pub fn start(config: TestbedConfig) -> Self {
         let cluster = Cluster::new();
         let dfs = DfsCluster::start(&cluster, config.dfs.clone());
-        let controller = Controller::start(&cluster);
-        let registry = NclRegistry::new();
+        // Control-plane services share the application's telemetry handle so
+        // ap-map updates and peer membership land in one event trace.
+        let controller = Controller::start_with_telemetry(&cluster, config.ncl.telemetry.clone());
+        let registry = NclRegistry::with_telemetry(config.ncl.telemetry.clone());
         let peers = (0..config.peers)
             .map(|i| {
                 Peer::start(

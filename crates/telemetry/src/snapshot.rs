@@ -1,0 +1,188 @@
+//! Point-in-time snapshot of a [`crate::Telemetry`] handle, renderable as
+//! aligned text (for terminal dumps) or JSON (for BENCH files and tooling).
+
+use crate::hist::Summary;
+use crate::trace::Event;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Everything a [`crate::Telemetry`] handle knows, frozen at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, Summary)>,
+    /// The event ring's contents, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring before this snapshot.
+    pub events_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a counter by exact name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by exact name.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Renders an aligned, human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry snapshot ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (µs):\n");
+            out.push_str(&format!(
+                "  {:<40} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "mean", "p50", "p99", "max"
+            ));
+            for (name, s) in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<40} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                    name,
+                    s.count,
+                    s.mean_ns / 1e3,
+                    s.p50_ns as f64 / 1e3,
+                    s.p99_ns as f64 / 1e3,
+                    s.max_ns as f64 / 1e3,
+                ));
+            }
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            out.push_str(&format!(
+                "events ({} shown, {} dropped):\n",
+                self.events.len(),
+                self.events_dropped
+            ));
+            for ev in &self.events {
+                out.push_str(&format!(
+                    "  [{:>12.3} ms] {:<22} {:<28} epoch={} {}\n",
+                    ev.ts_ns as f64 / 1e6,
+                    ev.kind,
+                    ev.scope,
+                    ev.epoch,
+                    ev.detail
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the full snapshot as one JSON object.
+    pub fn render_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{}\": {}", json_escape(n), v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| format!("\"{}\": {}", json_escape(n), v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let hists = self
+            .histograms
+            .iter()
+            .map(|(n, s)| format!("\"{}\": {}", json_escape(n), s.to_json()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let events = self
+            .events
+            .iter()
+            .map(Event::to_json)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \"histograms\": {{{hists}}}, \"events\": [{events}], \"events_dropped\": {}}}",
+            self.events_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn renders_are_well_formed() {
+        let snap = TelemetrySnapshot {
+            counters: vec![("ncl.flush.submit".into(), 4)],
+            gauges: vec![("ncl.window.depth".into(), -1)],
+            histograms: vec![(
+                "ncl.record.wire".into(),
+                Summary {
+                    count: 2,
+                    mean_ns: 150.0,
+                    min_ns: 100,
+                    p50_ns: 100,
+                    p99_ns: 200,
+                    max_ns: 200,
+                },
+            )],
+            events: vec![Event {
+                ts_ns: 42,
+                kind: "epoch-bump",
+                scope: "app/f".into(),
+                epoch: 7,
+                detail: String::new(),
+            }],
+            events_dropped: 0,
+        };
+        let text = snap.render_text();
+        assert!(text.contains("ncl.flush.submit"));
+        assert!(text.contains("epoch-bump"));
+        let json = snap.render_json();
+        assert!(json.contains("\"ncl.record.wire\""));
+        assert!(json.contains("\"epoch\": 7"));
+        assert_eq!(snap.counter("ncl.flush.submit"), 4);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.summary("ncl.record.wire").unwrap().count, 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Structured event trace for control-plane transitions.
+//!
+//! Data-path latencies are aggregated into histograms (see
+//! [`crate::metrics`]); control-plane transitions — peer failure detection,
+//! replacement, catch-up, epoch bumps, ap-map updates — are rare and
+//! individually meaningful, so they are kept as discrete [`Event`]s in a
+//! bounded ring buffer, optionally mirrored to a JSONL sink. A recovery
+//! timeline in the style of the paper's Table 3 falls out of one run's trace.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::snapshot::json_escape;
+
+/// Well-known event kinds, shared by emitters and tests so the two cannot
+/// drift apart. The trace itself accepts any `&'static str`.
+pub mod events {
+    /// A live peer stopped completing work requests.
+    pub const PEER_FAILURE: &str = "peer-failure-detect";
+    /// Replacement of dead peers began.
+    pub const PEER_REPLACE_START: &str = "peer-replace-start";
+    /// Replacement finished; the replica set is whole again.
+    pub const PEER_REPLACE_FINISH: &str = "peer-replace-finish";
+    /// Copying the acked prefix onto a peer began.
+    pub const CATCH_UP_START: &str = "catch-up-start";
+    /// Catch-up finished.
+    pub const CATCH_UP_FINISH: &str = "catch-up-finish";
+    /// The file's epoch advanced (survivors fenced to the new epoch).
+    pub const EPOCH_BUMP: &str = "epoch-bump";
+    /// The controller's availability map gained or changed an entry.
+    pub const AP_MAP_UPDATE: &str = "ap-map-update";
+    /// The controller's availability map dropped an entry.
+    pub const AP_MAP_DELETE: &str = "ap-map-delete";
+    /// Post-crash recovery of a file began.
+    pub const RECOVERY_START: &str = "recovery-start";
+    /// Recovery finished; the file is writable again.
+    pub const RECOVERY_FINISH: &str = "recovery-finish";
+    /// A peer published its endpoint in the registry.
+    pub const PEER_PUBLISH: &str = "peer-publish";
+    /// A peer withdrew from the registry.
+    pub const PEER_WITHDRAW: &str = "peer-withdraw";
+    /// A peer allocated + registered a log region.
+    pub const REGION_ALLOC: &str = "region-alloc";
+    /// A peer freed a log region.
+    pub const REGION_FREE: &str = "region-free";
+}
+
+/// One control-plane transition.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Nanoseconds since the owning [`crate::Telemetry`] was created.
+    pub ts_ns: u64,
+    /// Event kind; see [`events`] for the well-known values.
+    pub kind: &'static str,
+    /// What the event is about — `app/file`, a peer name, etc.
+    pub scope: String,
+    /// The epoch in force when the event fired (0 when not applicable).
+    pub epoch: u64,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ts_ns\": {}, \"kind\": \"{}\", \"scope\": \"{}\", \"epoch\": {}, \"detail\": \"{}\"}}",
+            self.ts_ns,
+            json_escape(self.kind),
+            json_escape(&self.scope),
+            self.epoch,
+            json_escape(&self.detail)
+        )
+    }
+}
+
+/// Default ring capacity; enough for thousands of recoveries.
+const DEFAULT_CAPACITY: usize = 4096;
+
+struct Ring {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    sink: Option<BufWriter<File>>,
+}
+
+/// Bounded in-memory event buffer with an optional JSONL mirror.
+pub(crate) struct EventTrace {
+    origin: Instant,
+    ring: Mutex<Ring>,
+}
+
+impl EventTrace {
+    pub(crate) fn new() -> Self {
+        EventTrace {
+            origin: Instant::now(),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                capacity: DEFAULT_CAPACITY,
+                dropped: 0,
+                sink: None,
+            }),
+        }
+    }
+
+    pub(crate) fn record(&self, kind: &'static str, scope: &str, epoch: u64, detail: String) {
+        let ev = Event {
+            ts_ns: self.origin.elapsed().as_nanos() as u64,
+            kind,
+            scope: scope.to_string(),
+            epoch,
+            detail,
+        };
+        let mut ring = self.ring.lock().expect("trace poisoned");
+        if let Some(sink) = ring.sink.as_mut() {
+            // Events are rare; flush per line so a crashed process leaves a
+            // complete JSONL file behind.
+            let _ = writeln!(sink, "{}", ev.to_json());
+            let _ = sink.flush();
+        }
+        if ring.buf.len() >= ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(ev);
+    }
+
+    pub(crate) fn events(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("trace poisoned")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.ring.lock().expect("trace poisoned").dropped
+    }
+
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut ring = self.ring.lock().expect("trace poisoned");
+        ring.capacity = capacity.max(1);
+        while ring.buf.len() > ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    pub(crate) fn set_jsonl_sink(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        self.ring.lock().expect("trace poisoned").sink = Some(BufWriter::new(file));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_keep_insertion_order_and_monotonic_timestamps() {
+        let t = EventTrace::new();
+        t.record(events::PEER_FAILURE, "peer-0", 1, "dead".into());
+        t.record(events::CATCH_UP_START, "app/f", 2, String::new());
+        t.record(events::AP_MAP_UPDATE, "app/f", 2, String::new());
+        let evs = t.events();
+        assert_eq!(
+            evs.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![
+                events::PEER_FAILURE,
+                events::CATCH_UP_START,
+                events::AP_MAP_UPDATE
+            ]
+        );
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn ring_drops_oldest_past_capacity() {
+        let t = EventTrace::new();
+        t.set_capacity(2);
+        t.record(events::REGION_ALLOC, "a", 0, String::new());
+        t.record(events::REGION_ALLOC, "b", 0, String::new());
+        t.record(events::REGION_ALLOC, "c", 0, String::new());
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].scope, "b");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_mirrors_events() {
+        let dir = std::env::temp_dir().join(format!("telemetry-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let t = EventTrace::new();
+        t.set_jsonl_sink(&path).unwrap();
+        t.record(events::EPOCH_BUMP, "app/\"f\"", 3, "quote \\ test".into());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"epoch\": 3"));
+        assert!(text.contains("epoch-bump"));
+        // Escaped quotes/backslashes survive the round trip.
+        assert!(text.contains("app/\\\"f\\\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
