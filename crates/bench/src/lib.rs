@@ -277,6 +277,43 @@ pub const NCL_STAGES: [&str; 5] = [
     "ncl.record.e2e",
 ];
 
+/// Validates one `BENCH_*.json` trend file: current schema version, a
+/// non-empty `results` array, a `stage_breakdown` section carrying every
+/// [`NCL_STAGES`] histogram with a non-zero sample count, and an
+/// untruncated document. This is the single source of truth for what CI
+/// accepts (`cargo run -p bench --bin validate_bench_json`); the format is
+/// the line-oriented JSON [`BenchJson`] emits, so the checks are
+/// line-structural and dependency-free.
+pub fn validate_bench_json(body: &str) -> Result<(), String> {
+    if !body.trim_end().ends_with('}') {
+        return Err("document truncated (no closing brace)".to_string());
+    }
+    if !body.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")) {
+        return Err(format!(
+            "wrong or missing schema_version (want {BENCH_SCHEMA_VERSION})"
+        ));
+    }
+    if !body.contains("\"results\"") {
+        return Err("no results section".to_string());
+    }
+    if !body.contains("\"mean_ns\"") {
+        return Err("results array is empty".to_string());
+    }
+    if !body.contains("\"stage_breakdown\"") {
+        return Err("no stage_breakdown section".to_string());
+    }
+    for stage in NCL_STAGES {
+        let line = body
+            .lines()
+            .find(|l| l.contains(&format!("\"{stage}\"")))
+            .ok_or_else(|| format!("missing {stage} in stage_breakdown"))?;
+        if line.contains("\"count\": 0,") {
+            return Err(format!("{stage} summary is empty: {}", line.trim()));
+        }
+    }
+    Ok(())
+}
+
 /// Percentile of a sorted `u64` slice.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -360,24 +397,53 @@ mod tests {
             );
             let body =
                 std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"));
-            assert!(
-                body.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")),
-                "{bench}: wrong or missing schema_version"
-            );
-            assert!(
-                body.contains("\"stage_breakdown\""),
-                "{bench}: no stage_breakdown section"
-            );
-            for stage in NCL_STAGES {
-                let line = body
-                    .lines()
-                    .find(|l| l.contains(&format!("\"{stage}\"")))
-                    .unwrap_or_else(|| panic!("{bench}: no {stage} in stage_breakdown"));
-                assert!(
-                    !line.contains("\"count\": 0,"),
-                    "{bench}: {stage} summary is empty: {line}"
-                );
-            }
+            validate_bench_json(&body).unwrap_or_else(|e| panic!("{bench}: {e}"));
         }
+    }
+
+    fn valid_bench_doc() -> String {
+        let mut json = BenchJson::new("demo");
+        json.result("demo/1", 1234.5, 1_000_000.0);
+        let stages: Vec<String> = NCL_STAGES
+            .iter()
+            .map(|s| format!("    \"{s}\": {{\"count\": 10, \"mean_ns\": 5.0}}"))
+            .collect();
+        json.section(
+            "stage_breakdown",
+            format!("{{\n{}\n  }}", stages.join(",\n")),
+        );
+        json.render()
+    }
+
+    #[test]
+    fn validator_accepts_a_complete_document() {
+        validate_bench_json(&valid_bench_doc()).expect("complete doc must validate");
+    }
+
+    #[test]
+    fn validator_rejects_structural_defects() {
+        let good = valid_bench_doc();
+        // Truncated document (cut mid-line: a crash during emit).
+        assert!(validate_bench_json(&good[..good.len() / 2]).is_err());
+        // Stale schema version.
+        let stale = good.replace(
+            &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+            "\"schema_version\": 1",
+        );
+        assert!(validate_bench_json(&stale).is_err());
+        // A stage with zero samples.
+        let empty_stage = good.replace("\"count\": 10,", "\"count\": 0,");
+        assert!(validate_bench_json(&empty_stage)
+            .unwrap_err()
+            .contains("empty"));
+        // A missing stage.
+        let missing = good.replace("ncl.record.wire", "ncl.record.gone");
+        assert!(validate_bench_json(&missing)
+            .unwrap_err()
+            .contains("ncl.record.wire"));
+        // No results rows.
+        let mut no_results = BenchJson::new("demo");
+        no_results.section("stage_breakdown", "{}".to_string());
+        assert!(validate_bench_json(&no_results.render()).is_err());
     }
 }

@@ -38,6 +38,25 @@ pub struct NclConfig {
     /// How long `record` keeps retrying to assemble a majority (waiting for
     /// peer replacement) before giving up.
     pub write_timeout: Duration,
+    /// Minimum silence before the adaptive failure detector may declare a
+    /// peer with outstanding work suspect. `Duration::ZERO` disables
+    /// suspicion entirely (peers are then only declared dead on an explicit
+    /// error completion).
+    pub detect_timeout: Duration,
+    /// Phi threshold of the adaptive detector: a peer is suspect once its
+    /// current silence is `suspicion_threshold` orders of magnitude (base
+    /// 10, scaled by its mean inter-completion interval) beyond what its
+    /// history predicts — the phi-accrual rule with an exponential
+    /// approximation. Higher values tolerate grayer peers.
+    pub suspicion_threshold: f64,
+    /// First delay of the bounded exponential backoff used on replication
+    /// wait loops, peer-acquisition rounds and controller retries.
+    pub backoff_base: Duration,
+    /// Ceiling of the exponential backoff (full jitter is applied below it).
+    pub backoff_cap: Duration,
+    /// While splitfs is degraded to direct-dfs after a quorum loss, how
+    /// often it probes the controller for a fresh peer set to re-attach to.
+    pub reattach_probe: Duration,
     /// Ship only the missing log tail during recovery catch-up when the file
     /// is append-only (the §6 byte-diff optimisation); full-region copy
     /// otherwise.
@@ -85,6 +104,11 @@ impl NclConfig {
             control: LatencyModel::rpc(),
             mr_register: LatencyModel::mr_register(),
             write_timeout: Duration::from_secs(10),
+            detect_timeout: Duration::from_millis(250),
+            suspicion_threshold: 8.0,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            reattach_probe: Duration::from_millis(250),
             tail_diff_catchup: true,
             local_copy: LatencyModel::from_nanos(250, 120.0, 0.0),
             ack_policy: AckPolicy::Majority,
@@ -104,6 +128,11 @@ impl NclConfig {
             control: LatencyModel::ZERO,
             mr_register: LatencyModel::ZERO,
             write_timeout: Duration::from_secs(5),
+            detect_timeout: Duration::from_millis(200),
+            suspicion_threshold: 8.0,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(50),
+            reattach_probe: Duration::from_millis(50),
             tail_diff_catchup: true,
             local_copy: LatencyModel::ZERO,
             ack_policy: AckPolicy::Majority,

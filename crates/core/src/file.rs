@@ -90,6 +90,7 @@ use telemetry::{events, Counter, HistHandle, Telemetry};
 
 use crate::config::{AckPolicy, NclConfig};
 use crate::controller::{Controller, ControllerClient};
+use crate::detector::{Backoff, PhiDetector};
 use crate::layout::{RegionHeader, HEADER_SIZE, HEADER_WIRE_SIZE};
 use crate::peer::{PeerReq, PeerResp};
 use crate::registry::{NclRegistry, PeerEndpoint};
@@ -412,6 +413,7 @@ impl NclLib {
                                 qp,
                                 completed_seq: 0,
                                 alive: true,
+                                detector: PhiDetector::new(Instant::now()),
                             },
                             header,
                         ))
@@ -614,6 +616,10 @@ struct PeerSlot {
     /// Highest sequence number whose data + header completed on this peer.
     completed_seq: u64,
     alive: bool,
+    /// Adaptive phi-accrual detector fed by this peer's completions; lets a
+    /// gray (silent-but-connected) peer be suspected long before the record
+    /// deadline.
+    detector: PhiDetector,
 }
 
 /// One staged-but-unposted record: its slice of the shared wire image plus
@@ -728,6 +734,7 @@ impl Rep {
     /// registered waiter are parked in `stray`; everything else (stale
     /// completions from replaced peers) is dropped.
     fn absorb(&mut self, wcs: Vec<(u32, WorkCompletion)>) {
+        let now = Instant::now();
         for (qp_num, wc) in wcs {
             if wc.wr_id.0 >= u64::MAX - 2 {
                 // One-off RDMA read (recovery lookup / read_remote): a
@@ -760,6 +767,7 @@ impl Rep {
             }
             match wc.status {
                 WcStatus::Success => {
+                    slot.detector.heartbeat(now);
                     // Header writes carry odd ids 2s+1; data writes even 2s.
                     if wc.wr_id.0 % 2 == 1 {
                         let seq = wc.wr_id.0 / 2;
@@ -799,6 +807,39 @@ impl Rep {
     fn drain(&mut self) {
         let wcs = self.cq.poll();
         self.absorb(wcs);
+    }
+
+    /// Declares alive-but-silent peers holding back `awaited_seq` suspect,
+    /// per the adaptive phi detector, so a gray peer stalls a barrier for
+    /// the detector's horizon instead of the full record deadline. Suspects
+    /// go through the normal dead-peer path (replacement at the next epoch).
+    fn suspect_stalled(&mut self, config: &NclConfig, awaited_seq: u64) {
+        if config.detect_timeout.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        let epoch = self.epoch;
+        for slot in self.peers.iter_mut() {
+            if slot.alive
+                && slot.completed_seq < awaited_seq
+                && slot
+                    .detector
+                    .is_suspect(now, config.detect_timeout, config.suspicion_threshold)
+            {
+                slot.alive = false;
+                self.failure_seen = true;
+                self.metrics.tel.event(
+                    events::PEER_SUSPECT,
+                    &slot.name,
+                    epoch,
+                    format!(
+                        "phi={:.1} silence={:?} awaiting seq={awaited_seq}",
+                        slot.detector.phi(now),
+                        slot.detector.silence(now)
+                    ),
+                );
+            }
+        }
     }
 
     /// Advances `durable_seq` to the highest sequence number complete on the
@@ -1111,8 +1152,16 @@ impl NclFile {
                 );
             }
         }
+        let idle_below = stage.flushed_seq;
+        let now = Instant::now();
         let mut wrs = std::mem::take(&mut rep.wr_scratch);
-        for slot in rep.peers.iter().filter(|s| s.alive) {
+        for slot in rep.peers.iter_mut().filter(|s| s.alive) {
+            // A peer with nothing outstanding was silent because nothing was
+            // asked of it: restart its silence clock as the new work posts,
+            // so idle time never reads as suspicious.
+            if slot.completed_seq >= idle_below {
+                slot.detector.touch(now);
+            }
             wrs.clear();
             build_burst(&mut wrs, &stage.pending, &slot.mr, coalesce);
             let _ = slot.qp.post_many(&wrs);
@@ -1140,6 +1189,7 @@ impl NclFile {
         }
         let ctx = &self.ctx;
         let deadline = Instant::now() + ctx.config.write_timeout;
+        let mut backoff = Backoff::new(ctx.config.backoff_base, ctx.config.backoff_cap, seq);
         // A barrier on a record still sitting in the staged burst must ring
         // the doorbell first, or it would wait on never-posted requests.
         {
@@ -1152,6 +1202,7 @@ impl NclFile {
             let (next, cq) = {
                 let mut rep = self.rep.lock();
                 rep.drain();
+                rep.suspect_stalled(&ctx.config, seq);
                 rep.refresh_durable(&ctx.config);
                 let next = if rep.durable_seq >= seq {
                     if rep.failure_seen {
@@ -1186,7 +1237,10 @@ impl NclFile {
                                 return Err(e);
                             }
                             drop(stage);
-                            sim::delay(Duration::from_millis(1));
+                            // Bounded exponential backoff with jitter: the
+                            // cluster is short of peers, and hammering the
+                            // controller will not conjure one.
+                            sim::delay(backoff.next_delay());
                         }
                     }
                 }
@@ -1629,6 +1683,7 @@ fn acquire_peer_timed(
     stats: &mut RepairStats,
 ) -> Result<PeerSlot, NclError> {
     let need = (HEADER_SIZE + capacity) as u64;
+    let mut backoff = Backoff::new(ctx.config.backoff_base, ctx.config.backoff_cap, epoch);
     loop {
         let sw = Stopwatch::start();
         let candidates = ctx.controller.get_peers(ctx.node, need, 4, exclude)?;
@@ -1678,8 +1733,12 @@ fn acquire_peer_timed(
                 qp,
                 completed_seq: 0,
                 alive: true,
+                detector: PhiDetector::new(Instant::now()),
             });
         }
+        // Every candidate of this round was stale or down; back off before
+        // asking the controller again so a flapping cluster is not hammered.
+        sim::delay(backoff.next_delay());
     }
 }
 

@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod detector;
 pub mod file;
 pub mod layout;
 pub mod peer;
@@ -39,6 +40,7 @@ pub mod registry;
 
 pub use config::{AckPolicy, NclConfig};
 pub use controller::{ApEntry, Controller, ControllerClient, PeerInfo};
+pub use detector::{Backoff, PhiDetector};
 pub use file::{NclFile, NclLib};
 pub use layout::{RegionHeader, HEADER_SIZE};
 pub use peer::Peer;

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
-use sim::{Cluster, LatencyModel, NodeId, SimError};
+use sim::{Cluster, FaultSite, LatencyModel, NodeId, SimError, WireFault};
 use telemetry::HistHandle;
 
 use crate::device::{RdmaDevice, RemoteMr};
@@ -176,6 +176,9 @@ pub struct QueuePair {
     qp_num: u32,
     local: NodeId,
     remote: NodeId,
+    /// For the doorbell fault point; the wire fault point lives with the
+    /// engine (threaded) or inline executor, which own their own handles.
+    cluster: Cluster,
     mode: Option<NicMode>,
     cq: CompletionQueue,
     errored: Arc<AtomicBool>,
@@ -218,7 +221,7 @@ impl QueuePair {
         let wire_hist: Arc<Mutex<Option<HistHandle>>> = Arc::new(Mutex::new(None));
         let mode = if inline {
             NicMode::Inline {
-                cluster,
+                cluster: cluster.clone(),
                 remote_dev: remote_dev.clone(),
                 latency,
             }
@@ -226,7 +229,7 @@ impl QueuePair {
             let (tx, rx) = unbounded::<(Instant, Submission)>();
             let engine = spawn_engine(
                 qp_num,
-                cluster,
+                cluster.clone(),
                 local_node,
                 remote_dev.clone(),
                 rx,
@@ -241,6 +244,7 @@ impl QueuePair {
             qp_num,
             local: local_node,
             remote: remote_dev.node(),
+            cluster,
             mode: Some(mode),
             cq,
             errored,
@@ -340,21 +344,41 @@ impl QueuePair {
         match wrs.len() {
             0 => Ok(()),
             1 => self.post(wrs[0].clone()),
-            _ => match self.mode.as_ref().expect("mode present until drop") {
-                NicMode::Threaded { sq, .. } => sq
-                    .send((Instant::now(), Submission::Many(wrs.to_vec())))
-                    .map_err(|_| SimError::ServiceStopped),
-                NicMode::Inline { .. } => {
-                    for wr in wrs {
-                        self.post(wr.clone())?;
+            _ => {
+                self.ring_doorbell();
+                match self.mode.as_ref().expect("mode present until drop") {
+                    NicMode::Threaded { sq, .. } => sq
+                        .send((Instant::now(), Submission::Many(wrs.to_vec())))
+                        .map_err(|_| SimError::ServiceStopped),
+                    NicMode::Inline { .. } => {
+                        for wr in wrs {
+                            self.post_inner(wr.clone())?;
+                        }
+                        Ok(())
                     }
-                    Ok(())
                 }
-            },
+            }
+        }
+    }
+
+    /// Doorbell fault point: an injected stall delays the submission itself
+    /// (the requester-side "NIC didn't see the doorbell" case), before any
+    /// work request reaches the engine or executes inline.
+    fn ring_doorbell(&self) {
+        if let WireFault::Delay(d) =
+            self.cluster
+                .fault_point(FaultSite::Doorbell, self.local, self.remote)
+        {
+            sim::delay(d);
         }
     }
 
     fn post(&self, wr: WorkRequest) -> Result<(), SimError> {
+        self.ring_doorbell();
+        self.post_inner(wr)
+    }
+
+    fn post_inner(&self, wr: WorkRequest) -> Result<(), SimError> {
         match self.mode.as_ref().expect("mode present until drop") {
             NicMode::Threaded { sq, .. } => sq
                 .send((Instant::now(), Submission::One(wr)))
@@ -365,6 +389,7 @@ impl QueuePair {
                 latency,
             } => {
                 let posted_at = Instant::now();
+                let verdict = wire_verdict(cluster, self.local, remote_dev.node());
                 let (wr_id, status, read_data) = execute(
                     cluster,
                     self.local,
@@ -379,17 +404,47 @@ impl QueuePair {
                 if let Some(hist) = self.wire_hist.lock().as_ref() {
                     hist.record_since(posted_at);
                 }
-                self.cq.push(
+                deliver(
+                    &self.cq,
                     self.qp_num,
                     WorkCompletion {
                         wr_id,
                         status,
                         read_data,
                     },
+                    verdict,
                 );
                 Ok(())
             }
         }
+    }
+}
+
+/// Consults the wire fault point for one work request, realising any
+/// injected delay immediately (the request sits on the wire longer).
+fn wire_verdict(cluster: &Cluster, local: NodeId, remote: NodeId) -> WireFault {
+    let verdict = cluster.fault_point(FaultSite::Wire, local, remote);
+    if let WireFault::Delay(d) = verdict {
+        sim::delay(d);
+    }
+    verdict
+}
+
+/// Posts a completion, honouring an injected drop or duplication.
+///
+/// A dropped completion models "write landed, ack lost": the work request
+/// *was* applied, only its completion vanishes — the case the protocol's
+/// prefix-acknowledgement rule must tolerate. Error completions are always
+/// delivered (a real RC QP surfaces retry exhaustion to the requester even
+/// when remote acks are lost).
+fn deliver(cq: &CompletionQueue, qp_num: u32, wc: WorkCompletion, verdict: WireFault) {
+    match verdict {
+        WireFault::DropCompletion if wc.status == WcStatus::Success => {}
+        WireFault::DuplicateCompletion => {
+            cq.push(qp_num, wc.clone());
+            cq.push(qp_num, wc);
+        }
+        _ => cq.push(qp_num, wc),
     }
 }
 
@@ -429,6 +484,7 @@ fn spawn_engine(
             // propagation tail.
             let mut wire_free = Instant::now();
             let run = |posted_at: Instant, wr: WorkRequest, wire_free: &mut Instant| {
+                let verdict = wire_verdict(&cluster, local, remote_dev.node());
                 let (wr_id, status, read_data) =
                     execute(&cluster, local, &remote_dev, &errored, wr, |bytes| {
                         let ser = Duration::from_nanos((latency.per_byte_ns * bytes as f64) as u64);
@@ -441,13 +497,15 @@ fn spawn_engine(
                 if let Some(hist) = wire_hist.lock().as_ref() {
                     hist.record_since(posted_at);
                 }
-                cq.push(
+                deliver(
+                    &cq,
                     qp_num,
                     WorkCompletion {
                         wr_id,
                         status,
                         read_data,
                     },
+                    verdict,
                 );
             };
             loop {
@@ -874,6 +932,70 @@ mod tests {
         let s = tel.snapshot().summary("rdma.wr.wire").unwrap();
         assert_eq!(s.count, 4);
         assert!(s.min_ns >= 50_000, "wire span includes propagation: {s:?}");
+    }
+
+    #[test]
+    fn injected_wire_faults_drop_and_duplicate_completions() {
+        use sim::{Binding, FaultAction, FaultPlan, FaultScheduler, Trigger};
+        let (cluster, app, dev, peer) = setup();
+        let (local, mr) = dev.register_mr(64).unwrap();
+        let plan = FaultPlan::new(1)
+            .push(Trigger::Step(1), FaultAction::DropWr { peer: 0 })
+            .push(Trigger::Step(1), FaultAction::DupWr { peer: 0 });
+        let binding = Binding {
+            peers: vec![peer],
+            controller: app,
+            app,
+        };
+        cluster.install_faults(FaultScheduler::new(&plan, binding));
+        let cq = CompletionQueue::new();
+        let qp = QueuePair::connect(cluster.clone(), app, &dev, cq.clone(), LatencyModel::ZERO);
+        qp.post_write(WrId(1), &mr, 0, Bytes::from_static(b"a"))
+            .unwrap();
+        qp.post_write(WrId(2), &mr, 1, Bytes::from_static(b"b"))
+            .unwrap();
+        // First completion swallowed, second doubled: two completions, both
+        // for WR 2, and the dropped WR's bytes still landed.
+        let wcs = wait_n(&cq, 2);
+        let ids: Vec<u64> = wcs.iter().map(|(_, wc)| wc.wr_id.0).collect();
+        assert_eq!(ids, vec![2, 2], "first dropped, second duplicated");
+        assert_eq!(
+            local.read_local(0, 2).unwrap(),
+            b"ab",
+            "a dropped completion must not unapply the write"
+        );
+        cluster.clear_faults();
+    }
+
+    #[test]
+    fn injected_doorbell_stall_delays_submission() {
+        use sim::{Binding, FaultAction, FaultPlan, FaultScheduler, Trigger};
+        let (cluster, app, dev, peer) = setup();
+        let (_local, mr) = dev.register_mr(64).unwrap();
+        let plan = FaultPlan::new(2).push(
+            Trigger::Step(1),
+            FaultAction::StallDoorbell {
+                peer: 0,
+                by_us: 2_000,
+            },
+        );
+        let binding = Binding {
+            peers: vec![peer],
+            controller: app,
+            app,
+        };
+        cluster.install_faults(FaultScheduler::new(&plan, binding));
+        let cq = CompletionQueue::new();
+        let qp = QueuePair::connect(cluster.clone(), app, &dev, cq.clone(), LatencyModel::ZERO);
+        let sw = sim::Stopwatch::start();
+        qp.post_write(WrId(1), &mr, 0, Bytes::from_static(b"x"))
+            .unwrap();
+        assert!(
+            sw.elapsed() >= Duration::from_micros(2_000),
+            "the stall is paid at post time, before the send returns"
+        );
+        assert!(wait_n(&cq, 1)[0].1.is_success());
+        cluster.clear_faults();
     }
 
     #[test]

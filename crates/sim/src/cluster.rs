@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::error::SimError;
+use crate::fault::{ClusterOp, FaultScheduler, FaultSite, WireFault};
 
 /// Identifier of a simulated node (machine) within a [`Cluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,6 +77,9 @@ struct ClusterState {
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
     state: Arc<RwLock<ClusterState>>,
+    /// Optional armed fault schedule; kept outside `state` so consulting it
+    /// never nests inside the node-table lock.
+    faults: Arc<RwLock<Option<FaultScheduler>>>,
 }
 
 impl Cluster {
@@ -214,6 +218,44 @@ impl Cluster {
         Ok(())
     }
 
+    /// Arms a fault schedule. Every subsequent [`Cluster::fault_point`]
+    /// consultation advances it; replaces any schedule already armed.
+    pub fn install_faults(&self, scheduler: FaultScheduler) {
+        *self.faults.write() = Some(scheduler);
+    }
+
+    /// Disarms the fault schedule (subsequent consultations are free).
+    pub fn clear_faults(&self) {
+        *self.faults.write() = None;
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn faults(&self) -> Option<FaultScheduler> {
+        self.faults.read().clone()
+    }
+
+    /// Consults the armed fault schedule (if any) for the message
+    /// `from → to` at decision point `site`: fires due events — applying
+    /// their crashes/partitions to this cluster — and returns the wire
+    /// verdict for the message itself. With no schedule armed this is a
+    /// single uncontended read-lock acquisition.
+    pub fn fault_point(&self, site: FaultSite, from: NodeId, to: NodeId) -> WireFault {
+        let Some(scheduler) = self.faults.read().clone() else {
+            return WireFault::None;
+        };
+        let (ops, verdict) = scheduler.advance(site, from, to);
+        // The scheduler lock is released; cluster mutations are safe here.
+        for op in ops {
+            match op {
+                ClusterOp::Crash(n) => self.crash(n),
+                ClusterOp::Restart(n) => self.restart(n),
+                ClusterOp::Partition(a, b) => self.partition(a, b),
+                ClusterOp::Heal(a, b) => self.heal(a, b),
+            }
+        }
+        verdict
+    }
+
     /// Lists all registered nodes.
     pub fn nodes(&self) -> Vec<NodeInfo> {
         let st = self.state.read();
@@ -316,5 +358,26 @@ mod tests {
     fn unknown_node_panics() {
         let c = Cluster::new();
         c.is_alive(NodeId(3));
+    }
+
+    #[test]
+    fn fault_point_applies_scheduled_crashes() {
+        use crate::fault::{Binding, FaultAction, FaultPlan, FaultScheduler, Trigger};
+        let c = Cluster::new();
+        let peer = c.add_node("peer");
+        let ctrl = c.add_node("ctrl");
+        let app = c.add_node("app");
+        let plan = FaultPlan::new(7).push(Trigger::Step(1), FaultAction::CrashPeer(0));
+        let binding = Binding {
+            peers: vec![peer],
+            controller: ctrl,
+            app,
+        };
+        c.install_faults(FaultScheduler::new(&plan, binding));
+        assert_eq!(c.fault_point(FaultSite::Wire, app, peer), WireFault::None);
+        assert!(!c.is_alive(peer), "scheduled crash must have been applied");
+        c.clear_faults();
+        assert!(c.faults().is_none());
+        c.fault_point(FaultSite::Wire, app, peer); // Disarmed: free no-op.
     }
 }

@@ -15,6 +15,10 @@
 //!   above it).
 //! * [`rng`] — small deterministic PRNGs (SplitMix64, xoshiro256**) so that
 //!   workloads and failure schedules are reproducible from a seed.
+//! * [`fault`] — seeded fault plans ([`FaultPlan`]) armed as a
+//!   [`FaultScheduler`] the wire model and control plane consult at decision
+//!   points: crashes, partitions, delayed/dropped/duplicated completions,
+//!   stalled doorbells and gray peers, all replayable from a `u64` seed.
 //! * [`rpc`] — a typed request/response service abstraction over crossbeam
 //!   channels used for *control-plane* traffic (controller RPCs, peer setup,
 //!   DFS client/OSD messages). Data-plane RDMA lives in the `rdma` crate.
@@ -27,6 +31,7 @@
 pub mod cluster;
 pub mod crc;
 pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod rng;
 pub mod rpc;
@@ -36,6 +41,10 @@ pub mod time;
 pub use cluster::{Cluster, NodeId, NodeInfo};
 pub use crc::{crc32c, crc32c_extend};
 pub use error::SimError;
+pub use fault::{
+    Binding, ClusterOp, FaultAction, FaultEvent, FaultPlan, FaultScheduler, FaultSite, PlanParams,
+    Trigger, WireFault,
+};
 pub use latency::LatencyModel;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use rpc::{RpcClient, RpcServer};

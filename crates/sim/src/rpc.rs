@@ -165,6 +165,14 @@ impl<Req: Send + 'static, Resp: Send + 'static> RpcClient<Req, Resp> {
         req_bytes: usize,
         resp_bytes: usize,
     ) -> Result<Resp, SimError> {
+        // Control-plane fault point: advances any armed schedule (which may
+        // cut this very link) before the reachability check observes it.
+        let verdict =
+            self.cluster
+                .fault_point(crate::fault::FaultSite::Control, from, self.server_node);
+        if let crate::fault::WireFault::Delay(d) = verdict {
+            crate::time::delay(d);
+        }
         self.cluster.can_reach(from, self.server_node)?;
         self.latency.charge(req_bytes);
         let (reply_tx, reply_rx) = unbounded();

@@ -1,0 +1,184 @@
+//! Graceful degradation of `O_NCL` files to direct-DFS strong mode.
+//!
+//! When the durable quorum behind an NCL file is unreachable past the record
+//! deadline, the facade must not fail the application's `write`/`fsync`: the
+//! paper's availability argument is that SplitFT never does *worse* than the
+//! strong-DFT baseline. So the route degrades: new records are appended to a
+//! **shadow journal** on the DFS (`<path>.fallback`) with a synchronous
+//! `fsync` per record — exactly strong-mode semantics — while an in-memory
+//! overlay keeps reads and sizes coherent. A throttled probe retries NCL
+//! maintenance; once a fresh peer set is published (bumped epoch), the
+//! journal is replayed through the log, deleted, and the route re-attaches.
+//! A crash while degraded replays the journal at the next `open` instead.
+//!
+//! The shadow journal is a sequence of self-delimiting frames:
+//!
+//! ```text
+//! [offset: u64 LE][len: u32 LE][crc: u32 LE (FNV-1a of offset‖data)][data]
+//! ```
+//!
+//! Parsing stops at the first truncated or corrupt frame, so a crash in the
+//! middle of an append loses only that (never-acknowledged) record.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ncl::NclFile;
+use parking_lot::Mutex;
+
+/// Fixed bytes before each frame's data: offset + length + checksum.
+const FRAME_HEADER: usize = 8 + 4 + 4;
+
+/// One `O_NCL` file's route: the NCL handle plus the degradation state that
+/// lets the facade fall back to direct-DFS strong mode on quorum loss.
+pub(crate) struct NclRoute {
+    pub(crate) file: Arc<NclFile>,
+    pub(crate) fb: Mutex<Fallback>,
+}
+
+impl NclRoute {
+    pub(crate) fn new(file: Arc<NclFile>) -> Arc<Self> {
+        Arc::new(NclRoute {
+            file,
+            fb: Mutex::new(Fallback::new()),
+        })
+    }
+
+    /// True while the route is degraded to the DFS shadow journal.
+    pub(crate) fn engaged(&self) -> bool {
+        self.fb.lock().engaged
+    }
+}
+
+/// Degradation state of one route. All fields are meaningful only while
+/// `engaged`.
+pub(crate) struct Fallback {
+    pub(crate) engaged: bool,
+    /// Overlay image serving reads while degraded; starts as a snapshot of
+    /// the NCL staged image (which includes every issued record).
+    pub(crate) image: Vec<u8>,
+    /// Logical file length of the overlay.
+    pub(crate) len: u64,
+    /// Records accepted while degraded, in issue order, pending replay
+    /// through NCL on re-attach.
+    pub(crate) records: Vec<(u64, Vec<u8>)>,
+    /// When the controller was last probed for a fresh peer set.
+    pub(crate) last_probe: Instant,
+}
+
+impl Fallback {
+    pub(crate) fn new() -> Self {
+        Fallback {
+            engaged: false,
+            image: Vec::new(),
+            len: 0,
+            records: Vec::new(),
+            last_probe: Instant::now(),
+        }
+    }
+
+    /// Applies a degraded record to the overlay and queues it for replay.
+    pub(crate) fn apply(&mut self, offset: u64, data: &[u8]) {
+        let end = offset as usize + data.len();
+        if self.image.len() < end {
+            self.image.resize(end, 0);
+        }
+        self.image[offset as usize..end].copy_from_slice(data);
+        self.len = self.len.max(end as u64);
+        self.records.push((offset, data.to_vec()));
+    }
+}
+
+/// The DFS path of a route's shadow journal.
+pub(crate) fn shadow_path(path: &str) -> String {
+    format!("{path}.fallback")
+}
+
+/// Encodes one journal frame.
+pub(crate) fn encode_frame(offset: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + data.len());
+    out.extend_from_slice(&offset.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(offset, data).to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Decodes a journal back into `(offset, data)` records, stopping at the
+/// first truncated or corrupt frame (the crash-interrupted tail).
+pub(crate) fn decode_frames(raw: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while raw.len() - at >= FRAME_HEADER {
+        let offset = u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(raw[at + 8..at + 12].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(raw[at + 12..at + 16].try_into().expect("4 bytes"));
+        let data_at = at + FRAME_HEADER;
+        if raw.len() - data_at < len {
+            break; // Truncated mid-append.
+        }
+        let data = &raw[data_at..data_at + len];
+        if frame_crc(offset, data) != crc {
+            break; // Torn or corrupt frame; nothing after it is trusted.
+        }
+        out.push((offset, data.to_vec()));
+        at = data_at + len;
+    }
+    out
+}
+
+/// FNV-1a over the frame's offset and data — cheap, dependency-free torn
+/// write detection (this guards against partial appends, not adversaries).
+fn frame_crc(offset: u64, data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in offset.to_le_bytes().iter().chain(data) {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut raw = encode_frame(0, b"hello");
+        raw.extend_from_slice(&encode_frame(5, b" world"));
+        let frames = decode_frames(&raw);
+        assert_eq!(
+            frames,
+            vec![(0, b"hello".to_vec()), (5, b" world".to_vec())]
+        );
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let mut raw = encode_frame(0, b"keep");
+        let second = encode_frame(4, b"lost");
+        raw.extend_from_slice(&second[..second.len() - 2]);
+        assert_eq!(decode_frames(&raw), vec![(0, b"keep".to_vec())]);
+    }
+
+    #[test]
+    fn corrupt_frame_stops_the_parse() {
+        let mut raw = encode_frame(0, b"keep");
+        let mut second = encode_frame(4, b"torn");
+        let flip = second.len() - 1;
+        second[flip] ^= 0xff;
+        raw.extend_from_slice(&second);
+        raw.extend_from_slice(&encode_frame(8, b"after"));
+        assert_eq!(decode_frames(&raw), vec![(0, b"keep".to_vec())]);
+    }
+
+    #[test]
+    fn overlay_apply_extends_and_overwrites() {
+        let mut fb = Fallback::new();
+        fb.apply(0, b"aaaa");
+        fb.apply(2, b"bbbb");
+        assert_eq!(fb.len, 6);
+        assert_eq!(&fb.image, b"aabbbb");
+        assert_eq!(fb.records.len(), 2);
+    }
+}

@@ -20,6 +20,7 @@
 //! * [`Mode::Local`] — everything on a local file system (the unrealistic
 //!   `ext4` reference of Figure 11b).
 
+pub mod fallback;
 pub mod hybrid;
 pub mod testbed;
 
@@ -32,9 +33,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dfs::{DfsClient, DfsError, IoKind, IoTrace, LocalFs};
+use fallback::NclRoute;
 use ncl::{NclError, NclFile, NclLib};
 use parking_lot::Mutex;
-use telemetry::{HistHandle, Telemetry};
+use telemetry::{events, Counter, HistHandle, Telemetry};
 
 /// How the facade maps file operations onto storage tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,7 +176,7 @@ struct FsInner {
     dfs: Option<DfsClient>,
     local: Option<LocalFs>,
     ncl: Option<NclLib>,
-    ncl_files: Mutex<HashMap<String, Arc<NclFile>>>,
+    ncl_files: Mutex<HashMap<String, Arc<NclRoute>>>,
     trace: Mutex<Option<Arc<IoTrace>>>,
     flusher_stop: Arc<AtomicBool>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -187,6 +189,12 @@ struct FsInner {
     dfs_write: HistHandle,
     /// Latency of the `fsync` durability barrier, whichever tier serves it.
     fsync_barrier: HistHandle,
+    /// Times a route degraded to the DFS shadow journal on quorum loss.
+    fallback_engaged: Counter,
+    /// Records accepted while degraded (each synchronously on the DFS).
+    fallback_records: Counter,
+    /// Times a degraded route replayed its journal and re-attached to NCL.
+    fallback_reattach: Counter,
 }
 
 /// The mounted SplitFT facade (see module docs).
@@ -219,6 +227,9 @@ impl SplitFs {
                 last_recovery: Mutex::new(None),
                 dfs_write: telemetry.histogram("splitfs.dfs.write"),
                 fsync_barrier: telemetry.histogram("splitfs.fsync.barrier"),
+                fallback_engaged: telemetry.counter("splitfs.fallback.engaged"),
+                fallback_records: telemetry.counter("splitfs.fallback.records"),
+                fallback_reattach: telemetry.counter("splitfs.fallback.reattach"),
                 telemetry,
             }),
         }
@@ -315,11 +326,11 @@ impl SplitFs {
         if self.is_ncl_route(&opts) {
             let ncl = self.inner.ncl.as_ref().expect("splitft mode has ncl");
             // Reuse an already-open handle (multiple writers of one WAL).
-            if let Some(f) = self.inner.ncl_files.lock().get(path) {
+            if let Some(r) = self.inner.ncl_files.lock().get(path) {
                 return Ok(File {
                     fs: self.clone(),
                     path: path.to_string(),
-                    backend: Backend::Ncl(Arc::clone(f)),
+                    backend: Backend::Ncl(Arc::clone(r)),
                     pipelined: opts.pipelined,
                 });
             }
@@ -327,23 +338,41 @@ impl SplitFs {
             let file = if exists {
                 // An open of an existing ncl file during application
                 // recovery triggers the recover call (§4.2).
-                let f = ncl.recover(path)?;
-                *self.inner.last_recovery.lock() = Some(f.recovery_stats());
-                f
+                match ncl.recover(path) {
+                    Ok(f) => {
+                        *self.inner.last_recovery.lock() = Some(f.recovery_stats());
+                        f
+                    }
+                    Err(NclError::QuorumUnavailable(m)) => {
+                        // More than `f` peers died while the route was
+                        // degraded; the shadow journal snapshotted at engage
+                        // time holds everything issued. Rebuild the log on a
+                        // fresh peer set at a bumped epoch instead of
+                        // failing the open.
+                        self.rebuild_from_shadow(path, opts.capacity)?
+                            .ok_or(FsError::Unavailable(format!("quorum unavailable: {m}")))?
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             } else if opts.create {
                 ncl.create(path, opts.capacity)?
             } else {
                 return Err(FsError::NotFound(path.to_string()));
             };
-            let file = Arc::new(file);
+            let route = NclRoute::new(Arc::new(file));
+            if exists {
+                // A crash while degraded left a shadow journal behind; bring
+                // the recovered log up to date before serving the handle.
+                self.replay_shadow(path, &route)?;
+            }
             self.inner
                 .ncl_files
                 .lock()
-                .insert(path.to_string(), Arc::clone(&file));
+                .insert(path.to_string(), Arc::clone(&route));
             return Ok(File {
                 fs: self.clone(),
                 path: path.to_string(),
-                backend: Backend::Ncl(file),
+                backend: Backend::Ncl(route),
                 pipelined: opts.pipelined,
             });
         }
@@ -409,9 +438,16 @@ impl SplitFs {
         if let Some(ncl) = &self.inner.ncl {
             if ncl.exists(path)? {
                 if let Some(open) = self.inner.ncl_files.lock().remove(path) {
-                    open.release()?;
+                    open.file.release()?;
                 } else {
                     ncl.delete(path)?;
+                }
+                // The log is gone; any shadow journal of it is stale.
+                if let Some(dfs) = &self.inner.dfs {
+                    let shadow = fallback::shadow_path(path);
+                    if dfs.exists(&shadow) {
+                        dfs.delete(&shadow)?;
+                    }
                 }
                 return Ok(());
             }
@@ -471,6 +507,204 @@ impl SplitFs {
             t.record(path, IoKind::FlushWrite, bytes);
         }
     }
+
+    /// Degrades a route to direct-DFS strong mode after a quorum loss: the
+    /// NCL staged image (which already contains every issued record,
+    /// acknowledged or not) is snapshotted into the shadow journal with a
+    /// synchronous flush, and subsequent records append to the journal until
+    /// [`SplitFs::probe_reattach`] succeeds. Idempotent under races: the
+    /// first caller through the lock engages, the rest observe it.
+    fn engage_fallback(
+        &self,
+        path: &str,
+        route: &NclRoute,
+        cause: &NclError,
+    ) -> Result<(), FsError> {
+        let mut fb = route.fb.lock();
+        if fb.engaged {
+            return Ok(());
+        }
+        let dfs = self.inner.dfs.as_ref().expect("splitft mode has dfs");
+        let shadow = fallback::shadow_path(path);
+        let image = route.file.contents();
+        if dfs.exists(&shadow) {
+            dfs.delete(&shadow)?;
+        }
+        dfs.create(&shadow)?;
+        if !image.is_empty() {
+            dfs.append(&shadow, &fallback::encode_frame(0, &image))?;
+        }
+        dfs.fsync(&shadow)?;
+        fb.len = image.len() as u64;
+        fb.image = image;
+        fb.records.clear();
+        fb.engaged = true;
+        fb.last_probe = Instant::now();
+        self.inner.fallback_engaged.inc();
+        self.inner.telemetry.event(
+            events::DFS_FALLBACK_ENGAGE,
+            &self.ncl_scope(path),
+            route.file.epoch(),
+            format!("quorum unreachable ({cause}); new records go direct-dfs"),
+        );
+        Ok(())
+    }
+
+    /// Accepts one record while degraded: append a journal frame, `fsync`
+    /// it (strong-mode semantics — the record is durable on the DFS before
+    /// the call returns), and update the read overlay.
+    fn degraded_write(
+        &self,
+        path: &str,
+        route: &NclRoute,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), FsError> {
+        let mut fb = route.fb.lock();
+        if !fb.engaged {
+            // Re-attached under our feet; the caller retries through NCL.
+            return Err(FsError::Unavailable("fallback disengaged".to_string()));
+        }
+        let dfs = self.inner.dfs.as_ref().expect("splitft mode has dfs");
+        let shadow = fallback::shadow_path(path);
+        dfs.append(&shadow, &fallback::encode_frame(offset, data))?;
+        dfs.fsync(&shadow)?;
+        fb.apply(offset, data);
+        self.inner.fallback_records.inc();
+        Ok(())
+    }
+
+    /// While degraded, periodically retries NCL maintenance; once a fresh
+    /// peer set is published (bumped epoch), replays the journal through the
+    /// log, deletes it, and disengages. Returns `true` when the route is
+    /// attached to NCL (i.e. not, or no longer, degraded).
+    fn probe_reattach(&self, path: &str, route: &NclRoute) -> bool {
+        let mut fb = route.fb.lock();
+        if !fb.engaged {
+            return true;
+        }
+        let interval = self
+            .inner
+            .ncl
+            .as_ref()
+            .map(|n| n.config().reattach_probe)
+            .unwrap_or(Duration::from_millis(250));
+        if fb.last_probe.elapsed() < interval {
+            return false;
+        }
+        fb.last_probe = Instant::now();
+        // Repair the peer set (replacement + catch-up of the pre-degradation
+        // image happens inside `maintain`). Failure means the cluster still
+        // cannot host a quorum: stay degraded.
+        if route.file.maintain().is_err() || route.file.repair_pending() {
+            return false;
+        }
+        // Replay the degraded records in issue order. A mid-replay failure
+        // keeps the rest queued (and the journal intact) for the next probe;
+        // replaying a record twice is harmless (same offset, same bytes).
+        let mut replayed = 0;
+        for (offset, data) in fb.records.iter() {
+            if route.file.record(*offset, data).is_err() {
+                fb.records.drain(..replayed);
+                return false;
+            }
+            replayed += 1;
+        }
+        fb.records.clear();
+        fb.image = Vec::new();
+        fb.len = 0;
+        fb.engaged = false;
+        if let Some(dfs) = &self.inner.dfs {
+            let shadow = fallback::shadow_path(path);
+            if dfs.exists(&shadow) {
+                let _ = dfs.delete(&shadow);
+            }
+        }
+        self.inner.fallback_reattach.inc();
+        self.inner.telemetry.event(
+            events::NCL_REATTACH,
+            &self.ncl_scope(path),
+            route.file.epoch(),
+            format!("replayed {replayed} fallback records; resuming NCL"),
+        );
+        true
+    }
+
+    /// Rebuilds an ncl file whose peer quorum is gone from its shadow
+    /// journal: the engage-time snapshot (frame 0) plus every degraded
+    /// record hold everything ever issued, so the log is recreated on a
+    /// fresh peer set at a bumped epoch and replayed. Returns `Ok(None)`
+    /// when no journal exists (a plain > `f` failure, outside both the NCL
+    /// fault model and the fallback's protection).
+    fn rebuild_from_shadow(&self, path: &str, capacity: usize) -> Result<Option<NclFile>, FsError> {
+        let Some(dfs) = &self.inner.dfs else {
+            return Ok(None);
+        };
+        let shadow = fallback::shadow_path(path);
+        if !dfs.exists(&shadow) {
+            return Ok(None);
+        }
+        let size = dfs.size(&shadow)? as usize;
+        let raw = dfs.read(&shadow, 0, size)?;
+        let frames = fallback::decode_frames(&raw);
+        let needed = frames
+            .iter()
+            .map(|(o, d)| *o as usize + d.len())
+            .max()
+            .unwrap_or(0);
+        let ncl = self.inner.ncl.as_ref().expect("splitft mode has ncl");
+        ncl.delete(path)?;
+        let file = ncl.create(path, capacity.max(needed))?;
+        let n = frames.len();
+        for (offset, data) in frames {
+            file.record(offset, &data)?;
+        }
+        dfs.delete(&shadow)?;
+        self.inner.fallback_reattach.inc();
+        self.inner.telemetry.event(
+            events::NCL_REATTACH,
+            &self.ncl_scope(path),
+            file.epoch(),
+            format!("rebuilt from shadow journal ({n} records) after quorum-loss recovery"),
+        );
+        Ok(Some(file))
+    }
+
+    /// Replays a leftover shadow journal (a crash while degraded) into a
+    /// freshly recovered log, then deletes it.
+    fn replay_shadow(&self, path: &str, route: &NclRoute) -> Result<(), FsError> {
+        let Some(dfs) = &self.inner.dfs else {
+            return Ok(());
+        };
+        let shadow = fallback::shadow_path(path);
+        if !dfs.exists(&shadow) {
+            return Ok(());
+        }
+        let size = dfs.size(&shadow)? as usize;
+        let raw = dfs.read(&shadow, 0, size)?;
+        let frames = fallback::decode_frames(&raw);
+        let n = frames.len();
+        for (offset, data) in frames {
+            route.file.record(offset, &data)?;
+        }
+        dfs.delete(&shadow)?;
+        self.inner.fallback_reattach.inc();
+        self.inner.telemetry.event(
+            events::NCL_REATTACH,
+            &self.ncl_scope(path),
+            route.file.epoch(),
+            format!("replayed {n} shadow-journal records at open"),
+        );
+        Ok(())
+    }
+
+    /// Event scope of an ncl route, matching the NCL layer's `app/file`.
+    fn ncl_scope(&self, path: &str) -> String {
+        match &self.inner.ncl {
+            Some(n) => format!("{}/{}", n.app_id(), path),
+            None => path.to_string(),
+        }
+    }
 }
 
 impl Drop for FsInner {
@@ -485,7 +719,7 @@ impl Drop for FsInner {
 enum Backend {
     Dfs,
     Local,
-    Ncl(Arc<NclFile>),
+    Ncl(Arc<NclRoute>),
 }
 
 /// An open file handle.
@@ -521,12 +755,8 @@ impl File {
     /// the handle is pipelined; bulk files buffer until [`File::fsync`].
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         match &self.backend {
-            Backend::Ncl(f) => {
-                if self.pipelined {
-                    f.record_nowait(offset, data)?;
-                } else {
-                    f.record(offset, data)?;
-                }
+            Backend::Ncl(route) => {
+                self.ncl_write(route, offset, data)?;
                 self.fs.trace_ncl_write(&self.path, data.len());
                 Ok(())
             }
@@ -552,13 +782,16 @@ impl File {
     /// Appends at the end of file, returning the write offset.
     pub fn append(&self, data: &[u8]) -> Result<u64, FsError> {
         match &self.backend {
-            Backend::Ncl(f) => {
-                let offset = f.len();
-                if self.pipelined {
-                    f.record_nowait(offset, data)?;
-                } else {
-                    f.record(offset, data)?;
-                }
+            Backend::Ncl(route) => {
+                let offset = {
+                    let fb = route.fb.lock();
+                    if fb.engaged {
+                        fb.len
+                    } else {
+                        route.file.len()
+                    }
+                };
+                self.ncl_write(route, offset, data)?;
                 self.fs.trace_ncl_write(&self.path, data.len());
                 Ok(offset)
             }
@@ -586,8 +819,34 @@ impl File {
     /// [`File::fsync`] barrier. A no-op for non-NCL backends and for
     /// synchronous NCL handles (nothing is ever staged there).
     pub fn submit(&self) {
-        if let Backend::Ncl(f) = &self.backend {
-            f.submit();
+        if let Backend::Ncl(route) = &self.backend {
+            if !route.engaged() {
+                route.file.submit();
+            }
+        }
+    }
+
+    /// Routes one NCL record, degrading to the DFS shadow journal on quorum
+    /// loss and retrying re-attachment while degraded.
+    fn ncl_write(&self, route: &Arc<NclRoute>, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        if route.engaged() && !self.fs.probe_reattach(&self.path, route) {
+            return self.fs.degraded_write(&self.path, route, offset, data);
+        }
+        let result = if self.pipelined {
+            route.file.record_nowait(offset, data).map(|_| ())
+        } else {
+            route.file.record(offset, data)
+        };
+        match result {
+            Ok(()) => Ok(()),
+            Err(cause @ NclError::QuorumUnavailable(_)) => {
+                // The staged image snapshotted by `engage_fallback` already
+                // holds this record's bytes; the explicit degraded write
+                // keeps the journal frame (and ordering) uniform.
+                self.fs.engage_fallback(&self.path, route, &cause)?;
+                self.fs.degraded_write(&self.path, route, offset, data)
+            }
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -598,7 +857,27 @@ impl File {
     pub fn fsync(&self) -> Result<(), FsError> {
         let t0 = self.fs.inner.fsync_barrier.is_live().then(Instant::now);
         let result = match &self.backend {
-            Backend::Ncl(f) => Ok(f.fsync()?),
+            Backend::Ncl(route) => {
+                if route.engaged() {
+                    // Degraded records were each synchronously flushed to
+                    // the DFS; the barrier is already satisfied. Use it as a
+                    // re-attachment opportunity.
+                    self.fs.probe_reattach(&self.path, route);
+                    Ok(())
+                } else {
+                    match route.file.fsync() {
+                        Ok(()) => Ok(()),
+                        Err(cause @ NclError::QuorumUnavailable(_)) => {
+                            // Snapshotting the staged image journals every
+                            // issued-but-unacknowledged record, so the
+                            // barrier's contract is met on the DFS instead.
+                            self.fs.engage_fallback(&self.path, route, &cause)?;
+                            Ok(())
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                }
+            }
             Backend::Local => Ok(self
                 .fs
                 .inner
@@ -620,7 +899,16 @@ impl File {
     /// Reads up to `len` bytes at `offset` (short at end of file).
     pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
         match &self.backend {
-            Backend::Ncl(f) => Ok(f.read(offset, len)),
+            Backend::Ncl(route) => {
+                let fb = route.fb.lock();
+                if fb.engaged {
+                    let start = (offset as usize).min(fb.len as usize);
+                    let end = (offset as usize).saturating_add(len).min(fb.len as usize);
+                    Ok(fb.image[start..end.max(start)].to_vec())
+                } else {
+                    Ok(route.file.read(offset, len))
+                }
+            }
             Backend::Local => Ok(self
                 .fs
                 .inner
@@ -641,7 +929,14 @@ impl File {
     /// Current file size.
     pub fn size(&self) -> Result<u64, FsError> {
         match &self.backend {
-            Backend::Ncl(f) => Ok(f.len()),
+            Backend::Ncl(route) => {
+                let fb = route.fb.lock();
+                if fb.engaged {
+                    Ok(fb.len)
+                } else {
+                    Ok(route.file.len())
+                }
+            }
             Backend::Local => Ok(self
                 .fs
                 .inner
@@ -657,8 +952,17 @@ impl File {
     /// benchmarks that need `read_remote`/stats access).
     pub fn ncl_handle(&self) -> Option<&Arc<NclFile>> {
         match &self.backend {
-            Backend::Ncl(f) => Some(f),
+            Backend::Ncl(route) => Some(&route.file),
             _ => None,
+        }
+    }
+
+    /// True while this handle is degraded to the DFS shadow journal
+    /// (quorum loss; see the [`fallback`] module).
+    pub fn is_degraded(&self) -> bool {
+        match &self.backend {
+            Backend::Ncl(route) => route.engaged(),
+            _ => false,
         }
     }
 }

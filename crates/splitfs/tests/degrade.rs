@@ -1,0 +1,159 @@
+//! Quorum-loss degradation: when more than `f` log peers die and no spares
+//! exist, the facade must keep accepting writes by falling back to
+//! direct-DFS strong mode, and must re-attach to NCL (replaying the shadow
+//! journal) once a fresh peer set can be assembled.
+
+use std::time::Duration;
+
+use splitfs::{Mode, OpenOptions, Testbed, TestbedConfig};
+use telemetry::events;
+
+fn quick_timeout_config(peers: usize) -> TestbedConfig {
+    let mut cfg = TestbedConfig::zero(peers);
+    // Quorum loss should trip the fallback quickly, not after 5 s.
+    cfg.ncl.write_timeout = Duration::from_millis(300);
+    cfg
+}
+
+/// Crashes every assigned peer except one (losing the `f + 1` quorum) and
+/// returns how many were crashed.
+fn crash_all_but_one(tb: &Testbed, peer_names: &[String]) -> usize {
+    let mut crashed = 0;
+    for name in peer_names.iter().skip(1) {
+        let peer = tb.peer_named(name).expect("assigned peer exists");
+        tb.cluster.crash(peer.node());
+        crashed += 1;
+    }
+    crashed
+}
+
+#[test]
+fn quorum_loss_degrades_and_reattaches_with_fresh_peers() {
+    let mut tb = Testbed::start(quick_timeout_config(3));
+    let (fs, app_node) = tb.mount(Mode::SplitFt, "degrade");
+    let f = fs.open("wal", OpenOptions::create_ncl(1 << 16)).unwrap();
+    f.write_at(0, b"before-loss").unwrap();
+
+    // Lose the quorum: 2 of the 3 assigned peers die, no spares exist.
+    let names = f.ncl_handle().unwrap().peer_names();
+    assert_eq!(crash_all_but_one(&tb, &names), 2);
+
+    // The next write cannot assemble a majority; instead of failing, the
+    // facade degrades to the DFS shadow journal and acknowledges.
+    let off = f.size().unwrap();
+    f.write_at(off, b"|during-loss").unwrap();
+    assert!(f.is_degraded(), "quorum loss must engage the fallback");
+    assert_eq!(fs.telemetry().counter_value("splitfs.fallback.engaged"), 1);
+
+    // While degraded, no record is ever acknowledged through NCL: the log's
+    // issue and durability watermarks freeze while the fallback counter and
+    // the overlay keep advancing.
+    let ncl = f.ncl_handle().unwrap().clone();
+    let (frozen_seq, frozen_durable) = (ncl.seq(), ncl.durable_seq());
+    let records_before = fs.telemetry().counter_value("splitfs.fallback.records");
+    let off = f.size().unwrap();
+    f.write_at(off, b"|still-degraded").unwrap();
+    f.fsync().unwrap();
+    assert_eq!(ncl.seq(), frozen_seq, "degraded write leaked into NCL");
+    assert_eq!(
+        ncl.durable_seq(),
+        frozen_durable,
+        "NCL acked while degraded"
+    );
+    assert!(fs.telemetry().counter_value("splitfs.fallback.records") > records_before);
+
+    // Reads and sizes stay coherent through the overlay.
+    let size = f.size().unwrap();
+    let image = f.read(0, size as usize).unwrap();
+    assert_eq!(image, b"before-loss|during-loss|still-degraded");
+
+    // Publish fresh capacity and let the probe re-attach.
+    tb.add_peer("spare-a");
+    tb.add_peer("spare-b");
+    let reattach_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(tb.config().ncl.reattach_probe);
+        let off = f.size().unwrap();
+        f.write_at(off, b".").unwrap();
+        if !f.is_degraded() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < reattach_deadline,
+            "fallback never re-attached after fresh peers were published"
+        );
+    }
+    assert_eq!(fs.telemetry().counter_value("splitfs.fallback.reattach"), 1);
+
+    // Event-trace ordering: engage strictly before re-attach, and the
+    // re-attach runs at a bumped epoch (the replacement's fence).
+    let evs = fs.telemetry().events();
+    let engage = evs
+        .iter()
+        .position(|e| e.kind == events::DFS_FALLBACK_ENGAGE)
+        .expect("engage event");
+    let reattach = evs
+        .iter()
+        .position(|e| e.kind == events::NCL_REATTACH)
+        .expect("re-attach event");
+    assert!(engage < reattach, "engage must precede re-attach");
+    assert!(
+        evs[reattach].epoch > evs[engage].epoch,
+        "re-attach must carry a bumped epoch ({} vs {})",
+        evs[reattach].epoch,
+        evs[engage].epoch
+    );
+
+    // Everything acknowledged — through NCL or the fallback — survives an
+    // application crash and a recovery on a fresh node.
+    let expected = {
+        let size = f.size().unwrap();
+        f.read(0, size as usize).unwrap()
+    };
+    tb.cluster.crash(app_node);
+    drop(f);
+    drop(fs);
+    let (fs2, _) = tb.mount(Mode::SplitFt, "degrade");
+    let f2 = fs2.open("wal", OpenOptions::create_ncl(1 << 16)).unwrap();
+    let size = f2.size().unwrap();
+    assert_eq!(f2.read(0, size as usize).unwrap(), expected);
+}
+
+#[test]
+fn crash_while_degraded_replays_the_shadow_journal_at_open() {
+    let tb = Testbed::start(quick_timeout_config(3));
+    let (fs, app_node) = tb.mount(Mode::SplitFt, "degrade-crash");
+    let f = fs.open("wal", OpenOptions::create_ncl(1 << 16)).unwrap();
+    f.write_at(0, b"ncl-data").unwrap();
+
+    let names = f.ncl_handle().unwrap().peer_names();
+    assert_eq!(crash_all_but_one(&tb, &names), 2);
+    let off = f.size().unwrap();
+    f.write_at(off, b"|journal-only").unwrap();
+    assert!(f.is_degraded());
+
+    // Crash the application while still degraded: the journal (not the log)
+    // holds the tail. The crashed peers lost their regions (DRAM), so NCL
+    // recovery alone cannot find a quorum — the open must rebuild the log
+    // from the shadow journal on a fresh peer set. Restarting the peers
+    // provides that capacity, not the lost regions.
+    tb.cluster.crash(app_node);
+    drop(f);
+    drop(fs);
+    for name in names.iter().skip(1) {
+        tb.cluster
+            .restart(tb.peer_named(name).expect("peer").node());
+    }
+
+    let (fs2, _) = tb.mount(Mode::SplitFt, "degrade-crash");
+    let f2 = fs2.open("wal", OpenOptions::create_ncl(1 << 16)).unwrap();
+    let size = f2.size().unwrap();
+    assert_eq!(f2.read(0, size as usize).unwrap(), b"ncl-data|journal-only");
+    assert!(!f2.is_degraded());
+    // The replay is reported as a re-attach on the recovering mount's trace.
+    assert!(fs2
+        .telemetry()
+        .events()
+        .iter()
+        .any(|e| e.kind == events::NCL_REATTACH));
+}

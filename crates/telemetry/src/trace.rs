@@ -39,6 +39,14 @@ pub mod events {
     pub const RECOVERY_START: &str = "recovery-start";
     /// Recovery finished; the file is writable again.
     pub const RECOVERY_FINISH: &str = "recovery-finish";
+    /// The phi-style detector declared a silent-but-live peer suspect.
+    pub const PEER_SUSPECT: &str = "peer-suspect";
+    /// Durable quorum unreachable past the deadline; splitfs fell back to
+    /// direct-dfs strong mode for new records.
+    pub const DFS_FALLBACK_ENGAGE: &str = "dfs-fallback-engage";
+    /// A fresh peer set was published; splitfs replayed the fallback journal
+    /// and resumed logging through NCL.
+    pub const NCL_REATTACH: &str = "ncl-reattach";
     /// A peer published its endpoint in the registry.
     pub const PEER_PUBLISH: &str = "peer-publish";
     /// A peer withdrew from the registry.

@@ -1,0 +1,328 @@
+//! Deterministic chaos harness: seeded fault schedules against the full
+//! stack (application → facade → NCL → simulated RDMA).
+//!
+//! Every schedule is derived from a single `u64` seed
+//! ([`FaultPlan::random`]): peer crashes and restarts, controller
+//! partitions, delayed/dropped/duplicated completions, stalled doorbells
+//! and gray (slow) peers, at seeded step counts. A workload runs through
+//! minirocks or miniredis while the schedule fires; after the cluster
+//! settles, the application is crashed and recovered, and the harness
+//! asserts the safety properties:
+//!
+//! * every acknowledged write is recovered (prefix durability, §4.4–4.5);
+//! * the event trace shows per-file ap-map epochs moving monotonically;
+//! * no ap-map update of a replacement epoch precedes its catch-up finish
+//!   (the §4.5 ordering the model checker proves in the small).
+//!
+//! The firing *schedule* is deterministic per seed; thread interleaving is
+//! not, so assertions are safety properties, never exact timings.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `FAULT_SEED=<u64>` — run exactly one seed (printed by any failure).
+//! * `CHAOS_SEEDS=<n>` — how many seeds to run (default 32).
+//! * `CHAOS_SHARD=<i>/<n>` — run the i-th of n shards of the seed list.
+//! * `CHAOS_TRACE_DIR=<dir>` — write one JSONL event trace per seed, plus a
+//!   `FAILED_SEED` marker when a schedule fails.
+
+use std::collections::HashMap;
+use std::env;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use splitft::apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
+use splitft::apps::minirocks::{MiniRocks, RocksOptions};
+use splitft::sim::{Binding, FaultAction, FaultPlan, FaultScheduler, PlanParams, Trigger};
+use splitft::splitfs::{Mode, OpenOptions, SplitFs, Testbed, TestbedConfig};
+use telemetry::{events, Event};
+
+const VALUE: &[u8] = b"chaos-value";
+const PUTS: usize = 100;
+
+fn seed_list() -> Vec<u64> {
+    if let Ok(s) = env::var("FAULT_SEED") {
+        return vec![s.parse().expect("FAULT_SEED must be a u64")];
+    }
+    let n: u64 = env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let (shard, shards) = env::var("CHAOS_SHARD")
+        .ok()
+        .and_then(|s| {
+            let (i, n) = s.split_once('/')?;
+            Some((i.parse::<u64>().ok()?, n.parse::<u64>().ok()?.max(1)))
+        })
+        .unwrap_or((0, 1));
+    (1..=n)
+        .filter(|seed| seed % shards == shard % shards)
+        .collect()
+}
+
+fn trace_dir() -> Option<PathBuf> {
+    let dir = PathBuf::from(env::var("CHAOS_TRACE_DIR").ok()?);
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir)
+}
+
+/// The application under test; alternates by seed so both ports face every
+/// second schedule.
+enum Db {
+    Rocks(MiniRocks),
+    Redis(MiniRedis),
+}
+
+impl Db {
+    fn open(fs: SplitFs, seed: u64) -> Db {
+        if seed.is_multiple_of(2) {
+            Db::Rocks(MiniRocks::open(fs, "db/", RocksOptions::tiny()).expect("minirocks open"))
+        } else {
+            Db::Redis(MiniRedis::open(fs, "db/", RedisOptions::tiny()).expect("miniredis open"))
+        }
+    }
+
+    /// One put; `true` means the write was acknowledged to the application.
+    fn put(&self, key: &str) -> bool {
+        match self {
+            Db::Rocks(db) => db.put(key.as_bytes(), VALUE).is_ok(),
+            Db::Redis(db) => db
+                .execute(Command::Set(key.to_string(), VALUE.to_vec()))
+                .is_ok(),
+        }
+    }
+
+    fn assert_has(&self, key: &str, seed: u64) {
+        match self {
+            Db::Rocks(db) => assert_eq!(
+                db.get(key.as_bytes()).expect("post-recovery get"),
+                Some(VALUE.to_vec()),
+                "seed {seed}: acknowledged key {key} lost"
+            ),
+            Db::Redis(db) => assert_eq!(
+                db.query(Query::Get(key.to_string()))
+                    .expect("post-recovery get"),
+                Reply::Bulk(Some(VALUE.to_vec())),
+                "seed {seed}: acknowledged key {key} lost"
+            ),
+        }
+    }
+}
+
+/// Runs one seeded schedule end to end. Panics on any violated invariant.
+fn run_schedule(seed: u64, plan: &FaultPlan) {
+    let mut cfg = TestbedConfig::zero(6);
+    // Chaos runs should degrade (and re-attach) quickly, not after 5 s.
+    cfg.ncl.write_timeout = Duration::from_secs(2);
+    if let Some(dir) = trace_dir() {
+        cfg.ncl
+            .telemetry
+            .set_jsonl_sink(&dir.join(format!("trace-{seed}.jsonl")))
+            .expect("trace sink");
+    }
+    let tb = Testbed::start(cfg);
+    let (fs, app_node) = tb.mount(Mode::SplitFt, "chaos");
+    let db = Db::open(fs, seed);
+
+    // Arm the schedule only once the application is up: the property under
+    // test is write durability, not bootstrap availability.
+    let binding = Binding {
+        peers: tb.peers.iter().map(|p| p.node()).collect(),
+        controller: tb.controller.node(),
+        app: app_node,
+    };
+    tb.cluster
+        .install_faults(FaultScheduler::new(plan, binding));
+
+    let mut acked: Vec<String> = Vec::new();
+    for i in 0..PUTS {
+        let key = format!("k{i:05}");
+        if db.put(&key) {
+            acked.push(key);
+        }
+    }
+
+    // Settle: disarm the schedule, bring every peer back, heal partitions,
+    // then a few stabilisation puts so any deferred repair completes.
+    tb.cluster.clear_faults();
+    for peer in &tb.peers {
+        if !tb.cluster.is_alive(peer.node()) {
+            tb.cluster.restart(peer.node());
+        }
+    }
+    tb.cluster.heal(app_node, tb.controller.node());
+    for i in 0..5 {
+        let key = format!("settle{i:02}");
+        if db.put(&key) {
+            acked.push(key);
+        }
+    }
+    assert!(
+        !acked.is_empty(),
+        "seed {seed}: no write was acknowledged during the schedule"
+    );
+
+    // Crash the application and recover on a fresh node: every acked key
+    // must come back.
+    tb.cluster.crash(app_node);
+    drop(db);
+    let (fs2, _) = tb.mount(Mode::SplitFt, "chaos");
+    let db = Db::open(fs2, seed);
+    for key in &acked {
+        db.assert_has(key, seed);
+    }
+
+    assert_trace_invariants(&tb.config().ncl.telemetry.events(), seed);
+}
+
+/// The PR-3 event trace must show monotone per-file ap-map epochs and the
+/// catch-up-before-ap-map-update ordering for every replacement epoch.
+fn assert_trace_invariants(evs: &[Event], seed: u64) {
+    let mut last_epoch: HashMap<&str, u64> = HashMap::new();
+    for e in evs.iter().filter(|e| e.kind == events::AP_MAP_UPDATE) {
+        let prev = last_epoch.entry(e.scope.as_str()).or_insert(0);
+        assert!(
+            e.epoch >= *prev,
+            "seed {seed}: ap-map epoch regressed on {}: {} after {}",
+            e.scope,
+            e.epoch,
+            *prev
+        );
+        *prev = e.epoch;
+    }
+    for (i, start) in evs
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == events::PEER_REPLACE_START)
+    {
+        let Some(update_idx) = evs.iter().position(|e| {
+            e.kind == events::AP_MAP_UPDATE && e.scope == start.scope && e.epoch == start.epoch
+        }) else {
+            continue; // Replacement never committed (deferred/failed).
+        };
+        assert!(
+            i < update_idx,
+            "seed {seed}: ap-map update at epoch {} precedes its replace-start",
+            start.epoch
+        );
+        assert!(
+            evs[..update_idx]
+                .iter()
+                .any(|e| e.kind == events::CATCH_UP_FINISH && e.epoch == start.epoch),
+            "seed {seed}: ap-map moved to epoch {} before catch-up finished",
+            start.epoch
+        );
+    }
+}
+
+/// A seeded schedule that deliberately exceeds the `f` budget: 2 of the 3
+/// assigned peers crash back-to-back, so the durable quorum is gone and the
+/// facade must degrade to the DFS shadow journal, then re-attach once fresh
+/// peers are published — with the event trace proving the ordering.
+#[test]
+fn seeded_quorum_loss_schedule_degrades_and_reattaches() {
+    let seed: u64 = 0xFA11_BACC;
+    let plan = FaultPlan::new(seed)
+        .push(Trigger::Step(8), FaultAction::CrashPeer(1))
+        .push(Trigger::Step(9), FaultAction::CrashPeer(2));
+
+    let mut cfg = TestbedConfig::zero(3);
+    // Quorum loss should trip the fallback quickly, not after 5 s.
+    cfg.ncl.write_timeout = Duration::from_millis(300);
+    let mut tb = Testbed::start(cfg);
+    let (fs, app_node) = tb.mount(Mode::SplitFt, "chaos-degrade");
+    let file = fs.open("wal", OpenOptions::create_ncl(1 << 16)).unwrap();
+
+    let binding = Binding {
+        peers: tb.peers.iter().map(|p| p.node()).collect(),
+        controller: tb.controller.node(),
+        app: app_node,
+    };
+    tb.cluster
+        .install_faults(FaultScheduler::new(&plan, binding));
+
+    // Every write keeps being acknowledged across the quorum loss: the
+    // route degrades instead of failing the application.
+    let mut expected: Vec<u8> = Vec::new();
+    for i in 0..50 {
+        let chunk = format!("record-{i:02}|");
+        file.write_at(expected.len() as u64, chunk.as_bytes())
+            .unwrap_or_else(|e| panic!("FAULT_SEED={seed}\nwrite {i} failed: {e}"));
+        expected.extend_from_slice(chunk.as_bytes());
+        if file.is_degraded() {
+            break;
+        }
+    }
+    assert!(
+        file.is_degraded(),
+        "FAULT_SEED={seed}: crashing 2/3 assigned peers must engage the fallback"
+    );
+    tb.cluster.clear_faults();
+
+    // Publish fresh capacity; the throttled probe must re-attach.
+    tb.add_peer("spare-a");
+    tb.add_peer("spare-b");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while file.is_degraded() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "FAULT_SEED={seed}: fallback never re-attached after fresh peers"
+        );
+        std::thread::sleep(tb.config().ncl.reattach_probe);
+        file.write_at(expected.len() as u64, b".").unwrap();
+        expected.push(b'.');
+    }
+
+    // Trace ordering: engage strictly precedes re-attach, and the re-attach
+    // runs at a bumped epoch (the replacement's fence).
+    let evs = fs.telemetry().events();
+    let engage = evs
+        .iter()
+        .position(|e| e.kind == events::DFS_FALLBACK_ENGAGE)
+        .expect("engage event");
+    let reattach = evs
+        .iter()
+        .position(|e| e.kind == events::NCL_REATTACH)
+        .expect("re-attach event");
+    assert!(
+        engage < reattach,
+        "FAULT_SEED={seed}: engage after re-attach"
+    );
+    assert!(
+        evs[reattach].epoch > evs[engage].epoch,
+        "FAULT_SEED={seed}: re-attach must carry a bumped epoch"
+    );
+    assert_trace_invariants(&evs, seed);
+
+    // Every acknowledged byte — through NCL or the fallback — survives an
+    // application crash and recovery on a fresh node.
+    tb.cluster.crash(app_node);
+    drop(file);
+    drop(fs);
+    let (fs2, _) = tb.mount(Mode::SplitFt, "chaos-degrade");
+    let f2 = fs2.open("wal", OpenOptions::create_ncl(1 << 16)).unwrap();
+    let size = f2.size().unwrap();
+    assert_eq!(
+        f2.read(0, size as usize).unwrap(),
+        expected,
+        "FAULT_SEED={seed}: recovered image diverges from acknowledged bytes"
+    );
+}
+
+#[test]
+fn seeded_chaos_schedules_preserve_acked_data() {
+    let params = PlanParams::light(6, 1);
+    for seed in seed_list() {
+        let plan = FaultPlan::random(seed, &params);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_schedule(seed, &plan))) {
+            // The one line that reproduces the exact schedule:
+            eprintln!("FAULT_SEED={seed}");
+            eprintln!("reproduce: FAULT_SEED={seed} cargo test --test chaos");
+            eprintln!("schedule:\n{}", plan.describe());
+            if let Some(dir) = trace_dir() {
+                let _ = std::fs::write(dir.join("FAILED_SEED"), seed.to_string());
+            }
+            resume_unwind(payload);
+        }
+    }
+}
