@@ -16,6 +16,39 @@ fn value_of(i: u32) -> Vec<u8> {
     format!("value-{i:06}-{}", "x".repeat(80)).into_bytes()
 }
 
+/// An application workload is fully traceable end to end: every log write
+/// MiniRocks acknowledged carries a complete causal span chain (stage →
+/// doorbell → quorum wire coverage → ack under one `ncl.write` root), and
+/// the write-path histograms the operator scrapes carry the same samples.
+#[test]
+fn rocks_workload_leaves_complete_causal_traces() {
+    let tb = Testbed::start(TestbedConfig::zero(3));
+    let (fs, _) = tb.mount(Mode::SplitFt, "rocks-traced");
+    let db = MiniRocks::open(fs, "db/", RocksOptions::tiny()).unwrap();
+    for i in 0..50u32 {
+        db.put(format!("k{i:04}").as_bytes(), &value_of(i)).unwrap();
+    }
+
+    let tel = &tb.config().ncl.telemetry;
+    let report = telemetry::analyze::analyze(&tel.spans(), &tel.events(), tb.config().ncl.quorum());
+    assert!(
+        report.ok(),
+        "trace invariants violated:\n{}",
+        report.render()
+    );
+    assert_eq!(report.orphan_spans, 0);
+    assert!(
+        report.acked_writes >= 50,
+        "each acked put leaves a rooted write trace (got {})",
+        report.acked_writes
+    );
+    let snap = tel.snapshot();
+    let e2e = snap
+        .summary("ncl.record.e2e")
+        .expect("write-path histogram");
+    assert!(e2e.count >= report.acked_writes as u64);
+}
+
 // ---------------------------------------------------------------- minirocks
 
 #[test]

@@ -120,11 +120,17 @@ fn burst_sweep(c: &mut Criterion) {
     }
 }
 
-/// The telemetry-overhead smoke gate: the same burst-16 coalesced workload
-/// with the instrumented record path (spans, flight tracking, counters) and
-/// with telemetry disabled (every handle dead, no flights kept). The
-/// instrumented run must keep ≥90% of the uninstrumented throughput — the
-/// "always-on telemetry" promise CI holds the line on.
+/// The telemetry-overhead smoke gate, now a three-mode sweep of the same
+/// burst-16 coalesced workload:
+///
+/// * `telemetry_off` — every handle dead, no flights kept (baseline);
+/// * `telemetry_on`  — counters/histograms live, causal tracing off;
+/// * `tracing_on`    — full causal tracing: trace ids allocated and
+///   stage/doorbell/wire/ack span trees recorded per write.
+///
+/// Two gates CI holds the line on: metrics must keep ≥90% of the
+/// uninstrumented throughput, and tracing must keep ≥90% of the
+/// metrics-only throughput (the issue's ≤10%-on-batched-hot-path budget).
 fn telemetry_overhead(c: &mut Criterion) {
     let tb = Testbed::start(TestbedConfig::calibrated(3));
     let mut group = c.benchmark_group("ncl_batch");
@@ -132,17 +138,13 @@ fn telemetry_overhead(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(3));
     let data = vec![0x5Au8; RECORD_SIZE];
-    for enabled in [true, false] {
-        let mode = if enabled {
-            "telemetry_on"
-        } else {
-            "telemetry_off"
-        };
-        let telemetry = if enabled {
-            Telemetry::new()
-        } else {
+    for mode in ["telemetry_off", "telemetry_on", "tracing_on"] {
+        let telemetry = if mode == "telemetry_off" {
             Telemetry::disabled()
+        } else {
+            Telemetry::new()
         };
+        telemetry.set_tracing(mode == "tracing_on");
         let tag = format!("bench-batch-{mode}");
         let lib = batch_lib(&tb, true, &tag, telemetry);
         let file = lib.create("wal", CAPACITY).unwrap();
@@ -167,11 +169,14 @@ fn telemetry_overhead(c: &mut Criterion) {
     }
     group.finish();
 
+    // Median-based: the overhead under test is tens of nanoseconds per
+    // record, far below the scheduler-hiccup outliers a shared runner
+    // injects into the mean.
     let per_second = |mode: &str| -> f64 {
         c.measurements()
             .iter()
             .find(|m| m.id == format!("ncl_batch/{mode}"))
-            .and_then(|m| m.per_second())
+            .and_then(|m| m.per_second_median())
             .expect("measurement present")
     };
     let ratio = per_second("telemetry_on") / per_second("telemetry_off");
@@ -180,6 +185,13 @@ fn telemetry_overhead(c: &mut Criterion) {
         ratio >= 0.9,
         "telemetry overhead gate: instrumented throughput fell below 90% of \
          the uninstrumented baseline (ratio {ratio:.3})"
+    );
+    let tracing_ratio = per_second("tracing_on") / per_second("telemetry_on");
+    println!("ncl_batch: tracing/metrics-only throughput ratio = {tracing_ratio:.3}");
+    assert!(
+        tracing_ratio >= 0.9,
+        "tracing overhead gate: span-tree recording cost more than 10% of \
+         the batched hot path (ratio {tracing_ratio:.3})"
     );
 }
 

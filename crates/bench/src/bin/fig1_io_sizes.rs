@@ -145,14 +145,15 @@ fn main() {
             row(&[
                 name.into(),
                 sizes.len().to_string(),
-                human_bytes(percentile(sizes, 50.0) as f64),
-                human_bytes(percentile(sizes, 90.0) as f64),
+                human_bytes(percentile(sizes, 50.0).unwrap_or(0) as f64),
+                human_bytes(percentile(sizes, 90.0).unwrap_or(0) as f64),
                 human_bytes(sizes.last().copied().unwrap_or(0) as f64),
             ]);
         }
-        if !log_sizes.is_empty() && !bulk_sizes.is_empty() {
-            let ratio =
-                percentile(&bulk_sizes, 50.0) as f64 / percentile(&log_sizes, 50.0).max(1) as f64;
+        if let (Some(bulk_p50), Some(log_p50)) =
+            (percentile(&bulk_sizes, 50.0), percentile(&log_sizes, 50.0))
+        {
+            let ratio = bulk_p50 as f64 / log_p50.max(1) as f64;
             println!("median background/log size ratio: {ratio:.0}x");
         }
     }

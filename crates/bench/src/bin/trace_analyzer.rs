@@ -1,0 +1,214 @@
+//! Offline causal-trace analyzer for NCL JSONL trace files.
+//!
+//! Replays the `{"type":"span"}` / `{"type":"event"}` JSONL stream a run
+//! wrote through `Telemetry::set_jsonl_sink` (the chaos harness and the
+//! splitfs testbed both emit this format), groups spans by `trace_id`, and
+//! verifies the per-write invariants of the protocol through
+//! `telemetry::analyze` — the same checker the integration tests assert
+//! with in-process:
+//!
+//! * every rooted span resolves its parent (no orphans);
+//! * every acked write (an `ncl.write` root) carries staging, a doorbell,
+//!   and wire/catch-up coverage on at least a write quorum of peers;
+//! * no write roots inside a degraded window outside reattach replay;
+//! * per epoch, catch-up finishes before the ap-map moves;
+//! * ap-map epochs are monotone per file.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_analyzer [--quorum N] FILE...           analyze files, print reports
+//! trace_analyzer [--quorum N] --check DIR       analyze every trace-*.jsonl
+//! trace_analyzer --chrome OUT.json FILE         also export a Chrome trace
+//! trace_analyzer --selfcheck                    exercise exporters, no input
+//! ```
+//!
+//! Exit status: 0 when every file is clean, 1 on any violation, orphan span
+//! or malformed line, 2 on usage or I/O errors. CI runs `--check` over the
+//! chaos matrix's trace artifacts and `--selfcheck` in the lint job.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use telemetry::analyze::{analyze, parse_jsonl, TraceReport};
+use telemetry::export::chrome;
+use telemetry::{spans, Telemetry};
+
+struct Options {
+    quorum: usize,
+    check_dir: Option<PathBuf>,
+    chrome_out: Option<PathBuf>,
+    selfcheck: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quorum: 2,
+        check_dir: None,
+        chrome_out: None,
+        selfcheck: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quorum" => {
+                let v = args.next().ok_or("--quorum needs a value")?;
+                opts.quorum = v.parse().map_err(|_| format!("bad quorum: {v}"))?;
+                if opts.quorum == 0 {
+                    return Err("quorum must be at least 1".into());
+                }
+            }
+            "--check" => {
+                let v = args.next().ok_or("--check needs a directory")?;
+                opts.check_dir = Some(PathBuf::from(v));
+            }
+            "--chrome" => {
+                let v = args.next().ok_or("--chrome needs an output path")?;
+                opts.chrome_out = Some(PathBuf::from(v));
+            }
+            "--selfcheck" => opts.selfcheck = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: trace_analyzer [--quorum N] [--check DIR | FILE...] \
+                     [--chrome OUT.json] [--selfcheck]"
+                        .into(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+/// Analyzes one trace file; returns the report, or an error string for
+/// unreadable or malformed input (CI treats both as failures — a truncated
+/// artifact must not pass as "no violations found").
+fn analyze_file(path: &Path, quorum: usize) -> Result<TraceReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (spans, events) = parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(analyze(&spans, &events, quorum))
+}
+
+/// Builds a tiny synthetic span tree through a real `Telemetry` handle and
+/// round-trips it through both exporters: the Chrome trace must validate
+/// and the analyzer must see one clean acked write. Guards the export
+/// schema without needing a workload.
+fn selfcheck() -> Result<(), String> {
+    let tel = Telemetry::new();
+    let t0 = std::time::Instant::now();
+    let trace = tel.next_trace_id();
+    tel.span_auto(trace, trace, spans::NCL_STAGE, "self/wal", 1, t0, t0);
+    tel.span_auto(trace, trace, spans::NCL_DOORBELL, "self/wal", 1, t0, t0);
+    tel.span_auto(trace, trace, spans::NCL_WIRE_PEER, "peer-0", 1, t0, t0);
+    tel.span_auto(trace, trace, spans::NCL_WIRE_PEER, "peer-1", 1, t0, t0);
+    tel.span_auto(trace, trace, spans::NCL_ACK, "self/wal", 1, t0, t0);
+    tel.span(trace, trace, 0, spans::NCL_WRITE, "self/wal", 1, t0, t0);
+
+    let all = tel.spans();
+    let doc = chrome::render(&all);
+    let n = chrome::validate(&doc).map_err(|e| format!("chrome trace invalid: {e}"))?;
+    if n < all.len() {
+        return Err(format!("chrome trace dropped spans: {n} < {}", all.len()));
+    }
+    let report = analyze(&all, &tel.events(), 2);
+    if !report.ok() || report.acked_writes != 1 || report.orphan_spans != 0 {
+        return Err(format!("analyzer selfcheck failed:\n{}", report.render()));
+    }
+    println!("selfcheck ok: {} spans exported and verified", all.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.selfcheck {
+        return match selfcheck() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut files = opts.files.clone();
+    if let Some(dir) = &opts.check_dir {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut found: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("trace-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        found.sort();
+        if found.is_empty() {
+            // An empty artifact directory means the run never wrote traces —
+            // failing loudly here is the point of the CI check.
+            eprintln!("{}: no trace-*.jsonl files found", dir.display());
+            return ExitCode::FAILURE;
+        }
+        files.extend(found);
+    }
+    if files.is_empty() {
+        eprintln!("no input; pass trace files, --check DIR, or --selfcheck");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &files {
+        match analyze_file(path, opts.quorum) {
+            Ok(report) => {
+                let clean = report.ok() && report.orphan_spans == 0;
+                println!(
+                    "{}: {}",
+                    path.display(),
+                    if clean { "clean" } else { "FAILED" }
+                );
+                print!("{}", report.render());
+                if !clean {
+                    failed = true;
+                }
+                if let Some(out) = &opts.chrome_out {
+                    let text = std::fs::read_to_string(path).expect("already read once");
+                    let (spans, _) = parse_jsonl(&text).expect("already parsed once");
+                    let doc = chrome::render(&spans);
+                    if let Err(e) = chrome::validate(&doc) {
+                        eprintln!("{}: chrome export invalid: {e}", out.display());
+                        failed = true;
+                    } else if let Err(e) = std::fs::write(out, doc) {
+                        eprintln!("{}: {e}", out.display());
+                        failed = true;
+                    } else {
+                        println!("chrome trace written to {}", out.display());
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

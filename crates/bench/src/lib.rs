@@ -203,6 +203,7 @@ impl BenchJson {
 
     /// Appends one measurement row.
     pub fn result(&mut self, id: &str, mean_ns: f64, per_second: f64) {
+        let id = telemetry::json_escape(id);
         self.results.push(format!(
             "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}, \"per_second\": {per_second:.1}}}"
         ));
@@ -220,7 +221,7 @@ impl BenchJson {
             .iter()
             .filter_map(|name| {
                 snap.summary(name)
-                    .map(|s| format!("    \"{name}\": {}", s.to_json()))
+                    .map(|s| format!("    \"{}\": {}", telemetry::json_escape(name), s.to_json()))
             })
             .collect();
         self.section(
@@ -314,13 +315,15 @@ pub fn validate_bench_json(body: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Percentile of a sorted `u64` slice.
-pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+/// Percentile of a sorted `u64` slice, or `None` when it is empty — the
+/// same contract as [`telemetry::Histogram::percentile`], so a harness that
+/// measured nothing reports "no data" instead of a fake zero-latency tail.
+pub fn percentile(sorted: &[u64], p: f64) -> Option<u64> {
     if sorted.is_empty() {
-        return 0;
+        return None;
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
-    sorted[rank.min(sorted.len() - 1)]
+    Some(sorted[rank.min(sorted.len() - 1)])
 }
 
 #[cfg(test)]
@@ -339,10 +342,10 @@ mod tests {
     #[test]
     fn percentile_of_sorted_slice() {
         let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
-        assert_eq!(percentile(&v, 50.0), 5);
-        assert_eq!(percentile(&v, 100.0), 10);
-        assert_eq!(percentile(&v, 1.0), 1);
-        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&v, 50.0), Some(5));
+        assert_eq!(percentile(&v, 100.0), Some(10));
+        assert_eq!(percentile(&v, 1.0), Some(1));
+        assert_eq!(percentile(&[], 50.0), None);
     }
 
     #[test]
@@ -367,6 +370,19 @@ mod tests {
         assert!(body.contains("\"id\": \"demo/1\", \"mean_ns\": 1234.5"));
         assert!(body.contains("\"extra\": {\"k\": 1}"));
         assert!(body.ends_with("}\n"));
+    }
+
+    /// A result id (often built from free-form bench labels) with quotes,
+    /// backslashes or control characters must not corrupt the document.
+    #[test]
+    fn bench_json_escapes_result_ids() {
+        let mut json = BenchJson::new("demo");
+        json.result("io/4KB \"quoted\" \\ tab\there", 1.0, 2.0);
+        let body = json.render();
+        assert!(body.contains(r#""id": "io/4KB \"quoted\" \\ tab\there""#));
+        // Line-level sanity: the rendered row has balanced quotes.
+        let row = body.lines().find(|l| l.contains("io/4KB")).unwrap();
+        assert_eq!(row.matches('"').count() - row.matches("\\\"").count(), 8);
     }
 
     #[test]

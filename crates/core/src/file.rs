@@ -86,7 +86,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WorkCompletion, WorkRequest, WrId};
 use sim::{Cluster, NodeId, Stopwatch};
-use telemetry::{events, Counter, HistHandle, Telemetry};
+use telemetry::{events, spans, Counter, HistHandle, Telemetry};
 
 use crate::config::{AckPolicy, NclConfig};
 use crate::controller::{Controller, ControllerClient};
@@ -157,6 +157,9 @@ struct FileMetrics {
     /// and flight bookkeeping behind one branch.
     enabled: bool,
     tel: Telemetry,
+    /// `app/file`, the scope every span and event of this file carries.
+    /// Interned so span recording on the hot path never allocates.
+    scope: &'static str,
     stage: HistHandle,
     doorbell: HistHandle,
     wire: HistHandle,
@@ -175,10 +178,11 @@ struct FileMetrics {
 }
 
 impl FileMetrics {
-    fn new(tel: &Telemetry) -> Arc<Self> {
+    fn new(tel: &Telemetry, scope: &str) -> Arc<Self> {
         Arc::new(FileMetrics {
             enabled: tel.is_enabled(),
             tel: tel.clone(),
+            scope: telemetry::intern_scope(scope),
             stage: tel.histogram("ncl.record.stage"),
             doorbell: tel.histogram("ncl.record.doorbell"),
             wire: tel.histogram("ncl.record.wire"),
@@ -213,6 +217,12 @@ struct Flight {
     posted: Instant,
     /// First peer whose header completion covered this record.
     first_peer: Option<Instant>,
+    /// Trace id assigned at `record_nowait` (0 when tracing is off).
+    trace: u64,
+    /// QP numbers of peers already credited with a wire/catch-up span for
+    /// this record, so a burst of coalesced headers from one peer produces
+    /// one child span. Bounded by `2f + 1`.
+    covered: Vec<u32>,
 }
 
 /// Handle to the NCL layer for one application instance.
@@ -307,7 +317,7 @@ impl NclLib {
         let names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
-        let metrics = FileMetrics::new(&ctx.config.telemetry);
+        let metrics = FileMetrics::new(&ctx.config.telemetry, &format!("{}/{}", ctx.app_id, file));
         Ok(NclFile {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
@@ -338,8 +348,11 @@ impl NclLib {
     /// them with [`NclFile::contents`] / [`NclFile::read`]).
     pub fn recover(&self, file: &str) -> Result<NclFile, NclError> {
         let ctx = &*self.ctx;
+        let tel = &ctx.config.telemetry;
         let mut stats = RecoveryStats::default();
-        let scope = format!("{}/{}", ctx.app_id, file);
+        let scope = telemetry::intern_scope(&format!("{}/{}", ctx.app_id, file));
+        let recover_trace = tel.next_trace_id();
+        let recover_start = Instant::now();
 
         // Phase 1: ap-map from the controller.
         let sw = Stopwatch::start();
@@ -348,10 +361,11 @@ impl NclLib {
             .get_ap_entry(ctx.node, &ctx.app_id, file)?
             .ok_or_else(|| NclError::NotFound(file.to_string()))?;
         stats.get_peer = sw.elapsed();
-        ctx.config.telemetry.event(
+        tel.event_traced(
             events::RECOVERY_START,
-            &scope,
+            scope,
             entry.epoch,
+            recover_trace,
             format!("{} ap-map peers", entry.peers.len()),
         );
 
@@ -359,6 +373,7 @@ impl NclLib {
         // peer; the connect RPC and the header-read latency of the ap-map
         // peers overlap instead of accumulating.
         let sw = Stopwatch::start();
+        let fetch_start = Instant::now();
         let cq = CompletionQueue::new();
         let router = WcRouter::new(&cq);
         let responders: Vec<(PeerSlot, RegionHeader)> = std::thread::scope(|scope| {
@@ -468,12 +483,22 @@ impl NclLib {
             }
         }
         stats.rdma_read = sw.elapsed();
+        tel.span_auto(
+            recover_trace,
+            recover_trace,
+            spans::NCL_RECOVER_FETCH,
+            scope,
+            entry.epoch,
+            fetch_start,
+            Instant::now(),
+        );
 
         // Phase 4: catch every peer up to the recovered image under a new
         // epoch, then (and only then) advance the ap-map. The per-peer
         // prepare/copy/commit pipelines are independent — run them in
         // parallel, dropping any peer that dies mid-catch-up.
         let sw = Stopwatch::start();
+        let replay_start = Instant::now();
         let epoch = entry.epoch + 1;
         let mut slots: Vec<PeerSlot> = std::thread::scope(|scope| {
             let handles: Vec<_> = responders
@@ -493,7 +518,17 @@ impl NclLib {
                 .filter_map(|h| h.join().expect("catch-up thread"))
                 .collect()
         });
+        tel.span_auto(
+            recover_trace,
+            recover_trace,
+            spans::NCL_RECOVER_REPLAY,
+            scope,
+            epoch,
+            replay_start,
+            Instant::now(),
+        );
         // Replace unreachable/failed peers to restore the FT level.
+        let rearm_start = Instant::now();
         let mut exclude: Vec<String> = entry.peers.clone();
         exclude.extend(slots.iter().map(|s| s.name.clone()));
         exclude.sort();
@@ -518,16 +553,26 @@ impl NclLib {
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
         stats.sync_peer = sw.elapsed();
+        tel.span_auto(
+            recover_trace,
+            recover_trace,
+            spans::NCL_RECOVER_REARM,
+            scope,
+            epoch,
+            rearm_start,
+            Instant::now(),
+        );
 
         let seq = rec_header.seq;
         for s in &mut slots {
             s.completed_seq = seq;
         }
         let repair_pending = slots.len() < ctx.config.replicas();
-        ctx.config.telemetry.event(
+        tel.event_traced(
             events::RECOVERY_FINISH,
-            &scope,
+            scope,
             epoch,
+            recover_trace,
             format!(
                 "seq={seq} peers={} get_peer={:?} connect={:?} rdma_read={:?} sync_peer={:?}",
                 slots.len(),
@@ -537,7 +582,17 @@ impl NclLib {
                 stats.sync_peer
             ),
         );
-        let metrics = FileMetrics::new(&ctx.config.telemetry);
+        tel.span(
+            recover_trace,
+            recover_trace,
+            0,
+            spans::NCL_RECOVER,
+            scope,
+            epoch,
+            recover_start,
+            Instant::now(),
+        );
+        let metrics = FileMetrics::new(tel, scope);
         Ok(NclFile {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
@@ -634,6 +689,9 @@ struct PendingRecord {
     /// flush time to close the stage/doorbell spans and open a [`Flight`].
     t0: Instant,
     staged_at: Instant,
+    /// Trace id assigned at `record_nowait` (0 when tracing is off); the
+    /// root span id of this record's causal chain.
+    trace: u64,
 }
 
 /// Staging state: the local image, the sequence counter, and the pending
@@ -772,18 +830,46 @@ impl Rep {
                     if wc.wr_id.0 % 2 == 1 {
                         let seq = wc.wr_id.0 / 2;
                         slot.completed_seq = slot.completed_seq.max(seq);
-                        // Wire span closes at the first peer whose header
-                        // covers the record; a coalesced header for `seq`
-                        // acknowledges every flight at or below it.
+                        // Wire histogram closes at the first peer whose
+                        // header covers the record; a coalesced header for
+                        // `seq` acknowledges every flight at or below it.
+                        // Each peer additionally closes a per-peer wire
+                        // child span, reconstructed from the NIC's own
+                        // post→completion measurement.
                         if self.metrics.enabled && !self.flights.is_empty() {
                             let now = Instant::now();
+                            let wire_start = now
+                                .checked_sub(Duration::from_nanos(wc.wire_ns))
+                                .unwrap_or(now);
+                            let peer_name = &self.peers[idx].name;
+                            // Interned on first use only: one lookup per
+                            // completion, nothing when no flight is traced.
+                            let mut peer_scope: Option<&'static str> = None;
+                            let epoch = self.epoch;
                             let metrics = &self.metrics;
                             for (&fseq, flight) in self.flights.iter_mut() {
-                                if fseq <= seq && flight.first_peer.is_none() {
+                                if fseq > seq {
+                                    continue;
+                                }
+                                if flight.first_peer.is_none() {
                                     flight.first_peer = Some(now);
                                     metrics
                                         .wire
                                         .record_duration(now.duration_since(flight.posted));
+                                }
+                                if flight.trace != 0 && !flight.covered.contains(&qp_num) {
+                                    flight.covered.push(qp_num);
+                                    let peer = *peer_scope
+                                        .get_or_insert_with(|| telemetry::intern_scope(peer_name));
+                                    metrics.tel.span_auto(
+                                        flight.trace,
+                                        flight.trace,
+                                        spans::NCL_WIRE_PEER,
+                                        peer,
+                                        epoch,
+                                        wire_start.max(flight.posted),
+                                        now,
+                                    );
                                 }
                             }
                         }
@@ -868,6 +954,7 @@ impl Rep {
         if self.metrics.enabled && self.durable_seq > prev && !self.flights.is_empty() {
             let now = Instant::now();
             let durable = self.durable_seq;
+            let epoch = self.epoch;
             let metrics = &self.metrics;
             self.flights.retain(|&fseq, flight| {
                 if fseq > durable {
@@ -876,6 +963,29 @@ impl Rep {
                 let first = flight.first_peer.unwrap_or(flight.posted);
                 metrics.ack.record_duration(now.duration_since(first));
                 metrics.e2e.record_duration(now.duration_since(flight.t0));
+                if flight.trace != 0 {
+                    metrics.tel.span_auto(
+                        flight.trace,
+                        flight.trace,
+                        spans::NCL_ACK,
+                        metrics.scope,
+                        epoch,
+                        first,
+                        now,
+                    );
+                    // Root last: a write's chain is complete exactly when
+                    // its root span exists.
+                    metrics.tel.span(
+                        flight.trace,
+                        flight.trace,
+                        0,
+                        spans::NCL_WRITE,
+                        metrics.scope,
+                        epoch,
+                        flight.t0,
+                        now,
+                    );
+                }
                 false
             });
         }
@@ -1079,6 +1189,24 @@ impl NclFile {
             let payload = wire.slice(HEADER_WIRE_SIZE..);
             let staged_at = Instant::now();
             self.metrics.stage.record_duration(staged_at - t0);
+            // Root of this record's causal chain; 0 (and therefore span-free)
+            // when telemetry is disabled or tracing is switched off.
+            let trace = if self.metrics.enabled {
+                self.metrics.tel.next_trace_id()
+            } else {
+                0
+            };
+            if trace != 0 {
+                self.metrics.tel.span_auto(
+                    trace,
+                    trace,
+                    spans::NCL_STAGE,
+                    self.metrics.scope,
+                    0,
+                    t0,
+                    staged_at,
+                );
+            }
             stage.pending.push(PendingRecord {
                 seq,
                 offset: offset as usize,
@@ -1086,6 +1214,7 @@ impl NclFile {
                 header: header_bytes,
                 t0,
                 staged_at,
+                trace,
             });
             // Window-full: ring the doorbell for the accumulated burst.
             if stage.pending.len() as u64 >= window {
@@ -1142,12 +1271,25 @@ impl NclFile {
                 self.metrics
                     .doorbell
                     .record_duration(posted_at.duration_since(rec.staged_at));
+                if rec.trace != 0 {
+                    self.metrics.tel.span_auto(
+                        rec.trace,
+                        rec.trace,
+                        spans::NCL_DOORBELL,
+                        self.metrics.scope,
+                        0,
+                        rec.staged_at,
+                        posted_at,
+                    );
+                }
                 rep.flights.insert(
                     rec.seq,
                     Flight {
                         t0: rec.t0,
                         posted: posted_at,
                         first_peer: None,
+                        trace: rec.trace,
+                        covered: Vec::new(),
                     },
                 );
             }
@@ -1294,6 +1436,10 @@ impl NclFile {
     /// copies so concurrent durability waiters keep draining completions.
     fn replace_failed(&self, stage: &mut Stage) -> Result<(), NclError> {
         let ctx = &*self.ctx;
+        let tel = &ctx.config.telemetry;
+        let scope = telemetry::intern_scope(&format!("{}/{}", ctx.app_id, self.name));
+        let repair_trace = tel.next_trace_id();
+        let repair_start = Instant::now();
         let mut stats = RepairStats::default();
         // Catch-up stamps `stage.seq`, which covers any records still in the
         // pending burst (the staged image already contains their bytes).
@@ -1324,14 +1470,16 @@ impl NclFile {
                 .filter(|s| !s.alive)
                 .map(|s| s.name.clone())
                 .collect();
-            ctx.config.telemetry.event(
+            tel.event_traced(
                 events::PEER_REPLACE_START,
-                &format!("{}/{}", ctx.app_id, self.name),
+                scope,
                 epoch,
+                repair_trace,
                 format!("replacing [{}]", dead.join(", ")),
             );
             rep.peers.retain(|s| s.alive);
             rep.rebuild_qp_map();
+            let acquire_start = Instant::now();
             let mut fresh: Vec<PeerSlot> = Vec::new();
             while rep.peers.len() + fresh.len() < ctx.config.replicas() {
                 let slot = acquire_peer_timed(
@@ -1345,6 +1493,15 @@ impl NclFile {
                 )?;
                 fresh.push(slot);
             }
+            tel.span_auto(
+                repair_trace,
+                repair_trace,
+                spans::NCL_REPAIR_ACQUIRE,
+                scope,
+                epoch,
+                acquire_start,
+                Instant::now(),
+            );
             for s in &fresh {
                 rep.expecting.insert(s.qp.qp_num());
             }
@@ -1355,6 +1512,7 @@ impl NclFile {
         // parallel — each copy is a bulk RDMA write whose latency would
         // otherwise serialise.
         let sw = Stopwatch::start();
+        let catchup_start = Instant::now();
         let wait = RepWait { file: self };
         let buffer = &stage.buffer;
         let results: Vec<Result<(), NclError>> = std::thread::scope(|scope| {
@@ -1362,7 +1520,21 @@ impl NclFile {
                 .iter_mut()
                 .map(|slot| {
                     let wait = &wait;
-                    scope.spawn(move || catch_up_fresh(ctx, wait, slot, epoch, &header, buffer))
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let peer = telemetry::intern_scope(&slot.name);
+                        let result = catch_up_fresh(ctx, wait, slot, epoch, &header, buffer);
+                        tel.span_auto(
+                            repair_trace,
+                            repair_trace,
+                            spans::NCL_REPAIR_CATCHUP,
+                            peer,
+                            epoch,
+                            start,
+                            Instant::now(),
+                        );
+                        result
+                    })
                 })
                 .collect();
             handles
@@ -1371,6 +1543,7 @@ impl NclFile {
                 .collect()
         });
         stats.catch_up += sw.elapsed();
+        let catchup_end = Instant::now();
 
         // Phase C: commit.
         let mut rep = self.rep.lock();
@@ -1380,10 +1553,22 @@ impl NclFile {
         rep.prune_stray();
         if let Some(e) = results.into_iter().find_map(|r| r.err()) {
             // Survivors are kept; the fresh regions are abandoned (their
-            // peers GC them by epoch). The caller defers or retries.
+            // peers GC them by epoch). The caller defers or retries. Close
+            // the repair root so its child spans stay reachable.
+            tel.span(
+                repair_trace,
+                repair_trace,
+                0,
+                spans::NCL_REPAIR,
+                scope,
+                epoch,
+                repair_start,
+                Instant::now(),
+            );
             return Err(e);
         }
         let sw = Stopwatch::start();
+        let commit_start = Instant::now();
         // Survivors first: bump their region epochs so e_r stays ≥ the
         // ap-map epoch (see peer::PeerReq::BumpEpoch).
         for slot in rep.peers.iter() {
@@ -1396,22 +1581,61 @@ impl NclFile {
                 },
             );
         }
-        ctx.config.telemetry.event(
+        tel.event_traced(
             events::EPOCH_BUMP,
-            &format!("{}/{}", ctx.app_id, self.name),
+            scope,
             epoch,
+            repair_trace,
             format!("bumped {} survivors", rep.peers.len()),
         );
+        // Replaced-in peers never produced wire completions for records that
+        // were in flight when they joined — the catch-up copy is what made
+        // those records durable on them. Credit each such flight with a
+        // catch-up coverage span so its quorum is reconstructible from the
+        // trace alone.
+        let fresh_info: Vec<(&'static str, u32)> = fresh
+            .iter()
+            .map(|s| (telemetry::intern_scope(&s.name), s.qp.qp_num()))
+            .collect();
+        for (&fseq, flight) in rep.flights.iter_mut() {
+            if fseq > header.seq || flight.trace == 0 {
+                continue;
+            }
+            for &(peer, qp_num) in &fresh_info {
+                if !flight.covered.contains(&qp_num) {
+                    flight.covered.push(qp_num);
+                    tel.span_auto(
+                        flight.trace,
+                        flight.trace,
+                        spans::NCL_CATCHUP_PEER,
+                        peer,
+                        epoch,
+                        catchup_start,
+                        catchup_end,
+                    );
+                }
+            }
+        }
         rep.peers.extend(fresh);
         rep.rebuild_qp_map();
         let names: Vec<String> = rep.peers.iter().map(|s| s.name.clone()).collect();
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, &self.name, names.clone(), epoch)?;
         stats.update_ap_map = sw.elapsed();
-        ctx.config.telemetry.event(
-            events::PEER_REPLACE_FINISH,
-            &format!("{}/{}", ctx.app_id, self.name),
+        tel.span_auto(
+            repair_trace,
+            repair_trace,
+            spans::NCL_REPAIR_COMMIT,
+            scope,
             epoch,
+            commit_start,
+            Instant::now(),
+        );
+        tel.event_traced(
+            events::PEER_REPLACE_FINISH,
+            scope,
+            epoch,
+            repair_trace,
             format!(
                 "peers=[{}] catch_up={:?} update_ap_map={:?}",
                 names.join(", "),
@@ -1427,6 +1651,16 @@ impl NclFile {
         rep.failure_seen = rep.peers.iter().any(|s| !s.alive);
         rep.last_repair = stats;
         rep.refresh_durable(&ctx.config);
+        tel.span(
+            repair_trace,
+            repair_trace,
+            0,
+            spans::NCL_REPAIR,
+            scope,
+            epoch,
+            repair_start,
+            Instant::now(),
+        );
         Ok(())
     }
 

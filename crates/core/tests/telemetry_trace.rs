@@ -1,12 +1,16 @@
-//! Fault-injection test of the recovery event trace: a peer killed
-//! mid-burst must leave a failure-detect → catch-up → ap-map-update trail
-//! in the shared telemetry trace, with monotonically non-decreasing epochs.
+//! Fault-injection test of the causal trace: a peer killed mid-burst must
+//! leave a failure-detect → catch-up → ap-map-update trail in the shared
+//! telemetry trace (verified through `telemetry::analyze`, the same checker
+//! `trace_analyzer --check` runs in CI), and every acknowledged write must
+//! carry a complete span chain — stage → doorbell → per-peer wire/catch-up
+//! coverage → quorum ack under one root span.
 
 use std::sync::Arc;
 
 use ncl::{Controller, NclConfig, NclLib, NclRegistry, Peer};
 use sim::Cluster;
-use telemetry::events;
+use telemetry::analyze::analyze;
+use telemetry::{events, spans};
 
 fn harness(
     num_peers: usize,
@@ -135,6 +139,28 @@ fn peer_kill_mid_burst_traces_detect_catchup_apmap_in_order() {
     assert!(trace.iter().any(|e| e.kind == events::PEER_PUBLISH));
     // Timestamps are monotone (ring preserves append order).
     assert!(trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+
+    // The analyzer agrees: complete span chains for every acked write, and
+    // the catch-up/ap-map ordering holds — including the writes that were in
+    // flight when the victim died, whose quorum coverage must include
+    // `ncl.catchup.peer` credit for the replacement.
+    let spans = config.telemetry.spans();
+    let report = analyze(&spans, &trace, config.quorum());
+    assert!(
+        report.ok(),
+        "trace invariants violated:\n{}",
+        report.render()
+    );
+    assert_eq!(report.orphan_spans, 0);
+    assert!(report.acked_writes >= 7, "all 7 acked writes leave roots");
+    assert!(
+        spans.iter().any(|s| s.name == spans::NCL_REPAIR),
+        "replacement leaves a repair root span"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == spans::NCL_REPAIR_CATCHUP),
+        "repair catch-up child span present"
+    );
 }
 
 #[test]
@@ -191,4 +217,104 @@ fn recovery_after_app_crash_traces_start_and_finish() {
         .skip(start)
         .take(finish - start)
         .any(|e| e.kind == events::CATCH_UP_START));
+
+    // Recovery leaves a span tree of its own: a root with the fetch /
+    // replay / rearm phase children, all under one trace id, clean under
+    // the analyzer.
+    let spans = config.telemetry.spans();
+    let root = spans
+        .iter()
+        .find(|s| s.name == spans::NCL_RECOVER)
+        .expect("recovery root span");
+    assert_eq!(root.id, root.trace);
+    assert_eq!(root.parent, 0);
+    assert_eq!(root.scope, "traced/wal");
+    for child in [
+        spans::NCL_RECOVER_FETCH,
+        spans::NCL_RECOVER_REPLAY,
+        spans::NCL_RECOVER_REARM,
+    ] {
+        let c = spans
+            .iter()
+            .find(|s| s.name == child)
+            .unwrap_or_else(|| panic!("missing {child} span"));
+        assert_eq!(c.trace, root.trace, "{child} belongs to the recovery trace");
+        assert_eq!(c.parent, root.id);
+        assert!(c.start_ns >= root.start_ns && c.end_ns <= root.end_ns);
+    }
+    let report = analyze(&spans, &trace, config.quorum());
+    assert!(
+        report.ok(),
+        "trace invariants violated:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn every_acked_write_leaves_a_complete_span_chain() {
+    let config = NclConfig::zero();
+    let (cluster, controller, registry, _peers) = harness(3, &config);
+    let node = cluster.add_node("app");
+    let lib = NclLib::new(
+        &cluster,
+        node,
+        "chain",
+        config.clone(),
+        &controller,
+        &registry,
+    )
+    .expect("instance lock");
+    let file = lib.create("wal", 4096).unwrap();
+    let mut last = 0;
+    for i in 0..4u64 {
+        last = file.record_nowait(i * 8, &[i as u8; 8]).unwrap();
+    }
+    file.wait_durable(last).unwrap();
+
+    let spans = config.telemetry.spans();
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == spans::NCL_WRITE)
+        .collect();
+    assert_eq!(roots.len(), 4, "one root per acked record");
+    for root in roots {
+        assert_eq!(root.id, root.trace);
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.scope, "chain/wal");
+        let children: Vec<_> = spans
+            .iter()
+            .filter(|s| s.trace == root.trace && s.id != root.id)
+            .collect();
+        // Stage and doorbell are on the serial path; every child hangs off
+        // the root and nests inside it.
+        for required in [spans::NCL_STAGE, spans::NCL_DOORBELL, spans::NCL_ACK] {
+            assert!(
+                children.iter().any(|s| s.name == required),
+                "trace {} missing {required}",
+                root.trace
+            );
+        }
+        for c in &children {
+            assert_eq!(c.parent, root.id, "flat tree: children parent the root");
+        }
+        // Wire children cover at least the write quorum, one per peer.
+        let peers: std::collections::BTreeSet<&str> = children
+            .iter()
+            .filter(|s| s.name == spans::NCL_WIRE_PEER)
+            .map(|s| s.scope)
+            .collect();
+        assert!(
+            peers.len() >= config.quorum(),
+            "trace {}: wire coverage {peers:?} below quorum",
+            root.trace
+        );
+    }
+    let report = analyze(&spans, &config.telemetry.events(), config.quorum());
+    assert!(
+        report.ok(),
+        "trace invariants violated:\n{}",
+        report.render()
+    );
+    assert_eq!(report.acked_writes, 4);
+    assert_eq!(report.open_writes, 0);
 }

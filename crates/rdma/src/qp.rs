@@ -401,8 +401,9 @@ impl QueuePair {
                 if status != WcStatus::Success {
                     self.errored.store(true, Ordering::SeqCst);
                 }
+                let wire_ns = posted_at.elapsed().as_nanos() as u64;
                 if let Some(hist) = self.wire_hist.lock().as_ref() {
-                    hist.record_since(posted_at);
+                    hist.record(wire_ns);
                 }
                 deliver(
                     &self.cq,
@@ -411,6 +412,7 @@ impl QueuePair {
                         wr_id,
                         status,
                         read_data,
+                        wire_ns,
                     },
                     verdict,
                 );
@@ -494,8 +496,9 @@ fn spawn_engine(
                 if status != WcStatus::Success {
                     errored.store(true, Ordering::SeqCst);
                 }
+                let wire_ns = posted_at.elapsed().as_nanos() as u64;
                 if let Some(hist) = wire_hist.lock().as_ref() {
-                    hist.record_since(posted_at);
+                    hist.record(wire_ns);
                 }
                 deliver(
                     &cq,
@@ -504,6 +507,7 @@ fn spawn_engine(
                         wr_id,
                         status,
                         read_data,
+                        wire_ns,
                     },
                     verdict,
                 );

@@ -46,6 +46,10 @@ pub struct WorkCompletion {
     pub status: WcStatus,
     /// For successful READ operations, the data read from the remote region.
     pub read_data: Option<Bytes>,
+    /// NIC-measured post→completion duration in nanoseconds (the same value
+    /// the QP's wire histogram records). Consumers use it to reconstruct
+    /// per-peer wire spans without a round trip back to post timestamps.
+    pub wire_ns: u64,
 }
 
 impl WorkCompletion {

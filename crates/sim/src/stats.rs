@@ -83,6 +83,19 @@ mod tests {
         assert_eq!(s.mean_ns, 200.0);
     }
 
+    /// Percentiles of an empty histogram are `None`, not a zero sentinel —
+    /// pinned here through the re-export because downstream harnesses branch
+    /// on "no data" vs "measured zero".
+    #[test]
+    fn empty_histogram_percentile_is_none_through_reexport() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(99.0), None);
+        let mut h = h;
+        h.record(42);
+        assert_eq!(h.percentile(50.0), Some(42));
+    }
+
     #[test]
     fn throughput_sampler_counts_all_events() {
         let s = ThroughputSampler::new(Duration::from_millis(10), Duration::from_secs(1));

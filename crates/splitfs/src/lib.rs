@@ -36,7 +36,7 @@ use dfs::{DfsClient, DfsError, IoKind, IoTrace, LocalFs};
 use fallback::NclRoute;
 use ncl::{NclError, NclFile, NclLib};
 use parking_lot::Mutex;
-use telemetry::{events, Counter, HistHandle, Telemetry};
+use telemetry::{events, spans, Counter, HistHandle, Telemetry};
 
 /// How the facade maps file operations onto storage tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -602,14 +602,33 @@ impl SplitFs {
         // Replay the degraded records in issue order. A mid-replay failure
         // keeps the rest queued (and the journal intact) for the next probe;
         // replaying a record twice is harmless (same offset, same bytes).
+        // The replay span marks these root writes as replay traffic so the
+        // trace analyzer can exempt them from "no new acks while degraded".
+        let tel = &self.inner.telemetry;
+        let replay_trace = tel.next_trace_id();
+        let replay_start = Instant::now();
+        let close_replay = |epoch: u64| {
+            tel.span(
+                replay_trace,
+                replay_trace,
+                0,
+                spans::FS_REATTACH_REPLAY,
+                telemetry::intern_scope(&self.ncl_scope(path)),
+                epoch,
+                replay_start,
+                Instant::now(),
+            );
+        };
         let mut replayed = 0;
         for (offset, data) in fb.records.iter() {
             if route.file.record(*offset, data).is_err() {
                 fb.records.drain(..replayed);
+                close_replay(route.file.epoch());
                 return false;
             }
             replayed += 1;
         }
+        close_replay(route.file.epoch());
         fb.records.clear();
         fb.image = Vec::new();
         fb.len = 0;
@@ -656,9 +675,22 @@ impl SplitFs {
         ncl.delete(path)?;
         let file = ncl.create(path, capacity.max(needed))?;
         let n = frames.len();
+        let tel = &self.inner.telemetry;
+        let replay_trace = tel.next_trace_id();
+        let replay_start = Instant::now();
         for (offset, data) in frames {
             file.record(offset, &data)?;
         }
+        tel.span(
+            replay_trace,
+            replay_trace,
+            0,
+            spans::FS_REATTACH_REPLAY,
+            telemetry::intern_scope(&self.ncl_scope(path)),
+            file.epoch(),
+            replay_start,
+            Instant::now(),
+        );
         dfs.delete(&shadow)?;
         self.inner.fallback_reattach.inc();
         self.inner.telemetry.event(
@@ -684,9 +716,22 @@ impl SplitFs {
         let raw = dfs.read(&shadow, 0, size)?;
         let frames = fallback::decode_frames(&raw);
         let n = frames.len();
+        let tel = &self.inner.telemetry;
+        let replay_trace = tel.next_trace_id();
+        let replay_start = Instant::now();
         for (offset, data) in frames {
             route.file.record(offset, &data)?;
         }
+        tel.span(
+            replay_trace,
+            replay_trace,
+            0,
+            spans::FS_REATTACH_REPLAY,
+            telemetry::intern_scope(&self.ncl_scope(path)),
+            route.file.epoch(),
+            replay_start,
+            Instant::now(),
+        );
         dfs.delete(&shadow)?;
         self.inner.fallback_reattach.inc();
         self.inner.telemetry.event(

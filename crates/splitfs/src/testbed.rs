@@ -12,6 +12,7 @@ use std::time::Duration;
 use dfs::{DfsCluster, DfsConfig, LocalFs};
 use ncl::{Controller, NclConfig, NclLib, NclRegistry, Peer};
 use sim::{Cluster, NodeId};
+use telemetry::export::http::ScrapeServer;
 
 use crate::{Mode, SplitFs};
 
@@ -28,6 +29,10 @@ pub struct TestbedConfig {
     pub peer_mem: u64,
     /// Weak-mode background flush interval.
     pub weak_flush_interval: Duration,
+    /// When set, serve the shared telemetry handle over HTTP at this
+    /// address (`/metrics` Prometheus text, `/snapshot` JSON, `/trace`
+    /// Chrome trace). Use `"127.0.0.1:0"` to let the OS pick a port.
+    pub scrape_addr: Option<String>,
 }
 
 impl TestbedConfig {
@@ -39,6 +44,7 @@ impl TestbedConfig {
             peers,
             peer_mem: 256 << 20,
             weak_flush_interval: Duration::from_millis(100),
+            scrape_addr: None,
         }
     }
 
@@ -50,6 +56,7 @@ impl TestbedConfig {
             peers,
             peer_mem: 1 << 30,
             weak_flush_interval: Duration::from_secs(1),
+            scrape_addr: None,
         }
     }
 }
@@ -67,6 +74,9 @@ pub struct Testbed {
     /// The running log peers.
     pub peers: Vec<Peer>,
     config: TestbedConfig,
+    /// The operator scrape endpoint, when [`TestbedConfig::scrape_addr`]
+    /// asked for one; stops on drop.
+    scrape: Option<ScrapeServer>,
 }
 
 impl Testbed {
@@ -90,6 +100,9 @@ impl Testbed {
                 )
             })
             .collect();
+        let scrape = config.scrape_addr.as_deref().map(|addr| {
+            ScrapeServer::start(config.ncl.telemetry.clone(), addr).expect("scrape endpoint binds")
+        });
         Testbed {
             cluster,
             dfs,
@@ -97,12 +110,18 @@ impl Testbed {
             registry,
             peers,
             config,
+            scrape,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &TestbedConfig {
         &self.config
+    }
+
+    /// Bound address of the scrape endpoint, when one was requested.
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.scrape.as_ref().map(|s| s.addr())
     }
 
     /// Registers a fresh application-server node.

@@ -1,0 +1,583 @@
+//! Causal-trace analysis: JSONL replay, per-write invariant checking, and a
+//! stage-aggregated flamegraph-style breakdown.
+//!
+//! A telemetry JSONL file (from [`crate::Telemetry::set_jsonl_sink`])
+//! interleaves `"type": "span"` and `"type": "event"` lines. This module
+//! parses them back ([`parse_jsonl`]), groups spans by `trace` id, and
+//! verifies the protocol's per-write promises ([`analyze`]):
+//!
+//! 1. **Tree integrity** — in every trace with a root span, each child's
+//!    parent id resolves within the trace (zero orphan spans).
+//! 2. **Ack ⇒ majority durable** — every acked write (`ncl.write` root) has
+//!    its `ncl.stage` + `ncl.doorbell` children and at least `quorum`
+//!    distinct peers covering it via `ncl.wire.peer` or `ncl.catchup.peer`
+//!    spans — the span-tree restatement of "ack at f+1 of 2f+1".
+//! 3. **No ack while degraded** — no write trace *starts* inside a
+//!    [`DFS_FALLBACK_ENGAGE`](crate::events::DFS_FALLBACK_ENGAGE) →
+//!    [`NCL_REATTACH`](crate::events::NCL_REATTACH) window for its scope,
+//!    unless it lies inside a `splitfs.reattach.replay` span (journal replay
+//!    legitimately writes through NCL just before reattach completes).
+//! 4. **Catch-up before ap-map update** — for every peer replacement, a
+//!    `catch-up-finish` at the new epoch precedes that epoch's
+//!    `ap-map-update` (the paper's no-lost-prefix ordering).
+//! 5. **Monotone ap-map epochs** — per scope, published epochs never go
+//!    backwards.
+//!
+//! The same checks back `trace_analyzer --check` in CI and the integration
+//! tests' trace assertions, replacing the previous hand-rolled event walks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::span::{intern_scope, intern_span_name};
+use crate::trace::intern_kind;
+use crate::{events, spans, Event, Span};
+
+/// Extracts `"key": "string"` from a flat JSON object line, unescaping.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": 123` from a flat JSON object line.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses a telemetry JSONL document back into spans and events. Lines that
+/// are empty are skipped; structurally broken lines are errors (a truncated
+/// final line from a crashed process is reported, not silently dropped).
+pub fn parse_jsonl(text: &str) -> Result<(Vec<Span>, Vec<Event>), String> {
+    let mut spans = Vec::new();
+    let mut evs = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match str_field(line, "type").as_deref() {
+            Some("span") => {
+                let parse = || -> Option<Span> {
+                    Some(Span {
+                        trace: u64_field(line, "trace")?,
+                        id: u64_field(line, "id")?,
+                        parent: u64_field(line, "parent")?,
+                        name: intern_span_name(&str_field(line, "name")?),
+                        scope: intern_scope(&str_field(line, "scope")?),
+                        epoch: u64_field(line, "epoch")?,
+                        start_ns: u64_field(line, "start_ns")?,
+                        end_ns: u64_field(line, "end_ns")?,
+                    })
+                };
+                spans.push(parse().ok_or_else(|| format!("line {ln}: malformed span"))?);
+            }
+            Some("event") => {
+                let parse = || -> Option<Event> {
+                    Some(Event {
+                        ts_ns: u64_field(line, "ts_ns")?,
+                        kind: intern_kind(&str_field(line, "kind")?),
+                        scope: str_field(line, "scope")?,
+                        epoch: u64_field(line, "epoch")?,
+                        // Pre-tracing JSONL files have no trace field.
+                        trace: u64_field(line, "trace").unwrap_or(0),
+                        detail: str_field(line, "detail").unwrap_or_default(),
+                    })
+                };
+                evs.push(parse().ok_or_else(|| format!("line {ln}: malformed event"))?);
+            }
+            other => {
+                return Err(format!("line {ln}: unknown record type {other:?}"));
+            }
+        }
+    }
+    Ok((spans, evs))
+}
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone)]
+pub struct StageAgg {
+    /// Span name.
+    pub name: &'static str,
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Mean duration.
+    pub mean_ns: f64,
+    /// Largest duration.
+    pub max_ns: u64,
+}
+
+/// Outcome of analyzing one trace file (or one in-process ring pair).
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    /// Spans consumed.
+    pub total_spans: usize,
+    /// Events consumed.
+    pub total_events: usize,
+    /// Distinct trace ids seen in spans.
+    pub traces: usize,
+    /// Write traces with an `ncl.write` root (i.e. acked writes).
+    pub acked_writes: usize,
+    /// Write traces with staging activity but no root: submitted, never
+    /// acked. Expected under chaos (crashes mid-flight); not a violation.
+    pub open_writes: usize,
+    /// Spans inside rooted traces whose parent id did not resolve.
+    pub orphan_spans: usize,
+    /// Invariant violations, human-readable, empty when the trace is clean.
+    pub violations: Vec<String>,
+    /// Per-span-name aggregation, flamegraph ordering.
+    pub stages: Vec<StageAgg>,
+}
+
+impl TraceReport {
+    /// True when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-paragraph summary plus the stage breakdown.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} spans / {} events across {} traces: {} acked writes, {} open, {} orphan spans, {} violations\n",
+            self.total_spans,
+            self.total_events,
+            self.traces,
+            self.acked_writes,
+            self.open_writes,
+            self.orphan_spans,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            out.push_str(&format!("  VIOLATION: {v}\n"));
+        }
+        out.push_str(&self.render_flame());
+        out
+    }
+
+    /// Stage-aggregated flamegraph-style breakdown: parents above children,
+    /// children indented, each line showing count / total / mean / share of
+    /// its root's total time.
+    pub fn render_flame(&self) -> String {
+        // Indentation by well-known parentage; unknown names sit at depth 0.
+        fn depth(name: &str) -> usize {
+            match name {
+                spans::NCL_WRITE
+                | spans::NCL_REPAIR
+                | spans::NCL_RECOVER
+                | spans::FS_REATTACH_REPLAY => 0,
+                _ => 1,
+            }
+        }
+        fn root_of(name: &str) -> &'static str {
+            if name.starts_with("ncl.repair") {
+                spans::NCL_REPAIR
+            } else if name.starts_with("ncl.recover") {
+                spans::NCL_RECOVER
+            } else if name.starts_with("splitfs.") {
+                spans::FS_REATTACH_REPLAY
+            } else {
+                spans::NCL_WRITE
+            }
+        }
+        let totals: BTreeMap<&str, u64> =
+            self.stages.iter().map(|s| (s.name, s.total_ns)).collect();
+        let mut out = String::from("stage breakdown (flame):\n");
+        for s in &self.stages {
+            let root_total = *totals.get(root_of(s.name)).unwrap_or(&0);
+            let share = if root_total > 0 {
+                100.0 * s.total_ns as f64 / root_total as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:indent$}{:<28} n={:<8} total={:>12.3}ms mean={:>10.1}µs max={:>10.1}µs {:>5.1}%\n",
+                "",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.mean_ns / 1e3,
+                s.max_ns as f64 / 1e3,
+                share,
+                indent = depth(s.name) * 2,
+            ));
+        }
+        out
+    }
+}
+
+/// Orders stage rows so each root precedes its children (flame layout).
+fn flame_order(name: &str) -> (usize, &str) {
+    let rank = spans::ALL
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or(usize::MAX);
+    (rank, name)
+}
+
+/// Runs every invariant over the given spans + events. `quorum` is the f+1
+/// write quorum the deployment ran with (2 for the default 3-replica set).
+pub fn analyze(spans_in: &[Span], events_in: &[Event], quorum: usize) -> TraceReport {
+    let mut report = TraceReport {
+        total_spans: spans_in.len(),
+        total_events: events_in.len(),
+        ..TraceReport::default()
+    };
+
+    // ---- group spans by trace --------------------------------------------
+    let mut by_trace: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for s in spans_in {
+        by_trace.entry(s.trace).or_default().push(s);
+    }
+    report.traces = by_trace.len();
+
+    // Replay windows per scope, for invariant 3's exemption.
+    let replay_windows: Vec<&Span> = spans_in
+        .iter()
+        .filter(|s| s.name == spans::FS_REATTACH_REPLAY)
+        .collect();
+
+    for (trace, spans) in &by_trace {
+        let root = spans.iter().find(|s| s.id == *trace && s.parent == 0);
+        let is_write = spans.iter().any(|s| {
+            matches!(
+                s.name,
+                spans::NCL_WRITE | spans::NCL_STAGE | spans::NCL_DOORBELL
+            )
+        });
+
+        // 1. Tree integrity (only meaningful once the root exists).
+        if let Some(root) = root {
+            let ids: BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+            for s in spans {
+                if s.parent != 0 && !ids.contains(&s.parent) {
+                    report.orphan_spans += 1;
+                    report.violations.push(format!(
+                        "trace {trace}: span {} ({}) has unresolved parent {}",
+                        s.id, s.name, s.parent
+                    ));
+                }
+            }
+
+            if root.name == spans::NCL_WRITE {
+                report.acked_writes += 1;
+
+                // 2. Ack ⇒ staged, doorbelled, and quorum-covered.
+                for required in [spans::NCL_STAGE, spans::NCL_DOORBELL] {
+                    if !spans.iter().any(|s| s.name == required) {
+                        report.violations.push(format!(
+                            "trace {trace}: acked write missing {required} span"
+                        ));
+                    }
+                }
+                let coverage: BTreeSet<&str> = spans
+                    .iter()
+                    .filter(|s| s.name == spans::NCL_WIRE_PEER || s.name == spans::NCL_CATCHUP_PEER)
+                    .map(|s| s.scope)
+                    .collect();
+                if coverage.len() < quorum {
+                    report.violations.push(format!(
+                        "trace {trace}: acked write covered by {} peers ({:?}), quorum is {quorum}",
+                        coverage.len(),
+                        coverage
+                    ));
+                }
+
+                // 3. No new write may start inside a degraded window unless
+                // it is reattach-replay traffic.
+                for engage in events_in
+                    .iter()
+                    .filter(|e| e.kind == events::DFS_FALLBACK_ENGAGE && e.scope == root.scope)
+                {
+                    let window_end = events_in
+                        .iter()
+                        .filter(|e| {
+                            e.kind == events::NCL_REATTACH
+                                && e.scope == root.scope
+                                && e.ts_ns >= engage.ts_ns
+                        })
+                        .map(|e| e.ts_ns)
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    if root.start_ns >= engage.ts_ns && root.start_ns < window_end {
+                        let replayed = replay_windows.iter().any(|r| {
+                            r.scope == root.scope
+                                && root.start_ns >= r.start_ns
+                                && root.start_ns <= r.end_ns
+                        });
+                        if !replayed {
+                            report.violations.push(format!(
+                                "trace {trace}: write started at {}ns inside degraded window [{}ns, {}ns) of {}",
+                                root.start_ns, engage.ts_ns, window_end, root.scope
+                            ));
+                        }
+                    }
+                }
+            }
+        } else if is_write {
+            report.open_writes += 1;
+        }
+    }
+
+    // ---- event-order invariants (4, 5) -----------------------------------
+    let mut last_ap_epoch: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in events_in.iter().filter(|e| e.kind == events::AP_MAP_UPDATE) {
+        let prev = last_ap_epoch.entry(ev.scope.as_str()).or_insert(0);
+        if ev.epoch < *prev {
+            report.violations.push(format!(
+                "scope {}: ap-map epoch went backwards ({} after {})",
+                ev.scope, ev.epoch, prev
+            ));
+        }
+        *prev = (*prev).max(ev.epoch);
+    }
+
+    // A replacement's PEER_REPLACE_START carries the new (fenced) epoch; its
+    // commit is the AP_MAP_UPDATE at that same scope + epoch. Catch-up
+    // events are scoped to *peer names*, so they are matched by epoch alone.
+    for (i, start) in events_in
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == events::PEER_REPLACE_START)
+    {
+        let Some(update_idx) = events_in.iter().position(|e| {
+            e.kind == events::AP_MAP_UPDATE && e.scope == start.scope && e.epoch == start.epoch
+        }) else {
+            // Replacement that never republished (e.g. crash mid-repair) —
+            // legal; nothing was promised to readers.
+            continue;
+        };
+        if update_idx < i {
+            report.violations.push(format!(
+                "scope {}: ap-map update at epoch {} precedes its replace-start",
+                start.scope, start.epoch
+            ));
+            continue;
+        }
+        let caught_up = events_in[..update_idx]
+            .iter()
+            .any(|e| e.kind == events::CATCH_UP_FINISH && e.epoch == start.epoch);
+        if !caught_up {
+            report.violations.push(format!(
+                "scope {}: ap-map moved to epoch {} before catch-up finished",
+                start.scope, start.epoch
+            ));
+        }
+    }
+
+    // ---- stage aggregation -----------------------------------------------
+    let mut agg: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+    for s in spans_in {
+        let e = agg.entry(s.name).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += s.duration_ns();
+        e.2 = e.2.max(s.duration_ns());
+    }
+    let mut stages: Vec<StageAgg> = agg
+        .into_iter()
+        .map(|(name, (count, total_ns, max_ns))| StageAgg {
+            name,
+            count,
+            total_ns,
+            mean_ns: total_ns as f64 / count as f64,
+            max_ns,
+        })
+        .collect();
+    stages.sort_by_key(|s| flame_order(s.name));
+    report.stages = stages;
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(trace: u64, id: u64, parent: u64, name: &'static str, scope: &'static str) -> Span {
+        Span {
+            trace,
+            id,
+            parent,
+            name,
+            scope,
+            epoch: 1,
+            start_ns: 100,
+            end_ns: 200,
+        }
+    }
+
+    fn ev(ts_ns: u64, kind: &'static str, scope: &str, epoch: u64) -> Event {
+        Event {
+            ts_ns,
+            kind,
+            scope: scope.into(),
+            epoch,
+            trace: 0,
+            detail: String::new(),
+        }
+    }
+
+    fn acked_write(trace: u64) -> Vec<Span> {
+        vec![
+            sp(trace, trace, 0, spans::NCL_WRITE, "app/f"),
+            sp(trace, trace + 1, trace, spans::NCL_STAGE, "app/f"),
+            sp(trace, trace + 2, trace, spans::NCL_DOORBELL, "app/f"),
+            sp(trace, trace + 3, trace, spans::NCL_WIRE_PEER, "peer-0"),
+            sp(trace, trace + 4, trace, spans::NCL_WIRE_PEER, "peer-1"),
+        ]
+    }
+
+    #[test]
+    fn clean_write_trace_passes() {
+        let spans = acked_write(10);
+        let report = analyze(&spans, &[], 2);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.acked_writes, 1);
+        assert_eq!(report.orphan_spans, 0);
+        let flame = report.render_flame();
+        assert!(flame.contains("ncl.write"));
+        assert!(flame.contains("ncl.wire.peer"));
+    }
+
+    #[test]
+    fn under_quorum_coverage_is_flagged() {
+        let mut spans = acked_write(10);
+        spans.retain(|s| s.scope != "peer-1");
+        let report = analyze(&spans, &[], 2);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("quorum"));
+    }
+
+    #[test]
+    fn catchup_spans_count_toward_coverage() {
+        let mut spans = acked_write(10);
+        spans.retain(|s| s.scope != "peer-1");
+        spans.push(sp(10, 99, 10, spans::NCL_CATCHUP_PEER, "peer-2"));
+        assert!(analyze(&spans, &[], 2).ok());
+    }
+
+    #[test]
+    fn orphan_parent_is_flagged_only_for_rooted_traces() {
+        let mut spans = acked_write(10);
+        spans.push(sp(10, 999, 555, spans::NCL_ACK, "app/f"));
+        let report = analyze(&spans, &[], 2);
+        assert_eq!(report.orphan_spans, 1);
+
+        // Rootless (open) traces don't count as orphaned — crash mid-write.
+        let open = vec![sp(20, 21, 20, spans::NCL_STAGE, "app/f")];
+        let report = analyze(&open, &[], 2);
+        assert!(report.ok());
+        assert_eq!(report.open_writes, 1);
+    }
+
+    #[test]
+    fn write_inside_degraded_window_is_flagged_unless_replayed() {
+        let events = vec![
+            ev(1_000, events::DFS_FALLBACK_ENGAGE, "app/f", 2),
+            ev(9_000, events::NCL_REATTACH, "app/f", 3),
+        ];
+        let mut spans = acked_write(10);
+        for s in &mut spans {
+            s.start_ns = 5_000; // inside the window
+            s.end_ns = 6_000;
+        }
+        let report = analyze(&spans, &events, 2);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("degraded window"));
+
+        // The same write under a replay span is legal.
+        let mut replay = sp(0, 500, 0, spans::FS_REATTACH_REPLAY, "app/f");
+        replay.start_ns = 4_000;
+        replay.end_ns = 8_000;
+        spans.push(replay);
+        assert!(analyze(&spans, &events, 2).ok());
+    }
+
+    #[test]
+    fn apmap_ordering_invariants() {
+        // Monotone epochs.
+        let bad = vec![
+            ev(1, events::AP_MAP_UPDATE, "app/f", 3),
+            ev(2, events::AP_MAP_UPDATE, "app/f", 2),
+        ];
+        assert!(!analyze(&[], &bad, 2).ok());
+
+        // Update without catch-up after a replacement start (replace-start
+        // carries the new epoch; catch-up events are scoped to peer names).
+        let no_catchup = vec![
+            ev(1, events::PEER_REPLACE_START, "app/f", 2),
+            ev(5, events::AP_MAP_UPDATE, "app/f", 2),
+        ];
+        let report = analyze(&[], &no_catchup, 2);
+        assert!(report.violations[0].contains("catch-up"));
+
+        // Proper ordering passes.
+        let good = vec![
+            ev(1, events::PEER_REPLACE_START, "app/f", 2),
+            ev(3, events::CATCH_UP_FINISH, "peer-7", 2),
+            ev(5, events::AP_MAP_UPDATE, "app/f", 2),
+        ];
+        assert!(analyze(&[], &good, 2).ok());
+
+        // An update that reuses the epoch but precedes the start is flagged.
+        let inverted = vec![
+            ev(1, events::AP_MAP_UPDATE, "app/f", 2),
+            ev(3, events::PEER_REPLACE_START, "app/f", 2),
+        ];
+        assert!(!analyze(&[], &inverted, 2).ok());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let span = sp(7, 7, 0, spans::NCL_WRITE, "app/\"quoted\"");
+        let event = Event {
+            ts_ns: 11,
+            kind: events::EPOCH_BUMP,
+            scope: "app/f".into(),
+            epoch: 4,
+            trace: 7,
+            detail: "tab\there".into(),
+        };
+        let text = format!("{}\n{}\n", span.to_json(), event.to_json());
+        let (spans, events) = parse_jsonl(&text).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].scope, "app/\"quoted\"");
+        assert_eq!(spans[0].name, spans::NCL_WRITE);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace, 7);
+        assert_eq!(events[0].detail, "tab\there");
+
+        assert!(parse_jsonl("{\"type\": \"span\"}\n").is_err());
+        assert!(parse_jsonl("garbage\n").is_err());
+    }
+}

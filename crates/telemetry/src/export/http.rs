@@ -1,0 +1,197 @@
+//! Tiny std-only blocking HTTP scrape endpoint.
+//!
+//! One accept-loop thread, one request per connection, three routes:
+//!
+//! * `GET /metrics`  — Prometheus text exposition (for a scrape job);
+//! * `GET /snapshot` — the full [`crate::TelemetrySnapshot`] as JSON;
+//! * `GET /trace`    — the span ring rendered as a Chrome trace document.
+//!
+//! This is deliberately not a real HTTP server: no keep-alive, no TLS, no
+//! chunking — a Prometheus scraper and `curl` both speak enough HTTP/1.0 for
+//! this to be fine, and the zero-dependency policy of the crate rules out
+//! anything heavier. Opt-in via config (e.g. the splitfs testbed's
+//! `scrape_addr`); nothing binds a socket unless asked.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export::{chrome, prometheus};
+use crate::Telemetry;
+
+/// A running scrape endpoint; dropping it stops the accept loop.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (use port 0 for an ephemeral port; see [`Self::addr`])
+    /// and serves `tel` until the returned server is dropped.
+    pub fn start(tel: Telemetry, addr: &str) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("telemetry-scrape".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // Serve inline: scrapes are rare and tiny, and one
+                        // thread keeps the footprint honest.
+                        let _ = serve_one(stream, &tel);
+                    }
+                }
+            })?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, tel: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or the buffer fills); only the
+    // request line matters.
+    let mut buf = [0u8; 2048];
+    let mut used = 0;
+    while used < buf.len() {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            // The version parameter is what Prometheus expects from a
+            // text-format exposition.
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus::render(tel),
+        ),
+        "/snapshot" => ("200 OK", "application/json", tel.snapshot().render_json()),
+        "/trace" => ("200 OK", "application/json", chrome::render(&tel.spans())),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /snapshot, /trace\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_metrics_over_a_real_socket() {
+        let tel = Telemetry::new();
+        tel.counter("ncl.flush.submit").add(7);
+        tel.histogram("ncl.record.e2e").record(123_456);
+        let server = ScrapeServer::start(tel.clone(), "127.0.0.1:0").unwrap();
+
+        let (status, body) = get(server.addr(), "/metrics");
+        assert!(status.contains("200"), "{status}");
+        prometheus::validate(&body).unwrap();
+        assert!(body.contains("splitft_ncl_flush_submit 7"));
+        assert!(body.contains("splitft_ncl_record_e2e_ns_count 1"));
+
+        // Metrics recorded after start show up on the next scrape.
+        tel.counter("ncl.flush.submit").add(1);
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("splitft_ncl_flush_submit 8"));
+
+        let (status, body) = get(server.addr(), "/snapshot");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"counters\""));
+
+        let (status, body) = get(server.addr(), "/trace");
+        assert!(status.contains("200"));
+        chrome::validate(&body).unwrap();
+
+        let (status, _) = get(server.addr(), "/nope");
+        assert!(status.contains("404"));
+        drop(server);
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let tel = Telemetry::new();
+        tel.counter("c").inc();
+        let server = ScrapeServer::start(tel, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+            if line == "\r\n" {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        assert_eq!(body.len(), content_length);
+    }
+}

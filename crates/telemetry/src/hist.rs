@@ -127,32 +127,80 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate value at percentile `p`, 0 when empty.
+    /// Approximate value at percentile `p`, or `None` when the histogram is
+    /// empty — an empty histogram has no percentiles, and a `0` sentinel is
+    /// indistinguishable from a genuine zero-nanosecond sample.
     ///
     /// `p` is clamped into `[0, 100]`; `p = 0` returns the exact minimum and
     /// `p = 100` the exact maximum. Interior percentiles resolve to a bucket
     /// midpoint clamped into the observed `[min, max]` range, so a
     /// single-sample histogram reports that sample at every percentile.
-    pub fn percentile(&self, p: f64) -> u64 {
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         if p <= 0.0 {
-            return self.min;
+            return Some(self.min);
         }
         if p >= 100.0 {
-            return self.max;
+            return Some(self.max);
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_value(i).clamp(self.min, self.max);
+                return Some(Self::bucket_value(i).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Exact sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Approximate number of samples ≤ `value`: counts whole buckets up to
+    /// and including `value`'s bucket, so the boundary error is the bucket's
+    /// width (~3% of `value`). This is the cumulative-bucket primitive behind
+    /// the Prometheus `_bucket{le=...}` series.
+    pub fn count_at_most(&self, value: u64) -> u64 {
+        self.buckets[..=Self::bucket_index(value)].iter().sum()
+    }
+
+    /// The samples recorded into `self` but not yet into `earlier` — i.e.
+    /// this histogram's growth since the `earlier` snapshot was taken.
+    /// `earlier` must be a prior snapshot of the same histogram (bucket-wise
+    /// `self >= earlier`); shrunken buckets saturate to zero. The window's
+    /// min/max are reconstructed from its extreme non-empty buckets (bucket
+    /// resolution, ~3%), since exact extremes of a difference are unknowable.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        let sum = self.sum.saturating_sub(earlier.sum);
+        let (mut min, mut max) = (u64::MAX, 0);
+        if count > 0 {
+            for (i, &c) in buckets.iter().enumerate() {
+                if c > 0 {
+                    min = min.min(Self::bucket_value(i));
+                    max = max.max(Self::bucket_value(i));
+                }
+            }
+            // The overall extremes still bound every window.
+            min = min.max(self.min);
+            max = max.min(self.max);
+            if min > max {
+                min = max;
+            }
+        }
+        Histogram::from_parts(buckets, count, sum, min, max)
     }
 
     /// Adds all samples of `other` into `self`.
@@ -174,8 +222,8 @@ impl Histogram {
             count: self.count(),
             mean_ns: self.mean(),
             min_ns: self.min(),
-            p50_ns: self.percentile(50.0),
-            p99_ns: self.percentile(99.0),
+            p50_ns: self.percentile(50.0).unwrap_or(0),
+            p99_ns: self.percentile(99.0).unwrap_or(0),
             max_ns: self.max(),
         }
     }
@@ -186,8 +234,8 @@ impl std::fmt::Debug for Histogram {
         f.debug_struct("Histogram")
             .field("count", &self.count)
             .field("mean_ns", &self.mean())
-            .field("p50_ns", &self.percentile(50.0))
-            .field("p99_ns", &self.percentile(99.0))
+            .field("p50_ns", &self.percentile(50.0).unwrap_or(0))
+            .field("p99_ns", &self.percentile(99.0).unwrap_or(0))
             .field("max_ns", &self.max)
             .finish()
     }
@@ -230,15 +278,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_reports_zeros() {
+    fn empty_histogram_has_no_percentiles() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(0.0), 0);
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(h.percentile(100.0), 0);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(100.0), None);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+        // Summaries of empty histograms still render with zeroed fields.
+        assert_eq!(h.summary().p50_ns, 0);
     }
 
     #[test]
@@ -248,7 +298,7 @@ mod tests {
         let mut h = Histogram::new();
         h.record(1_000);
         for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
-            assert_eq!(h.percentile(p), 1_000, "p={p}");
+            assert_eq!(h.percentile(p), Some(1_000), "p={p}");
         }
         assert_eq!(h.summary().p50_ns, 1_000);
     }
@@ -259,11 +309,11 @@ mod tests {
         for v in [100u64, 777, 65_537, 1_000_003] {
             h.record(v);
         }
-        assert_eq!(h.percentile(0.0), 100);
-        assert_eq!(h.percentile(100.0), 1_000_003);
+        assert_eq!(h.percentile(0.0), Some(100));
+        assert_eq!(h.percentile(100.0), Some(1_000_003));
         // Out-of-range percentiles clamp rather than extrapolate.
-        assert_eq!(h.percentile(-5.0), 100);
-        assert_eq!(h.percentile(250.0), 1_000_003);
+        assert_eq!(h.percentile(-5.0), Some(100));
+        assert_eq!(h.percentile(250.0), Some(1_000_003));
     }
 
     #[test]
@@ -273,7 +323,7 @@ mod tests {
         h.record(100);
         h.record(101);
         for p in [0.0, 25.0, 50.0, 75.0, 99.9, 100.0] {
-            let v = h.percentile(p);
+            let v = h.percentile(p).unwrap();
             assert!((100..=101).contains(&v), "p={p} v={v}");
         }
     }
@@ -295,9 +345,9 @@ mod tests {
         for v in 1..=10_000u64 {
             h.record(v * 100); // 100 ns .. 1 ms
         }
-        let p50 = h.percentile(50.0);
-        let p90 = h.percentile(90.0);
-        let p99 = h.percentile(99.0);
+        let p50 = h.percentile(50.0).unwrap();
+        let p90 = h.percentile(90.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
         assert!(p50 <= p90 && p90 <= p99);
         // Within ~5% of the true values.
         assert!((450_000..550_000).contains(&p50), "p50={p50}");
@@ -337,7 +387,7 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.min(), 42);
         assert_eq!(c.max(), 42);
-        assert_eq!(c.percentile(100.0), 42);
+        assert_eq!(c.percentile(100.0), Some(42));
     }
 
     #[test]
@@ -362,6 +412,44 @@ mod tests {
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             assert_eq!(left.percentile(p), whole.percentile(p), "p={p}");
         }
+    }
+
+    #[test]
+    fn count_at_most_is_cumulative() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 1_000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_at_most(5), 0);
+        assert_eq!(h.count_at_most(10), 1);
+        assert_eq!(h.count_at_most(50), 2);
+        assert_eq!(h.count_at_most(u64::MAX), 4);
+        // Cumulative counts are monotone in the threshold.
+        let mut prev = 0;
+        for v in [1u64, 100, 10_000, 1_000_000] {
+            let c = h.count_at_most(v);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn diff_isolates_a_window() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let snap = h.clone();
+        h.record(10_000);
+        h.record(20_000);
+        let window = h.diff(&snap);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum(), 30_000);
+        // Window percentiles reflect only the new samples (~3% buckets).
+        let p50 = window.percentile(50.0).unwrap();
+        assert!((9_000..=11_000).contains(&p50), "p50={p50}");
+        assert!(window.percentile(100.0).unwrap() >= 19_000);
+        // Diff of identical snapshots is empty.
+        assert_eq!(h.diff(&h.clone()).percentile(50.0), None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Zero dependencies (std only), so every layer — the simulated RDMA verbs,
 //! the NCL core, splitfs, the apps, the benches — can depend on it without
-//! cycles. Three pieces:
+//! cycles. Four pieces:
 //!
 //! * a lock-free **metrics registry** ([`Counter`], [`Gauge`], [`HistHandle`])
 //!   whose handles are interned by name at component construction and cost a
@@ -12,13 +12,19 @@
 //!   wire → ack boundaries and aggregated, never logged per event;
 //! * a **structured event trace** ([`Event`], ring buffer + optional JSONL
 //!   sink) for control-plane transitions, from which Table 3-style recovery
-//!   timelines can be reconstructed.
+//!   timelines can be reconstructed;
+//! * **causal spans** ([`Span`], same ring + sink machinery): every NCL write
+//!   gets a `trace` id at `record_nowait` whose span tree reconstructs the
+//!   full durability chain (stage → doorbell → per-peer wire → quorum ack),
+//!   consumed by the exporters in [`export`] and the invariant checker in
+//!   [`analyze`].
 //!
 //! A [`Telemetry`] value is a cheap cloneable handle; all clones share one
 //! registry and one trace. [`Telemetry::disabled`] yields a handle whose
 //! metric handles are no-ops and whose event recording returns immediately —
 //! the CI overhead gate holds the enabled path to ≤10% of throughput against
-//! this baseline.
+//! this baseline, and a second gate holds span emission (which can be turned
+//! off separately via [`Telemetry::set_tracing`]) to the same budget.
 //!
 //! ```
 //! let tel = telemetry::Telemetry::new();
@@ -31,25 +37,40 @@
 //! println!("{}", snap.render_text());
 //! ```
 
+pub mod analyze;
+pub mod export;
 mod hist;
 mod metrics;
 mod snapshot;
+mod span;
 mod trace;
 
 pub use hist::{Histogram, Summary};
 pub use metrics::{Counter, Gauge, HistHandle};
-pub use snapshot::TelemetrySnapshot;
-pub use trace::{events, Event};
+pub use snapshot::{json_escape, TelemetrySnapshot};
+pub use span::{intern_scope, intern_span_name, spans, Span};
+pub use trace::{events, intern_kind, Event};
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 struct Inner {
     registry: metrics::Registry,
     trace: trace::EventTrace,
+    spans: span::SpanTrace,
+    sink: trace::JsonlSink,
+    /// Zero point of every `ts_ns` in this handle's events and spans.
+    origin: Instant,
+    /// Shared generator for trace ids AND span ids; starts at 1 so id 0 can
+    /// mean "none" everywhere.
+    ids: AtomicU64,
+    /// Span emission switch; metrics and events stay on when this is off.
+    tracing: AtomicBool,
 }
 
-/// Shared handle to one metrics registry + event trace.
+/// Shared handle to one metrics registry + event/span trace.
 ///
 /// Cloning is an `Arc` bump; a disabled handle carries no storage at all.
 /// Embedded in `NclConfig`, so every component wired from one config reports
@@ -78,10 +99,16 @@ impl std::fmt::Debug for Telemetry {
 impl Telemetry {
     /// A fresh, enabled handle with its own registry and trace.
     pub fn new() -> Self {
+        let sink = trace::JsonlSink::default();
         Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: metrics::Registry::default(),
-                trace: trace::EventTrace::new(),
+                trace: trace::EventTrace::new(sink.clone()),
+                spans: span::SpanTrace::new(sink.clone()),
+                sink,
+                origin: Instant::now(),
+                ids: AtomicU64::new(1),
+                tracing: AtomicBool::new(true),
             })),
         }
     }
@@ -124,11 +151,156 @@ impl Telemetry {
         self.counter(name).get()
     }
 
+    /// Full (bucket-level) contents of every registered histogram, for
+    /// exporters that need more than a [`Summary`].
+    pub fn histograms_full(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.registry.histogram_values())
+    }
+
+    /// Nanoseconds since this handle was created — the clock every event and
+    /// span timestamp is expressed in. Returns 0 when disabled.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.origin.elapsed().as_nanos() as u64)
+    }
+
+    /// Converts an [`Instant`] to this handle's `ts_ns` clock (saturating to
+    /// 0 for instants before the handle was created).
+    #[inline]
+    pub fn instant_ns(&self, t: Instant) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            t.saturating_duration_since(i.origin).as_nanos() as u64
+        })
+    }
+
+    /// Allocates a fresh trace id (also usable as a span id — one generator
+    /// backs both, so ids are process-unique). Returns 0 when disabled or
+    /// when tracing is off; callers treat 0 as "don't emit spans".
+    #[inline]
+    pub fn next_trace_id(&self) -> u64 {
+        match &self.inner {
+            Some(i) if i.tracing.load(Ordering::Relaxed) => i.ids.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Allocates a fresh span id. Identical to [`Self::next_trace_id`];
+    /// the alias exists so call sites read correctly.
+    #[inline]
+    pub fn next_span_id(&self) -> u64 {
+        self.next_trace_id()
+    }
+
+    /// Turns span emission on or off. Metrics and events are unaffected.
+    /// Defaults to on; the bench overhead gate measures both settings.
+    pub fn set_tracing(&self, on: bool) {
+        if let Some(inner) = &self.inner {
+            inner.tracing.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// True when span emission is active.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.tracing.load(Ordering::Relaxed))
+    }
+
+    /// Records a closed span. No-op when disabled, when tracing is off, or
+    /// when `trace == 0` (the id a disabled handle hands out), so call sites
+    /// can emit unconditionally. `scope` is `&'static str` on purpose: hot
+    /// call sites intern it once ([`intern_scope`]) and recording stays
+    /// allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        trace: u64,
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        scope: &'static str,
+        epoch: u64,
+        start: Instant,
+        end: Instant,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        if trace == 0 || !inner.tracing.load(Ordering::Relaxed) {
+            return;
+        }
+        let start_ns = self.instant_ns(start);
+        let end_ns = self.instant_ns(end).max(start_ns);
+        inner.spans.record(Span {
+            trace,
+            id,
+            parent,
+            name,
+            scope,
+            epoch,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    /// Records a closed span with a freshly allocated id and returns it
+    /// (0 when nothing was recorded). Convenience for leaf children.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_auto(
+        &self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        scope: &'static str,
+        epoch: u64,
+        start: Instant,
+        end: Instant,
+    ) -> u64 {
+        if trace == 0 || !self.tracing_enabled() {
+            return 0;
+        }
+        let id = self.next_span_id();
+        self.span(trace, id, parent, name, scope, epoch, start, end);
+        id
+    }
+
+    /// The span ring's contents, oldest first (empty when disabled).
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.spans.spans())
+    }
+
+    /// Caps the span ring at `capacity` entries (oldest evicted first).
+    pub fn set_span_capacity(&self, capacity: usize) {
+        if let Some(inner) = &self.inner {
+            inner.spans.set_capacity(capacity);
+        }
+    }
+
     /// Appends a control-plane event to the trace (and the JSONL sink, when
     /// one is installed). No-op when disabled.
     pub fn event(&self, kind: &'static str, scope: &str, epoch: u64, detail: impl Into<String>) {
+        self.event_traced(kind, scope, epoch, 0, detail);
+    }
+
+    /// Like [`Self::event`], but attributes the event to the operation
+    /// `trace` (a repair, recovery, or write trace id; 0 = unattributed).
+    pub fn event_traced(
+        &self,
+        kind: &'static str,
+        scope: &str,
+        epoch: u64,
+        trace: u64,
+        detail: impl Into<String>,
+    ) {
         if let Some(inner) = &self.inner {
-            inner.trace.record(kind, scope, epoch, detail.into());
+            inner
+                .trace
+                .record(self.now_ns(), kind, scope, epoch, trace, detail.into());
         }
     }
 
@@ -146,10 +318,11 @@ impl Telemetry {
         }
     }
 
-    /// Mirrors every subsequent event to `path` as one JSON object per line.
+    /// Mirrors every subsequent event AND span to `path`, one JSON object per
+    /// line, discriminated by a `"type"` field (`"event"` / `"span"`).
     pub fn set_jsonl_sink(&self, path: &Path) -> std::io::Result<()> {
         match &self.inner {
-            Some(inner) => inner.trace.set_jsonl_sink(path),
+            Some(inner) => inner.sink.set_path(path),
             None => Ok(()),
         }
     }
@@ -164,6 +337,8 @@ impl Telemetry {
                 histograms: inner.registry.histogram_summaries(),
                 events: inner.trace.events(),
                 events_dropped: inner.trace.dropped(),
+                spans: inner.spans.spans(),
+                spans_dropped: inner.spans.dropped(),
             },
         }
     }
@@ -191,10 +366,14 @@ mod tests {
         t.counter("c").inc();
         t.histogram("h").record(1);
         t.event(events::PEER_FAILURE, "p", 0, "");
+        assert_eq!(t.next_trace_id(), 0);
+        let now = Instant::now();
+        t.span(1, 1, 0, spans::NCL_WRITE, "x", 0, now, now);
         let snap = t.snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
         assert!(snap.events.is_empty());
+        assert!(snap.spans.is_empty());
     }
 
     #[test]
@@ -217,5 +396,100 @@ mod tests {
         assert!(json.contains("\"g\": 5"));
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("peers=[a,b,c]"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let t = Telemetry::new();
+        let a = t.next_trace_id();
+        let b = t.next_trace_id();
+        assert!(a > 0 && b > 0 && a != b);
+    }
+
+    #[test]
+    fn spans_record_and_respect_tracing_switch() {
+        let t = Telemetry::new();
+        let start = Instant::now();
+        let trace = t.next_trace_id();
+        let child = t.span_auto(
+            trace,
+            trace,
+            spans::NCL_STAGE,
+            "app/f",
+            0,
+            start,
+            Instant::now(),
+        );
+        assert!(child > 0 && child != trace);
+        t.span(
+            trace,
+            trace,
+            0,
+            spans::NCL_WRITE,
+            "app/f",
+            1,
+            start,
+            Instant::now(),
+        );
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].id, trace);
+        assert_eq!(spans[1].parent, 0);
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+
+        t.set_tracing(false);
+        assert_eq!(t.next_trace_id(), 0);
+        t.span(
+            trace,
+            trace,
+            0,
+            spans::NCL_ACK,
+            "app/f",
+            1,
+            start,
+            Instant::now(),
+        );
+        assert_eq!(t.spans().len(), 2, "no spans while tracing is off");
+        t.set_tracing(true);
+        assert!(t.next_trace_id() > 0);
+    }
+
+    #[test]
+    fn jsonl_sink_interleaves_events_and_spans() {
+        let dir = std::env::temp_dir().join(format!("telemetry-lib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.jsonl");
+        let t = Telemetry::new();
+        t.set_jsonl_sink(&path).unwrap();
+        let trace = t.next_trace_id();
+        let start = Instant::now();
+        t.span_auto(
+            trace,
+            trace,
+            spans::NCL_STAGE,
+            "app/f",
+            0,
+            start,
+            Instant::now(),
+        );
+        t.event_traced(events::EPOCH_BUMP, "app/f", 2, trace, "");
+        t.span(
+            trace,
+            trace,
+            0,
+            spans::NCL_WRITE,
+            "app/f",
+            2,
+            start,
+            Instant::now(),
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\": \"span\""));
+        assert!(lines[1].contains("\"type\": \"event\""));
+        assert!(lines[1].contains(&format!("\"trace\": {trace}")));
+        assert!(lines[2].contains("\"name\": \"ncl.write\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

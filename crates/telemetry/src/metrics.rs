@@ -230,6 +230,17 @@ impl Registry {
             .map(|(k, v)| (k.clone(), v.load().summary()))
             .collect()
     }
+
+    /// Full bucket-level snapshots, for exporters that need cumulative
+    /// bucket counts rather than a [`crate::Summary`].
+    pub(crate) fn histogram_values(&self) -> Vec<(String, Histogram)> {
+        self.hists
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -2,10 +2,15 @@
 //! aligned text (for terminal dumps) or JSON (for BENCH files and tooling).
 
 use crate::hist::Summary;
+use crate::span::Span;
 use crate::trace::Event;
 
 /// Escapes a string for embedding inside a JSON string literal.
-pub(crate) fn json_escape(s: &str) -> String {
+///
+/// Public so downstream emitters of hand-rolled JSON (the bench harness, the
+/// exporters) share one correct implementation instead of interpolating raw
+/// strings.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -34,6 +39,10 @@ pub struct TelemetrySnapshot {
     pub events: Vec<Event>,
     /// Events evicted from the ring before this snapshot.
     pub events_dropped: u64,
+    /// The span ring's contents, oldest first.
+    pub spans: Vec<Span>,
+    /// Spans evicted from the ring before this snapshot.
+    pub spans_dropped: u64,
 }
 
 impl TelemetrySnapshot {
@@ -104,6 +113,24 @@ impl TelemetrySnapshot {
                 ));
             }
         }
+        if !self.spans.is_empty() || self.spans_dropped > 0 {
+            out.push_str(&format!(
+                "spans ({} shown, {} dropped):\n",
+                self.spans.len(),
+                self.spans_dropped
+            ));
+            for sp in &self.spans {
+                out.push_str(&format!(
+                    "  [{:>12.3} ms] {:<22} {:<28} trace={} dur={:.1}µs epoch={}\n",
+                    sp.start_ns as f64 / 1e6,
+                    sp.name,
+                    sp.scope,
+                    sp.trace,
+                    sp.duration_ns() as f64 / 1e3,
+                    sp.epoch,
+                ));
+            }
+        }
         out
     }
 
@@ -133,9 +160,15 @@ impl TelemetrySnapshot {
             .map(Event::to_json)
             .collect::<Vec<_>>()
             .join(", ");
+        let spans = self
+            .spans
+            .iter()
+            .map(Span::to_json)
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
-            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \"histograms\": {{{hists}}}, \"events\": [{events}], \"events_dropped\": {}}}",
-            self.events_dropped
+            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \"histograms\": {{{hists}}}, \"events\": [{events}], \"events_dropped\": {}, \"spans\": [{spans}], \"spans_dropped\": {}}}",
+            self.events_dropped, self.spans_dropped
         )
     }
 }
@@ -171,18 +204,88 @@ mod tests {
                 kind: "epoch-bump",
                 scope: "app/f".into(),
                 epoch: 7,
+                trace: 3,
                 detail: String::new(),
             }],
             events_dropped: 0,
+            spans: vec![Span {
+                trace: 3,
+                id: 3,
+                parent: 0,
+                name: "ncl.write",
+                scope: "app/f",
+                epoch: 7,
+                start_ns: 40,
+                end_ns: 90,
+            }],
+            spans_dropped: 1,
         };
         let text = snap.render_text();
         assert!(text.contains("ncl.flush.submit"));
         assert!(text.contains("epoch-bump"));
+        assert!(text.contains("ncl.write"));
         let json = snap.render_json();
         assert!(json.contains("\"ncl.record.wire\""));
         assert!(json.contains("\"epoch\": 7"));
+        assert!(json.contains("\"spans_dropped\": 1"));
         assert_eq!(snap.counter("ncl.flush.submit"), 4);
         assert_eq!(snap.counter("missing"), 0);
         assert_eq!(snap.summary("ncl.record.wire").unwrap().count, 2);
+    }
+
+    /// Regression test: metric names, event scopes, and details containing
+    /// JSON-special characters must render as *valid* JSON, with quotes,
+    /// backslashes, and control chars escaped in every string position.
+    #[test]
+    fn render_json_escapes_hostile_names_and_labels() {
+        let snap = TelemetrySnapshot {
+            counters: vec![("evil\"name\\with\nnewline".into(), 1)],
+            gauges: vec![("tab\there".into(), 2)],
+            histograms: vec![(
+                "quote\"hist".into(),
+                Summary {
+                    count: 1,
+                    mean_ns: 1.0,
+                    min_ns: 1,
+                    p50_ns: 1,
+                    p99_ns: 1,
+                    max_ns: 1,
+                },
+            )],
+            events: vec![Event {
+                ts_ns: 1,
+                kind: "epoch-bump",
+                scope: "app/\"weird\\path".into(),
+                epoch: 1,
+                trace: 0,
+                detail: "ctrl\u{1}char and \"quotes\"".into(),
+            }],
+            events_dropped: 0,
+            spans: vec![Span {
+                trace: 1,
+                id: 1,
+                parent: 0,
+                name: "ncl.write",
+                scope: "peer\\0",
+                epoch: 1,
+                start_ns: 0,
+                end_ns: 1,
+            }],
+            spans_dropped: 0,
+        };
+        let json = snap.render_json();
+        // No raw (unescaped) quote may terminate a string early: strip the
+        // escape sequences and verify balanced braces/brackets remain.
+        assert!(json.contains("evil\\\"name\\\\with\\nnewline"));
+        assert!(json.contains("tab\\there"));
+        assert!(json.contains("quote\\\"hist"));
+        assert!(json.contains("app/\\\"weird\\\\path"));
+        assert!(json.contains("ctrl\\u0001char"));
+        assert!(json.contains("peer\\\\0"));
+        // A quick structural sanity check: after removing escaped characters,
+        // the number of quotes must be even.
+        let unescaped = json.replace("\\\\", "").replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+        assert!(!unescaped.contains('\n'));
     }
 }

@@ -1,0 +1,276 @@
+//! Causal spans: timed intervals linked into per-write trace trees.
+//!
+//! Every NCL record gets a `trace` id at `record_nowait`; each stage of its
+//! life (local staging, doorbell, per-peer wire flight, quorum ack) closes a
+//! [`Span`] carrying that id. Control-plane operations (repair, recovery,
+//! fallback replay) get their own trace ids so their child RPCs group the
+//! same way. Spans are recorded *complete* — at close, with both endpoints —
+//! which keeps the hot path to one ring push and makes the JSONL stream
+//! trivially replayable: no open/close pairing is needed by consumers.
+//!
+//! Conventions:
+//! * the **root** span of a trace has `id == trace` and `parent == 0`;
+//! * child spans get fresh ids from the same generator as trace ids, so ids
+//!   are unique across a process regardless of kind;
+//! * `scope` follows the event convention (`app/file`, or a peer name for
+//!   per-peer children);
+//! * `epoch` is the epoch in force when the span *closed* (0 if unknown).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Mutex, OnceLock};
+
+use crate::snapshot::json_escape;
+use crate::trace::JsonlSink;
+
+/// Well-known span names, shared by emitters, the analyzer, and tests.
+pub mod spans {
+    /// Root span of one NCL write: `record_nowait` → quorum-durable.
+    pub const NCL_WRITE: &str = "ncl.write";
+    /// Local staging: payload + header copied into the staging buffer.
+    pub const NCL_STAGE: &str = "ncl.stage";
+    /// Doorbell: staged records posted to all peer QPs (batched WRs).
+    pub const NCL_DOORBELL: &str = "ncl.doorbell";
+    /// One peer's wire flight: WR post → header completion (scope = peer).
+    pub const NCL_WIRE_PEER: &str = "ncl.wire.peer";
+    /// Quorum ack: doorbell → f+1-th header completion observed.
+    pub const NCL_ACK: &str = "ncl.ack";
+    /// A replacement peer was caught up over this record (scope = peer);
+    /// credits replaced-in peers with coverage the wire span cannot see.
+    pub const NCL_CATCHUP_PEER: &str = "ncl.catchup.peer";
+
+    /// Root span of one peer-replacement (repair) operation.
+    pub const NCL_REPAIR: &str = "ncl.repair";
+    /// Repair child: acquiring fresh peers from the controller.
+    pub const NCL_REPAIR_ACQUIRE: &str = "ncl.repair.acquire";
+    /// Repair child: catch-up of one fresh peer (scope = peer).
+    pub const NCL_REPAIR_CATCHUP: &str = "ncl.repair.catchup";
+    /// Repair child: epoch bump + ap-map update round-trip.
+    pub const NCL_REPAIR_COMMIT: &str = "ncl.repair.commit";
+
+    /// Root span of one post-crash recovery.
+    pub const NCL_RECOVER: &str = "ncl.recover";
+    /// Recovery child: contacting the ap-map peers and RDMA-reading the
+    /// winning (max-sequence) image back.
+    pub const NCL_RECOVER_FETCH: &str = "ncl.recover.fetch";
+    /// Recovery child: replaying the recovered image onto lagging surviving
+    /// peers (catch-up-existing, tail-diff when eligible).
+    pub const NCL_RECOVER_REPLAY: &str = "ncl.recover.replay";
+    /// Recovery child: restoring the FT level with fresh peers and swinging
+    /// the ap-map to the new epoch.
+    pub const NCL_RECOVER_REARM: &str = "ncl.recover.rearm";
+
+    /// Splitfs replaying fallback-journal records through NCL on reattach;
+    /// root writes that start inside this span are replay traffic, exempt
+    /// from the "no ack while degraded" invariant.
+    pub const FS_REATTACH_REPLAY: &str = "splitfs.reattach.replay";
+
+    /// Every well-known name, used by the JSONL replay path to intern parsed
+    /// name strings back to the canonical `&'static str` values.
+    pub const ALL: [&str; 15] = [
+        NCL_WRITE,
+        NCL_STAGE,
+        NCL_DOORBELL,
+        NCL_WIRE_PEER,
+        NCL_ACK,
+        NCL_CATCHUP_PEER,
+        NCL_REPAIR,
+        NCL_REPAIR_ACQUIRE,
+        NCL_REPAIR_CATCHUP,
+        NCL_REPAIR_COMMIT,
+        NCL_RECOVER,
+        NCL_RECOVER_FETCH,
+        NCL_RECOVER_REPLAY,
+        NCL_RECOVER_REARM,
+        FS_REATTACH_REPLAY,
+    ];
+}
+
+/// Maps a parsed span name to its canonical constant (see
+/// [`crate::trace::intern_kind`] for the interning rationale).
+pub fn intern_span_name(name: &str) -> &'static str {
+    for n in spans::ALL {
+        if n == name {
+            return n;
+        }
+    }
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+/// Interns a span scope (`app/file` or a peer name), returning a canonical
+/// `&'static str`. Scopes recur constantly — every span of a file carries
+/// the same one — so [`crate::Telemetry::span`] takes `&'static str` and
+/// hot call sites intern once (per file / per peer), making span recording
+/// allocation-free. The backing set deduplicates, so the leak is bounded by
+/// the number of *distinct* scopes ever seen, not by call volume.
+pub fn intern_scope(scope: &str) -> &'static str {
+    static SCOPES: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = SCOPES
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("scope interner poisoned");
+    if let Some(existing) = set.get(scope) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(scope.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// One closed interval in a trace tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Trace this span belongs to; the root span has `id == trace`.
+    pub trace: u64,
+    /// Unique span id (process-wide).
+    pub id: u64,
+    /// Parent span id within the trace; 0 for roots.
+    pub parent: u64,
+    /// Span name; see [`spans`] for the well-known values.
+    pub name: &'static str,
+    /// What the span is about — `app/file`, or a peer name for per-peer
+    /// children. Interned (see [`intern_scope`]) so spans are cheap to
+    /// record and clone.
+    pub scope: &'static str,
+    /// Epoch in force when the span closed (0 when unknown).
+    pub epoch: u64,
+    /// Start, nanoseconds since the owning [`crate::Telemetry`] was created.
+    pub start_ns: u64,
+    /// End, same clock; `end_ns >= start_ns`.
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// Duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Renders the span as one JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"type\": \"span\", \"trace\": {}, \"id\": {}, \"parent\": {}, \"name\": \"{}\", \"scope\": \"{}\", \"epoch\": {}, \"start_ns\": {}, \"end_ns\": {}}}",
+            self.trace,
+            self.id,
+            self.parent,
+            json_escape(self.name),
+            json_escape(self.scope),
+            self.epoch,
+            self.start_ns,
+            self.end_ns
+        )
+    }
+}
+
+/// Spans are ~an order of magnitude denser than events (several per write),
+/// so the ring defaults much larger; a full chaos schedule's spans should be
+/// analyzed from the JSONL sink, not the ring.
+const DEFAULT_CAPACITY: usize = 65536;
+
+struct Ring {
+    buf: VecDeque<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Bounded in-memory span buffer with an optional JSONL mirror (shared with
+/// the event trace).
+pub(crate) struct SpanTrace {
+    ring: Mutex<Ring>,
+    sink: JsonlSink,
+}
+
+impl SpanTrace {
+    pub(crate) fn new(sink: JsonlSink) -> Self {
+        SpanTrace {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                capacity: DEFAULT_CAPACITY,
+                dropped: 0,
+            }),
+            sink,
+        }
+    }
+
+    pub(crate) fn record(&self, span: Span) {
+        if self.sink.is_set() {
+            self.sink.write_line(&span.to_json());
+        }
+        let mut ring = self.ring.lock().expect("span trace poisoned");
+        if ring.buf.len() >= ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(span);
+    }
+
+    pub(crate) fn spans(&self) -> Vec<Span> {
+        self.ring
+            .lock()
+            .expect("span trace poisoned")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.ring.lock().expect("span trace poisoned").dropped
+    }
+
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut ring = self.ring.lock().expect("span trace poisoned");
+        ring.capacity = capacity.max(1);
+        while ring.buf.len() > ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, name: &'static str) -> Span {
+        Span {
+            trace,
+            id,
+            parent,
+            name,
+            scope: "app/f",
+            epoch: 1,
+            start_ns: 10,
+            end_ns: 40,
+        }
+    }
+
+    #[test]
+    fn spans_keep_order_and_ring_bounds() {
+        let t = SpanTrace::new(JsonlSink::default());
+        t.set_capacity(2);
+        t.record(span(1, 1, 0, spans::NCL_WRITE));
+        t.record(span(1, 2, 1, spans::NCL_STAGE));
+        t.record(span(1, 3, 1, spans::NCL_DOORBELL));
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn span_json_has_type_discriminator_and_tree_fields() {
+        let s = span(7, 9, 7, spans::NCL_WIRE_PEER);
+        let j = s.to_json();
+        assert!(j.contains("\"type\": \"span\""));
+        assert!(j.contains("\"trace\": 7"));
+        assert!(j.contains("\"parent\": 7"));
+        assert!(j.contains("ncl.wire.peer"));
+        assert_eq!(s.duration_ns(), 30);
+    }
+
+    #[test]
+    fn intern_span_name_returns_canonical_constants() {
+        let parsed = String::from("ncl.write");
+        assert_eq!(intern_span_name(&parsed), spans::NCL_WRITE);
+    }
+}

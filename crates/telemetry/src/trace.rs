@@ -6,13 +6,19 @@
 //! individually meaningful, so they are kept as discrete [`Event`]s in a
 //! bounded ring buffer, optionally mirrored to a JSONL sink. A recovery
 //! timeline in the style of the paper's Table 3 falls out of one run's trace.
+//!
+//! Since the causal-tracing layer (PR 5) events may carry a `trace` id tying
+//! a control-plane transition to the write (or repair/recovery operation)
+//! that caused it; `trace == 0` means "not attributed". The JSONL sink is
+//! shared with the span ring ([`crate::span`]): both write
+//! `{"type": "event"|"span", ...}` lines into one file, so a single trace
+//! file replays the whole causal story.
 
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 use crate::snapshot::json_escape;
 
@@ -55,6 +61,40 @@ pub mod events {
     pub const REGION_ALLOC: &str = "region-alloc";
     /// A peer freed a log region.
     pub const REGION_FREE: &str = "region-free";
+
+    /// Every well-known kind, used by the JSONL replay path to intern parsed
+    /// kind strings back to the canonical `&'static str` values.
+    pub const ALL: [&str; 17] = [
+        PEER_FAILURE,
+        PEER_REPLACE_START,
+        PEER_REPLACE_FINISH,
+        CATCH_UP_START,
+        CATCH_UP_FINISH,
+        EPOCH_BUMP,
+        AP_MAP_UPDATE,
+        AP_MAP_DELETE,
+        RECOVERY_START,
+        RECOVERY_FINISH,
+        PEER_SUSPECT,
+        DFS_FALLBACK_ENGAGE,
+        NCL_REATTACH,
+        PEER_PUBLISH,
+        PEER_WITHDRAW,
+        REGION_ALLOC,
+        REGION_FREE,
+    ];
+}
+
+/// Maps a parsed kind string to its canonical constant. Unknown kinds are
+/// leaked once — the set of kinds is tiny and fixed per build, so the leak is
+/// bounded (this is the standard interning trade for `&'static str` keys).
+pub fn intern_kind(kind: &str) -> &'static str {
+    for k in events::ALL {
+        if k == kind {
+            return k;
+        }
+    }
+    Box::leak(kind.to_string().into_boxed_str())
 }
 
 /// One control-plane transition.
@@ -68,6 +108,8 @@ pub struct Event {
     pub scope: String,
     /// The epoch in force when the event fired (0 when not applicable).
     pub epoch: u64,
+    /// Trace id of the operation that caused this transition (0 = none).
+    pub trace: u64,
     /// Free-form human-readable detail.
     pub detail: String,
 }
@@ -76,11 +118,12 @@ impl Event {
     /// Renders the event as one JSON object (one JSONL line, sans newline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"ts_ns\": {}, \"kind\": \"{}\", \"scope\": \"{}\", \"epoch\": {}, \"detail\": \"{}\"}}",
+            "{{\"type\": \"event\", \"ts_ns\": {}, \"kind\": \"{}\", \"scope\": \"{}\", \"epoch\": {}, \"trace\": {}, \"detail\": \"{}\"}}",
             self.ts_ns,
             json_escape(self.kind),
             json_escape(&self.scope),
             self.epoch,
+            self.trace,
             json_escape(&self.detail)
         )
     }
@@ -89,47 +132,78 @@ impl Event {
 /// Default ring capacity; enough for thousands of recoveries.
 const DEFAULT_CAPACITY: usize = 4096;
 
+/// A JSONL file shared by the event and span rings: every record appends one
+/// line and flushes, so a crashed process leaves a complete file behind.
+/// Cloning shares the underlying writer.
+#[derive(Clone, Default)]
+pub(crate) struct JsonlSink(Arc<Mutex<Option<BufWriter<File>>>>);
+
+impl JsonlSink {
+    pub(crate) fn set_path(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        *self.0.lock().expect("sink poisoned") = Some(BufWriter::new(file));
+        Ok(())
+    }
+
+    pub(crate) fn is_set(&self) -> bool {
+        self.0.lock().expect("sink poisoned").is_some()
+    }
+
+    pub(crate) fn write_line(&self, line: &str) {
+        if let Some(w) = self.0.lock().expect("sink poisoned").as_mut() {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
 struct Ring {
     buf: VecDeque<Event>,
     capacity: usize,
     dropped: u64,
-    sink: Option<BufWriter<File>>,
 }
 
 /// Bounded in-memory event buffer with an optional JSONL mirror.
 pub(crate) struct EventTrace {
-    origin: Instant,
     ring: Mutex<Ring>,
+    sink: JsonlSink,
 }
 
 impl EventTrace {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(sink: JsonlSink) -> Self {
         EventTrace {
-            origin: Instant::now(),
             ring: Mutex::new(Ring {
                 buf: VecDeque::new(),
                 capacity: DEFAULT_CAPACITY,
                 dropped: 0,
-                sink: None,
             }),
+            sink,
         }
     }
 
-    pub(crate) fn record(&self, kind: &'static str, scope: &str, epoch: u64, detail: String) {
+    pub(crate) fn record(
+        &self,
+        ts_ns: u64,
+        kind: &'static str,
+        scope: &str,
+        epoch: u64,
+        trace: u64,
+        detail: String,
+    ) {
         let ev = Event {
-            ts_ns: self.origin.elapsed().as_nanos() as u64,
+            ts_ns,
             kind,
             scope: scope.to_string(),
             epoch,
+            trace,
             detail,
         };
-        let mut ring = self.ring.lock().expect("trace poisoned");
-        if let Some(sink) = ring.sink.as_mut() {
+        if self.sink.is_set() {
             // Events are rare; flush per line so a crashed process leaves a
             // complete JSONL file behind.
-            let _ = writeln!(sink, "{}", ev.to_json());
-            let _ = sink.flush();
+            self.sink.write_line(&ev.to_json());
         }
+        let mut ring = self.ring.lock().expect("trace poisoned");
         if ring.buf.len() >= ring.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
@@ -159,12 +233,6 @@ impl EventTrace {
             ring.dropped += 1;
         }
     }
-
-    pub(crate) fn set_jsonl_sink(&self, path: &Path) -> std::io::Result<()> {
-        let file = File::create(path)?;
-        self.ring.lock().expect("trace poisoned").sink = Some(BufWriter::new(file));
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -173,10 +241,10 @@ mod tests {
 
     #[test]
     fn events_keep_insertion_order_and_monotonic_timestamps() {
-        let t = EventTrace::new();
-        t.record(events::PEER_FAILURE, "peer-0", 1, "dead".into());
-        t.record(events::CATCH_UP_START, "app/f", 2, String::new());
-        t.record(events::AP_MAP_UPDATE, "app/f", 2, String::new());
+        let t = EventTrace::new(JsonlSink::default());
+        t.record(1, events::PEER_FAILURE, "peer-0", 1, 0, "dead".into());
+        t.record(2, events::CATCH_UP_START, "app/f", 2, 0, String::new());
+        t.record(3, events::AP_MAP_UPDATE, "app/f", 2, 0, String::new());
         let evs = t.events();
         assert_eq!(
             evs.iter().map(|e| e.kind).collect::<Vec<_>>(),
@@ -191,11 +259,11 @@ mod tests {
 
     #[test]
     fn ring_drops_oldest_past_capacity() {
-        let t = EventTrace::new();
+        let t = EventTrace::new(JsonlSink::default());
         t.set_capacity(2);
-        t.record(events::REGION_ALLOC, "a", 0, String::new());
-        t.record(events::REGION_ALLOC, "b", 0, String::new());
-        t.record(events::REGION_ALLOC, "c", 0, String::new());
+        t.record(0, events::REGION_ALLOC, "a", 0, 0, String::new());
+        t.record(0, events::REGION_ALLOC, "b", 0, 0, String::new());
+        t.record(0, events::REGION_ALLOC, "c", 0, 0, String::new());
         let evs = t.events();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].scope, "b");
@@ -207,15 +275,33 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("telemetry-trace-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.jsonl");
-        let t = EventTrace::new();
-        t.set_jsonl_sink(&path).unwrap();
-        t.record(events::EPOCH_BUMP, "app/\"f\"", 3, "quote \\ test".into());
+        let sink = JsonlSink::default();
+        sink.set_path(&path).unwrap();
+        let t = EventTrace::new(sink);
+        t.record(
+            9,
+            events::EPOCH_BUMP,
+            "app/\"f\"",
+            3,
+            17,
+            "quote \\ test".into(),
+        );
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"type\": \"event\""));
         assert!(text.contains("\"epoch\": 3"));
+        assert!(text.contains("\"trace\": 17"));
         assert!(text.contains("epoch-bump"));
         // Escaped quotes/backslashes survive the round trip.
         assert!(text.contains("app/\\\"f\\\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn intern_kind_returns_canonical_constants() {
+        let parsed = String::from("epoch-bump");
+        assert_eq!(intern_kind(&parsed), events::EPOCH_BUMP);
+        // Unknown kinds intern to a stable leaked string.
+        assert_eq!(intern_kind("custom-kind"), "custom-kind");
     }
 }

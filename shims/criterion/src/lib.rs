@@ -48,6 +48,10 @@ pub struct Measurement {
     pub id: String,
     pub iters: u64,
     pub mean_ns: f64,
+    /// Median sample time — robust against scheduler-hiccup outliers, which
+    /// on shared runners routinely drag the mean by 2-5x. Ratio gates
+    /// should compare medians.
+    pub median_ns: f64,
     pub min_ns: f64,
     pub max_ns: f64,
     pub throughput: Option<Throughput>,
@@ -61,6 +65,16 @@ impl Measurement {
             Throughput::Elements(n) => n as f64,
         };
         Some(per_iter / (self.mean_ns / 1e9))
+    }
+
+    /// Median-based throughput, for comparisons that must not be swayed by
+    /// a single slow sample.
+    pub fn per_second_median(&self) -> Option<f64> {
+        let per_iter = match self.throughput? {
+            Throughput::Bytes(n) => n as f64,
+            Throughput::Elements(n) => n as f64,
+        };
+        Some(per_iter / (self.median_ns / 1e9))
     }
 }
 
@@ -164,10 +178,16 @@ impl BenchmarkGroup<'_> {
         let mean_ns = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
         let min_ns = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max_ns = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        let median_ns = {
+            let mut sorted = b.samples.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            sorted[sorted.len() / 2]
+        };
         let m = Measurement {
             id: full_id.clone(),
             iters: b.iters,
             mean_ns,
+            median_ns,
             min_ns,
             max_ns,
             throughput: self.throughput,

@@ -10,8 +10,11 @@
 //! asserts the safety properties:
 //!
 //! * every acknowledged write is recovered (prefix durability, §4.4–4.5);
-//! * the event trace shows per-file ap-map epochs moving monotonically;
-//! * no ap-map update of a replacement epoch precedes its catch-up finish
+//! * the causal trace passes `telemetry::analyze` — every acked write has a
+//!   complete span chain (stage → doorbell → quorum peer coverage, zero
+//!   orphan spans), no write starts inside a degraded window unless it is
+//!   reattach-replay traffic, per-file ap-map epochs move monotonically, and
+//!   no ap-map update of a replacement epoch precedes its catch-up finish
 //!   (the §4.5 ordering the model checker proves in the small).
 //!
 //! The firing *schedule* is deterministic per seed; thread interleaving is
@@ -22,10 +25,10 @@
 //! * `FAULT_SEED=<u64>` — run exactly one seed (printed by any failure).
 //! * `CHAOS_SEEDS=<n>` — how many seeds to run (default 32).
 //! * `CHAOS_SHARD=<i>/<n>` — run the i-th of n shards of the seed list.
-//! * `CHAOS_TRACE_DIR=<dir>` — write one JSONL event trace per seed, plus a
-//!   `FAILED_SEED` marker when a schedule fails.
+//! * `CHAOS_TRACE_DIR=<dir>` — keep the per-seed JSONL traces here (plus a
+//!   `FAILED_SEED` marker when a schedule fails) instead of a temp dir;
+//!   `trace_analyzer --check` consumes the same files in CI.
 
-use std::collections::HashMap;
 use std::env;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -35,7 +38,8 @@ use splitft::apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
 use splitft::apps::minirocks::{MiniRocks, RocksOptions};
 use splitft::sim::{Binding, FaultAction, FaultPlan, FaultScheduler, PlanParams, Trigger};
 use splitft::splitfs::{Mode, OpenOptions, SplitFs, Testbed, TestbedConfig};
-use telemetry::{events, Event};
+use telemetry::analyze::{analyze, parse_jsonl, TraceReport};
+use telemetry::events;
 
 const VALUE: &[u8] = b"chaos-value";
 const PUTS: usize = 100;
@@ -64,6 +68,18 @@ fn trace_dir() -> Option<PathBuf> {
     let dir = PathBuf::from(env::var("CHAOS_TRACE_DIR").ok()?);
     std::fs::create_dir_all(&dir).ok()?;
     Some(dir)
+}
+
+/// Where this run's JSONL traces go: `CHAOS_TRACE_DIR` when set (CI keeps
+/// them as artifacts), a per-process temp dir otherwise. The trace is always
+/// written — the analyzer verifies the causal chain from the file, exactly
+/// like `trace_analyzer --check` does offline.
+fn sink_dir() -> PathBuf {
+    trace_dir().unwrap_or_else(|| {
+        let dir = env::temp_dir().join(format!("chaos-traces-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("trace temp dir");
+        dir
+    })
 }
 
 /// The application under test; alternates by seed so both ports face every
@@ -114,12 +130,12 @@ fn run_schedule(seed: u64, plan: &FaultPlan) {
     let mut cfg = TestbedConfig::zero(6);
     // Chaos runs should degrade (and re-attach) quickly, not after 5 s.
     cfg.ncl.write_timeout = Duration::from_secs(2);
-    if let Some(dir) = trace_dir() {
-        cfg.ncl
-            .telemetry
-            .set_jsonl_sink(&dir.join(format!("trace-{seed}.jsonl")))
-            .expect("trace sink");
-    }
+    let trace_path = sink_dir().join(format!("trace-{seed}.jsonl"));
+    cfg.ncl
+        .telemetry
+        .set_jsonl_sink(&trace_path)
+        .expect("trace sink");
+    let quorum = cfg.ncl.quorum();
     let tb = Testbed::start(cfg);
     let (fs, app_node) = tb.mount(Mode::SplitFt, "chaos");
     let db = Db::open(fs, seed);
@@ -172,47 +188,28 @@ fn run_schedule(seed: u64, plan: &FaultPlan) {
         db.assert_has(key, seed);
     }
 
-    assert_trace_invariants(&tb.config().ncl.telemetry.events(), seed);
+    // Replay the JSONL trace through the analyzer, exactly like
+    // `trace_analyzer --check` does offline: full causal chains for every
+    // acked write, no writes inside a degraded window (unless replay), the
+    // catch-up-before-ap-map-update ordering, monotone epochs.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file readable");
+    let (spans, events) =
+        parse_jsonl(&text).unwrap_or_else(|e| panic!("seed {seed}: malformed trace: {e}"));
+    let report = analyze(&spans, &events, quorum);
+    assert_report_clean(&report, seed);
+    assert!(
+        report.acked_writes > 0,
+        "seed {seed}: no acked write produced a complete span chain"
+    );
 }
 
-/// The PR-3 event trace must show monotone per-file ap-map epochs and the
-/// catch-up-before-ap-map-update ordering for every replacement epoch.
-fn assert_trace_invariants(evs: &[Event], seed: u64) {
-    let mut last_epoch: HashMap<&str, u64> = HashMap::new();
-    for e in evs.iter().filter(|e| e.kind == events::AP_MAP_UPDATE) {
-        let prev = last_epoch.entry(e.scope.as_str()).or_insert(0);
-        assert!(
-            e.epoch >= *prev,
-            "seed {seed}: ap-map epoch regressed on {}: {} after {}",
-            e.scope,
-            e.epoch,
-            *prev
-        );
-        *prev = e.epoch;
-    }
-    for (i, start) in evs
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.kind == events::PEER_REPLACE_START)
-    {
-        let Some(update_idx) = evs.iter().position(|e| {
-            e.kind == events::AP_MAP_UPDATE && e.scope == start.scope && e.epoch == start.epoch
-        }) else {
-            continue; // Replacement never committed (deferred/failed).
-        };
-        assert!(
-            i < update_idx,
-            "seed {seed}: ap-map update at epoch {} precedes its replace-start",
-            start.epoch
-        );
-        assert!(
-            evs[..update_idx]
-                .iter()
-                .any(|e| e.kind == events::CATCH_UP_FINISH && e.epoch == start.epoch),
-            "seed {seed}: ap-map moved to epoch {} before catch-up finished",
-            start.epoch
-        );
-    }
+/// Panics with the analyzer's full report on any violated trace invariant.
+fn assert_report_clean(report: &TraceReport, seed: u64) {
+    assert!(
+        report.ok() && report.orphan_spans == 0,
+        "seed {seed}: trace invariants violated\n{}",
+        report.render()
+    );
 }
 
 /// A seeded schedule that deliberately exceeds the `f` budget: 2 of the 3
@@ -292,7 +289,15 @@ fn seeded_quorum_loss_schedule_degrades_and_reattaches() {
         evs[reattach].epoch > evs[engage].epoch,
         "FAULT_SEED={seed}: re-attach must carry a bumped epoch"
     );
-    assert_trace_invariants(&evs, seed);
+    // The in-memory rings hold this run's full causal story; the analyzer
+    // must find complete chains, replay-covered degraded-window writes, and
+    // the catch-up/ap-map ordering.
+    let report = analyze(&fs.telemetry().spans(), &evs, tb.config().ncl.quorum());
+    assert_report_clean(&report, seed);
+    assert!(
+        report.acked_writes > 0,
+        "FAULT_SEED={seed}: no acked write produced a complete span chain"
+    );
 
     // Every acknowledged byte — through NCL or the fallback — survives an
     // application crash and recovery on a fresh node.

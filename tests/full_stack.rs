@@ -1,6 +1,9 @@
 //! Cross-crate integration: all three applications sharing one simulated
 //! datacenter, surviving a coordinated crash.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
 use splitft::apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
 use splitft::apps::minirocks::{MiniRocks, RocksOptions};
 use splitft::apps::minisql::{MiniSql, SqlOptions};
@@ -69,6 +72,56 @@ fn three_apps_share_one_datacenter_and_all_survive_crashes() {
             Some(b"sql-value".to_vec())
         );
     }
+}
+
+#[test]
+fn scrape_endpoint_exposes_live_metrics_during_a_run() {
+    let mut config = TestbedConfig::zero(3);
+    config.scrape_addr = Some("127.0.0.1:0".into());
+    let tb = Testbed::start(config);
+    let addr = tb.scrape_addr().expect("scrape endpoint running");
+
+    // Drive real traffic through the NCL path so the scrape sees live data.
+    let (fs, _node) = tb.mount(Mode::SplitFt, "scraped");
+    let rocks = MiniRocks::open(fs, "rocks/", RocksOptions::tiny()).unwrap();
+    for i in 0..32u32 {
+        rocks.put(format!("k{i:04}").as_bytes(), b"value").unwrap();
+    }
+
+    // What an operator's `curl http://addr/metrics` would see.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response");
+    assert!(head.contains("200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+
+    // The body is well-formed Prometheus text exposition and carries the
+    // hot-path record histograms with real observations.
+    telemetry::export::prometheus::validate(body).unwrap();
+    for series in [
+        "splitft_ncl_record_e2e_ns_count",
+        "splitft_ncl_record_stage_ns_count",
+        "splitft_ncl_record_ack_ns_count",
+    ] {
+        let line = body
+            .lines()
+            .find(|l| l.starts_with(series))
+            .unwrap_or_else(|| panic!("missing {series} in scrape:\n{body}"));
+        let count: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(count > 0, "{series} has no observations: {line}");
+    }
+
+    // The trace route serves a valid Chrome trace of the same run.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /trace HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response");
+    assert!(head.contains("200 OK"), "{head}");
+    telemetry::export::chrome::validate(body).unwrap();
+    assert!(body.contains("ncl.write"), "trace carries write roots");
 }
 
 #[test]
