@@ -67,11 +67,16 @@ fn catchup(c: &mut Criterion) {
                             &tb.registry,
                         )
                         .unwrap();
-                        (tb, lib2)
+                        (tb, lib2, off + lag_bytes)
                     },
-                    |(tb, lib2)| {
+                    |(tb, lib2, written)| {
                         let file = lib2.recover("log").unwrap();
-                        assert_eq!(file.len() as usize, log_bytes);
+                        // The recovered image must cover every written byte
+                        // — chunked fill plus the tail the lagging peer
+                        // missed (the fill stops at the last whole chunk
+                        // below `log_bytes - lag_bytes`, so the high-water
+                        // is not the full capacity).
+                        assert_eq!(file.len() as usize, written);
                         drop(tb);
                     },
                 );

@@ -7,14 +7,14 @@
 //! updates the writer, the validator and CI in one place.
 //!
 //! Usage: `cargo run -p bench --bin validate_bench_json [paths…]`
-//! (defaults to the two checked-in trend files at the repo root).
+//! (defaults to the checked-in trend files at the repo root).
 
 use bench::validate_bench_json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paths = if args.is_empty() {
-        ["ncl_pipeline", "ncl_batch"]
+        ["ncl_pipeline", "ncl_batch", "ncl_mt"]
             .iter()
             .map(|b| {
                 format!(

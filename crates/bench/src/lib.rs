@@ -230,6 +230,48 @@ impl BenchJson {
         );
     }
 
+    /// Adds a `stage_breakdown` section carrying the per-shard dimension:
+    /// the fleet-wide [`NCL_STAGES`] summaries first, then a `"shards"`
+    /// object with one `"shard-<i>"` entry per reactor shard summarizing
+    /// the `ncl.shard-<i>.record.*` twin histograms a hosted file stamps.
+    pub fn shard_stage_breakdown(
+        &mut self,
+        snap: &telemetry::TelemetrySnapshot,
+        names: &[&str],
+        shards: usize,
+    ) {
+        let mut entries: Vec<String> = names
+            .iter()
+            .filter_map(|name| {
+                snap.summary(name)
+                    .map(|s| format!("    \"{}\": {}", telemetry::json_escape(name), s.to_json()))
+            })
+            .collect();
+        let shard_lines: Vec<String> = (0..shards)
+            .map(|i| {
+                let stages: Vec<String> = names
+                    .iter()
+                    .filter_map(|name| {
+                        let short = name.strip_prefix("ncl.record.").unwrap_or(name);
+                        snap.summary(&format!("ncl.shard-{i}.record.{short}"))
+                            .map(|s| {
+                                format!("\"{}\": {}", telemetry::json_escape(name), s.to_json())
+                            })
+                    })
+                    .collect();
+                format!("      \"shard-{i}\": {{{}}}", stages.join(", "))
+            })
+            .collect();
+        entries.push(format!(
+            "    \"shards\": {{\n{}\n    }}",
+            shard_lines.join(",\n")
+        ));
+        self.section(
+            "stage_breakdown",
+            format!("{{\n{}\n  }}", entries.join(",\n")),
+        );
+    }
+
     /// Renders the complete JSON document.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -311,6 +353,12 @@ pub fn validate_bench_json(body: &str) -> Result<(), String> {
         if line.contains("\"count\": 0,") {
             return Err(format!("{stage} summary is empty: {}", line.trim()));
         }
+    }
+    // The multi-shard bench must report the per-shard dimension: a sweep
+    // that silently stopped hosting files on the sharded runtime would
+    // otherwise still validate on its aggregate histograms alone.
+    if body.contains("\"bench\": \"ncl_mt\"") && !body.contains("\"shard-0\":") {
+        return Err("ncl_mt stage_breakdown is missing the per-shard dimension".to_string());
     }
     Ok(())
 }
@@ -406,7 +454,7 @@ mod tests {
     /// silently stopped exporting telemetry.
     #[test]
     fn checked_in_bench_jsons_carry_stage_breakdown() {
-        for bench in ["ncl_pipeline", "ncl_batch"] {
+        for bench in ["ncl_pipeline", "ncl_batch", "ncl_mt"] {
             let path = format!(
                 concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
                 bench
@@ -461,5 +509,22 @@ mod tests {
         let mut no_results = BenchJson::new("demo");
         no_results.section("stage_breakdown", "{}".to_string());
         assert!(validate_bench_json(&no_results.render()).is_err());
+    }
+
+    /// An `ncl_mt` document without the per-shard dimension must fail; the
+    /// same document under another bench name passes (the rule is scoped).
+    #[test]
+    fn validator_requires_shard_dimension_for_ncl_mt() {
+        let flat = valid_bench_doc();
+        assert!(validate_bench_json(&flat).is_ok());
+        let mt = flat.replace("\"bench\": \"demo\"", "\"bench\": \"ncl_mt\"");
+        assert!(validate_bench_json(&mt)
+            .unwrap_err()
+            .contains("per-shard dimension"));
+        let sharded = mt.replace(
+            "\"stage_breakdown\": {",
+            "\"stage_breakdown\": {\n    \"shards\": {\"shard-0\": {}},",
+        );
+        assert!(validate_bench_json(&sharded).is_ok());
     }
 }

@@ -1,9 +1,12 @@
 //! NCL configuration.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use sim::LatencyModel;
 use telemetry::Telemetry;
+
+use crate::runtime::NclRuntime;
 
 /// How many peers must complete a record before it is acknowledged.
 ///
@@ -92,6 +95,13 @@ pub struct NclConfig {
     /// config shares the handle. [`Telemetry::disabled`] turns all
     /// instrumentation into no-ops (the overhead-gate baseline).
     pub telemetry: Telemetry,
+    /// The thread-per-core shard runtime. When set, files opened through
+    /// `NclLib` are hosted on a shard reactor: completions are reaped in
+    /// the background, the acked watermark is published lock-free, and
+    /// cross-file control operations are ordered through the runtime's
+    /// operation log. `None` (the default) preserves the caller-drained
+    /// single-file behaviour.
+    pub runtime: Option<Arc<NclRuntime>>,
 }
 
 impl NclConfig {
@@ -116,6 +126,7 @@ impl NclConfig {
             coalesce_headers: true,
             inline_nic: true,
             telemetry: Telemetry::new(),
+            runtime: None,
         }
     }
 
@@ -140,6 +151,7 @@ impl NclConfig {
             coalesce_headers: true,
             inline_nic: false,
             telemetry: Telemetry::new(),
+            runtime: None,
         }
     }
 

@@ -78,13 +78,16 @@
 //! only then swing the ap-map. If a majority is lost, the record blocks
 //! until replacement restores a quorum.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
-use rdma::{CompletionQueue, QueuePair, RemoteMr, WcStatus, WorkCompletion, WorkRequest, WrId};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rdma::{
+    CompletionQueue, CqWaker, QueuePair, RemoteMr, WcStatus, WorkCompletion, WorkRequest, WrId,
+};
 use sim::{Cluster, NodeId, Stopwatch};
 use telemetry::{events, spans, Counter, HistHandle, Telemetry};
 
@@ -92,9 +95,90 @@ use crate::config::{AckPolicy, NclConfig};
 use crate::controller::{Controller, ControllerClient};
 use crate::detector::{Backoff, PhiDetector};
 use crate::layout::{RegionHeader, HEADER_SIZE, HEADER_WIRE_SIZE};
+use crate::lockaudit;
 use crate::peer::{PeerReq, PeerResp};
 use crate::registry::{NclRegistry, PeerEndpoint};
+use crate::runtime::ShardOp;
 use crate::NclError;
+
+/// Attention bit: a completion reported a peer failure not yet repaired.
+const ATTN_FAILURE: u32 = 1;
+/// Attention bit: fewer than `f + 1` peers are alive.
+const ATTN_NO_QUORUM: u32 = 2;
+
+/// The lock-free published acknowledgement state of one file.
+///
+/// `refresh_durable` (under the `rep` lock, on whichever thread ran it —
+/// a durability waiter or a shard reactor) publishes the quorum watermark
+/// and the attention bits here; [`NclFile::wait_durable`] observes them
+/// with two atomic loads and returns without touching a mutex when the
+/// awaited record is already acked and nothing needs attention. Hosted
+/// files also park durability waiters on `parked` instead of draining the
+/// completion queue themselves — the shard reactor drains, publishes, and
+/// notifies.
+///
+/// The attention bits may lag a failure absorbed-but-not-yet-refreshed by
+/// at most one `refresh_durable` call. That is sound: a fast-path return
+/// linearizes at the moment the watermark was published, when the record
+/// was durable on a quorum and no failure had been observed — the same
+/// answer a barrier at that instant would have given. The failure is
+/// sticky in `Rep::failure_seen` and the very next refresh publishes it,
+/// so repair is never lost, only (briefly) not yet visible.
+struct AckedState {
+    /// Highest sequence number durable on the acknowledgement quorum.
+    watermark: AtomicU64,
+    /// [`ATTN_FAILURE`] | [`ATTN_NO_QUORUM`]; non-zero sends every barrier
+    /// down the slow path where repair lives.
+    attention: AtomicU32,
+    /// Parking lot for hosted durability waiters.
+    park: Mutex<()>,
+    parked: Condvar,
+}
+
+impl AckedState {
+    fn new(durable: u64) -> Arc<Self> {
+        Arc::new(AckedState {
+            watermark: AtomicU64::new(durable),
+            attention: AtomicU32::new(0),
+            park: Mutex::new(()),
+            parked: Condvar::new(),
+        })
+    }
+
+    /// True when a barrier on `seq` can return without locking anything.
+    #[inline]
+    fn fast_acked(&self, seq: u64) -> bool {
+        self.attention.load(Ordering::Acquire) == 0 && self.watermark.load(Ordering::Acquire) >= seq
+    }
+
+    /// Publishes a new watermark/attention pair and wakes parked waiters if
+    /// anything changed. Callers hold the `rep` lock, so publications are
+    /// serialized; the brief `park` lock before notifying closes the
+    /// check-then-sleep race with [`AckedState::park_until`].
+    fn publish(&self, durable: u64, attention: u32) {
+        let prev_mark = self.watermark.fetch_max(durable, Ordering::AcqRel);
+        let prev_attn = self.attention.swap(attention, Ordering::AcqRel);
+        if prev_mark < durable || prev_attn != attention {
+            let _guard = self.park.lock();
+            self.parked.notify_all();
+        }
+    }
+
+    /// Sleeps until `seq` is acked, attention is raised, or `timeout`
+    /// passes. The watermark re-check under the `park` lock pairs with the
+    /// lock in [`AckedState::publish`]: a publication either lands before
+    /// the re-check (observed) or blocks on the lock until the waiter is
+    /// parked (notified).
+    fn park_until(&self, seq: u64, timeout: Duration) {
+        lockaudit::note_lock();
+        let mut guard = self.park.lock();
+        if self.watermark.load(Ordering::Acquire) < seq
+            && self.attention.load(Ordering::Acquire) == 0
+        {
+            self.parked.wait_for(&mut guard, timeout);
+        }
+    }
+}
 
 /// Shared context of one application instance.
 struct Ctx {
@@ -175,6 +259,22 @@ struct FileMetrics {
     /// `record_nowait` entered its barrier with the window full and the
     /// oldest in-flight record not yet durable.
     window_stall: Counter,
+    /// Per-shard twins of the span histograms, bound once when the file is
+    /// hosted on a reactor shard. Hot-path recording reads them through
+    /// `OnceLock::get` — one atomic load, no allocation — and stamps every
+    /// sample into both the fleet-wide histogram and the shard's, so bench
+    /// reports get a per-shard dimension for free.
+    shard: std::sync::OnceLock<ShardStages>,
+}
+
+/// The five stage histograms scoped to one reactor shard
+/// (`ncl.shard-<i>.record.<stage>`).
+struct ShardStages {
+    stage: HistHandle,
+    doorbell: HistHandle,
+    wire: HistHandle,
+    ack: HistHandle,
+    e2e: HistHandle,
 }
 
 impl FileMetrics {
@@ -194,7 +294,27 @@ impl FileMetrics {
             flush_replace: tel.counter("ncl.flush.replace"),
             hdr_per_record: tel.counter("ncl.header.per_record"),
             window_stall: tel.counter("ncl.window.stall"),
+            shard: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Binds the per-shard histogram twins (idempotent; first shard wins,
+    /// matching a file hosted exactly once). Cold path: runs at hosting
+    /// time, never while recording.
+    fn bind_shard(&self, shard: usize) {
+        let _ = self.shard.set(ShardStages {
+            stage: self
+                .tel
+                .histogram(&format!("ncl.shard-{shard}.record.stage")),
+            doorbell: self
+                .tel
+                .histogram(&format!("ncl.shard-{shard}.record.doorbell")),
+            wire: self
+                .tel
+                .histogram(&format!("ncl.shard-{shard}.record.wire")),
+            ack: self.tel.histogram(&format!("ncl.shard-{shard}.record.ack")),
+            e2e: self.tel.histogram(&format!("ncl.shard-{shard}.record.e2e")),
+        });
     }
 
     fn count_flush(&self, reason: FlushReason) {
@@ -299,9 +419,19 @@ impl NclLib {
             .list_app_files(self.ctx.node, &self.ctx.app_id)
     }
 
+    /// Hosts `file` on the configured shard runtime (when one is present)
+    /// and returns it behind the `Arc` the runtime holds weakly.
+    fn finish_open(&self, file: NclFile) -> Arc<NclFile> {
+        let file = Arc::new(file);
+        if let Some(runtime) = &self.ctx.config.runtime {
+            runtime.host(&file);
+        }
+        file
+    }
+
     /// Creates a new ncl file with the given data capacity, allocating
     /// regions on `2f + 1` peers and publishing the ap-map entry.
-    pub fn create(&self, file: &str, capacity: usize) -> Result<NclFile, NclError> {
+    pub fn create(&self, file: &str, capacity: usize) -> Result<Arc<NclFile>, NclError> {
         if self.exists(file)? {
             return Err(NclError::AlreadyExists(file.to_string()));
         }
@@ -318,11 +448,15 @@ impl NclLib {
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
         let metrics = FileMetrics::new(&ctx.config.telemetry, &format!("{}/{}", ctx.app_id, file));
-        Ok(NclFile {
+        let acked = AckedState::new(0);
+        Ok(self.finish_open(NclFile {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
             capacity,
             metrics: Arc::clone(&metrics),
+            acked: Arc::clone(&acked),
+            issued: AtomicU64::new(0),
+            hosted: AtomicBool::new(false),
             stage: Mutex::new(Stage {
                 buffer: vec![0; capacity],
                 len: 0,
@@ -338,15 +472,16 @@ impl NclLib {
                 0,
                 false,
                 metrics,
+                acked,
                 RecoveryStats::default(),
             )),
-        })
+        }))
     }
 
     /// Recovers an existing ncl file after an application restart: returns
     /// the file handle with its contents reconstructed from the peers (read
     /// them with [`NclFile::contents`] / [`NclFile::read`]).
-    pub fn recover(&self, file: &str) -> Result<NclFile, NclError> {
+    pub fn recover(&self, file: &str) -> Result<Arc<NclFile>, NclError> {
         let ctx = &*self.ctx;
         let tel = &ctx.config.telemetry;
         let mut stats = RecoveryStats::default();
@@ -592,12 +727,25 @@ impl NclLib {
             recover_start,
             Instant::now(),
         );
+        // Cross-shard visibility of the recovery: shard reactors learn the
+        // new epoch through the operation log, in the same order everywhere
+        // — catch-up logged before the ap-map update, mirroring the wire
+        // protocol's ordering rule.
+        if let Some(runtime) = &ctx.config.runtime {
+            runtime.log_op(ShardOp::EpochBump { scope, epoch });
+            runtime.log_op(ShardOp::CatchUp { scope, epoch, seq });
+            runtime.log_op(ShardOp::ApMapUpdate { scope, epoch });
+        }
         let metrics = FileMetrics::new(tel, scope);
-        Ok(NclFile {
+        let acked = AckedState::new(seq);
+        Ok(self.finish_open(NclFile {
             ctx: Arc::clone(&self.ctx),
             name: file.to_string(),
             capacity,
             metrics: Arc::clone(&metrics),
+            acked: Arc::clone(&acked),
+            issued: AtomicU64::new(seq),
+            hosted: AtomicBool::new(false),
             stage: Mutex::new(Stage {
                 buffer,
                 len: rec_header.len,
@@ -613,13 +761,14 @@ impl NclLib {
                 seq,
                 repair_pending,
                 metrics,
+                acked,
                 stats,
             )),
-        })
+        }))
     }
 
     /// Recovers `file` if it exists, otherwise creates it.
-    pub fn open_or_create(&self, file: &str, capacity: usize) -> Result<NclFile, NclError> {
+    pub fn open_or_create(&self, file: &str, capacity: usize) -> Result<Arc<NclFile>, NclError> {
         if self.exists(file)? {
             self.recover(file)
         } else {
@@ -738,14 +887,30 @@ struct Rep {
     wr_scratch: Vec<WorkRequest>,
     /// Posted-but-not-durable records being timed (empty with telemetry
     /// disabled). Entries retire in [`Rep::refresh_durable`]; size is
-    /// bounded by the pipeline window.
-    flights: HashMap<u64, Flight>,
+    /// bounded by the pipeline window. Ordered by sequence number so the
+    /// completion path touches only the flights a header newly covers —
+    /// a full scan per completion is O(window) under the `rep` lock and
+    /// visibly stalls concurrent doorbells at deep windows.
+    flights: BTreeMap<u64, Flight>,
+    /// Every flight at or below this sequence number has had its wire
+    /// span closed by some peer's header completion. Advanced monotonically
+    /// in [`Rep::absorb`]; flights are registered in sequence order before
+    /// their headers can complete, so nothing is ever inserted below it.
+    wire_covered_seq: u64,
+    /// Flights carrying a nonzero trace id. The per-peer coverage pass in
+    /// `absorb` scans flights only while this is nonzero, so untraced
+    /// steady-state runs skip it entirely.
+    traced_flights: usize,
     metrics: Arc<FileMetrics>,
+    /// Shared with the owning [`NclFile`]; republished after every
+    /// watermark refresh so the barrier fast path stays current.
+    acked: Arc<AckedState>,
     last_recovery: RecoveryStats,
     last_repair: RepairStats,
 }
 
 impl Rep {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         peers: Vec<PeerSlot>,
         cq: CompletionQueue,
@@ -753,6 +918,7 @@ impl Rep {
         durable_seq: u64,
         repair_pending: bool,
         metrics: Arc<FileMetrics>,
+        acked: Arc<AckedState>,
         last_recovery: RecoveryStats,
     ) -> Self {
         let mut rep = Rep {
@@ -766,8 +932,11 @@ impl Rep {
             expecting: HashSet::new(),
             repair_pending,
             wr_scratch: Vec::new(),
-            flights: HashMap::new(),
+            flights: BTreeMap::new(),
+            wire_covered_seq: 0,
+            traced_flights: 0,
             metrics,
+            acked,
             last_recovery,
             last_repair: RepairStats::default(),
         };
@@ -847,29 +1016,46 @@ impl Rep {
                             let mut peer_scope: Option<&'static str> = None;
                             let epoch = self.epoch;
                             let metrics = &self.metrics;
-                            for (&fseq, flight) in self.flights.iter_mut() {
-                                if fseq > seq {
-                                    continue;
-                                }
-                                if flight.first_peer.is_none() {
+                            // Wire spans close at the first covering header.
+                            // Every flight at or below `wire_covered_seq`
+                            // was closed by an earlier header, so this
+                            // header only touches the flights it newly
+                            // covers — never the whole in-flight window.
+                            if seq > self.wire_covered_seq {
+                                let newly = (
+                                    std::ops::Bound::Excluded(self.wire_covered_seq),
+                                    std::ops::Bound::Included(seq),
+                                );
+                                for (_, flight) in self.flights.range_mut(newly) {
                                     flight.first_peer = Some(now);
                                     metrics
                                         .wire
                                         .record_duration(now.duration_since(flight.posted));
+                                    if let Some(s) = metrics.shard.get() {
+                                        s.wire.record_duration(now.duration_since(flight.posted));
+                                    }
                                 }
-                                if flight.trace != 0 && !flight.covered.contains(&qp_num) {
-                                    flight.covered.push(qp_num);
-                                    let peer = *peer_scope
-                                        .get_or_insert_with(|| telemetry::intern_scope(peer_name));
-                                    metrics.tel.span_auto(
-                                        flight.trace,
-                                        flight.trace,
-                                        spans::NCL_WIRE_PEER,
-                                        peer,
-                                        epoch,
-                                        wire_start.max(flight.posted),
-                                        now,
-                                    );
+                                self.wire_covered_seq = seq;
+                            }
+                            // Per-peer coverage spans exist per traced
+                            // flight; benches trace nothing and skip this.
+                            if self.traced_flights > 0 {
+                                for (_, flight) in self.flights.range_mut(..=seq) {
+                                    if flight.trace != 0 && !flight.covered.contains(&qp_num) {
+                                        flight.covered.push(qp_num);
+                                        let peer = *peer_scope.get_or_insert_with(|| {
+                                            telemetry::intern_scope(peer_name)
+                                        });
+                                        metrics.tel.span_auto(
+                                            flight.trace,
+                                            flight.trace,
+                                            spans::NCL_WIRE_PEER,
+                                            peer,
+                                            epoch,
+                                            wire_start.max(flight.posted),
+                                            now,
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -940,6 +1126,7 @@ impl Rep {
             .map(|s| s.completed_seq)
             .collect();
         if seqs.len() < config.quorum() {
+            self.publish_acked(config);
             return;
         }
         seqs.sort_unstable();
@@ -956,13 +1143,23 @@ impl Rep {
             let durable = self.durable_seq;
             let epoch = self.epoch;
             let metrics = &self.metrics;
-            self.flights.retain(|&fseq, flight| {
-                if fseq > durable {
-                    return true;
+            // Ordered map: retiring pops from the front until the first
+            // flight still above the watermark — O(retired), not O(window).
+            while let Some(entry) = self.flights.first_entry() {
+                if *entry.key() > durable {
+                    break;
+                }
+                let flight = entry.remove();
+                if flight.trace != 0 {
+                    self.traced_flights -= 1;
                 }
                 let first = flight.first_peer.unwrap_or(flight.posted);
                 metrics.ack.record_duration(now.duration_since(first));
                 metrics.e2e.record_duration(now.duration_since(flight.t0));
+                if let Some(s) = metrics.shard.get() {
+                    s.ack.record_duration(now.duration_since(first));
+                    s.e2e.record_duration(now.duration_since(flight.t0));
+                }
                 if flight.trace != 0 {
                     metrics.tel.span_auto(
                         flight.trace,
@@ -986,9 +1183,23 @@ impl Rep {
                         now,
                     );
                 }
-                false
-            });
+            }
         }
+        self.publish_acked(config);
+    }
+
+    /// Republishes the lock-free acked state from the authoritative `rep`
+    /// fields. Called under the `rep` lock (waiter loop, shard reactor,
+    /// repair commit), so publications never race each other.
+    fn publish_acked(&self, config: &NclConfig) {
+        let mut attention = 0;
+        if self.failure_seen {
+            attention |= ATTN_FAILURE;
+        }
+        if self.alive() < config.quorum() {
+            attention |= ATTN_NO_QUORUM;
+        }
+        self.acked.publish(self.durable_seq, attention);
     }
 
     /// Removes routed-but-unclaimed completions whose waiter is gone.
@@ -1011,14 +1222,47 @@ pub struct NclFile {
     name: String,
     capacity: usize,
     metrics: Arc<FileMetrics>,
+    /// Published acked state; shared with `rep` (which writes it).
+    acked: Arc<AckedState>,
+    /// Sequence number of the latest issued record, mirrored from
+    /// `stage.seq` under the staging lock so `seq()`/`fsync()` read it
+    /// without locking.
+    issued: AtomicU64,
+    /// Set when a shard reactor services this file: completions are
+    /// drained in the background and durability waiters park on
+    /// [`AckedState`] instead of the completion queue.
+    hosted: AtomicBool,
     stage: Mutex<Stage>,
     rep: Mutex<Rep>,
 }
 
 impl NclFile {
+    /// Acquires the staging lock through the lock-audit hook. Every
+    /// `stage` acquisition inside this module goes through here (and
+    /// `rep_guard` for `rep`) so the zero-mutex fast-path guarantee is
+    /// checkable by tests.
+    #[inline]
+    fn stage_guard(&self) -> MutexGuard<'_, Stage> {
+        lockaudit::note_lock();
+        self.stage.lock()
+    }
+
+    /// Acquires the replication lock through the lock-audit hook.
+    #[inline]
+    fn rep_guard(&self) -> MutexGuard<'_, Rep> {
+        lockaudit::note_lock();
+        self.rep.lock()
+    }
+
     /// The file's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The file's interned telemetry scope (`app/file`); also its shard
+    /// routing key under the sharded runtime.
+    pub fn scope(&self) -> &'static str {
+        self.metrics.scope
     }
 
     /// Data capacity fixed at allocation time.
@@ -1028,7 +1272,7 @@ impl NclFile {
 
     /// Current valid length.
     pub fn len(&self) -> u64 {
-        self.stage.lock().len
+        self.stage_guard().len
     }
 
     /// True when no data has been recorded.
@@ -1036,19 +1280,40 @@ impl NclFile {
         self.len() == 0
     }
 
-    /// Sequence number of the latest issued record.
+    /// Sequence number of the latest issued record (lock-free).
     pub fn seq(&self) -> u64 {
-        self.stage.lock().seq
+        self.issued.load(Ordering::Acquire)
     }
 
     /// Highest sequence number known durable on an acknowledgement quorum.
+    /// Reads the published watermark — lock-free, and kept fresh in the
+    /// background when the file is hosted on a shard reactor.
     pub fn durable_seq(&self) -> u64 {
-        self.rep.lock().durable_seq
+        self.acked.watermark.load(Ordering::Acquire)
     }
 
     /// Current ap-map epoch.
     pub fn epoch(&self) -> u64 {
-        self.rep.lock().epoch
+        self.rep_guard().epoch
+    }
+
+    /// Registers `waker` with this file's completion queue, binds the
+    /// per-shard stage histograms, and flips the file into hosted mode.
+    /// Called by `NclRuntime::host_on`.
+    pub(crate) fn attach_reactor(&self, waker: &CqWaker, shard: usize) {
+        self.metrics.bind_shard(shard);
+        self.rep_guard().cq.register_waker(waker);
+        self.hosted.store(true, Ordering::Release);
+    }
+
+    /// One shard-reactor poll round: drain the completion queue and
+    /// republish the acked watermark, without ever blocking on a busy
+    /// file (the lock holder is doing this same work).
+    pub(crate) fn reactor_poll(&self) {
+        if let Some(mut rep) = self.rep.try_lock() {
+            rep.drain();
+            rep.refresh_durable(&self.ctx.config);
+        }
     }
 
     /// Names of the currently assigned peers (alive ones first-class; dead
@@ -1070,18 +1335,18 @@ impl NclFile {
 
     /// Phase timings of the recovery that produced this handle.
     pub fn recovery_stats(&self) -> RecoveryStats {
-        self.rep.lock().last_recovery
+        self.rep_guard().last_recovery
     }
 
     /// Phase timings of the most recent peer replacement.
     pub fn repair_stats(&self) -> RepairStats {
-        self.rep.lock().last_repair
+        self.rep_guard().last_repair
     }
 
     /// Reads from the local buffer (logs are only read during recovery; this
     /// serves the application's replay pass from the prefetched image).
     pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
-        let stage = self.stage.lock();
+        let stage = self.stage_guard();
         if offset >= stage.len {
             return Vec::new();
         }
@@ -1091,14 +1356,14 @@ impl NclFile {
 
     /// Returns the full valid contents (`[0, len)`).
     pub fn contents(&self) -> Vec<u8> {
-        let stage = self.stage.lock();
+        let stage = self.stage_guard();
         stage.buffer[..stage.len as usize].to_vec()
     }
 
     /// Reads directly from a peer via one-sided RDMA, bypassing the local
     /// buffer — the "NCL no prefetch" variant measured in Figure 11(a).
     pub fn read_remote(&self, offset: u64, len: usize) -> Result<Vec<u8>, NclError> {
-        let flen = self.stage.lock().len;
+        let flen = self.stage_guard().len;
         let end = (offset as usize + len).min(flen as usize);
         if offset as usize >= end {
             return Ok(Vec::new());
@@ -1106,7 +1371,7 @@ impl NclFile {
         let n = end - offset as usize;
         let wr = WrId(u64::MAX - 2);
         let qp_num = {
-            let mut rep = self.rep.lock();
+            let mut rep = self.rep_guard();
             // Clear leftovers of an earlier timed-out read before reposting.
             rep.stray.retain(|(_, wc)| wc.wr_id != wr);
             let slot = rep
@@ -1155,7 +1420,7 @@ impl NclFile {
         let t0 = Instant::now();
         let seq;
         {
-            let mut stage = self.stage.lock();
+            let mut stage = self.stage_guard();
             let end = offset as usize + data.len();
             if end > self.capacity {
                 return Err(NclError::CapacityExceeded {
@@ -1172,6 +1437,7 @@ impl NclFile {
             stage.len = stage.len.max(end as u64);
             stage.seq += 1;
             seq = stage.seq;
+            self.issued.store(seq, Ordering::Release);
             let header = RegionHeader {
                 seq,
                 len: stage.len,
@@ -1189,6 +1455,9 @@ impl NclFile {
             let payload = wire.slice(HEADER_WIRE_SIZE..);
             let staged_at = Instant::now();
             self.metrics.stage.record_duration(staged_at - t0);
+            if let Some(s) = self.metrics.shard.get() {
+                s.stage.record_duration(staged_at - t0);
+            }
             // Root of this record's causal chain; 0 (and therefore span-free)
             // when telemetry is disabled or tracing is switched off.
             let trace = if self.metrics.enabled {
@@ -1221,9 +1490,10 @@ impl NclFile {
                 self.flush_staged(&mut stage, FlushReason::WindowFull);
             }
         }
-        // Bounded in-flight window.
+        // Bounded in-flight window. The stall check reads the published
+        // watermark — no lock on the record hot path.
         if seq > window {
-            if self.metrics.enabled && self.rep.lock().durable_seq < seq - window {
+            if self.metrics.enabled && self.acked.watermark.load(Ordering::Acquire) < seq - window {
                 self.metrics.window_stall.inc();
             }
             self.wait_durable(seq - window)?;
@@ -1238,7 +1508,7 @@ impl NclFile {
     /// callers use this to start replicating a finished group while they
     /// assemble the next one. A no-op when nothing is pending.
     pub fn submit(&self) {
-        let mut stage = self.stage.lock();
+        let mut stage = self.stage_guard();
         self.flush_staged(&mut stage, FlushReason::Submit);
     }
 
@@ -1259,7 +1529,7 @@ impl NclFile {
             // count records once — the wire cost scales with both).
             self.metrics.hdr_per_record.add(stage.pending.len() as u64);
         }
-        let mut rep = self.rep.lock();
+        let mut rep = self.rep_guard();
         // Stamp the doorbell before posting: an inline NIC executes the
         // writes during `post_many`, so stamping after would misattribute
         // the wire time to the doorbell span. Flights are registered before
@@ -1271,6 +1541,10 @@ impl NclFile {
                 self.metrics
                     .doorbell
                     .record_duration(posted_at.duration_since(rec.staged_at));
+                if let Some(s) = self.metrics.shard.get() {
+                    s.doorbell
+                        .record_duration(posted_at.duration_since(rec.staged_at));
+                }
                 if rec.trace != 0 {
                     self.metrics.tel.span_auto(
                         rec.trace,
@@ -1281,6 +1555,9 @@ impl NclFile {
                         rec.staged_at,
                         posted_at,
                     );
+                }
+                if rec.trace != 0 {
+                    rep.traced_flights += 1;
                 }
                 rep.flights.insert(
                     rec.seq,
@@ -1329,20 +1606,27 @@ impl NclFile {
             Repair { must: bool },
             Wait,
         }
+        // Fast path: the record is already acked and nothing needs
+        // attention. Two atomic loads, zero mutexes — the property the
+        // lock-audit tests pin. With a shard reactor publishing the
+        // watermark in the background this is the steady-state barrier.
+        if self.acked.fast_acked(seq) {
+            return Ok(());
+        }
         let ctx = &self.ctx;
         let deadline = Instant::now() + ctx.config.write_timeout;
         let mut backoff = Backoff::new(ctx.config.backoff_base, ctx.config.backoff_cap, seq);
         // A barrier on a record still sitting in the staged burst must ring
         // the doorbell first, or it would wait on never-posted requests.
         {
-            let mut stage = self.stage.lock();
+            let mut stage = self.stage_guard();
             if stage.flushed_seq < seq {
                 self.flush_staged(&mut stage, FlushReason::Barrier);
             }
         }
         loop {
             let (next, cq) = {
-                let mut rep = self.rep.lock();
+                let mut rep = self.rep_guard();
                 rep.drain();
                 rep.suspect_stalled(&ctx.config, seq);
                 rep.refresh_durable(&ctx.config);
@@ -1362,7 +1646,7 @@ impl NclFile {
             match next {
                 Next::Done => return Ok(()),
                 Next::Repair { must } => {
-                    let mut stage = self.stage.lock();
+                    let mut stage = self.stage_guard();
                     match self.replace_failed(&mut stage) {
                         Ok(()) => continue,
                         Err(e) => {
@@ -1370,9 +1654,12 @@ impl NclFile {
                                 // The awaited prefix is durable on the
                                 // survivors; replacement is deferred to
                                 // `maintain` instead of failing the record.
-                                let mut rep = self.rep.lock();
+                                let mut rep = self.rep_guard();
                                 rep.repair_pending = true;
                                 rep.failure_seen = false;
+                                // Clear the attention bit so fast-path
+                                // barriers resume while repair is deferred.
+                                rep.publish_acked(&ctx.config);
                                 return Ok(());
                             }
                             if Instant::now() >= deadline {
@@ -1391,6 +1678,29 @@ impl NclFile {
                         return Err(NclError::QuorumUnavailable(format!(
                             "record {seq} not durable within timeout"
                         )));
+                    }
+                    if self.hosted.load(Ordering::Acquire) {
+                        // Hosted file: the shard reactor drains the
+                        // completion queue and publishes the watermark.
+                        // Never park while the awaited record is still in
+                        // the staged burst — that doorbell tail would wait
+                        // on never-posted requests. Records staged *beyond*
+                        // the awaited one keep accumulating toward their
+                        // natural burst boundary: flushing them here would
+                        // fragment the doorbell batches of a pipelined
+                        // writer every time the window back-pressures
+                        // mid-burst.
+                        {
+                            let mut stage = self.stage_guard();
+                            if stage.flushed_seq < seq {
+                                self.flush_staged(&mut stage, FlushReason::Barrier);
+                                continue;
+                            }
+                        }
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        self.acked
+                            .park_until(seq, remaining.min(Duration::from_millis(50)));
+                        continue;
                     }
                     // NCL polls the completion queues (§4.4). With NIC
                     // engine threads a short poll-and-yield loop catches the
@@ -1415,7 +1725,7 @@ impl NclFile {
                         wcs = cq.wait(remaining.min(Duration::from_millis(50)));
                     }
                     if !wcs.is_empty() {
-                        self.rep.lock().absorb(wcs);
+                        self.rep_guard().absorb(wcs);
                     }
                 }
             }
@@ -1456,10 +1766,11 @@ impl NclFile {
         // Phase A: drop dead slots (their QPs are in error state) and
         // acquire all replacements.
         let (epoch, mut fresh) = {
-            let mut rep = self.rep.lock();
+            let mut rep = self.rep_guard();
             if rep.peers.iter().all(|s| s.alive) && rep.peers.len() == ctx.config.replicas() {
                 rep.repair_pending = false;
                 rep.failure_seen = false;
+                rep.publish_acked(&ctx.config);
                 return Ok(());
             }
             let epoch = rep.epoch + 1;
@@ -1546,7 +1857,7 @@ impl NclFile {
         let catchup_end = Instant::now();
 
         // Phase C: commit.
-        let mut rep = self.rep.lock();
+        let mut rep = self.rep_guard();
         for s in &fresh {
             rep.expecting.remove(&s.qp.qp_num());
         }
@@ -1588,6 +1899,26 @@ impl NclFile {
             repair_trace,
             format!("bumped {} survivors", rep.peers.len()),
         );
+        // Cross-shard ordering: every shard reactor observes the bump, the
+        // catch-up, and the ap-map rewrite in this exact sequence — the log
+        // is appended in protocol order and applied in log order.
+        if let Some(runtime) = &ctx.config.runtime {
+            runtime.log_op(ShardOp::EpochBump { scope, epoch });
+            runtime.log_op(ShardOp::CatchUp {
+                scope,
+                epoch,
+                seq: header.seq,
+            });
+            runtime.log_op(ShardOp::PeerReplace {
+                scope,
+                epoch,
+                peers: fresh
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            });
+        }
         // Replaced-in peers never produced wire completions for records that
         // were in flight when they joined — the catch-up copy is what made
         // those records durable on them. Credit each such flight with a
@@ -1621,6 +1952,9 @@ impl NclFile {
         let names: Vec<String> = rep.peers.iter().map(|s| s.name.clone()).collect();
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, &self.name, names.clone(), epoch)?;
+        if let Some(runtime) = &ctx.config.runtime {
+            runtime.log_op(ShardOp::ApMapUpdate { scope, epoch });
+        }
         stats.update_ap_map = sw.elapsed();
         tel.span_auto(
             repair_trace,
@@ -1668,28 +2002,31 @@ impl NclFile {
     /// maintenance loop; the paper's "maintaining FT level").
     pub fn maintain(&self) -> Result<bool, NclError> {
         {
-            let mut rep = self.rep.lock();
+            let mut rep = self.rep_guard();
             rep.drain();
             rep.refresh_durable(&self.ctx.config);
             if !rep.repair_pending && rep.peers.iter().all(|s| s.alive) {
                 return Ok(false);
             }
         }
-        let mut stage = self.stage.lock();
+        let mut stage = self.stage_guard();
         self.replace_failed(&mut stage)?;
         Ok(true)
     }
 
     /// True when a peer failure is pending replacement.
     pub fn repair_pending(&self) -> bool {
-        self.rep.lock().repair_pending
+        self.rep_guard().repair_pending
     }
 
     /// Durability barrier over everything issued so far: waits until the
     /// latest staged record is durable. A no-op after synchronous `record`
     /// calls; the real fence for `record_nowait` pipelines.
     pub fn fsync(&self) -> Result<(), NclError> {
-        let seq = self.stage.lock().seq;
+        // Lock-free read of the issued counter: an fsync of fully durable
+        // data composes with the `wait_durable` fast path into a
+        // zero-mutex barrier.
+        let seq = self.issued.load(Ordering::Acquire);
         self.wait_durable(seq)
     }
 
@@ -1699,8 +2036,8 @@ impl NclFile {
     /// subsequent records fail.
     pub fn release(&self) -> Result<(), NclError> {
         let ctx = &self.ctx;
-        let _stage = self.stage.lock();
-        let mut rep = self.rep.lock();
+        let _stage = self.stage_guard();
+        let mut rep = self.rep_guard();
         for slot in rep.peers.iter().filter(|s| s.alive) {
             let _ = slot.endpoint.rpc.call(
                 ctx.node,
@@ -1871,7 +2208,7 @@ impl WcWait for RepWait<'_> {
         };
         loop {
             let cq = {
-                let mut rep = self.file.rep.lock();
+                let mut rep = self.file.rep_guard();
                 rep.drain();
                 if let Some(wc) = take(&mut rep) {
                     return Some(wc);
@@ -1880,7 +2217,7 @@ impl WcWait for RepWait<'_> {
             };
             let wcs = cq.wait(Duration::from_millis(2));
             if !wcs.is_empty() {
-                let mut rep = self.file.rep.lock();
+                let mut rep = self.file.rep_guard();
                 rep.absorb(wcs);
                 if let Some(wc) = take(&mut rep) {
                     return Some(wc);

@@ -35,8 +35,10 @@ pub mod controller;
 pub mod detector;
 pub mod file;
 pub mod layout;
+pub mod lockaudit;
 pub mod peer;
 pub mod registry;
+pub mod runtime;
 
 pub use config::{AckPolicy, NclConfig};
 pub use controller::{ApEntry, Controller, ControllerClient, PeerInfo};
@@ -45,6 +47,7 @@ pub use file::{NclFile, NclLib};
 pub use layout::{RegionHeader, HEADER_SIZE};
 pub use peer::Peer;
 pub use registry::{NclRegistry, PeerEndpoint};
+pub use runtime::{NclRuntime, OpLog, ShardOp};
 
 use std::fmt;
 

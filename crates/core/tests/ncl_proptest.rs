@@ -108,7 +108,7 @@ proptest! {
         let mut world = World::new();
         let capacity = 8192usize;
         let mut lib = world.fresh_app();
-        let mut file: NclFile = lib.create("wal", capacity).unwrap();
+        let mut file: Arc<NclFile> = lib.create("wal", capacity).unwrap();
         // Model of the acknowledged image.
         let mut expected: Vec<u8> = Vec::new();
         let mut fill: u8 = 0;
@@ -203,7 +203,7 @@ fn burst_op_strategy() -> impl Strategy<Value = BurstOp> {
     ]
 }
 
-fn burst_world(coalesce: bool, capacity: usize) -> (World, NclLib, NclFile) {
+fn burst_world(coalesce: bool, capacity: usize) -> (World, NclLib, Arc<NclFile>) {
     let mut config = NclConfig::zero();
     // Inline NIC: posted requests apply at post time, so both worlds see
     // the same deterministic wire state at every crash point. The window
@@ -217,7 +217,7 @@ fn burst_world(coalesce: bool, capacity: usize) -> (World, NclLib, NclFile) {
     (world, lib, file)
 }
 
-fn burst_restart(world: &mut World, lib: NclLib, file: NclFile) -> (NclLib, NclFile) {
+fn burst_restart(world: &mut World, lib: NclLib, file: Arc<NclFile>) -> (NclLib, Arc<NclFile>) {
     let node = lib.node();
     drop(file);
     drop(lib);

@@ -287,6 +287,43 @@ impl RdmaDevice {
             }
         }
     }
+
+    /// Applies a scatter-gather write: `slices` land contiguously starting
+    /// at `offset`. One validation and one buffer lock for the whole
+    /// request — a gather list is a single wire operation, and paying the
+    /// region lookup per 32-byte slice would make the simulated NIC's CPU
+    /// cost scale with the record count instead of the request count.
+    /// All-or-nothing: bounds are checked against the gathered length
+    /// before any byte is written.
+    #[allow(clippy::result_unit_err)] // Same contract as `apply_remote`.
+    pub fn apply_remote_sg(
+        &self,
+        mr_id: u64,
+        rkey: RKey,
+        offset: usize,
+        slices: &[Bytes],
+    ) -> Result<(), ()> {
+        if !self.cluster.is_alive(self.node) {
+            return Err(());
+        }
+        let Some(entry) = self.lookup_live(mr_id) else {
+            return Err(());
+        };
+        if entry.rkey.load(Ordering::SeqCst) != rkey.0 || rkey.0 == 0 {
+            return Err(());
+        }
+        let total: usize = slices.iter().map(Bytes::len).sum();
+        let mut buf = entry.buf.lock();
+        if offset + total > buf.len() {
+            return Err(());
+        }
+        let mut at = offset;
+        for slice in slices {
+            buf[at..at + slice.len()].copy_from_slice(slice);
+            at += slice.len();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

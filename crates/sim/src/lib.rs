@@ -48,5 +48,5 @@ pub use fault::{
 pub use latency::LatencyModel;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use rpc::{RpcClient, RpcServer};
-pub use stats::{Histogram, Summary, ThroughputSampler};
+pub use stats::ThroughputSampler;
 pub use time::{delay, delay_until, now_nanos, Stopwatch};

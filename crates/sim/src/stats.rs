@@ -3,15 +3,12 @@
 //! The benchmark harnesses report the same quantities as the paper: average
 //! and tail latency per operation (Figures 8, 9, 11), aggregate throughput
 //! (Figures 9, 10), and a real-time throughput series sampled every 10 ms
-//! (Figure 12). The log-linear [`Histogram`] now lives in the `telemetry`
-//! crate (where the lock-free registry variant shares its bucket layout) and
-//! is re-exported here so existing callers keep compiling unchanged;
-//! [`ThroughputSampler`] is a lock-free windowed op counter and stays local.
+//! (Figure 12). The log-linear histogram lives in the `telemetry` crate
+//! (use `telemetry::{Histogram, Summary}` directly); this module keeps only
+//! [`ThroughputSampler`], a lock-free windowed op counter.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-
-pub use telemetry::{Histogram, Summary};
 
 /// Windowed operation counter for real-time throughput plots (Figure 12).
 ///
@@ -69,32 +66,6 @@ impl ThroughputSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    // The Histogram unit tests (bucket round-trip, percentile edge cases,
-    // merge semantics) moved to `telemetry::hist` alongside the code; this
-    // smoke test pins the re-export so the shim cannot silently vanish.
-    #[test]
-    fn histogram_reexport_works() {
-        let mut h = Histogram::new();
-        h.record(100);
-        h.record(300);
-        let s: Summary = h.summary();
-        assert_eq!(s.count, 2);
-        assert_eq!(s.mean_ns, 200.0);
-    }
-
-    /// Percentiles of an empty histogram are `None`, not a zero sentinel —
-    /// pinned here through the re-export because downstream harnesses branch
-    /// on "no data" vs "measured zero".
-    #[test]
-    fn empty_histogram_percentile_is_none_through_reexport() {
-        let h = Histogram::new();
-        assert_eq!(h.percentile(50.0), None);
-        assert_eq!(h.percentile(99.0), None);
-        let mut h = h;
-        h.record(42);
-        assert_eq!(h.percentile(50.0), Some(42));
-    }
 
     #[test]
     fn throughput_sampler_counts_all_events() {

@@ -16,6 +16,8 @@
 //! outstanding small-write overlay to the DFS and starts a fresh journal.
 
 use dfs::ExtentMap;
+use std::sync::Arc;
+
 use ncl::{NclFile, NclLib};
 use parking_lot::Mutex;
 
@@ -44,7 +46,7 @@ impl Default for HybridOptions {
 }
 
 struct HybridInner {
-    journal: NclFile,
+    journal: Arc<NclFile>,
     journal_used: u64,
     /// Byte ranges whose latest data lives in the journal (the recovery
     /// metadata the paper describes, reconstructed from the journal).

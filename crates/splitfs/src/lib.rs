@@ -359,7 +359,7 @@ impl SplitFs {
             } else {
                 return Err(FsError::NotFound(path.to_string()));
             };
-            let route = NclRoute::new(Arc::new(file));
+            let route = NclRoute::new(file);
             if exists {
                 // A crash while degraded left a shadow journal behind; bring
                 // the recovered log up to date before serving the handle.
@@ -655,7 +655,11 @@ impl SplitFs {
     /// fresh peer set at a bumped epoch and replayed. Returns `Ok(None)`
     /// when no journal exists (a plain > `f` failure, outside both the NCL
     /// fault model and the fallback's protection).
-    fn rebuild_from_shadow(&self, path: &str, capacity: usize) -> Result<Option<NclFile>, FsError> {
+    fn rebuild_from_shadow(
+        &self,
+        path: &str,
+        capacity: usize,
+    ) -> Result<Option<Arc<NclFile>>, FsError> {
         let Some(dfs) = &self.inner.dfs else {
             return Ok(None);
         };

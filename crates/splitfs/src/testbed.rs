@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dfs::{DfsCluster, DfsConfig, LocalFs};
-use ncl::{Controller, NclConfig, NclLib, NclRegistry, Peer};
+use ncl::{Controller, NclConfig, NclLib, NclRegistry, NclRuntime, Peer};
 use sim::{Cluster, NodeId};
 use telemetry::export::http::ScrapeServer;
 
@@ -33,6 +33,12 @@ pub struct TestbedConfig {
     /// address (`/metrics` Prometheus text, `/snapshot` JSON, `/trace`
     /// Chrome trace). Use `"127.0.0.1:0"` to let the OS pick a port.
     pub scrape_addr: Option<String>,
+    /// Reactor shards for the thread-per-core NCL runtime. `0` (the
+    /// default) keeps the classic waiter-driven completion path; any
+    /// positive count starts an [`ncl::NclRuntime`] and hosts every NCL
+    /// file opened through this testbed on one of its shards. Overridden
+    /// by the `NCL_SHARDS` environment variable at [`Testbed::start`].
+    pub shards: usize,
 }
 
 impl TestbedConfig {
@@ -45,6 +51,7 @@ impl TestbedConfig {
             peer_mem: 256 << 20,
             weak_flush_interval: Duration::from_millis(100),
             scrape_addr: None,
+            shards: 0,
         }
     }
 
@@ -57,6 +64,7 @@ impl TestbedConfig {
             peer_mem: 1 << 30,
             weak_flush_interval: Duration::from_secs(1),
             scrape_addr: None,
+            shards: 0,
         }
     }
 }
@@ -81,7 +89,23 @@ pub struct Testbed {
 
 impl Testbed {
     /// Starts every service described by `config`.
-    pub fn start(config: TestbedConfig) -> Self {
+    ///
+    /// The `NCL_SHARDS` environment variable, when set to a positive
+    /// integer, overrides [`TestbedConfig::shards`] — handy for running an
+    /// existing test or bench binary against the sharded runtime without
+    /// recompiling.
+    pub fn start(mut config: TestbedConfig) -> Self {
+        if let Ok(v) = std::env::var("NCL_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                config.shards = n;
+            }
+        }
+        if config.shards > 0 && config.ncl.runtime.is_none() {
+            config.ncl.runtime = Some(NclRuntime::start_with_telemetry(
+                config.shards,
+                config.ncl.telemetry.clone(),
+            ));
+        }
         let cluster = Cluster::new();
         let dfs = DfsCluster::start(&cluster, config.dfs.clone());
         // Control-plane services share the application's telemetry handle so
@@ -195,6 +219,19 @@ mod tests {
             f.fsync().unwrap();
             assert_eq!(f.read(0, 2).unwrap(), b"ok");
         }
+    }
+
+    #[test]
+    fn sharded_testbed_hosts_ncl_files() {
+        let mut cfg = TestbedConfig::zero(3);
+        cfg.shards = 2;
+        let tb = Testbed::start(cfg);
+        assert!(tb.config().ncl.runtime.is_some());
+        let (fs, _node) = tb.mount(Mode::SplitFt, "app-sharded");
+        let f = fs.open("probe", OpenOptions::create()).unwrap();
+        f.write_at(0, b"sharded").unwrap();
+        f.fsync().unwrap();
+        assert_eq!(f.read(0, 7).unwrap(), b"sharded");
     }
 
     #[test]

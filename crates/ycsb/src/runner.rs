@@ -5,7 +5,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apps::KvApp;
-use sim::{Histogram, Summary, ThroughputSampler, Xoshiro256StarStar};
+use sim::{ThroughputSampler, Xoshiro256StarStar};
+use telemetry::{Histogram, Summary};
 
 use crate::workload::{key_of, value_of, OpKind, Workload};
 
