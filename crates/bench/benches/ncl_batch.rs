@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use bench::{BenchJson, NCL_STAGES};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ncl::{NclLib, NclRuntime};
+use ncl::{Durability, MemSpillSink, NclLib, NclRuntime};
 use splitfs::{Testbed, TestbedConfig};
 use telemetry::Telemetry;
 
@@ -313,16 +313,215 @@ fn collect_stage_breakdown(tb: &Testbed) -> telemetry::TelemetrySnapshot {
     snap
 }
 
+// --- Durability axis: replicated vs erasure-coded fragment striping. ---
+
+/// Record size for the durability axis. Large enough (256 B) that the
+/// per-burst framing (fragment entry + 64 B header) does not dominate: the
+/// regime where the EC wire saving is attributable to striping, which is
+/// what the ≤0.6x wire-bytes acceptance bar measures.
+const DUR_RECORD_SIZE: usize = 256;
+const DUR_BURST: u64 = 16;
+const DUR_CAPACITY: usize = 8 << 20;
+/// Records in the deterministic wire-accounting pass.
+const DUR_RECORDS: u64 = 2048;
+
+/// `(label, erasure-coding parameters)`; `None` = replicated `2f + 1`.
+const DUR_MODES: [(&str, Option<(usize, usize)>); 3] = [
+    ("replicated", None),
+    ("ec_2of3", Some((2, 3))),
+    ("ec_4of6", Some((4, 6))),
+];
+
+fn dur_lib(tb: &Testbed, tag: &str, telemetry: Telemetry, ec: Option<(usize, usize)>) -> NclLib {
+    let mut config = tb.config().ncl.clone();
+    // Same slow-fabric regime as the burst sweep: serialization-bound, so
+    // throughput differences track wire bytes.
+    config.inline_nic = false;
+    config.rdma = sim::LatencyModel::from_nanos(100_000, 0.08, 0.0);
+    config.pipeline_window = WINDOW;
+    config.coalesce_headers = true;
+    config.telemetry = telemetry;
+    config.runtime = None;
+    if let Some((k, n)) = ec {
+        config.durability = Durability::Ec { k, n };
+        config.spill = Some(Arc::new(MemSpillSink::new()));
+    }
+    let node = tb.add_app_node(tag);
+    NclLib::new(&tb.cluster, node, tag, config, &tb.controller, &tb.registry).unwrap()
+}
+
+/// Burst-16 append throughput for each durability mode. ec-2of3 must keep
+/// at least 0.85x the replicated rate (the acceptance bar); on this
+/// wire-bound config it should in fact win, since each peer serializes
+/// `1/k` of the burst instead of all of it.
+fn durability_axis(c: &mut Criterion) {
+    let tb = Testbed::start(TestbedConfig::calibrated(8));
+    let mut group = c.benchmark_group("ncl_batch");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let data = vec![0xC3u8; DUR_RECORD_SIZE];
+    for (mode, ec) in DUR_MODES {
+        let tag = format!("bench-durability-{mode}");
+        let lib = dur_lib(&tb, &tag, Telemetry::disabled(), ec);
+        let file = lib.create("wal", DUR_CAPACITY).unwrap();
+        let mut offset = 0usize;
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_with_input(BenchmarkId::new("durability", mode), &mode, |b, _| {
+            b.iter(|| {
+                for i in 0..BATCH {
+                    if offset + DUR_RECORD_SIZE > DUR_CAPACITY {
+                        offset = 0;
+                    }
+                    file.record_nowait(offset as u64, &data).unwrap();
+                    offset += DUR_RECORD_SIZE;
+                    if (i + 1) % DUR_BURST == 0 {
+                        file.submit();
+                    }
+                }
+            });
+        });
+        file.fsync().unwrap();
+        file.release().unwrap();
+    }
+    group.finish();
+
+    let per_second = |mode: &str| -> f64 {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == format!("ncl_batch/durability/{mode}"))
+            .and_then(|m| m.per_second())
+            .expect("measurement present")
+    };
+    for (mode, _) in DUR_MODES {
+        println!(
+            "ncl_batch: durability {mode} -> {:.0} records/s",
+            per_second(mode)
+        );
+    }
+    let ratio = per_second("ec_2of3") / per_second("replicated");
+    println!("ncl_batch: ec-2of3 / replicated throughput = {ratio:.2}x");
+    assert!(
+        ratio >= 0.85,
+        "ec-2of3 must sustain >=0.85x replicated throughput at burst 16 \
+         (got {ratio:.2}x)"
+    );
+}
+
+/// One deterministic pass per durability mode: wire bytes per record (from
+/// the `ncl.wire.bytes` counter), peer-memory copies, and timed post-crash
+/// recovery. Holds the wire acceptance bar: ec-2of3 writes at most 0.6x
+/// the replicated bytes per record.
+fn collect_durability(tb: &Testbed) -> Vec<(String, f64, f64, f64)> {
+    let data = vec![0xC3u8; DUR_RECORD_SIZE];
+    let mut rows = Vec::new();
+    for (mode, ec) in DUR_MODES {
+        let telemetry = Telemetry::new();
+        let tag = format!("bench-durability-acct-{mode}");
+        let lib = dur_lib(tb, &tag, telemetry.clone(), ec);
+        let app_node = lib.node();
+        let file = lib.create("wal", DUR_CAPACITY).unwrap();
+        let mut offset = 0usize;
+        for i in 0..DUR_RECORDS {
+            if offset + DUR_RECORD_SIZE > DUR_CAPACITY {
+                offset = 0;
+            }
+            file.record_nowait(offset as u64, &data).unwrap();
+            offset += DUR_RECORD_SIZE;
+            if (i + 1) % DUR_BURST == 0 {
+                file.submit();
+            }
+        }
+        file.fsync().unwrap();
+        let wire_per_record = telemetry.counter_value("ncl.wire.bytes") as f64 / DUR_RECORDS as f64;
+        // Peer memory consumed per byte of log: full copies under
+        // replication, `n/k` fragment inflation under erasure coding.
+        let copies = match ec {
+            None => tb.config().ncl.replicas() as f64,
+            Some((k, n)) => n as f64 / k as f64,
+        };
+        // Crash the application and time recovery on a fresh node.
+        drop(file);
+        let config = lib.config().clone();
+        drop(lib);
+        tb.cluster.crash(app_node);
+        let node2 = tb.add_app_node(&format!("{tag}-r"));
+        let lib2 = NclLib::new(
+            &tb.cluster,
+            node2,
+            &tag,
+            config,
+            &tb.controller,
+            &tb.registry,
+        )
+        .expect("recovery instance lock");
+        let t0 = std::time::Instant::now();
+        let recovered = lib2.recover("wal").unwrap();
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            !recovered.contents().is_empty(),
+            "{mode}: recovery came back empty after {DUR_RECORDS} records"
+        );
+        recovered.release().unwrap();
+        println!(
+            "ncl_batch: durability {mode}: {wire_per_record:.0} wire B/record, \
+             {copies:.2} copies of memory, recovery {recovery_ms:.2} ms"
+        );
+        rows.push((mode.to_string(), copies, wire_per_record, recovery_ms));
+    }
+    let wire = |mode: &str| {
+        rows.iter()
+            .find(|r| r.0 == mode)
+            .map(|r| r.2)
+            .expect("mode measured")
+    };
+    let wire_ratio = wire("ec_2of3") / wire("replicated");
+    println!("ncl_batch: ec-2of3 / replicated wire bytes per record = {wire_ratio:.3}x");
+    assert!(
+        wire_ratio <= 0.6,
+        "ec-2of3 must write <=0.6x the replicated wire bytes per record \
+         (got {wire_ratio:.3}x)"
+    );
+    rows
+}
+
 fn emit_json(c: &mut Criterion) {
     let tb = Testbed::start(TestbedConfig::calibrated(3));
     let snap = collect_stage_breakdown(&tb);
+    let dur_tb = Testbed::start(TestbedConfig::calibrated(8));
+    let dur = collect_durability(&dur_tb);
     let mut json = BenchJson::new("ncl_batch");
     for m in c.measurements() {
         json.result(&m.id, m.mean_ns, m.per_second().unwrap_or(0.0));
     }
     json.stage_breakdown(&snap, &NCL_STAGES);
+    let per_second = |mode: &str| -> f64 {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == format!("ncl_batch/durability/{mode}"))
+            .and_then(|m| m.per_second())
+            .unwrap_or(0.0)
+    };
+    let rows: Vec<String> = dur
+        .iter()
+        .map(|(mode, copies, wire, recovery_ms)| {
+            format!(
+                "    \"{mode}\": {{\"copies_of_memory\": {copies:.2}, \
+                 \"wire_bytes_per_record\": {wire:.1}, \
+                 \"per_second\": {:.1}, \"recovery_ms\": {recovery_ms:.3}}}",
+                per_second(mode)
+            )
+        })
+        .collect();
+    json.section("durability", format!("{{\n{}\n  }}", rows.join(",\n")));
     json.write();
 }
 
-criterion_group!(benches, burst_sweep, telemetry_overhead, emit_json);
+criterion_group!(
+    benches,
+    burst_sweep,
+    telemetry_overhead,
+    durability_axis,
+    emit_json
+);
 criterion_main!(benches);

@@ -250,6 +250,38 @@ fn emit_json(c: &mut Criterion) {
         json.result(&m.id, m.mean_ns, m.per_second().unwrap_or(0.0));
     }
     json.shard_stage_breakdown(&snap, &NCL_STAGES, BREAKDOWN_SHARDS);
+    // Per-shard-count scaling efficiency: aggregate throughput at `s`
+    // shards over `s` times the 1-shard aggregate. 1.0 = perfect linear
+    // scaling; CI tracks the trend and warns on any point under 0.6.
+    let per_second = |shards: usize| -> f64 {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == format!("ncl_mt/shards/{shards}"))
+            .and_then(|m| m.per_second())
+            .unwrap_or(0.0)
+    };
+    let base = per_second(1);
+    let rows: Vec<String> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let efficiency = if base > 0.0 {
+                per_second(shards) / (shards as f64 * base)
+            } else {
+                0.0
+            };
+            if efficiency < 0.6 {
+                println!(
+                    "ncl_mt: WARNING: scaling efficiency at {shards} shard(s) is \
+                     {efficiency:.2} (< 0.6) — shards are contending instead of overlapping"
+                );
+            }
+            format!("    \"{shards}\": {efficiency:.3}")
+        })
+        .collect();
+    json.section(
+        "scaling_efficiency",
+        format!("{{\n{}\n  }}", rows.join(",\n")),
+    );
     json.write();
 }
 

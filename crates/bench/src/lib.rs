@@ -360,6 +360,30 @@ pub fn validate_bench_json(body: &str) -> Result<(), String> {
     if body.contains("\"bench\": \"ncl_mt\"") && !body.contains("\"shard-0\":") {
         return Err("ncl_mt stage_breakdown is missing the per-shard dimension".to_string());
     }
+    // ... and the scaling-efficiency trend CI warns on.
+    if body.contains("\"bench\": \"ncl_mt\"") && !body.contains("\"scaling_efficiency\"") {
+        return Err("ncl_mt is missing the scaling_efficiency section".to_string());
+    }
+    // The batch bench must carry the durability axis: every mode row with
+    // its memory/wire/recovery accounting, so a run that silently dropped
+    // the erasure-coding sweep fails validation instead of shipping a
+    // trend file without the dimension.
+    if body.contains("\"bench\": \"ncl_batch\"") {
+        if !body.contains("\"durability\"") {
+            return Err("ncl_batch is missing the durability section".to_string());
+        }
+        for mode in ["replicated", "ec_2of3", "ec_4of6"] {
+            let line = body
+                .lines()
+                .find(|l| l.contains(&format!("\"{mode}\":")))
+                .ok_or_else(|| format!("durability section is missing the {mode} row"))?;
+            for field in ["copies_of_memory", "wire_bytes_per_record", "recovery_ms"] {
+                if !line.contains(field) {
+                    return Err(format!("durability row {mode} is missing {field}"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -525,6 +549,43 @@ mod tests {
             "\"stage_breakdown\": {",
             "\"stage_breakdown\": {\n    \"shards\": {\"shard-0\": {}},",
         );
-        assert!(validate_bench_json(&sharded).is_ok());
+        // Still short one dimension: the scaling-efficiency trend.
+        assert!(validate_bench_json(&sharded)
+            .unwrap_err()
+            .contains("scaling_efficiency"));
+        let efficient = sharded.replace(
+            "\"stage_breakdown\": {",
+            "\"scaling_efficiency\": {\"1\": 1.0, \"4\": 0.9},\n  \"stage_breakdown\": {",
+        );
+        assert!(validate_bench_json(&efficient).is_ok());
+    }
+
+    /// An `ncl_batch` document must carry the durability axis with every
+    /// mode row complete; other benches are exempt from the rule.
+    #[test]
+    fn validator_requires_durability_axis_for_ncl_batch() {
+        let flat = valid_bench_doc();
+        assert!(validate_bench_json(&flat).is_ok());
+        let batch = flat.replace("\"bench\": \"demo\"", "\"bench\": \"ncl_batch\"");
+        assert!(validate_bench_json(&batch)
+            .unwrap_err()
+            .contains("durability"));
+        let rows = "\"durability\": {\n    \
+             \"replicated\": {\"copies_of_memory\": 3.00, \"wire_bytes_per_record\": 780.0, \"per_second\": 1.0, \"recovery_ms\": 1.0},\n    \
+             \"ec_2of3\": {\"copies_of_memory\": 1.50, \"wire_bytes_per_record\": 430.0, \"per_second\": 1.0, \"recovery_ms\": 1.0},\n    \
+             \"ec_4of6\": {\"copies_of_memory\": 1.50, \"wire_bytes_per_record\": 447.0, \"per_second\": 1.0, \"recovery_ms\": 1.0}\n  },";
+        let with_axis = batch.replace(
+            "\"stage_breakdown\": {",
+            &format!("{rows}\n  \"stage_breakdown\": {{"),
+        );
+        assert!(validate_bench_json(&with_axis).is_ok());
+        // A row missing a required field fails by name.
+        let incomplete = with_axis.replace(
+            "\"ec_2of3\": {\"copies_of_memory\": 1.50, ",
+            "\"ec_2of3\": {",
+        );
+        assert!(validate_bench_json(&incomplete)
+            .unwrap_err()
+            .contains("copies_of_memory"));
     }
 }

@@ -6,6 +6,8 @@ use std::time::Duration;
 use sim::LatencyModel;
 use telemetry::Telemetry;
 
+use crate::ec::SpillSink;
+use crate::layout::HEADER_SIZE;
 use crate::runtime::NclRuntime;
 
 /// How many peers must complete a record before it is acknowledged.
@@ -21,12 +23,71 @@ pub enum AckPolicy {
     All,
 }
 
+/// How a file's log is made durable across peers.
+///
+/// Replicated mode (the paper's protocol) writes every byte to all
+/// `2f + 1` peers. Erasure-coded mode Reed–Solomon-stripes each flushed
+/// burst into `k` data + `n − k` parity fragments, one per peer — wire
+/// bytes and peer memory drop from `(2f + 1)×` to `(n / k)×` while any
+/// `n − k` simultaneous peer losses remain survivable (the acked prefix
+/// reconstructs from any `k` of the `n` fragments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Full-copy replication to `2f + 1` peers.
+    Replicated,
+    /// Reed–Solomon `k`-of-`n` striping: `k` data + `n − k` parity
+    /// fragments across `n` peers. Requires `1 <= k < n <= 255`.
+    Ec {
+        /// Data fragments per burst (reconstruction threshold).
+        k: usize,
+        /// Total fragments / peers per file.
+        n: usize,
+    },
+}
+
+impl Durability {
+    /// Whether this is an erasure-coded mode.
+    pub fn is_ec(&self) -> bool {
+        matches!(self, Durability::Ec { .. })
+    }
+
+    /// `(k, n)` when erasure-coded, `None` when replicated.
+    pub fn ec_params(&self) -> Option<(usize, usize)> {
+        match *self {
+            Durability::Replicated => None,
+            Durability::Ec { k, n } => Some((k, n)),
+        }
+    }
+
+    /// Stable label for telemetry and bench output
+    /// (`"replicated"` / `"ec-2of3"`).
+    pub fn label(&self) -> String {
+        match *self {
+            Durability::Replicated => "replicated".to_string(),
+            Durability::Ec { k, n } => format!("ec-{k}of{n}"),
+        }
+    }
+}
+
 /// Tunables for the NCL layer.
 #[derive(Debug, Clone)]
 pub struct NclConfig {
     /// Failure budget: NCL allocates `2f + 1` peers per file and tolerates
     /// `f` simultaneous peer failures. The paper evaluates with `f = 1`.
+    /// Ignored under [`Durability::Ec`], where the peer count is `n` and
+    /// the failure budget is `n − k`.
     pub f: usize,
+    /// Replication scheme ([`Durability::Replicated`] or erasure coding).
+    pub durability: Durability,
+    /// Durable store for cold acked log prefixes demoted off peer memory.
+    /// Required by erasure-coded mode (the fragment area is smaller than
+    /// the file and recycles in generations; the displaced prefix must
+    /// land here before a generation flips). Ignored when replicated.
+    pub spill: Option<Arc<dyn SpillSink>>,
+    /// Fragment-area fill (bytes within the active generation half) at
+    /// which an async spill of the acked prefix is kicked off. `0` selects
+    /// the default: ¾ of the half capacity.
+    pub spill_watermark: usize,
     /// Default region capacity per ncl file (bytes of log data, excluding
     /// the header). Applications usually size this from their configured
     /// log size; the paper's experiments use logs up to ~100 MB.
@@ -109,6 +170,9 @@ impl NclConfig {
     pub fn calibrated() -> Self {
         NclConfig {
             f: 1,
+            durability: Durability::Replicated,
+            spill: None,
+            spill_watermark: 0,
             default_capacity: 64 << 20,
             rdma: LatencyModel::rdma_write(),
             control: LatencyModel::rpc(),
@@ -134,6 +198,9 @@ impl NclConfig {
     pub fn zero() -> Self {
         NclConfig {
             f: 1,
+            durability: Durability::Replicated,
+            spill: None,
+            spill_watermark: 0,
             default_capacity: 1 << 20,
             rdma: LatencyModel::ZERO,
             control: LatencyModel::ZERO,
@@ -155,14 +222,57 @@ impl NclConfig {
         }
     }
 
-    /// Number of peers allocated per file (`2f + 1`).
+    /// Number of peers allocated per file: `2f + 1` replicated, `n` under
+    /// erasure coding.
     pub fn replicas(&self) -> usize {
-        2 * self.f + 1
+        match self.durability {
+            Durability::Replicated => 2 * self.f + 1,
+            Durability::Ec { n, .. } => n,
+        }
     }
 
-    /// Majority quorum size (`f + 1`).
+    /// Acknowledgement quorum size: `f + 1` replicated (a majority holds
+    /// every acked byte), `n` under erasure coding (every peer holds its
+    /// fragment, so the stripe survives any `n − k` post-ack losses).
     pub fn quorum(&self) -> usize {
-        self.f + 1
+        match self.durability {
+            Durability::Replicated => self.f + 1,
+            Durability::Ec { n, .. } => n,
+        }
+    }
+
+    /// Minimum responders recovery needs to reconstruct the acked prefix:
+    /// one holder of the full copy replicated (`f + 1` responders
+    /// guarantee one overlaps the ack quorum), `k` fragment holders under
+    /// erasure coding.
+    pub fn recovery_quorum(&self) -> usize {
+        match self.durability {
+            Durability::Replicated => self.f + 1,
+            Durability::Ec { k, .. } => k,
+        }
+    }
+
+    /// Per-peer fragment half-area capacity for a file with `capacity`
+    /// data bytes (erasure-coded regions only): `capacity / (2k)` so the
+    /// two generation halves together hold roughly one striped file, plus
+    /// slack for entry framing and record overheads.
+    pub fn ec_half_capacity(&self, capacity: usize) -> usize {
+        let (k, _) = self
+            .durability
+            .ec_params()
+            .expect("ec_half_capacity requires Durability::Ec");
+        capacity.div_ceil(2 * k) + (64 << 10)
+    }
+
+    /// Bytes of peer memory one region occupies for a file with `capacity`
+    /// data bytes: header + full copy replicated, header + two fragment
+    /// halves (≈ `capacity · n / k` aggregated across `n` peers) under
+    /// erasure coding.
+    pub fn region_size(&self, capacity: usize) -> usize {
+        match self.durability {
+            Durability::Replicated => HEADER_SIZE + capacity,
+            Durability::Ec { .. } => HEADER_SIZE + 2 * self.ec_half_capacity(capacity),
+        }
     }
 }
 
@@ -184,6 +294,34 @@ mod tests {
         c.f = 2;
         assert_eq!(c.replicas(), 5);
         assert_eq!(c.quorum(), 3);
+    }
+
+    #[test]
+    fn ec_quorum_counts() {
+        let mut c = NclConfig::zero();
+        c.durability = Durability::Ec { k: 2, n: 3 };
+        assert_eq!(c.replicas(), 3);
+        assert_eq!(c.quorum(), 3, "EC acks only at full fragment coverage");
+        assert_eq!(c.recovery_quorum(), 2);
+        c.durability = Durability::Ec { k: 4, n: 6 };
+        assert_eq!(c.replicas(), 6);
+        assert_eq!(c.quorum(), 6);
+        assert_eq!(c.recovery_quorum(), 4);
+        assert_eq!(c.durability.label(), "ec-4of6");
+        assert_eq!(Durability::Replicated.label(), "replicated");
+    }
+
+    #[test]
+    fn ec_region_is_fractional() {
+        let mut c = NclConfig::zero();
+        let cap = 32 << 20;
+        assert_eq!(c.region_size(cap), HEADER_SIZE + cap);
+        c.durability = Durability::Ec { k: 2, n: 3 };
+        let per_peer = c.region_size(cap);
+        // Two halves of capacity/(2k) ≈ capacity/k per peer, far below a
+        // full copy; n peers together hold ≈ (n/k)× the file.
+        assert!(per_peer < cap * 3 / 4, "per-peer {per_peer} vs full {cap}");
+        assert!(per_peer >= cap / 2, "halves must cover one striped file");
     }
 
     #[test]

@@ -94,12 +94,17 @@ use telemetry::{events, spans, Counter, HistHandle, Telemetry};
 use crate::config::{AckPolicy, NclConfig};
 use crate::controller::{Controller, ControllerClient};
 use crate::detector::{Backoff, PhiDetector};
+use crate::ec::{FragEntry, SpillSnapshot, FRAG_ENTRY_SIZE};
 use crate::layout::{RegionHeader, HEADER_SIZE, HEADER_WIRE_SIZE};
 use crate::lockaudit;
 use crate::peer::{PeerReq, PeerResp};
 use crate::registry::{NclRegistry, PeerEndpoint};
 use crate::runtime::ShardOp;
 use crate::NclError;
+
+/// One EC recovery responder: its slot, final header, and the fragment
+/// logs it served, keyed by generation.
+type FetchedResponder = (PeerSlot, RegionHeader, Vec<(u64, Vec<u8>)>);
 
 /// Attention bit: a completion reported a peer failure not yet repaired.
 const ATTN_FAILURE: u32 = 1;
@@ -259,6 +264,12 @@ struct FileMetrics {
     /// `record_nowait` entered its barrier with the window full and the
     /// oldest in-flight record not yet durable.
     window_stall: Counter,
+    /// Total bytes posted to peers on the replication hot path (payload +
+    /// headers + fragment framing, summed over peers) — the wire-cost
+    /// denominator the durability bench axis reports per record.
+    wire_bytes: Counter,
+    /// Spill demotions started (EC only).
+    spills: Counter,
     /// Per-shard twins of the span histograms, bound once when the file is
     /// hosted on a reactor shard. Hot-path recording reads them through
     /// `OnceLock::get` — one atomic load, no allocation — and stamps every
@@ -294,6 +305,8 @@ impl FileMetrics {
             flush_replace: tel.counter("ncl.flush.replace"),
             hdr_per_record: tel.counter("ncl.header.per_record"),
             window_stall: tel.counter("ncl.window.stall"),
+            wire_bytes: tel.counter("ncl.wire.bytes"),
+            spills: tel.counter("ncl.spill.demotions"),
             shard: std::sync::OnceLock::new(),
         })
     }
@@ -430,24 +443,67 @@ impl NclLib {
     }
 
     /// Creates a new ncl file with the given data capacity, allocating
-    /// regions on `2f + 1` peers and publishing the ap-map entry.
+    /// regions on the configured peer set ( `2f + 1` replicated, `n` under
+    /// erasure coding) and publishing the ap-map entry.
     pub fn create(&self, file: &str, capacity: usize) -> Result<Arc<NclFile>, NclError> {
         if self.exists(file)? {
             return Err(NclError::AlreadyExists(file.to_string()));
         }
         let ctx = &self.ctx;
+        validate_ec_config(&ctx.config)?;
         let epoch = ctx.controller.get_app_epoch(ctx.node, &ctx.app_id, file)? + 1;
         let cq = CompletionQueue::new();
         let mut slots = Vec::new();
         let mut exclude: Vec<String> = Vec::new();
+        // Under erasure coding each peer lends only the two fragment
+        // halves, not a full copy of the file.
+        let region_data = ctx.config.region_size(capacity) - HEADER_SIZE;
         while slots.len() < ctx.config.replicas() {
-            let slot = acquire_peer(ctx, file, epoch, capacity, &cq, &mut exclude)?;
+            let slot = acquire_peer(ctx, file, epoch, region_data, &cq, &mut exclude)?;
             slots.push(slot);
+        }
+        for (i, slot) in slots.iter_mut().enumerate() {
+            slot.shard = i as u32;
+        }
+        if ctx.config.durability.is_ec() {
+            // Seed every region with a generation-0 header carrying the
+            // file capacity: the fragment area is smaller than the file,
+            // so recovery cannot infer the staging-buffer size from the
+            // region length and must read it from a header — which
+            // therefore has to exist before the first crash can happen.
+            let router = WcRouter::new(&cq);
+            let header = RegionHeader {
+                capacity: capacity as u32,
+                ..Default::default()
+            };
+            for slot in &slots {
+                slot.qp
+                    .post_write(
+                        WrId(1),
+                        &slot.mr,
+                        0,
+                        Bytes::copy_from_slice(&header.encode()),
+                    )
+                    .map_err(|e| NclError::Unavailable(e.to_string()))?;
+            }
+            for slot in &slots {
+                match router.wait_for(slot.qp.qp_num(), WrId(1), ctx.config.write_timeout) {
+                    Some(wc) if wc.status == WcStatus::Success => {}
+                    _ => {
+                        return Err(NclError::Unavailable(format!(
+                            "initial header write to {} failed",
+                            slot.name
+                        )))
+                    }
+                }
+            }
         }
         let names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
         ctx.controller
             .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
-        let metrics = FileMetrics::new(&ctx.config.telemetry, &format!("{}/{}", ctx.app_id, file));
+        let scope = format!("{}/{}", ctx.app_id, file);
+        announce_durability(ctx, &scope, epoch, capacity);
+        let metrics = FileMetrics::new(&ctx.config.telemetry, &scope);
         let acked = AckedState::new(0);
         Ok(self.finish_open(NclFile {
             ctx: Arc::clone(&self.ctx),
@@ -457,14 +513,7 @@ impl NclLib {
             acked: Arc::clone(&acked),
             issued: AtomicU64::new(0),
             hosted: AtomicBool::new(false),
-            stage: Mutex::new(Stage {
-                buffer: vec![0; capacity],
-                len: 0,
-                seq: 0,
-                overwritten: false,
-                pending: Vec::new(),
-                flushed_seq: 0,
-            }),
+            stage: Mutex::new(Stage::new(vec![0; capacity], 0, 0, false, 0, 0)),
             rep: Mutex::new(Rep::new(
                 slots,
                 cq,
@@ -562,6 +611,7 @@ impl NclLib {
                                 mr,
                                 qp,
                                 completed_seq: 0,
+                                shard: 0,
                                 alive: true,
                                 detector: PhiDetector::new(Instant::now()),
                             },
@@ -575,15 +625,30 @@ impl NclLib {
                 .filter_map(|h| h.join().expect("header-read thread"))
                 .collect()
         });
-        if responders.len() < ctx.config.quorum() {
+        if responders.len() < ctx.config.recovery_quorum() {
             return Err(NclError::QuorumUnavailable(format!(
                 "{} of {} peers responded, need {}",
                 responders.len(),
                 entry.peers.len(),
-                ctx.config.quorum()
+                ctx.config.recovery_quorum()
             )));
         }
         stats.connect = sw.elapsed();
+
+        if let Some((k, n)) = ctx.config.durability.ec_params() {
+            return self.recover_ec(
+                file,
+                &entry,
+                responders,
+                &cq,
+                &router,
+                stats,
+                scope,
+                recover_trace,
+                recover_start,
+                (k, n),
+            );
+        }
 
         // Phase 3: pick the recovery peer (max sequence) and read its data.
         let sw = Stopwatch::start();
@@ -643,6 +708,7 @@ impl NclLib {
                     scope.spawn(move || {
                         catch_up_existing(
                             ctx, file, epoch, capacity, router, slot, header, rec_header, buffer,
+                            false,
                         )
                         .ok()
                     })
@@ -671,7 +737,8 @@ impl NclLib {
         while slots.len() < ctx.config.replicas() {
             match acquire_peer(ctx, file, epoch, capacity, &cq, &mut exclude) {
                 Ok(mut slot) => {
-                    if catch_up_fresh(ctx, &router, &mut slot, epoch, &rec_header, &buffer).is_ok()
+                    if catch_up_fresh(ctx, &router, &mut slot, epoch, &rec_header, &buffer, false)
+                        .is_ok()
                     {
                         slots.push(slot);
                     }
@@ -746,19 +813,362 @@ impl NclLib {
             acked: Arc::clone(&acked),
             issued: AtomicU64::new(seq),
             hosted: AtomicBool::new(false),
-            stage: Mutex::new(Stage {
+            stage: Mutex::new(Stage::new(
                 buffer,
-                len: rec_header.len,
+                rec_header.len,
                 seq,
-                overwritten: rec_header.overwritten,
-                pending: Vec::new(),
-                flushed_seq: seq,
-            }),
+                rec_header.overwritten,
+                0,
+                0,
+            )),
             rep: Mutex::new(Rep::new(
                 slots,
                 cq,
                 epoch,
                 seq,
+                repair_pending,
+                metrics,
+                acked,
+                stats,
+            )),
+        }))
+    }
+
+    /// Erasure-coded recovery (§4.5.1 adapted to fragments): the acked
+    /// prefix is rebuilt from the spill snapshot of the highest generation
+    /// any responder reached, plus a lockstep reassembly walk over the
+    /// surviving fragment logs — any `k` of the `n` peers suffice. The
+    /// rearm is reset-based: the recovered image is stored as the next
+    /// generation's snapshot (synchronously, *before* any header may carry
+    /// that generation) and every peer gets a fresh header with empty
+    /// fragment tails; no fragment history is rebuilt.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_ec(
+        &self,
+        file: &str,
+        entry: &crate::controller::ApEntry,
+        responders: Vec<(PeerSlot, RegionHeader)>,
+        cq: &CompletionQueue,
+        router: &WcRouter<'_>,
+        mut stats: RecoveryStats,
+        scope: &'static str,
+        recover_trace: u64,
+        recover_start: Instant,
+        (k, n): (usize, usize),
+    ) -> Result<Arc<NclFile>, NclError> {
+        let ctx = &*self.ctx;
+        let tel = &ctx.config.telemetry;
+        let gmax = responders.iter().map(|(_, h)| h.gen).max().unwrap_or(0);
+        let capacity = responders
+            .iter()
+            .map(|(_, h)| h.capacity)
+            .max()
+            .unwrap_or(0) as usize;
+        if capacity == 0 {
+            return Err(NclError::Unavailable(
+                "no EC region header carries the file capacity".to_string(),
+            ));
+        }
+        let half_cap = ctx.config.ec_half_capacity(capacity);
+        let sink =
+            ctx.config.spill.clone().ok_or_else(|| {
+                NclError::Rejected("EC recovery requires a spill sink".to_string())
+            })?;
+        let base = if gmax > 0 {
+            Some(
+                sink.load(scope, gmax)
+                    .map_err(NclError::Unavailable)?
+                    .ok_or_else(|| {
+                        NclError::Unavailable(format!(
+                            "spill snapshot for generation {gmax} missing"
+                        ))
+                    })?,
+            )
+        } else {
+            None
+        };
+
+        // Fetch the fragment logs a responder can serve: a peer at the max
+        // generation serves its active half plus (having necessarily
+        // applied all of the previous generation — QP order) the full
+        // previous half; a peer one generation behind serves its active
+        // half for that generation. Anything older is covered by the
+        // snapshot.
+        let sw = Stopwatch::start();
+        let fetch_start = Instant::now();
+        let fetched: Vec<FetchedResponder> = std::thread::scope(|ts| {
+            let handles: Vec<_> = responders
+                .into_iter()
+                .map(|(slot, header)| {
+                    ts.spawn(move || -> Option<FetchedResponder> {
+                        let mut wants: Vec<(u64, u64)> = Vec::new();
+                        if header.gen == gmax {
+                            if header.frag_tail > 0 {
+                                wants.push((gmax, header.frag_tail));
+                            }
+                            if gmax > 0 && header.prev_tail > 0 {
+                                wants.push((gmax - 1, header.prev_tail));
+                            }
+                        } else if gmax > 0 && header.gen + 1 == gmax && header.frag_tail > 0 {
+                            wants.push((header.gen, header.frag_tail));
+                        }
+                        let mut logs = Vec::new();
+                        for (i, (gen, tail)) in wants.into_iter().enumerate() {
+                            let len = (tail as usize).min(half_cap);
+                            let off = HEADER_SIZE + (gen % 2) as usize * half_cap;
+                            let wr = WrId(u64::MAX - i as u64);
+                            slot.qp.post_read(wr, &slot.mr, off, len).ok()?;
+                            match router.wait_for(slot.qp.qp_num(), wr, ctx.config.write_timeout) {
+                                Some(wc) if wc.status == WcStatus::Success => {
+                                    let data = wc.read_data.expect("read completion carries data");
+                                    logs.push((gen, data.to_vec()));
+                                }
+                                _ => return None,
+                            }
+                        }
+                        Some((slot, header, logs))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("fragment-read thread"))
+                .collect()
+        });
+        if fetched.len() < k {
+            return Err(NclError::QuorumUnavailable(format!(
+                "{} fragment holders survived the log fetch, need {k}",
+                fetched.len()
+            )));
+        }
+
+        // Lockstep reassembly: previous generation first, then the active
+        // one, skipping bursts the snapshot already covers.
+        let min_seq = base.as_ref().map(|s| s.spill_seq).unwrap_or(0);
+        let walk_gens: Vec<u64> = if gmax == 0 {
+            vec![0]
+        } else {
+            vec![gmax - 1, gmax]
+        };
+        let mut bursts: Vec<(u64, Vec<u8>)> = Vec::new();
+        for walk_gen in walk_gens {
+            let logs: Vec<&[u8]> = fetched
+                .iter()
+                .flat_map(|(_, _, ls)| {
+                    ls.iter()
+                        .filter(move |(g, _)| *g == walk_gen)
+                        .map(|(_, l)| l.as_slice())
+                })
+                .collect();
+            if logs.is_empty() {
+                continue;
+            }
+            bursts.extend(crate::ec::reassemble(k, n, &logs, min_seq));
+        }
+
+        // Apply: snapshot image first, then the replayed bursts — stopping
+        // at the first sequence gap, so only a contiguous issued-order
+        // prefix is ever exposed (a gap can only exist in the unacked
+        // tail: an acked burst has entries on all n peers, hence on every
+        // responder).
+        let mut buffer = vec![0u8; capacity];
+        let (mut len, mut overwritten, mut cur_seq) = match &base {
+            Some(s) => {
+                buffer[..s.len as usize].copy_from_slice(&s.data[..s.len as usize]);
+                (s.len, s.overwritten, s.spill_seq)
+            }
+            None => (0, false, 0),
+        };
+        'apply: for (_, image) in &bursts {
+            let Some(records) = crate::ec::decode_burst(image) else {
+                break;
+            };
+            for (rseq, off, payload) in records {
+                if rseq != cur_seq + 1 || off as usize + payload.len() > capacity {
+                    break 'apply;
+                }
+                let end = off as usize + payload.len();
+                if off < len {
+                    overwritten = true;
+                }
+                buffer[off as usize..end].copy_from_slice(&payload);
+                len = len.max(end as u64);
+                cur_seq = rseq;
+            }
+        }
+        let rec_seq = cur_seq;
+        stats.rdma_read = sw.elapsed();
+        tel.span_auto(
+            recover_trace,
+            recover_trace,
+            spans::NCL_RECOVER_FETCH,
+            scope,
+            entry.epoch,
+            fetch_start,
+            Instant::now(),
+        );
+
+        // Rearm, reset-based: snapshot the recovered image under the next
+        // generation — synchronously, because no peer may observe a
+        // generation whose snapshot is not durable — then hand every peer
+        // a fresh header with empty fragment tails.
+        let sw = Stopwatch::start();
+        let replay_start = Instant::now();
+        let new_gen = gmax + 1;
+        let snap = SpillSnapshot {
+            spill_seq: rec_seq,
+            len,
+            overwritten,
+            capacity: capacity as u64,
+            data: buffer[..len as usize].to_vec(),
+        };
+        sink.store(scope, new_gen, &snap)
+            .map_err(NclError::Unavailable)?;
+        let epoch = entry.epoch + 1;
+        let reset = RegionHeader {
+            seq: rec_seq,
+            len,
+            overwritten,
+            gen: new_gen,
+            frag_tail: 0,
+            prev_tail: 0,
+            spill_seq: rec_seq,
+            capacity: capacity as u32,
+        };
+        let region_data = ctx.config.region_size(capacity) - HEADER_SIZE;
+        let mut slots: Vec<PeerSlot> = std::thread::scope(|ts| {
+            let handles: Vec<_> = fetched
+                .into_iter()
+                .map(|(slot, header, _)| {
+                    let reset = &reset;
+                    ts.spawn(move || {
+                        catch_up_existing(
+                            ctx,
+                            file,
+                            epoch,
+                            region_data,
+                            router,
+                            slot,
+                            header,
+                            reset,
+                            &[],
+                            true,
+                        )
+                        .ok()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("catch-up thread"))
+                .collect()
+        });
+        tel.span_auto(
+            recover_trace,
+            recover_trace,
+            spans::NCL_RECOVER_REPLAY,
+            scope,
+            epoch,
+            replay_start,
+            Instant::now(),
+        );
+        let rearm_start = Instant::now();
+        let mut exclude: Vec<String> = entry.peers.clone();
+        exclude.extend(slots.iter().map(|s| s.name.clone()));
+        exclude.sort();
+        exclude.dedup();
+        while slots.len() < ctx.config.replicas() {
+            match acquire_peer(ctx, file, epoch, region_data, cq, &mut exclude) {
+                Ok(mut slot) => {
+                    if catch_up_fresh(ctx, router, &mut slot, epoch, &reset, &[], true).is_ok() {
+                        slots.push(slot);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        // Unlike replicated mode there is no degraded write service below
+        // the full set: acknowledgement needs all n fragment holders.
+        if slots.len() < ctx.config.quorum() {
+            return Err(NclError::QuorumUnavailable(
+                "could not restore the full fragment set during recovery".to_string(),
+            ));
+        }
+        for (i, s) in slots.iter_mut().enumerate() {
+            s.shard = i as u32;
+            s.completed_seq = rec_seq;
+        }
+        let names: Vec<String> = slots.iter().map(|s| s.name.clone()).collect();
+        ctx.controller
+            .set_ap_entry(ctx.node, &ctx.app_id, file, names, epoch)?;
+        stats.sync_peer = sw.elapsed();
+        tel.span_auto(
+            recover_trace,
+            recover_trace,
+            spans::NCL_RECOVER_REARM,
+            scope,
+            epoch,
+            rearm_start,
+            Instant::now(),
+        );
+        announce_durability(ctx, scope, epoch, capacity);
+        let repair_pending = slots.len() < ctx.config.replicas();
+        tel.event_traced(
+            events::RECOVERY_FINISH,
+            scope,
+            epoch,
+            recover_trace,
+            format!(
+                "seq={rec_seq} peers={} gen={new_gen} get_peer={:?} connect={:?} rdma_read={:?} sync_peer={:?}",
+                slots.len(),
+                stats.get_peer,
+                stats.connect,
+                stats.rdma_read,
+                stats.sync_peer
+            ),
+        );
+        tel.span(
+            recover_trace,
+            recover_trace,
+            0,
+            spans::NCL_RECOVER,
+            scope,
+            epoch,
+            recover_start,
+            Instant::now(),
+        );
+        if let Some(runtime) = &ctx.config.runtime {
+            runtime.log_op(ShardOp::EpochBump { scope, epoch });
+            runtime.log_op(ShardOp::CatchUp {
+                scope,
+                epoch,
+                seq: rec_seq,
+            });
+            runtime.log_op(ShardOp::ApMapUpdate { scope, epoch });
+        }
+        let metrics = FileMetrics::new(tel, scope);
+        let acked = AckedState::new(rec_seq);
+        Ok(self.finish_open(NclFile {
+            ctx: Arc::clone(&self.ctx),
+            name: file.to_string(),
+            capacity,
+            metrics: Arc::clone(&metrics),
+            acked: Arc::clone(&acked),
+            issued: AtomicU64::new(rec_seq),
+            hosted: AtomicBool::new(false),
+            stage: Mutex::new(Stage::new(
+                buffer,
+                len,
+                rec_seq,
+                overwritten,
+                new_gen,
+                rec_seq,
+            )),
+            rep: Mutex::new(Rep::new(
+                slots,
+                cq.clone(),
+                epoch,
+                rec_seq,
                 repair_pending,
                 metrics,
                 acked,
@@ -819,6 +1229,11 @@ struct PeerSlot {
     qp: QueuePair,
     /// Highest sequence number whose data + header completed on this peer.
     completed_seq: u64,
+    /// Generator row this peer holds under erasure coding (stable across
+    /// the slot's lifetime; fresh replacements inherit the dead slot's
+    /// row). Unused in replicated mode. The row index also travels inside
+    /// every fragment entry, so recovery never depends on peer order.
+    shard: u32,
     alive: bool,
     /// Adaptive phi-accrual detector fed by this peer's completions; lets a
     /// gray (silent-but-connected) peer be suspected long before the record
@@ -843,6 +1258,22 @@ struct PendingRecord {
     trace: u64,
 }
 
+/// An in-flight demotion of the acked prefix to the spill sink (EC only).
+/// The store runs on a background thread; the next flush observes `done`
+/// and flips the fragment area to `gen` — the snapshot is guaranteed
+/// durable before any header carrying the new generation is posted, which
+/// is the ordering the recovery rule rests on.
+struct PendingSpill {
+    /// Generation the snapshot is keyed under (current generation + 1).
+    gen: u64,
+    /// Highest sequence number the snapshot covers.
+    seq: u64,
+    /// Set by the store thread on success.
+    done: Arc<AtomicBool>,
+    /// Set by the store thread on sink error; the demotion is retried.
+    failed: Arc<AtomicBool>,
+}
+
 /// Staging state: the local image, the sequence counter, and the pending
 /// burst. Held while a record is staged and while a burst is flushed (so
 /// per-QP post order equals sequence order) and while a replacement copies
@@ -856,6 +1287,45 @@ struct Stage {
     pending: Vec<PendingRecord>,
     /// Highest sequence number whose work requests have been posted.
     flushed_seq: u64,
+    /// Fragment-area generation (EC only); bursts land in half `gen % 2`.
+    gen: u64,
+    /// Next entry offset within the active generation half (EC only).
+    frag_tail: u64,
+    /// Final tail of generation `gen - 1` in the other half (EC only).
+    prev_tail: u64,
+    /// Highest sequence number covered by this generation's spill snapshot
+    /// (EC only); fragments at or below it are dead weight for recovery.
+    spill_seq: u64,
+    /// In-flight spill demotion, if any (EC only).
+    spill: Option<PendingSpill>,
+}
+
+impl Stage {
+    /// Staging state for a file whose log starts (or resumes) at `seq`
+    /// under fragment generation `gen` with snapshot coverage `spill_seq`.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        buffer: Vec<u8>,
+        len: u64,
+        seq: u64,
+        overwritten: bool,
+        gen: u64,
+        spill_seq: u64,
+    ) -> Self {
+        Stage {
+            buffer,
+            len,
+            seq,
+            overwritten,
+            pending: Vec::new(),
+            flushed_seq: seq,
+            gen,
+            frag_tail: 0,
+            prev_tail: 0,
+            spill_seq,
+            spill: None,
+        }
+    }
 }
 
 /// Replication state: peer slots and completion bookkeeping. Locked briefly
@@ -1363,6 +1833,13 @@ impl NclFile {
     /// Reads directly from a peer via one-sided RDMA, bypassing the local
     /// buffer — the "NCL no prefetch" variant measured in Figure 11(a).
     pub fn read_remote(&self, offset: u64, len: usize) -> Result<Vec<u8>, NclError> {
+        if self.ctx.config.durability.is_ec() {
+            // No peer holds a readable image of the file — only fragment
+            // stripes. Read from the local staging buffer instead.
+            return Err(NclError::Rejected(
+                "read_remote unsupported under erasure coding".to_string(),
+            ));
+        }
         let flen = self.stage_guard().len;
         let end = (offset as usize + len).min(flen as usize);
         if offset as usize >= end {
@@ -1442,6 +1919,7 @@ impl NclFile {
                 seq,
                 len: stage.len,
                 overwritten: stage.overwritten,
+                ..Default::default()
             };
             // One wire image per record: the header (encoded into a stack
             // array) and the payload share a single allocation; the per-peer
@@ -1518,10 +1996,14 @@ impl NclFile {
     /// coalescing mode. Post errors are left to the completion path, like
     /// every other posting site.
     fn flush_staged(&self, stage: &mut Stage, reason: FlushReason) {
-        let Some(last) = stage.pending.last() else {
+        if stage.pending.is_empty() {
             return;
-        };
-        let flushed = last.seq;
+        }
+        if let Some((k, n)) = self.ctx.config.durability.ec_params() {
+            self.flush_staged_ec(stage, reason, k, n);
+            return;
+        }
+        let flushed = stage.pending.last().expect("burst nonempty").seq;
         let coalesce = self.ctx.config.coalesce_headers;
         self.metrics.count_flush(reason);
         if !coalesce {
@@ -1530,47 +2012,14 @@ impl NclFile {
             self.metrics.hdr_per_record.add(stage.pending.len() as u64);
         }
         let mut rep = self.rep_guard();
-        // Stamp the doorbell before posting: an inline NIC executes the
-        // writes during `post_many`, so stamping after would misattribute
-        // the wire time to the doorbell span. Flights are registered before
-        // the posts too — completions cannot be absorbed concurrently
-        // because this thread holds the replication lock.
-        if self.metrics.enabled {
-            let posted_at = Instant::now();
-            for rec in &stage.pending {
-                self.metrics
-                    .doorbell
-                    .record_duration(posted_at.duration_since(rec.staged_at));
-                if let Some(s) = self.metrics.shard.get() {
-                    s.doorbell
-                        .record_duration(posted_at.duration_since(rec.staged_at));
-                }
-                if rec.trace != 0 {
-                    self.metrics.tel.span_auto(
-                        rec.trace,
-                        rec.trace,
-                        spans::NCL_DOORBELL,
-                        self.metrics.scope,
-                        0,
-                        rec.staged_at,
-                        posted_at,
-                    );
-                }
-                if rec.trace != 0 {
-                    rep.traced_flights += 1;
-                }
-                rep.flights.insert(
-                    rec.seq,
-                    Flight {
-                        t0: rec.t0,
-                        posted: posted_at,
-                        first_peer: None,
-                        trace: rec.trace,
-                        covered: Vec::new(),
-                    },
-                );
-            }
-        }
+        self.register_flights(&mut rep, &stage.pending);
+        let per_peer_bytes = if self.metrics.enabled {
+            let payload: usize = stage.pending.iter().map(|r| r.payload.len()).sum();
+            let headers = if coalesce { 1 } else { stage.pending.len() };
+            (payload + headers * HEADER_WIRE_SIZE) as u64
+        } else {
+            0
+        };
         let idle_below = stage.flushed_seq;
         let now = Instant::now();
         let mut wrs = std::mem::take(&mut rep.wr_scratch);
@@ -1584,11 +2033,272 @@ impl NclFile {
             wrs.clear();
             build_burst(&mut wrs, &stage.pending, &slot.mr, coalesce);
             let _ = slot.qp.post_many(&wrs);
+            if self.metrics.enabled {
+                self.metrics.wire_bytes.add(per_peer_bytes);
+            }
         }
         wrs.clear();
         rep.wr_scratch = wrs;
         stage.flushed_seq = flushed;
         stage.pending.clear();
+    }
+
+    /// Stamps the doorbell spans and opens a [`Flight`] per pending record.
+    /// Must run before the posts: an inline NIC executes the writes during
+    /// `post_many`, so stamping after would misattribute the wire time to
+    /// the doorbell span — and completions cannot be absorbed concurrently
+    /// because the caller holds the replication lock.
+    fn register_flights(&self, rep: &mut Rep, pending: &[PendingRecord]) {
+        if !self.metrics.enabled {
+            return;
+        }
+        let posted_at = Instant::now();
+        for rec in pending {
+            self.metrics
+                .doorbell
+                .record_duration(posted_at.duration_since(rec.staged_at));
+            if let Some(s) = self.metrics.shard.get() {
+                s.doorbell
+                    .record_duration(posted_at.duration_since(rec.staged_at));
+            }
+            if rec.trace != 0 {
+                self.metrics.tel.span_auto(
+                    rec.trace,
+                    rec.trace,
+                    spans::NCL_DOORBELL,
+                    self.metrics.scope,
+                    0,
+                    rec.staged_at,
+                    posted_at,
+                );
+                rep.traced_flights += 1;
+            }
+            rep.flights.insert(
+                rec.seq,
+                Flight {
+                    t0: rec.t0,
+                    posted: posted_at,
+                    first_peer: None,
+                    trace: rec.trace,
+                    covered: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// EC flush: the pending burst becomes one fragment entry per peer —
+    /// the burst image is striped into `k` data units plus `n − k` parity
+    /// units, and peer `i` receives only its generator row's unit, appended
+    /// to the active generation half of its region. Acknowledgement then
+    /// requires header completions from **all** `n` peers
+    /// ([`NclConfig::quorum`] returns `n` under EC), because each peer
+    /// holds a fragment no other peer can substitute.
+    ///
+    /// Spill demotion hangs off this path: when the fragment tail crosses
+    /// the watermark an async snapshot store starts, and a later flush that
+    /// observes it durable flips the generation — the flip rides in that
+    /// flush's (atomic) header write, so no extra WR and no barrier is
+    /// needed. An overflow of the half forces the flip synchronously.
+    fn flush_staged_ec(&self, stage: &mut Stage, reason: FlushReason, k: usize, n: usize) {
+        let flushed = stage.pending.last().expect("burst nonempty").seq;
+        self.metrics.count_flush(reason);
+        let half_cap = self.ctx.config.ec_half_capacity(self.capacity);
+        let watermark = ec_spill_watermark(&self.ctx.config, self.capacity);
+        self.try_finalize_spill(stage);
+
+        let image = {
+            let records: Vec<(u64, u64, &[u8])> = stage
+                .pending
+                .iter()
+                .map(|r| (r.seq, r.offset as u64, &r.payload[..]))
+                .collect();
+            crate::ec::encode_burst(&records)
+        };
+        let burst_len = image.len() as u32;
+        let (unit_len, data_units) = crate::ec::split_units(&image, k);
+        let entry_len = FRAG_ENTRY_SIZE + unit_len;
+        if stage.frag_tail as usize + entry_len > half_cap {
+            // The active half cannot take this entry: demote and flip now,
+            // waiting out any in-flight demotion first.
+            self.wait_spill_and_flip(stage);
+            assert!(
+                entry_len <= half_cap,
+                "one burst entry ({entry_len} B) exceeds the fragment half ({half_cap} B)"
+            );
+        }
+        let parity = crate::ec::parity_units(k, n, &data_units);
+        let units: Vec<Vec<u8>> = data_units.into_iter().chain(parity).collect();
+        let header = RegionHeader {
+            seq: flushed,
+            len: stage.len,
+            overwritten: stage.overwritten,
+            gen: stage.gen,
+            frag_tail: stage.frag_tail + (FRAG_ENTRY_SIZE + unit_len) as u64,
+            prev_tail: stage.prev_tail,
+            spill_seq: stage.spill_seq,
+            capacity: self.capacity as u32,
+        };
+        let header_bytes = Bytes::copy_from_slice(&header.encode());
+        let half_off = HEADER_SIZE + (stage.gen % 2) as usize * half_cap;
+        let entry_off = half_off + stage.frag_tail as usize;
+
+        let mut rep = self.rep_guard();
+        self.register_flights(&mut rep, &stage.pending);
+        let idle_below = stage.flushed_seq;
+        let now = Instant::now();
+        for slot in rep.peers.iter_mut().filter(|s| s.alive) {
+            if slot.completed_seq >= idle_below {
+                slot.detector.touch(now);
+            }
+            let entry = FragEntry {
+                burst_seq: flushed,
+                burst_len,
+                unit_len: unit_len as u32,
+                shard: slot.shard,
+            };
+            let unit = &units[slot.shard as usize];
+            let frame = entry.encode(unit);
+            // One doorbell per peer: the fragment entry (header framing +
+            // unit, scatter-gathered) then the region header — QP order
+            // makes "header completed" imply "fragment landed".
+            let wrs = [
+                WorkRequest::WriteSg {
+                    wr_id: WrId(2 * flushed),
+                    mr: slot.mr,
+                    offset: entry_off,
+                    slices: vec![Bytes::copy_from_slice(&frame), Bytes::copy_from_slice(unit)],
+                },
+                WorkRequest::Write {
+                    wr_id: WrId(2 * flushed + 1),
+                    mr: slot.mr,
+                    offset: 0,
+                    data: header_bytes.clone(),
+                },
+            ];
+            let _ = slot.qp.post_many(&wrs);
+            if self.metrics.enabled {
+                self.metrics
+                    .wire_bytes
+                    .add((FRAG_ENTRY_SIZE + unit_len + HEADER_WIRE_SIZE) as u64);
+            }
+        }
+        drop(rep);
+        stage.frag_tail += (FRAG_ENTRY_SIZE + unit_len) as u64;
+        stage.flushed_seq = flushed;
+        stage.pending.clear();
+        if stage.spill.is_none() && stage.frag_tail as usize > watermark {
+            self.start_spill(stage, false);
+        }
+    }
+
+    /// Observes a finished spill demotion, if any: on success the fragment
+    /// area flips to the spilled generation — the *next* flush's header
+    /// carries the flip, atomically with its tail reset. On sink failure
+    /// the demotion is dropped and retried by a later flush.
+    fn try_finalize_spill(&self, stage: &mut Stage) {
+        let Some(sp) = &stage.spill else {
+            return;
+        };
+        if sp.failed.load(Ordering::Acquire) {
+            let sp = stage.spill.take().expect("spill present");
+            self.metrics.tel.event(
+                events::SPILL_FAIL,
+                self.metrics.scope,
+                0,
+                format!("gen={} seq={}", sp.gen, sp.seq),
+            );
+            return;
+        }
+        if !sp.done.load(Ordering::Acquire) {
+            return;
+        }
+        let sp = stage.spill.take().expect("spill present");
+        stage.prev_tail = stage.frag_tail;
+        stage.frag_tail = 0;
+        stage.gen = sp.gen;
+        stage.spill_seq = sp.seq;
+        self.metrics.tel.event(
+            events::SPILL_FINISH,
+            self.metrics.scope,
+            0,
+            format!("gen={} seq={}", sp.gen, sp.seq),
+        );
+    }
+
+    /// Starts demoting the current acked image to the spill sink as the
+    /// snapshot of generation `stage.gen + 1`. Synchronous stores complete
+    /// inline (overflow handling); asynchronous ones run on a helper thread
+    /// and are observed by [`NclFile::try_finalize_spill`].
+    fn start_spill(&self, stage: &mut Stage, sync: bool) {
+        let Some(sink) = self.ctx.config.spill.clone() else {
+            return;
+        };
+        let snap = SpillSnapshot {
+            spill_seq: stage.seq,
+            len: stage.len,
+            overwritten: stage.overwritten,
+            capacity: self.capacity as u64,
+            data: stage.buffer[..stage.len as usize].to_vec(),
+        };
+        let gen = stage.gen + 1;
+        let seq = stage.seq;
+        let done = Arc::new(AtomicBool::new(false));
+        let failed = Arc::new(AtomicBool::new(false));
+        self.metrics.spills.inc();
+        self.metrics.tel.event(
+            events::SPILL_START,
+            self.metrics.scope,
+            0,
+            format!("gen={gen} seq={seq} bytes={} sync={sync}", snap.len),
+        );
+        stage.spill = Some(PendingSpill {
+            gen,
+            seq,
+            done: Arc::clone(&done),
+            failed: Arc::clone(&failed),
+        });
+        let scope = self.metrics.scope;
+        let store = move || match sink.store(scope, gen, &snap) {
+            Ok(()) => done.store(true, Ordering::Release),
+            Err(_) => failed.store(true, Ordering::Release),
+        };
+        if sync {
+            store();
+        } else {
+            std::thread::spawn(store);
+        }
+    }
+
+    /// Forces a generation flip: waits for the in-flight demotion (starting
+    /// a synchronous one if none is running) and finalizes it, leaving the
+    /// active half empty. Called when a burst entry cannot fit.
+    fn wait_spill_and_flip(&self, stage: &mut Stage) {
+        let g0 = stage.gen;
+        loop {
+            self.try_finalize_spill(stage);
+            if stage.gen > g0 {
+                return;
+            }
+            if stage.spill.is_none() {
+                self.start_spill(stage, true);
+            } else {
+                sim::delay(Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Waits out an in-flight spill demotion *without* flipping, then
+    /// forgets it. Peer replacement stores its own snapshot under the same
+    /// `(scope, gen + 1)` key; letting the async store land afterwards
+    /// would overwrite it with a stale image.
+    fn wait_out_pending_spill(&self, stage: &mut Stage) {
+        while let Some(sp) = &stage.spill {
+            if sp.done.load(Ordering::Acquire) || sp.failed.load(Ordering::Acquire) {
+                stage.spill = None;
+                return;
+            }
+            sim::delay(Duration::from_micros(50));
+        }
     }
 
     /// Durability barrier: returns once every record up to and including
@@ -1757,10 +2467,48 @@ impl NclFile {
         // the catch-up header agree — the model checker's
         // replace-implies-flush rule.
         self.flush_staged(stage, FlushReason::Replace);
-        let header = RegionHeader {
-            seq: stage.seq,
-            len: stage.len,
-            overwritten: stage.overwritten,
+        let is_ec = ctx.config.durability.is_ec();
+        let header = if is_ec {
+            // A fresh peer cannot be caught up from fragment history (its
+            // row of every past stripe is gone). Reset instead: store the
+            // full image as the next generation's spill snapshot —
+            // synchronously, and only after waiting out any in-flight
+            // demotion that shares the `(scope, gen + 1)` sink key — and
+            // hand out a header with empty fragment tails. Survivors need
+            // no reset write of their own: the next flush posts this same
+            // header (atomically with its first new-generation entry).
+            self.wait_out_pending_spill(stage);
+            let sink =
+                ctx.config.spill.clone().ok_or_else(|| {
+                    NclError::Rejected("EC replacement requires a spill sink".into())
+                })?;
+            let new_gen = stage.gen + 1;
+            let snap = SpillSnapshot {
+                spill_seq: stage.seq,
+                len: stage.len,
+                overwritten: stage.overwritten,
+                capacity: self.capacity as u64,
+                data: stage.buffer[..stage.len as usize].to_vec(),
+            };
+            sink.store(self.metrics.scope, new_gen, &snap)
+                .map_err(NclError::Unavailable)?;
+            RegionHeader {
+                seq: stage.seq,
+                len: stage.len,
+                overwritten: stage.overwritten,
+                gen: new_gen,
+                frag_tail: 0,
+                prev_tail: 0,
+                spill_seq: stage.seq,
+                capacity: self.capacity as u32,
+            }
+        } else {
+            RegionHeader {
+                seq: stage.seq,
+                len: stage.len,
+                overwritten: stage.overwritten,
+                ..Default::default()
+            }
         };
 
         // Phase A: drop dead slots (their QPs are in error state) and
@@ -1791,18 +2539,28 @@ impl NclFile {
             rep.peers.retain(|s| s.alive);
             rep.rebuild_qp_map();
             let acquire_start = Instant::now();
+            let region_data = ctx.config.region_size(self.capacity) - HEADER_SIZE;
             let mut fresh: Vec<PeerSlot> = Vec::new();
             while rep.peers.len() + fresh.len() < ctx.config.replicas() {
                 let slot = acquire_peer_timed(
                     ctx,
                     &self.name,
                     epoch,
-                    self.capacity,
+                    region_data,
                     &rep.cq,
                     &mut exclude,
                     &mut stats,
                 )?;
                 fresh.push(slot);
+            }
+            if is_ec {
+                // Each fresh peer inherits a dead slot's generator row —
+                // the row index is what selects its unit of every stripe.
+                let used: HashSet<u32> = rep.peers.iter().map(|s| s.shard).collect();
+                let mut free = (0..ctx.config.replicas() as u32).filter(|r| !used.contains(r));
+                for slot in fresh.iter_mut() {
+                    slot.shard = free.next().expect("one free generator row per fresh peer");
+                }
             }
             tel.span_auto(
                 repair_trace,
@@ -1834,7 +2592,7 @@ impl NclFile {
                     scope.spawn(move || {
                         let start = Instant::now();
                         let peer = telemetry::intern_scope(&slot.name);
-                        let result = catch_up_fresh(ctx, wait, slot, epoch, &header, buffer);
+                        let result = catch_up_fresh(ctx, wait, slot, epoch, &header, buffer, is_ec);
                         tel.span_auto(
                             repair_trace,
                             repair_trace,
@@ -1978,6 +2736,15 @@ impl NclFile {
             ),
         );
 
+        if is_ec {
+            // The replacements hold the reset header; mirror its state so
+            // the next flush posts the same generation (with its first
+            // entry) to the survivors too.
+            stage.gen = header.gen;
+            stage.frag_tail = 0;
+            stage.prev_tail = 0;
+            stage.spill_seq = header.seq;
+        }
         rep.epoch = epoch;
         rep.repair_pending = false;
         // A survivor may have died while the replacements caught up; leave
@@ -2230,6 +2997,66 @@ impl WcWait for RepWait<'_> {
     }
 }
 
+/// Rejects malformed erasure-coding configurations at file-create time:
+/// the parameters must describe a real `k`-of-`n` code and a spill sink
+/// must exist, because the fragment area is bounded and cold prefixes have
+/// nowhere else to go.
+fn validate_ec_config(config: &NclConfig) -> Result<(), NclError> {
+    let Some((k, n)) = config.durability.ec_params() else {
+        return Ok(());
+    };
+    if k == 0 || n <= k || n > 255 {
+        return Err(NclError::Rejected(format!(
+            "invalid erasure-coding parameters k={k} n={n}"
+        )));
+    }
+    if config.spill.is_none() {
+        return Err(NclError::Rejected(
+            "erasure-coded durability requires a spill sink (NclConfig::spill)".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Publishes the file's durability scheme: a [`events::DURABILITY_MODE`]
+/// event (the trace analyzer parses `k=` out of it to pick the coverage an
+/// acked write must have) and, under EC, the effective spill watermark as a
+/// gauge.
+fn announce_durability(ctx: &Ctx, scope: &str, epoch: u64, capacity: usize) {
+    let tel = &ctx.config.telemetry;
+    match ctx.config.durability {
+        crate::config::Durability::Replicated => {
+            tel.event(
+                events::DURABILITY_MODE,
+                scope,
+                epoch,
+                "replicated".to_string(),
+            );
+        }
+        crate::config::Durability::Ec { k, n } => {
+            tel.event(
+                events::DURABILITY_MODE,
+                scope,
+                epoch,
+                format!("ec k={k} n={n}"),
+            );
+            tel.gauge("ncl.spill.watermark")
+                .set(ec_spill_watermark(&ctx.config, capacity) as i64);
+        }
+    }
+}
+
+/// Fragment-tail watermark past which a spill demotion starts:
+/// [`NclConfig::spill_watermark`], or three quarters of the generation half
+/// when left at 0.
+fn ec_spill_watermark(config: &NclConfig, capacity: usize) -> usize {
+    if config.spill_watermark > 0 {
+        config.spill_watermark
+    } else {
+        config.ec_half_capacity(capacity) * 3 / 4
+    }
+}
+
 /// Obtains one fresh peer: ask the controller for candidates (their
 /// availability is only a hint), try to allocate, connect a QP.
 fn acquire_peer(
@@ -2303,6 +3130,7 @@ fn acquire_peer_timed(
                 mr,
                 qp,
                 completed_seq: 0,
+                shard: 0,
                 alive: true,
                 detector: PhiDetector::new(Instant::now()),
             });
@@ -2323,15 +3151,19 @@ fn catch_up_fresh(
     epoch: u64,
     header: &RegionHeader,
     buffer: &[u8],
+    skip_data: bool,
 ) -> Result<(), NclError> {
     let seq = header.seq;
     ctx.config.telemetry.event(
         events::CATCH_UP_START,
         &slot.name,
         epoch,
-        format!("fresh peer, {} bytes", header.len),
+        format!(
+            "fresh peer, {} bytes",
+            if skip_data { 0 } else { header.len }
+        ),
     );
-    if header.len > 0 {
+    if header.len > 0 && !skip_data {
         let data = Bytes::copy_from_slice(&buffer[..header.len as usize]);
         slot.qp
             .post_write(WrId(2 * seq), &slot.mr, HEADER_SIZE, data)
@@ -2386,8 +3218,12 @@ fn catch_up_existing(
     peer_header: RegionHeader,
     rec_header: &RegionHeader,
     buffer: &[u8],
+    skip_data: bool,
 ) -> Result<PeerSlot, NclError> {
-    let tail_only = ctx.config.tail_diff_catchup
+    // `skip_data` (EC reset): the region holds fragment stripes, not the
+    // file image — only the fresh header is shipped, into an empty region.
+    let tail_only = !skip_data
+        && ctx.config.tail_diff_catchup
         && !rec_header.overwritten
         && !peer_header.overwritten
         && peer_header.len <= rec_header.len;
@@ -2419,7 +3255,9 @@ fn catch_up_existing(
         )));
     };
     let seq = rec_header.seq;
-    let (start, end) = if tail_only {
+    let (start, end) = if skip_data {
+        (0, 0)
+    } else if tail_only {
         (peer_header.len as usize, rec_header.len as usize)
     } else {
         (0, rec_header.len as usize)

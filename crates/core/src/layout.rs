@@ -17,13 +17,22 @@ pub const HEADER_SIZE: usize = 64;
 /// Magic tag identifying an initialised NCL region header.
 pub const HEADER_MAGIC: u32 = 0x4E43_4C31; // "NCL1"
 
-/// Serialised size of the meaningful header prefix.
-pub const HEADER_WIRE_SIZE: usize = 28;
+/// Serialised size of the header. Fills the reserved space exactly:
+/// `magic4 | flags4 | seq8 | len8 | gen8 | frag_tail8 | prev_tail8 |
+/// spill_seq8 | capacity4 | crc4`.
+pub const HEADER_WIRE_SIZE: usize = 64;
 
 /// Flag bit: the file has seen a non-append write (circular/overwrite log).
 pub const FLAG_OVERWRITTEN: u32 = 1;
 
 /// The fixed-location metadata NCL maintains per region.
+///
+/// Replicated regions only use `seq`/`len`/`overwritten`; the remaining
+/// fields drive the erasure-coded fragment area, which is laid out as two
+/// generation halves after the header (`half(g) = g % 2`). Because one
+/// header write carries every field atomically (single CRC, single RDMA
+/// write), a generation flip and its tail reset can never be observed
+/// torn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RegionHeader {
     /// Sequence number of the latest write whose data precedes this header
@@ -34,10 +43,30 @@ pub struct RegionHeader {
     /// True once the application has overwritten previously written bytes
     /// (e.g. SQLite's circular WAL); selects full-region catch-up.
     pub overwritten: bool,
+    /// Fragment-area generation (EC only). Bursts of generation `g` live
+    /// in half `g % 2`; a peer whose header reads generation `g` has
+    /// applied *every* entry of generation `g − 1` (QP ordering), and the
+    /// writer stored spill snapshot `g` durably before posting the first
+    /// generation-`g` header.
+    pub gen: u64,
+    /// Bytes of fragment entries applied in the current generation's half
+    /// (EC only) — where the next entry lands, and how far recovery reads.
+    pub frag_tail: u64,
+    /// Final fragment tail of generation `gen − 1` in the other half (EC
+    /// only); lets recovery serve previous-generation bursts from a peer
+    /// that already flipped.
+    pub prev_tail: u64,
+    /// Highest sequence number covered by the spill snapshot of this
+    /// generation (EC only); recovery replays fragments strictly above it.
+    pub spill_seq: u64,
+    /// File data capacity in bytes (EC only). The fragment area is smaller
+    /// than the file, so recovery cannot infer the staging-buffer size
+    /// from the region length and reads it from here instead.
+    pub capacity: u32,
 }
 
 impl RegionHeader {
-    /// Serialises the header to its wire form (magic, flags, seq, len, crc).
+    /// Serialises the header to its wire form.
     pub fn encode(&self) -> [u8; HEADER_WIRE_SIZE] {
         let mut out = [0u8; HEADER_WIRE_SIZE];
         out[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
@@ -49,8 +78,13 @@ impl RegionHeader {
         out[4..8].copy_from_slice(&flags.to_le_bytes());
         out[8..16].copy_from_slice(&self.seq.to_le_bytes());
         out[16..24].copy_from_slice(&self.len.to_le_bytes());
-        let crc = crc32c(&out[0..24]);
-        out[24..28].copy_from_slice(&crc.to_le_bytes());
+        out[24..32].copy_from_slice(&self.gen.to_le_bytes());
+        out[32..40].copy_from_slice(&self.frag_tail.to_le_bytes());
+        out[40..48].copy_from_slice(&self.prev_tail.to_le_bytes());
+        out[48..56].copy_from_slice(&self.spill_seq.to_le_bytes());
+        out[56..60].copy_from_slice(&self.capacity.to_le_bytes());
+        let crc = crc32c(&out[0..60]);
+        out[60..64].copy_from_slice(&crc.to_le_bytes());
         out
     }
 
@@ -65,17 +99,27 @@ impl RegionHeader {
         if magic != HEADER_MAGIC {
             return None;
         }
-        let stored_crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
-        if crc32c(&bytes[0..24]) != stored_crc {
+        let stored_crc = u32::from_le_bytes(bytes[60..64].try_into().expect("4 bytes"));
+        if crc32c(&bytes[0..60]) != stored_crc {
             return None;
         }
         let flags = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
         let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
         let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let gen = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+        let frag_tail = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+        let prev_tail = u64::from_le_bytes(bytes[40..48].try_into().expect("8 bytes"));
+        let spill_seq = u64::from_le_bytes(bytes[48..56].try_into().expect("8 bytes"));
+        let capacity = u32::from_le_bytes(bytes[56..60].try_into().expect("4 bytes"));
         Some(RegionHeader {
             seq,
             len,
             overwritten: flags & FLAG_OVERWRITTEN != 0,
+            gen,
+            frag_tail,
+            prev_tail,
+            spill_seq,
+            capacity,
         })
     }
 }
@@ -90,9 +134,25 @@ mod tests {
             seq: 42,
             len: 1 << 20,
             overwritten: true,
+            ..Default::default()
         };
         let bytes = h.encode();
         assert_eq!(RegionHeader::decode(&bytes), Some(h));
+    }
+
+    #[test]
+    fn ec_fields_roundtrip() {
+        let h = RegionHeader {
+            seq: 99,
+            len: 4096,
+            overwritten: false,
+            gen: 3,
+            frag_tail: 1024,
+            prev_tail: 2048,
+            spill_seq: 72,
+            capacity: 1 << 20,
+        };
+        assert_eq!(RegionHeader::decode(&h.encode()), Some(h));
     }
 
     #[test]
@@ -112,6 +172,7 @@ mod tests {
             seq: 7,
             len: 9,
             overwritten: false,
+            ..Default::default()
         }
         .encode();
         bytes[9] ^= 0xFF; // Flip a bit in `seq`.
@@ -132,6 +193,7 @@ mod tests {
                 seq: 1,
                 len: 2,
                 overwritten,
+                ..Default::default()
             };
             assert_eq!(
                 RegionHeader::decode(&h.encode()).unwrap().overwritten,

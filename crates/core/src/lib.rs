@@ -33,6 +33,7 @@
 pub mod config;
 pub mod controller;
 pub mod detector;
+pub mod ec;
 pub mod file;
 pub mod layout;
 pub mod lockaudit;
@@ -40,9 +41,10 @@ pub mod peer;
 pub mod registry;
 pub mod runtime;
 
-pub use config::{AckPolicy, NclConfig};
+pub use config::{AckPolicy, Durability, NclConfig};
 pub use controller::{ApEntry, Controller, ControllerClient, PeerInfo};
 pub use detector::{Backoff, PhiDetector};
+pub use ec::{MemSpillSink, SpillSink, SpillSnapshot};
 pub use file::{NclFile, NclLib};
 pub use layout::{RegionHeader, HEADER_SIZE};
 pub use peer::Peer;

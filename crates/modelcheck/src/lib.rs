@@ -29,6 +29,17 @@
 //! 3. the recovery peer actually holds the data for every sequence number
 //!    it advertises (no sequence-number-without-data).
 
+//!
+//! [`check_ec`] applies the same methodology to the erasure-coded
+//! durability path (PR 7): bursts striped as `k`-of-`n` fragments, all-`n`
+//! header acknowledgement, the spill tier's snapshot/generation-switch
+//! protocol, and a recovery rule that must reconstruct the acked prefix
+//! from **every** `k`-subset of the surviving fragment holders. Its seeded
+//! bugs ([`EcBugMode`]) are acking at `k` completions and flipping the
+//! fragment generation before the spill snapshot is durable.
+
+pub mod ec;
 pub mod model;
 
+pub use ec::{check_ec, EcBugMode, EcModelConfig};
 pub use model::{check, BugMode, CheckResult, ModelConfig};

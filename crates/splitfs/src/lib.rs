@@ -22,9 +22,11 @@
 
 pub mod fallback;
 pub mod hybrid;
+pub mod spill;
 pub mod testbed;
 
 pub use hybrid::{HybridFile, HybridOptions};
+pub use spill::DfsSpillSink;
 pub use testbed::{Testbed, TestbedConfig};
 
 use std::collections::HashMap;

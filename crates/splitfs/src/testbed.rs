@@ -108,6 +108,12 @@ impl Testbed {
         }
         let cluster = Cluster::new();
         let dfs = DfsCluster::start(&cluster, config.dfs.clone());
+        // Erasure-coded durability needs a spill tier; unless the caller
+        // brought a sink, demote cold acked prefixes to the DFS itself.
+        if config.ncl.durability.is_ec() && config.ncl.spill.is_none() {
+            let node = cluster.add_node("ncl-spill-sink");
+            config.ncl.spill = Some(Arc::new(crate::DfsSpillSink::new(dfs.client(node))));
+        }
         // Control-plane services share the application's telemetry handle so
         // ap-map updates and peer membership land in one event trace.
         let controller = Controller::start_with_telemetry(&cluster, config.ncl.telemetry.clone());
@@ -232,6 +238,19 @@ mod tests {
         f.write_at(0, b"sharded").unwrap();
         f.fsync().unwrap();
         assert_eq!(f.read(0, 7).unwrap(), b"sharded");
+    }
+
+    #[test]
+    fn ec_testbed_wires_a_dfs_spill_sink() {
+        let mut cfg = TestbedConfig::zero(4);
+        cfg.ncl.durability = ncl::Durability::Ec { k: 2, n: 3 };
+        let tb = Testbed::start(cfg);
+        assert!(tb.config().ncl.spill.is_some(), "spill sink auto-wired");
+        let (fs, _node) = tb.mount(Mode::SplitFt, "app-ec");
+        let f = fs.open("probe", OpenOptions::create()).unwrap();
+        f.write_at(0, b"ec-ok").unwrap();
+        f.fsync().unwrap();
+        assert_eq!(f.read(0, 5).unwrap(), b"ec-ok");
     }
 
     #[test]

@@ -267,6 +267,27 @@ pub fn analyze(spans_in: &[Span], events_in: &[Event], quorum: usize) -> TraceRe
         .filter(|s| s.name == spans::FS_REATTACH_REPLAY)
         .collect();
 
+    // Per-scope coverage requirement for invariant 2. Replicated scopes
+    // need the f+1 write quorum passed by the caller; erasure-coded scopes
+    // declare `ec k=<k> n=<n>` through a DURABILITY_MODE event and need
+    // only `k` covering peers — any k of the n fragments reconstruct the
+    // stripe, so "acked ⇒ quorum coverage" generalizes to "acked ⇒
+    // reconstructible fragment coverage".
+    let mut required_coverage: BTreeMap<&str, usize> = BTreeMap::new();
+    for ev in events_in
+        .iter()
+        .filter(|e| e.kind == events::DURABILITY_MODE)
+    {
+        if let Some(k) = ev
+            .detail
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("k="))
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            required_coverage.insert(ev.scope.as_str(), k);
+        }
+    }
+
     for (trace, spans) in &by_trace {
         let root = spans.iter().find(|s| s.id == *trace && s.parent == 0);
         let is_write = spans.iter().any(|s| {
@@ -305,9 +326,10 @@ pub fn analyze(spans_in: &[Span], events_in: &[Event], quorum: usize) -> TraceRe
                     .filter(|s| s.name == spans::NCL_WIRE_PEER || s.name == spans::NCL_CATCHUP_PEER)
                     .map(|s| s.scope)
                     .collect();
-                if coverage.len() < quorum {
+                let required = required_coverage.get(root.scope).copied().unwrap_or(quorum);
+                if coverage.len() < required {
                     report.violations.push(format!(
-                        "trace {trace}: acked write covered by {} peers ({:?}), quorum is {quorum}",
+                        "trace {trace}: acked write covered by {} peers ({:?}), reconstruction quorum is {required}",
                         coverage.len(),
                         coverage
                     ));

@@ -61,10 +61,23 @@ pub mod events {
     pub const REGION_ALLOC: &str = "region-alloc";
     /// A peer freed a log region.
     pub const REGION_FREE: &str = "region-free";
+    /// A file declared its durability scheme at create/recover time; the
+    /// detail carries `replicated` or `ec k=<k> n=<n>`, which the trace
+    /// analyzer uses to pick the per-scope coverage requirement for the
+    /// acked⇒durable invariant.
+    pub const DURABILITY_MODE: &str = "durability-mode";
+    /// An erasure-coded file started demoting its cold acked prefix to the
+    /// spill tier (detail: target generation and covered sequence).
+    pub const SPILL_START: &str = "ncl-spill-start";
+    /// The spill snapshot became durable and the fragment area flipped to
+    /// the next generation.
+    pub const SPILL_FINISH: &str = "ncl-spill-finish";
+    /// The spill sink rejected a snapshot store; the demotion is retried.
+    pub const SPILL_FAIL: &str = "ncl-spill-fail";
 
     /// Every well-known kind, used by the JSONL replay path to intern parsed
     /// kind strings back to the canonical `&'static str` values.
-    pub const ALL: [&str; 17] = [
+    pub const ALL: [&str; 21] = [
         PEER_FAILURE,
         PEER_REPLACE_START,
         PEER_REPLACE_FINISH,
@@ -82,6 +95,10 @@ pub mod events {
         PEER_WITHDRAW,
         REGION_ALLOC,
         REGION_FREE,
+        DURABILITY_MODE,
+        SPILL_START,
+        SPILL_FINISH,
+        SPILL_FAIL,
     ];
 }
 

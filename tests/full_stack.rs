@@ -153,7 +153,7 @@ fn facade_crate_reexports_compile_and_work() {
     let header = splitft::ncl::RegionHeader {
         seq: 1,
         len: 2,
-        overwritten: false,
+        ..Default::default()
     };
     assert_eq!(
         splitft::ncl::RegionHeader::decode(&header.encode()),

@@ -33,7 +33,10 @@ fn acked_fast_path_is_lock_free_on_the_sharded_testbed() {
     let file = lib.create("wal", 1 << 20).unwrap();
     file.record(0, b"audited payload").unwrap();
     let seq = file.seq();
-    assert!(file.durable_seq() >= seq, "record() returns only once durable");
+    assert!(
+        file.durable_seq() >= seq,
+        "record() returns only once durable"
+    );
 
     let (result, locks) = lockaudit::audited(|| file.wait_durable(seq));
     result.unwrap();
