@@ -7,16 +7,23 @@
 //! on the write-heavy mixes (A, F), converging on read-heavy ones and
 //! matching on read-only C — except Redis, whose single-threaded loop
 //! head-of-line-blocks reads behind write flushes on every mix but C.
+//!
+//! Besides the console tables, emits `BENCH_fig10_ycsb.json`: one result
+//! row per (app, mode, workload) with throughput and p50/p99 latency, plus
+//! the NCL `stage_breakdown` — the same schema-validated trend format the
+//! criterion benches use, so CI tracks the YCSB matrix too.
 
 use std::collections::BTreeMap;
 
 use bench::{
     calibrated_testbed, f1, header, mount_app, paper_modes, record_count, row, run_secs, AppKind,
+    BenchJson, NCL_STAGES,
 };
 use ycsb::{LoadSpec, RunSpec, Runner, Workload};
 
 fn main() {
     let tb = calibrated_testbed();
+    let mut json = BenchJson::new("fig10_ycsb");
 
     for kind in AppKind::all() {
         let records = record_count(kind);
@@ -65,6 +72,18 @@ fn main() {
                 app.quiesce();
                 // Workload D inserts extend the keyspace for later runs.
                 loaded += report.ops.min((report.ops as f64 * 0.06) as u64);
+                json.result_with_percentiles(
+                    &format!(
+                        "fig10_ycsb/{}/{}/{}",
+                        kind.name(),
+                        mode_name.replace(' ', "-"),
+                        workload.name
+                    ),
+                    report.latency.mean_ns,
+                    report.ops as f64 / report.elapsed.as_secs_f64(),
+                    report.latency.p50_ns,
+                    report.latency.p99_ns,
+                );
                 table
                     .entry(mode_name)
                     .or_default()
@@ -101,4 +120,9 @@ fn main() {
             }
         );
     }
+
+    // The SplitFT runs exercised every NCL stage; stamp their cumulative
+    // summaries so the trend file passes the schema gate.
+    json.stage_breakdown(&tb.config().ncl.telemetry.snapshot(), &NCL_STAGES);
+    json.write();
 }

@@ -1,0 +1,253 @@
+//! Latency under load — open-loop offered-load sweep (the observability
+//! counterpart of the paper's throughput figures).
+//!
+//! Closed-loop YCSB (Figure 10) reports throughput at whatever rate the
+//! server sustains; it cannot show how the latency *distribution* degrades
+//! as offered load approaches capacity, and its latencies suffer from
+//! coordinated omission. This harness drives MiniRocks and MiniRedis —
+//! mounted on one calibrated testbed so they share the same NCL peer pool —
+//! with the open-loop runner: a Poisson arrival schedule at a fixed fraction
+//! of the measured closed-loop capacity, corrected latencies charged from
+//! intended arrival times.
+//!
+//! Expected shape: corrected p50 stays near the service time up to ~50% of
+//! capacity, the p99/p999 tails lift first, and past capacity the corrected
+//! distribution grows without bound (queueing) while the achieved rate
+//! saturates. Per-point NCL stage windows (cumulative-histogram diffs)
+//! attribute the lift to a pipeline stage.
+//!
+//! Emits `BENCH_latency_under_load.json` with one monotone offered-load
+//! curve per application; `validate_bench_json` enforces the axis and the
+//! p999 tails.
+
+use bench::{
+    calibrated_testbed, header, mount_app, record_count, row, run_secs, AppKind, BenchJson,
+    NCL_STAGES,
+};
+use splitfs::Mode;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use telemetry::{Histogram, Telemetry};
+use ycsb::{ArrivalSchedule, LoadSpec, OpenLoopSpec, RunSpec, Runner, Workload};
+
+/// Offered load as fractions of the measured closed-loop capacity. The
+/// absolute capacity is machine-dependent; the fractions pin the curve's
+/// shape (under, near, and past the knee) on any machine.
+fn load_fractions() -> Vec<f64> {
+    if bench::quick() {
+        vec![0.4, 1.3]
+    } else {
+        vec![0.25, 0.5, 1.0, 1.5]
+    }
+}
+
+/// One measured point of an application's load curve.
+struct CurvePoint {
+    fraction: f64,
+    offered: f64,
+    achieved: f64,
+    ops: u64,
+    abandoned: u64,
+    corrected: Histogram,
+    service: Histogram,
+    /// Per-stage latency windows covering exactly this point's run.
+    stages: Vec<(String, Histogram)>,
+}
+
+impl CurvePoint {
+    fn to_json_line(&self) -> String {
+        let q = |h: &Histogram, p: f64| h.percentile(p).unwrap_or(0);
+        let stages = self
+            .stages
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
+                    telemetry::json_escape(name),
+                    h.count(),
+                    q(h, 50.0),
+                    q(h, 99.0),
+                    q(h, 99.9),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "      {{\"offered_per_sec\": {:.1}, \"capacity_fraction\": {:.2}, \
+             \"achieved_per_sec\": {:.1}, \"ops\": {}, \"abandoned\": {}, \
+             \"corrected_p50_ns\": {}, \"corrected_p99_ns\": {}, \"corrected_p999_ns\": {}, \
+             \"service_p50_ns\": {}, \"service_p99_ns\": {}, \"service_p999_ns\": {}, \
+             \"stages\": {{{stages}}}}}",
+            self.offered,
+            self.fraction,
+            self.achieved,
+            self.ops,
+            self.abandoned,
+            q(&self.corrected, 50.0),
+            q(&self.corrected, 99.0),
+            q(&self.corrected, 99.9),
+            q(&self.service, 50.0),
+            q(&self.service, 99.0),
+            q(&self.service, 99.9),
+        )
+    }
+}
+
+/// Cumulative NCL stage histograms right now, for windowing a run.
+fn stage_snapshot(tel: &Telemetry) -> BTreeMap<String, Histogram> {
+    tel.histograms_full()
+        .into_iter()
+        .filter(|(name, _)| NCL_STAGES.contains(&name.as_str()))
+        .collect()
+}
+
+/// Diffs two stage snapshots into per-stage windows, in lifecycle order.
+fn stage_window(
+    before: &BTreeMap<String, Histogram>,
+    after: &BTreeMap<String, Histogram>,
+) -> Vec<(String, Histogram)> {
+    NCL_STAGES
+        .iter()
+        .filter_map(|name| {
+            let now = after.get(*name)?;
+            let window = match before.get(*name) {
+                Some(prev) => now.diff(prev),
+                None => now.clone(),
+            };
+            Some((name.to_string(), window))
+        })
+        .collect()
+}
+
+fn main() {
+    let tb = calibrated_testbed();
+    let tel = tb.config().ncl.telemetry.clone();
+    let mut json = BenchJson::new("latency_under_load");
+    let mut curves: Vec<(AppKind, Vec<CurvePoint>)> = Vec::new();
+
+    // SQLite's single-writer WAL makes its knee a different experiment; the
+    // paper's latency discussion centers on the two log-structured apps.
+    for kind in [AppKind::Rocks, AppKind::Redis] {
+        let records = record_count(kind);
+        let clients = 8;
+        header(&format!(
+            "Latency under load — {} on SplitFT ({} records, {} open-loop clients, shared peers)",
+            kind.name(),
+            records,
+            clients
+        ));
+        let app = mount_app(&tb, Mode::SplitFt, kind, "lul");
+        Runner::load(
+            app.as_ref(),
+            &LoadSpec {
+                record_count: records,
+                value_size: 100,
+                threads: clients,
+            },
+        )
+        .expect("load");
+        app.quiesce();
+
+        // Closed-loop capacity probe: the sweep's rates are fractions of
+        // this, so the knee lands inside the sweep on any machine.
+        let workload = Workload::a(records);
+        let probe = Runner::run(
+            app.as_ref(),
+            &workload,
+            records,
+            &RunSpec {
+                threads: clients,
+                duration: run_secs(),
+                value_size: 100,
+                sample_window: None,
+                seed: 0x10AD,
+            },
+        );
+        app.quiesce();
+        let capacity = probe.ops as f64 / probe.elapsed.as_secs_f64();
+        println!("closed-loop capacity: {capacity:.0} ops/s");
+
+        row(&[
+            "offered/s".into(),
+            "achieved/s".into(),
+            "corr p50 µs".into(),
+            "corr p99 µs".into(),
+            "corr p999 µs".into(),
+            "svc p99 µs".into(),
+            "abandoned".into(),
+        ]);
+        let mut points = Vec::new();
+        for fraction in load_fractions() {
+            let rate = (capacity * fraction).max(50.0);
+            let before = stage_snapshot(&tel);
+            let report = Runner::run_open_loop(
+                app.as_ref(),
+                &workload,
+                records,
+                &OpenLoopSpec {
+                    clients,
+                    duration: run_secs(),
+                    value_size: 100,
+                    schedule: ArrivalSchedule::Poisson { rate_per_sec: rate },
+                    seed: 0x10AD ^ (fraction * 1000.0) as u64,
+                    max_overrun: run_secs() * 2 + Duration::from_secs(1),
+                    sink: Some(tel.histogram(&format!("client.{}.corrected", kind.name()))),
+                },
+            );
+            app.quiesce();
+            let after = stage_snapshot(&tel);
+            let q = |h: &Histogram, p: f64| h.percentile(p).unwrap_or(0) as f64 / 1e3;
+            row(&[
+                format!("{:.0}", report.offered_rate),
+                format!("{:.0}", report.achieved_rate()),
+                format!("{:.1}", q(&report.corrected, 50.0)),
+                format!("{:.1}", q(&report.corrected, 99.0)),
+                format!("{:.1}", q(&report.corrected, 99.9)),
+                format!("{:.1}", q(&report.service, 99.0)),
+                format!("{}", report.abandoned),
+            ]);
+            json.result(
+                &format!("latency_under_load/{}/{:.2}x", kind.name(), fraction),
+                report.corrected.mean(),
+                report.achieved_rate(),
+            );
+            points.push(CurvePoint {
+                fraction,
+                offered: report.offered_rate,
+                achieved: report.achieved_rate(),
+                ops: report.ops,
+                abandoned: report.abandoned,
+                corrected: report.corrected,
+                service: report.service,
+                stages: stage_window(&before, &after),
+            });
+        }
+        // The sweep orders fractions ascending; realized offered rates are
+        // Poisson-noisy, so enforce the axis before emitting (a violation
+        // means the sweep itself is broken, not just noisy).
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].offered > pair[0].offered,
+                "offered-load axis not monotone for {}",
+                kind.name()
+            );
+        }
+        curves.push((kind, points));
+    }
+
+    let curve_json = curves
+        .iter()
+        .map(|(kind, points)| {
+            let body = points
+                .iter()
+                .map(CurvePoint::to_json_line)
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("    \"{}\": [\n{body}\n    ]", kind.name())
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    json.section("load_curves", format!("{{\n{curve_json}\n  }}"));
+    json.stage_breakdown(&tel.snapshot(), &NCL_STAGES);
+    json.write();
+}

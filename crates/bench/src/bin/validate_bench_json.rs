@@ -14,15 +14,21 @@ use bench::validate_bench_json;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paths = if args.is_empty() {
-        ["ncl_pipeline", "ncl_batch", "ncl_mt"]
-            .iter()
-            .map(|b| {
-                format!(
-                    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
-                    b
-                )
-            })
-            .collect()
+        [
+            "ncl_pipeline",
+            "ncl_batch",
+            "ncl_mt",
+            "latency_under_load",
+            "fig10_ycsb",
+        ]
+        .iter()
+        .map(|b| {
+            format!(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
+                b
+            )
+        })
+        .collect()
     } else {
         args
     };

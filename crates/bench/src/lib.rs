@@ -209,6 +209,23 @@ impl BenchJson {
         ));
     }
 
+    /// Appends one measurement row that also carries latency percentiles —
+    /// for harnesses whose headline result is a distribution, not a mean.
+    pub fn result_with_percentiles(
+        &mut self,
+        id: &str,
+        mean_ns: f64,
+        per_second: f64,
+        p50_ns: u64,
+        p99_ns: u64,
+    ) {
+        let id = telemetry::json_escape(id);
+        self.results.push(format!(
+            "    {{\"id\": \"{id}\", \"mean_ns\": {mean_ns:.1}, \"per_second\": {per_second:.1}, \
+             \"p50_ns\": {p50_ns}, \"p99_ns\": {p99_ns}}}"
+        ));
+    }
+
     /// Adds an extra top-level section. `value` must be rendered JSON.
     pub fn section(&mut self, key: &str, value: String) {
         self.sections.push((key.to_string(), value));
@@ -364,6 +381,51 @@ pub fn validate_bench_json(body: &str) -> Result<(), String> {
     if body.contains("\"bench\": \"ncl_mt\"") && !body.contains("\"scaling_efficiency\"") {
         return Err("ncl_mt is missing the scaling_efficiency section".to_string());
     }
+    // The open-loop sweep must carry both applications' load curves with a
+    // strictly monotone offered-load axis and the p999 tails — the whole
+    // point of the harness is the tail-vs-load shape, so a file that lost
+    // either dimension is not a valid trend point.
+    if body.contains("\"bench\": \"latency_under_load\"") {
+        if !body.contains("\"load_curves\"") {
+            return Err("latency_under_load is missing the load_curves section".to_string());
+        }
+        for app in ["rocksdb", "redis"] {
+            if !body.contains(&format!("\"{app}\": [")) {
+                return Err(format!("load_curves is missing the {app} sweep"));
+            }
+        }
+        if !body.contains("\"corrected_p999_ns\"") {
+            return Err("load-curve points are missing the corrected p999 tail".to_string());
+        }
+        let mut prev = 0.0f64;
+        let mut points = 0usize;
+        for line in body.lines() {
+            if line.trim_end().ends_with(": [") {
+                // A new curve starts; the axis resets per application.
+                prev = 0.0;
+                continue;
+            }
+            if let Some(rest) = line.split("\"offered_per_sec\": ").nth(1) {
+                let offered: f64 = rest
+                    .split([',', '}'])
+                    .next()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| format!("unparseable offered_per_sec: {}", line.trim()))?;
+                if offered <= prev {
+                    return Err(format!(
+                        "offered-load axis not monotone: {offered} after {prev}"
+                    ));
+                }
+                prev = offered;
+                points += 1;
+            }
+        }
+        if points < 4 {
+            return Err(format!(
+                "latency_under_load needs at least 2 points per app, found {points} total"
+            ));
+        }
+    }
     // The batch bench must carry the durability axis: every mode row with
     // its memory/wire/recovery accounting, so a run that silently dropped
     // the erasure-coding sweep fails validation instead of shipping a
@@ -478,7 +540,13 @@ mod tests {
     /// silently stopped exporting telemetry.
     #[test]
     fn checked_in_bench_jsons_carry_stage_breakdown() {
-        for bench in ["ncl_pipeline", "ncl_batch", "ncl_mt"] {
+        for bench in [
+            "ncl_pipeline",
+            "ncl_batch",
+            "ncl_mt",
+            "latency_under_load",
+            "fig10_ycsb",
+        ] {
             let path = format!(
                 concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
                 bench
@@ -558,6 +626,63 @@ mod tests {
             "\"scaling_efficiency\": {\"1\": 1.0, \"4\": 0.9},\n  \"stage_breakdown\": {",
         );
         assert!(validate_bench_json(&efficient).is_ok());
+    }
+
+    /// A `latency_under_load` document must carry both applications'
+    /// curves, the p999 tails, and a monotone offered-load axis.
+    #[test]
+    fn validator_enforces_load_curve_shape() {
+        let flat = valid_bench_doc();
+        let lul = flat.replace("\"bench\": \"demo\"", "\"bench\": \"latency_under_load\"");
+        assert!(validate_bench_json(&lul)
+            .unwrap_err()
+            .contains("load_curves"));
+
+        let point = |offered: f64| {
+            format!("      {{\"offered_per_sec\": {offered:.1}, \"corrected_p999_ns\": 9000}}")
+        };
+        let curves = format!(
+            "\"load_curves\": {{\n    \"rocksdb\": [\n{},\n{}\n    ],\n    \"redis\": [\n{},\n{}\n    ]\n  }},",
+            point(1000.0),
+            point(2000.0),
+            point(900.0),
+            point(1800.0)
+        );
+        let with_curves = lul.replace(
+            "\"stage_breakdown\": {",
+            &format!("{curves}\n  \"stage_breakdown\": {{"),
+        );
+        validate_bench_json(&with_curves).expect("complete sweep must validate");
+
+        // The axis resets between apps (redis starting below rocksdb's top
+        // is fine), but must be strictly increasing within one app.
+        let shuffled =
+            with_curves.replace("\"offered_per_sec\": 1800.0", "\"offered_per_sec\": 900.0");
+        assert!(validate_bench_json(&shuffled)
+            .unwrap_err()
+            .contains("not monotone"));
+
+        // Losing one app's sweep fails by name.
+        let one_app = with_curves.replace("\"redis\": [", "\"other\": [");
+        assert!(validate_bench_json(&one_app).unwrap_err().contains("redis"));
+
+        // Losing the tail percentiles fails.
+        let no_tail = with_curves.replace("corrected_p999_ns", "corrected_p42_ns");
+        assert!(validate_bench_json(&no_tail).unwrap_err().contains("p999"));
+
+        // Too few points (a sweep that collapsed to one rate) fails.
+        let mut short = lul.replace(
+            "\"stage_breakdown\": {",
+            &format!(
+                "\"load_curves\": {{\n    \"rocksdb\": [\n{}\n    ],\n    \"redis\": [\n{}\n    ]\n  }},\n  \"stage_breakdown\": {{",
+                point(1000.0),
+                point(900.0)
+            ),
+        );
+        short.truncate(short.len());
+        assert!(validate_bench_json(&short)
+            .unwrap_err()
+            .contains("at least 2 points"));
     }
 
     /// An `ncl_batch` document must carry the durability axis with every

@@ -13,6 +13,7 @@ use dfs::{DfsCluster, DfsConfig, LocalFs};
 use ncl::{Controller, NclConfig, NclLib, NclRegistry, NclRuntime, Peer};
 use sim::{Cluster, NodeId};
 use telemetry::export::http::ScrapeServer;
+use telemetry::{FlightRecorder, SloPlane};
 
 use crate::{Mode, SplitFs};
 
@@ -85,6 +86,12 @@ pub struct Testbed {
     /// The operator scrape endpoint, when [`TestbedConfig::scrape_addr`]
     /// asked for one; stops on drop.
     scrape: Option<ScrapeServer>,
+    /// SLO/health plane over the shared telemetry handle. Pre-loaded with
+    /// the NCL objectives and served on the scrape endpoint's `/health`.
+    slo: SloPlane,
+    /// Black-box flight recorder over the same handle; dumps on SLO breach
+    /// (and panic) when `FLIGHT_DUMP_DIR` is set.
+    flight: FlightRecorder,
 }
 
 impl Testbed {
@@ -130,8 +137,28 @@ impl Testbed {
                 )
             })
             .collect();
+        let slo = SloPlane::with_ncl_objectives(config.ncl.telemetry.clone());
+        let flight =
+            FlightRecorder::with_limits(config.ncl.telemetry.clone(), 32, 64, config.ncl.quorum());
+        // `FLIGHT_DUMP_DIR` arms the black box: on the first transition into
+        // Breached (and on panic) the last N spans/events/counter deltas are
+        // preserved as an analyzer-readable JSONL dump.
+        if let Ok(dir) = std::env::var("FLIGHT_DUMP_DIR") {
+            let recorder = flight.clone();
+            let dump_dir = std::path::PathBuf::from(&dir);
+            slo.on_breach(move |report| {
+                recorder.tick();
+                let _ = recorder.dump_into(
+                    &dump_dir,
+                    "slo-breach",
+                    &format!("slo-breach status={}", report.status.as_str()),
+                );
+            });
+            flight.install_panic_hook(dir);
+        }
         let scrape = config.scrape_addr.as_deref().map(|addr| {
-            ScrapeServer::start(config.ncl.telemetry.clone(), addr).expect("scrape endpoint binds")
+            ScrapeServer::start_with_health(config.ncl.telemetry.clone(), addr, Some(slo.clone()))
+                .expect("scrape endpoint binds")
         });
         Testbed {
             cluster,
@@ -141,6 +168,8 @@ impl Testbed {
             peers,
             config,
             scrape,
+            slo,
+            flight,
         }
     }
 
@@ -152,6 +181,17 @@ impl Testbed {
     /// Bound address of the scrape endpoint, when one was requested.
     pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
         self.scrape.as_ref().map(|s| s.addr())
+    }
+
+    /// The SLO/health plane (served on the scrape endpoint's `/health`).
+    /// Add workload-specific objectives with [`SloPlane::add`].
+    pub fn slo_plane(&self) -> &SloPlane {
+        &self.slo
+    }
+
+    /// The black-box flight recorder over the testbed's telemetry handle.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Registers a fresh application-server node.
@@ -251,6 +291,27 @@ mod tests {
         f.write_at(0, b"ec-ok").unwrap();
         f.fsync().unwrap();
         assert_eq!(f.read(0, 5).unwrap(), b"ec-ok");
+    }
+
+    #[test]
+    fn testbed_wires_health_plane_and_flight_recorder() {
+        let mut cfg = TestbedConfig::zero(3);
+        cfg.scrape_addr = Some("127.0.0.1:0".into());
+        let tb = Testbed::start(cfg);
+        assert!(tb.scrape_addr().is_some());
+        // The plane starts healthy (no SLO has data yet) and the recorder
+        // watches the same telemetry handle as the testbed services.
+        assert!(!tb.slo_plane().tick().breached());
+        let (fs, _node) = tb.mount(Mode::SplitFt, "app-health");
+        let f = fs.open("probe", OpenOptions::create_ncl(1 << 16)).unwrap();
+        f.write_at(0, b"observed").unwrap();
+        f.fsync().unwrap();
+        tb.flight_recorder().tick();
+        let dump = tb.flight_recorder().capture();
+        assert!(
+            !dump.spans.is_empty(),
+            "flight recorder must see the write's spans"
+        );
     }
 
     #[test]

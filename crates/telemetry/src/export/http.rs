@@ -1,10 +1,15 @@
 //! Tiny std-only blocking HTTP scrape endpoint.
 //!
-//! One accept-loop thread, one request per connection, three routes:
+//! One accept-loop thread, one request per connection, four routes:
 //!
 //! * `GET /metrics`  — Prometheus text exposition (for a scrape job);
 //! * `GET /snapshot` — the full [`crate::TelemetrySnapshot`] as JSON;
-//! * `GET /trace`    — the span ring rendered as a Chrome trace document.
+//! * `GET /trace`    — the span ring rendered as a Chrome trace document;
+//! * `GET /health`   — the SLO plane's [`crate::HealthReport`] as JSON, 200
+//!   while healthy/warning and **503 when breached** (so a plain HTTP
+//!   health check needs no JSON parsing), 404 when the server was started
+//!   without a plane. The handler calls [`SloPlane::maybe_tick`], so the
+//!   report is fresh but hammering the endpoint cannot shrink SLO windows.
 //!
 //! This is deliberately not a real HTTP server: no keep-alive, no TLS, no
 //! chunking — a Prometheus scraper and `curl` both speak enough HTTP/1.0 for
@@ -20,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::export::{chrome, prometheus};
-use crate::Telemetry;
+use crate::{SloPlane, Telemetry};
 
 /// A running scrape endpoint; dropping it stops the accept loop.
 pub struct ScrapeServer {
@@ -31,8 +36,18 @@ pub struct ScrapeServer {
 
 impl ScrapeServer {
     /// Binds `addr` (use port 0 for an ephemeral port; see [`Self::addr`])
-    /// and serves `tel` until the returned server is dropped.
+    /// and serves `tel` until the returned server is dropped. `/health`
+    /// answers 404; use [`Self::start_with_health`] to attach an SLO plane.
     pub fn start(tel: Telemetry, addr: &str) -> std::io::Result<ScrapeServer> {
+        Self::start_with_health(tel, addr, None)
+    }
+
+    /// Like [`Self::start`], but `/health` serves `plane`'s report.
+    pub fn start_with_health(
+        tel: Telemetry,
+        addr: &str,
+        plane: Option<SloPlane>,
+    ) -> std::io::Result<ScrapeServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -47,7 +62,7 @@ impl ScrapeServer {
                     if let Ok(stream) = conn {
                         // Serve inline: scrapes are rare and tiny, and one
                         // thread keeps the footprint honest.
-                        let _ = serve_one(stream, &tel);
+                        let _ = serve_one(stream, &tel, plane.as_ref());
                     }
                 }
             })?;
@@ -75,7 +90,11 @@ impl Drop for ScrapeServer {
     }
 }
 
-fn serve_one(mut stream: TcpStream, tel: &Telemetry) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    tel: &Telemetry,
+    plane: Option<&SloPlane>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     // Read until the end of the request head (or the buffer fills); only the
     // request line matters.
@@ -110,10 +129,26 @@ fn serve_one(mut stream: TcpStream, tel: &Telemetry) -> std::io::Result<()> {
         ),
         "/snapshot" => ("200 OK", "application/json", tel.snapshot().render_json()),
         "/trace" => ("200 OK", "application/json", chrome::render(&tel.spans())),
+        "/health" => match plane {
+            Some(plane) => {
+                let report = plane.maybe_tick();
+                let status = if report.breached() {
+                    "503 Service Unavailable"
+                } else {
+                    "200 OK"
+                };
+                (status, "application/json", report.to_json())
+            }
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no SLO plane attached\n".to_string(),
+            ),
+        },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /snapshot, /trace\n".to_string(),
+            "not found; try /metrics, /snapshot, /trace, /health\n".to_string(),
         ),
     };
     write!(
@@ -167,6 +202,42 @@ mod tests {
 
         let (status, _) = get(server.addr(), "/nope");
         assert!(status.contains("404"));
+        drop(server);
+    }
+
+    #[test]
+    fn health_endpoint_reflects_slo_status() {
+        use crate::SloSpec;
+        use std::time::Duration;
+
+        let tel = Telemetry::new();
+        // /health without a plane is a 404, and start() behaves as before.
+        let bare = ScrapeServer::start(tel.clone(), "127.0.0.1:0").unwrap();
+        let (status, _) = get(bare.addr(), "/health");
+        assert!(status.contains("404"), "{status}");
+        drop(bare);
+
+        let plane = SloPlane::new(tel.clone());
+        plane.set_min_tick_gap(Duration::from_nanos(0));
+        plane.add(SloSpec::new("lat", "lat", 50, 0.1).windows(1, 1));
+        let server =
+            ScrapeServer::start_with_health(tel.clone(), "127.0.0.1:0", Some(plane)).unwrap();
+
+        let h = tel.histogram("lat");
+        h.record(10);
+        let (status, body) = get(server.addr(), "/health");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"status\": \"healthy\""), "{body}");
+
+        for _ in 0..10 {
+            h.record(60);
+        }
+        let (status, body) = get(server.addr(), "/health");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("\"status\": \"breached\""), "{body}");
+        // The tick also exported burn gauges, visible on /metrics.
+        let (_, metrics) = get(server.addr(), "/metrics");
+        assert!(metrics.contains("splitft_slo_status 2"), "{metrics}");
         drop(server);
     }
 

@@ -17,6 +17,12 @@ const SUBBUCKET_BITS: u32 = 5;
 const LINEAR_LIMIT: u64 = 64;
 pub(crate) const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + SUBBUCKETS * 64;
 
+/// Largest value the bucket ladder tracks with bounded relative error
+/// (~73 minutes in nanoseconds). Samples above this are clipped into the
+/// top tracked bucket and counted in [`Histogram::overflow`], so a clipped
+/// tail is always visible instead of silently flattening p999.
+pub const OVERFLOW_LIMIT: u64 = 1 << 42;
+
 /// A log-linear histogram of `u64` samples (typically nanoseconds).
 ///
 /// Recording is O(1); percentile queries walk the bucket array. Histograms
@@ -28,6 +34,7 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    overflow: u64,
 }
 
 impl Default for Histogram {
@@ -45,12 +52,20 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            overflow: 0,
         }
     }
 
     /// Rebuilds a histogram from raw parts (used when snapshotting the
     /// lock-free atomic variant).
-    pub(crate) fn from_parts(buckets: Vec<u64>, count: u64, sum: u64, min: u64, max: u64) -> Self {
+    pub(crate) fn from_parts(
+        buckets: Vec<u64>,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        overflow: u64,
+    ) -> Self {
         debug_assert_eq!(buckets.len(), NUM_BUCKETS);
         Histogram {
             buckets,
@@ -58,6 +73,7 @@ impl Histogram {
             sum,
             min,
             max,
+            overflow,
         }
     }
 
@@ -85,9 +101,14 @@ impl Histogram {
         lo + (1u64 << (base_msb - SUBBUCKET_BITS)) / 2
     }
 
-    /// Records one sample.
+    /// Records one sample. Values above [`OVERFLOW_LIMIT`] are clipped into
+    /// the top tracked bucket (count/sum/max stay exact) and counted in
+    /// [`Histogram::overflow`].
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_index(value)] += 1;
+        if value > OVERFLOW_LIMIT {
+            self.overflow += 1;
+        }
+        self.buckets[Self::bucket_index(value.min(OVERFLOW_LIMIT))] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
@@ -162,6 +183,13 @@ impl Histogram {
         self.sum
     }
 
+    /// Number of samples that exceeded [`OVERFLOW_LIMIT`] and were clipped
+    /// into the top tracked bucket. Nonzero overflow means tail percentiles
+    /// at that magnitude are lower bounds, not measurements.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
     /// Approximate number of samples ≤ `value`: counts whole buckets up to
     /// and including `value`'s bucket, so the boundary error is the bucket's
     /// width (~3% of `value`). This is the cumulative-bucket primitive behind
@@ -200,7 +228,8 @@ impl Histogram {
                 min = max;
             }
         }
-        Histogram::from_parts(buckets, count, sum, min, max)
+        let overflow = self.overflow.saturating_sub(earlier.overflow);
+        Histogram::from_parts(buckets, count, sum, min, max, overflow)
     }
 
     /// Adds all samples of `other` into `self`.
@@ -210,6 +239,7 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
+        self.overflow += other.overflow;
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -225,6 +255,7 @@ impl Histogram {
             p50_ns: self.percentile(50.0).unwrap_or(0),
             p99_ns: self.percentile(99.0).unwrap_or(0),
             max_ns: self.max(),
+            overflow: self.overflow,
         }
     }
 }
@@ -256,6 +287,9 @@ pub struct Summary {
     pub p99_ns: u64,
     /// Maximum sample.
     pub max_ns: u64,
+    /// Samples clipped past [`OVERFLOW_LIMIT`]; nonzero means the tail
+    /// percentiles are lower bounds.
+    pub overflow: u64,
 }
 
 impl Summary {
@@ -267,8 +301,9 @@ impl Summary {
     /// Renders the summary as a JSON object (used by BENCH JSON emitters).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"count\": {}, \"mean_ns\": {:.1}, \"min_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
-            self.count, self.mean_ns, self.min_ns, self.p50_ns, self.p99_ns, self.max_ns
+            "{{\"count\": {}, \"mean_ns\": {:.1}, \"min_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"overflow\": {}}}",
+            self.count, self.mean_ns, self.min_ns, self.p50_ns, self.p99_ns, self.max_ns,
+            self.overflow
         )
     }
 }
@@ -460,6 +495,45 @@ mod tests {
             let err = (back as f64 - v as f64).abs() / v as f64;
             assert!(err < 0.05, "v={v} back={back} err={err}");
         }
+    }
+
+    #[test]
+    fn overflow_samples_are_clipped_but_counted() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        h.record(OVERFLOW_LIMIT + 1);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.overflow(), 2);
+        // Exact aggregates still see the true values.
+        assert_eq!(h.max(), u64::MAX / 2);
+        // Interior percentiles are clipped to the ladder, and the clipping is
+        // visible through the overflow counter rather than silent.
+        let p50 = h.percentile(50.0).unwrap();
+        assert!(p50 <= OVERFLOW_LIMIT + OVERFLOW_LIMIT / 16, "p50={p50}");
+        let s = h.summary();
+        assert_eq!(s.overflow, 2);
+        assert!(s.to_json().contains("\"overflow\": 2"));
+        // A sample exactly at the limit does not overflow.
+        let mut exact = Histogram::new();
+        exact.record(OVERFLOW_LIMIT);
+        assert_eq!(exact.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_propagates_through_merge_and_diff() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(OVERFLOW_LIMIT + 7);
+        b.record(OVERFLOW_LIMIT + 9);
+        b.record(10);
+        a.merge(&b);
+        assert_eq!(a.overflow(), 2);
+        let snap = a.clone();
+        a.record(OVERFLOW_LIMIT * 2);
+        let window = a.diff(&snap);
+        assert_eq!(window.count(), 1);
+        assert_eq!(window.overflow(), 1);
     }
 
     #[test]

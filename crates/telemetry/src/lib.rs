@@ -39,14 +39,21 @@
 
 pub mod analyze;
 pub mod export;
+pub mod flight;
 mod hist;
 mod metrics;
+mod slo;
 mod snapshot;
 mod span;
 mod trace;
 
-pub use hist::{Histogram, Summary};
+pub use flight::FlightRecorder;
+pub use hist::{Histogram, Summary, OVERFLOW_LIMIT};
 pub use metrics::{Counter, Gauge, HistHandle};
+pub use slo::{
+    HealthReport, SaturationSnapshot, ShardSaturation, SloPlane, SloSpec, SloState, SloStatus,
+    SloTracker,
+};
 pub use snapshot::{json_escape, TelemetrySnapshot};
 pub use span::{intern_scope, intern_span_name, spans, Span};
 pub use trace::{events, intern_kind, Event};

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::hist::{Histogram, NUM_BUCKETS};
+use crate::hist::{Histogram, NUM_BUCKETS, OVERFLOW_LIMIT};
 
 /// Concurrent log-linear histogram: same bucket layout as [`Histogram`] but
 /// every cell is an atomic, so any number of threads can record through a
@@ -22,6 +22,7 @@ pub(crate) struct AtomicHistogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    overflow: AtomicU64,
 }
 
 impl AtomicHistogram {
@@ -32,11 +33,16 @@ impl AtomicHistogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
         }
     }
 
     fn record(&self, value: u64) {
-        self.buckets[Histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        if value > OVERFLOW_LIMIT {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.buckets[Histogram::bucket_index(value.min(OVERFLOW_LIMIT))]
+            .fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
@@ -56,6 +62,7 @@ impl AtomicHistogram {
             self.sum.load(Ordering::Relaxed),
             self.min.load(Ordering::Relaxed),
             self.max.load(Ordering::Relaxed),
+            self.overflow.load(Ordering::Relaxed),
         )
     }
 }

@@ -81,18 +81,19 @@ impl TelemetrySnapshot {
         if !self.histograms.is_empty() {
             out.push_str("histograms (µs):\n");
             out.push_str(&format!(
-                "  {:<40} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-                "name", "count", "mean", "p50", "p99", "max"
+                "  {:<40} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
+                "name", "count", "mean", "p50", "p99", "max", "ovfl"
             ));
             for (name, s) in &self.histograms {
                 out.push_str(&format!(
-                    "  {:<40} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                    "  {:<40} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8}\n",
                     name,
                     s.count,
                     s.mean_ns / 1e3,
                     s.p50_ns as f64 / 1e3,
                     s.p99_ns as f64 / 1e3,
                     s.max_ns as f64 / 1e3,
+                    s.overflow,
                 ));
             }
         }
@@ -197,6 +198,7 @@ mod tests {
                     p50_ns: 100,
                     p99_ns: 200,
                     max_ns: 200,
+                    overflow: 1,
                 },
             )],
             events: vec![Event {
@@ -226,6 +228,8 @@ mod tests {
         assert!(text.contains("ncl.write"));
         let json = snap.render_json();
         assert!(json.contains("\"ncl.record.wire\""));
+        assert!(json.contains("\"overflow\": 1"));
+        assert!(text.contains("ovfl"));
         assert!(json.contains("\"epoch\": 7"));
         assert!(json.contains("\"spans_dropped\": 1"));
         assert_eq!(snap.counter("ncl.flush.submit"), 4);
@@ -250,6 +254,7 @@ mod tests {
                     p50_ns: 1,
                     p99_ns: 1,
                     max_ns: 1,
+                    overflow: 0,
                 },
             )],
             events: vec![Event {

@@ -36,6 +36,7 @@
 use std::env;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use splitft::apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
@@ -43,7 +44,7 @@ use splitft::apps::minirocks::{MiniRocks, RocksOptions};
 use splitft::sim::{Binding, FaultAction, FaultPlan, FaultScheduler, PlanParams, Trigger};
 use splitft::splitfs::{Mode, OpenOptions, SplitFs, Testbed, TestbedConfig};
 use telemetry::analyze::{analyze, parse_jsonl, TraceReport};
-use telemetry::events;
+use telemetry::{events, FlightRecorder, Telemetry};
 
 const VALUE: &[u8] = b"chaos-value";
 const PUTS: usize = 100;
@@ -84,6 +85,38 @@ fn sink_dir() -> PathBuf {
         std::fs::create_dir_all(&dir).expect("trace temp dir");
         dir
     })
+}
+
+/// The telemetry handle (and quorum) of the schedule currently running, so
+/// the failure path outside `run_schedule` can reach the in-memory rings
+/// for a flight-recorder dump after a panic unwound through the harness.
+static LIVE_TELEMETRY: Mutex<Option<(Telemetry, usize)>> = Mutex::new(None);
+
+/// Black-box preservation on a failed schedule: captures the last spans,
+/// events and counter deltas into `sink_dir()/flight/` — a subdirectory so
+/// `trace_analyzer --check` on the main trace dir is not double-reading
+/// them — as the same analyzer-readable JSONL a breach dump uses.
+fn dump_flight(tel: Telemetry, quorum: usize, seed: u64) -> Option<PathBuf> {
+    let recorder = FlightRecorder::with_limits(tel, 32, 64, quorum);
+    recorder.tick();
+    let dir = sink_dir().join("flight");
+    match recorder.dump_into(&dir, &format!("chaos-{seed}"), "chaos-assert") {
+        Ok(path) => {
+            eprintln!("flight recorder dump: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("flight recorder dump failed: {e}");
+            None
+        }
+    }
+}
+
+fn dump_flight_on_failure(seed: u64) {
+    let Some((tel, quorum)) = LIVE_TELEMETRY.lock().expect("telemetry slot").take() else {
+        return;
+    };
+    dump_flight(tel, quorum, seed);
 }
 
 /// The application under test; alternates by seed so both ports face every
@@ -143,6 +176,7 @@ fn run_schedule(seed: u64, plan: &FaultPlan) {
         .set_jsonl_sink(&trace_path)
         .expect("trace sink");
     let quorum = cfg.ncl.quorum();
+    *LIVE_TELEMETRY.lock().expect("telemetry slot") = Some((cfg.ncl.telemetry.clone(), quorum));
     let tb = Testbed::start(cfg);
     let (fs, app_node) = tb.mount(Mode::SplitFt, "chaos");
     let db = Db::open(fs, seed);
@@ -418,6 +452,36 @@ fn seeded_ec_spill_schedule_survives_parity_loss_and_spill_replay() {
     );
 }
 
+/// A flight-recorder dump produced exactly like the failure path's must be
+/// `trace_analyzer --check`-clean: parseable JSONL, complete span chains
+/// for every retained acked write, zero orphans. The recorder's whole value
+/// is that the black box from a *failed* run is still analyzable, so this
+/// pins the dump format against the analyzer's invariants.
+#[test]
+fn chaos_style_flight_dump_passes_the_analyzer() {
+    let cfg = TestbedConfig::zero(3);
+    let quorum = cfg.ncl.quorum();
+    let tel = cfg.ncl.telemetry.clone();
+    let tb = Testbed::start(cfg);
+    let (fs, _app_node) = tb.mount(Mode::SplitFt, "chaos-flight");
+    let db = Db::open(fs, 2);
+    for i in 0..40 {
+        assert!(db.put(&format!("k{i:03}")), "healthy put {i} acked");
+    }
+
+    let path = dump_flight(tel, quorum, 0xF11).expect("flight dump written");
+    let text = std::fs::read_to_string(&path).expect("flight dump readable");
+    assert!(text.contains("chaos-assert"), "dump records its reason");
+    let (spans, events) = parse_jsonl(&text).expect("flight dump parses as a trace");
+    let report = analyze(&spans, &events, quorum);
+    assert_report_clean(&report, 0xF11);
+    assert!(
+        report.acked_writes > 0,
+        "flight dump carries complete acked-write chains"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn seeded_chaos_schedules_preserve_acked_data() {
     let params = PlanParams::light(6, 1);
@@ -428,6 +492,7 @@ fn seeded_chaos_schedules_preserve_acked_data() {
             eprintln!("FAULT_SEED={seed}");
             eprintln!("reproduce: FAULT_SEED={seed} cargo test --test chaos");
             eprintln!("schedule:\n{}", plan.describe());
+            dump_flight_on_failure(seed);
             if let Some(dir) = trace_dir() {
                 let _ = std::fs::write(dir.join("FAILED_SEED"), seed.to_string());
             }

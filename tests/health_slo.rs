@@ -1,0 +1,236 @@
+//! End-to-end SLO/health plane test: an open-loop overload run must flip
+//! the testbed's `/health` endpoint to 503/breached, trip the flight
+//! recorder, and leave an analyzer-clean black-box dump — while a
+//! comfortable load stays 200/healthy.
+//!
+//! The pipeline under test spans every layer this repo's observability
+//! stack has: the ycsb open-loop runner records coordinated-omission-
+//! corrected latencies into a telemetry histogram, the SLO plane windows
+//! that histogram into multi-window burn rates, the scrape server serves
+//! the verdict over plain HTTP, and the breach hook preserves the last N
+//! spans/events as a `trace_analyzer --check`-compatible JSONL dump.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use splitft::apps::minirocks::{MiniRocks, RocksOptions};
+use splitft::apps::{AppError, KvApp};
+use splitft::splitfs::{Mode, Testbed, TestbedConfig};
+use telemetry::analyze::{analyze, parse_jsonl};
+use telemetry::SloSpec;
+use ycsb::{ArrivalSchedule, LoadSpec, OpenLoopSpec, Runner, Workload};
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("scrape endpoint reachable");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response head");
+    (head.lines().next().unwrap().to_string(), body.to_string())
+}
+
+/// Wraps an app with a fixed per-op service time: a server with known
+/// capacity, so "overload" is a property of the seeded schedule, not of
+/// the machine running the test.
+struct SlowApp<'a> {
+    inner: &'a dyn KvApp,
+    per_op: Duration,
+}
+
+impl KvApp for SlowApp<'_> {
+    fn insert(&self, key: &str, value: &[u8]) -> Result<(), AppError> {
+        std::thread::sleep(self.per_op);
+        self.inner.insert(key, value)
+    }
+    fn update(&self, key: &str, value: &[u8]) -> Result<(), AppError> {
+        std::thread::sleep(self.per_op);
+        self.inner.update(key, value)
+    }
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>, AppError> {
+        std::thread::sleep(self.per_op);
+        self.inner.read(key)
+    }
+}
+
+#[test]
+fn health_flips_to_breached_under_seeded_overload() {
+    let mut cfg = TestbedConfig::zero(3);
+    cfg.scrape_addr = Some("127.0.0.1:0".into());
+    let tel = cfg.ncl.telemetry.clone();
+    let quorum = cfg.ncl.quorum();
+    let tb = Testbed::start(cfg);
+    let addr = tb.scrape_addr().expect("scrape endpoint requested");
+
+    // Client-facing objective on the open-loop runner's corrected-latency
+    // sink: ≤10% of requests may exceed 25 ms. The threshold is far above
+    // anything a zero-latency testbed serves in-capacity and far below
+    // what an overloaded queue produces, so both phases are deterministic.
+    let plane = tb.slo_plane();
+    plane.set_min_tick_gap(Duration::ZERO);
+    plane.add(SloSpec::new("client-corrected", "client.corrected", 25_000_000, 0.1).windows(1, 1));
+
+    // Arm the black box: on the first transition into Breached, dump the
+    // flight recorder where the chaos artifacts would go.
+    let dump_dir = std::env::temp_dir().join(format!("flight-breach-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    let recorder = tb.flight_recorder().clone();
+    let hook_dir = dump_dir.clone();
+    plane.on_breach(move |report| {
+        recorder.tick();
+        recorder
+            .dump_into(
+                &hook_dir,
+                "slo-breach",
+                &format!("slo-breach status={}", report.status.as_str()),
+            )
+            .expect("flight dump written");
+    });
+
+    let (fs, _node) = tb.mount(Mode::SplitFt, "health");
+    let app = MiniRocks::open(fs, "db/", RocksOptions::tiny()).expect("minirocks open");
+    Runner::load(
+        &app,
+        &LoadSpec {
+            record_count: 200,
+            value_size: 64,
+            threads: 2,
+        },
+    )
+    .expect("load");
+
+    // Phase 1 — comfortable offered load: /health answers 200/healthy.
+    let workload = Workload::a(200);
+    let sink = tel.histogram("client.corrected");
+    let report = Runner::run_open_loop(
+        &app,
+        &workload,
+        200,
+        &OpenLoopSpec {
+            clients: 2,
+            duration: Duration::from_millis(250),
+            value_size: 64,
+            schedule: ArrivalSchedule::Poisson {
+                rate_per_sec: 200.0,
+            },
+            seed: 0x5105_0001,
+            sink: Some(sink.clone()),
+            ..OpenLoopSpec::default()
+        },
+    );
+    assert_eq!(report.errors, 0);
+    let (status, body) = get(addr, "/health");
+    assert!(status.contains("200"), "healthy phase: {status}\n{body}");
+    assert!(body.contains("\"status\": \"healthy\""), "{body}");
+    assert!(body.contains("\"client-corrected\""), "{body}");
+    assert!(!dump_dir.exists(), "no flight dump may fire while healthy");
+
+    // Phase 2 — seeded overload: a 5 ms/op server (≤400/s with 2 clients)
+    // offered 4× its capacity. Corrected latencies grow with the backlog,
+    // the error budget burns >1× on both windows, and /health flips.
+    let slow = SlowApp {
+        inner: &app,
+        per_op: Duration::from_millis(5),
+    };
+    let report = Runner::run_open_loop(
+        &slow,
+        &workload,
+        200,
+        &OpenLoopSpec {
+            clients: 2,
+            duration: Duration::from_millis(400),
+            value_size: 64,
+            schedule: ArrivalSchedule::Poisson {
+                rate_per_sec: 1_600.0,
+            },
+            seed: 0x5105_0002,
+            max_overrun: Duration::from_secs(10),
+            sink: Some(sink),
+        },
+    );
+    assert!(
+        report.corrected.percentile(99.0).unwrap() > 25_000_000,
+        "overload must push corrected tail past the objective"
+    );
+    let (status, body) = get(addr, "/health");
+    assert!(status.contains("503"), "overload phase: {status}\n{body}");
+    assert!(body.contains("\"status\": \"breached\""), "{body}");
+
+    // The breach exported gauges on /metrics too.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("splitft_slo_status 2"), "{metrics}");
+
+    // The breach hook preserved an analyzer-clean black box carrying the
+    // NCL span chains from before the incident.
+    let dump = std::fs::read_dir(&dump_dir)
+        .expect("flight dump dir exists")
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("trace-flight-"))
+        })
+        .expect("flight dump file written on breach");
+    let text = std::fs::read_to_string(&dump).unwrap();
+    assert!(text.contains("slo-breach"), "dump records its reason");
+    let (spans, events) = parse_jsonl(&text).expect("flight dump parses as a trace");
+    let trace_report = analyze(&spans, &events, quorum);
+    assert!(
+        trace_report.ok() && trace_report.orphan_spans == 0,
+        "flight dump must pass the analyzer\n{}",
+        trace_report.render()
+    );
+    assert!(
+        trace_report.acked_writes > 0,
+        "dump carries complete acked-write chains"
+    );
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+/// A second run at low rate against the same objective stays healthy end
+/// to end — the breach path above is the schedule's fault, not the
+/// plane's default verdict.
+#[test]
+fn health_stays_200_at_low_offered_load() {
+    let mut cfg = TestbedConfig::zero(3);
+    cfg.scrape_addr = Some("127.0.0.1:0".into());
+    let tel = cfg.ncl.telemetry.clone();
+    let tb = Testbed::start(cfg);
+    let addr = tb.scrape_addr().unwrap();
+    tb.slo_plane().set_min_tick_gap(Duration::ZERO);
+    tb.slo_plane()
+        .add(SloSpec::new("client-corrected", "client.corrected", 25_000_000, 0.1).windows(1, 1));
+
+    let (fs, _node) = tb.mount(Mode::SplitFt, "health-low");
+    let app = MiniRocks::open(fs, "db/", RocksOptions::tiny()).expect("minirocks open");
+    Runner::load(
+        &app,
+        &LoadSpec {
+            record_count: 100,
+            value_size: 64,
+            threads: 2,
+        },
+    )
+    .expect("load");
+    for round in 0..3 {
+        let report = Runner::run_open_loop(
+            &app,
+            &Workload::b(100),
+            100,
+            &OpenLoopSpec {
+                clients: 2,
+                duration: Duration::from_millis(150),
+                value_size: 64,
+                schedule: ArrivalSchedule::FixedRate {
+                    rate_per_sec: 300.0,
+                },
+                seed: 0xB00 + round,
+                sink: Some(tel.histogram("client.corrected")),
+                ..OpenLoopSpec::default()
+            },
+        );
+        assert_eq!(report.abandoned, 0);
+        let (status, body) = get(addr, "/health");
+        assert!(status.contains("200"), "round {round}: {status}\n{body}");
+        assert!(!body.contains("\"status\": \"breached\""), "{body}");
+    }
+}
