@@ -1,0 +1,110 @@
+//! Peer memory plane smoke bench: allocator throughput, fleet region
+//! population, and GC reclamation — the `BENCH_peer_mem.json` trend file
+//! CI gates on.
+//!
+//! Three phases on one zero-latency testbed:
+//!
+//! 1. **Populate** — four tenants open 16 NCL files each (64 concurrent
+//!    regions × replicas across the fleet) and write through them, so the
+//!    NCL stage histograms carry real samples.
+//! 2. **Allocate** — a scratch tenant runs open → write → unlink cycles
+//!    as fast as the slab allocator turns regions around; the free-list
+//!    re-key path makes this the allocator's steady-state throughput.
+//! 3. **Reclaim** — one tenant's node crashes and every peer runs a GC
+//!    sweep under a zero lease; the swept bytes are the
+//!    `bytes_reclaimed_by_gc` trend value.
+//!
+//! Emits `BENCH_peer_mem.json` (schema-checked by `validate_bench_json`,
+//! which requires `region_count >= 64` and a non-zero reclaim).
+
+use std::time::{Duration, Instant};
+
+use bench::{header, row, BenchJson, NCL_STAGES};
+use splitfs::{Mode, OpenOptions, SplitFs, Testbed, TestbedConfig};
+
+const TENANTS: usize = 4;
+const FILES_PER_TENANT: usize = 16;
+const ALLOC_CYCLES: usize = 200;
+
+fn main() {
+    let mut cfg = TestbedConfig::zero(6);
+    // Zero lease so the reclaim phase needs no wall-clock wait; sweeps are
+    // driven manually, so no GC thread either.
+    cfg.ncl.peer_lease = Duration::ZERO;
+    let telemetry = cfg.ncl.telemetry.clone();
+    let tb = Testbed::start(cfg);
+
+    // Phase 1: populate 64 concurrent files across four tenants.
+    let mut tenants: Vec<(SplitFs, sim::NodeId)> = Vec::new();
+    for t in 0..TENANTS {
+        let (fs, node) = tb.mount(Mode::SplitFt, &format!("bench-tenant-{t}"));
+        for f in 0..FILES_PER_TENANT {
+            let file = fs
+                .open(&format!("wal-{f:02}"), OpenOptions::create_ncl(1 << 12))
+                .expect("open");
+            for r in 0..4u32 {
+                let chunk = format!("t{t}f{f:02}r{r}|");
+                file.write_at((r as u64) * chunk.len() as u64, chunk.as_bytes())
+                    .expect("populate write");
+            }
+        }
+        tenants.push((fs, node));
+    }
+    let region_count: usize = tb.peers.iter().map(|p| p.region_count()).sum();
+    let fleet_used: u64 = tb.peers.iter().map(|p| p.mem_used()).sum();
+
+    // Phase 2: allocator turnaround on a scratch tenant.
+    let (scratch, _) = tb.mount(Mode::SplitFt, "bench-scratch");
+    let t0 = Instant::now();
+    for i in 0..ALLOC_CYCLES {
+        let name = format!("scratch-{i:03}");
+        let file = scratch
+            .open(&name, OpenOptions::create_ncl(1 << 12))
+            .expect("scratch open");
+        file.write_at(0, b"alloc-cycle").expect("scratch write");
+        drop(file);
+        scratch.unlink(&name).expect("scratch unlink");
+    }
+    let elapsed = t0.elapsed();
+    let alloc_per_sec = ALLOC_CYCLES as f64 / elapsed.as_secs_f64();
+    let alloc_mean_ns = elapsed.as_nanos() as f64 / ALLOC_CYCLES as f64;
+
+    // Phase 3: crash one tenant and sweep the fleet.
+    let (dead_fs, dead_node) = tenants.pop().expect("tenant to kill");
+    tb.cluster.crash(dead_node);
+    drop(dead_fs);
+    let used_before: u64 = tb.peers.iter().map(|p| p.mem_used()).sum();
+    let swept: usize = tb.peers.iter().map(|p| p.gc_sweep()).sum();
+    let used_after: u64 = tb.peers.iter().map(|p| p.mem_used()).sum();
+    let bytes_reclaimed = used_before - used_after;
+
+    header("peer memory plane: allocation, population, GC reclaim");
+    row(&[
+        "regions hosted".to_string(),
+        region_count.to_string(),
+        format!("{fleet_used} B used"),
+    ]);
+    row(&[
+        "alloc cycles/s".to_string(),
+        format!("{alloc_per_sec:.0}"),
+        format!("{alloc_mean_ns:.0} ns/cycle"),
+    ]);
+    row(&[
+        "gc reclaimed".to_string(),
+        format!("{swept} regions"),
+        format!("{bytes_reclaimed} B"),
+    ]);
+
+    let mut json = BenchJson::new("peer_mem");
+    json.result("alloc_cycle", alloc_mean_ns, alloc_per_sec);
+    json.section(
+        "peer_mem",
+        format!(
+            "{{\"region_count\": {region_count}, \"fleet_used_bytes\": {fleet_used}, \
+             \"alloc_per_sec\": {alloc_per_sec:.1}, \"gc_swept_regions\": {swept}, \
+             \"bytes_reclaimed_by_gc\": {bytes_reclaimed}}}"
+        ),
+    );
+    json.stage_breakdown(&telemetry.snapshot(), &NCL_STAGES);
+    json.write();
+}

@@ -426,6 +426,38 @@ pub fn validate_bench_json(body: &str) -> Result<(), String> {
             ));
         }
     }
+    // The peer-memory smoke bench must carry its three trend dimensions —
+    // fleet population, allocator throughput and GC reclamation — with
+    // sane floors, so a run that silently stopped hosting multi-tenant
+    // regions (or whose GC reclaimed nothing) fails instead of shipping a
+    // hollow trend point.
+    if body.contains("\"bench\": \"peer_mem\"") {
+        let line = body
+            .lines()
+            .find(|l| l.trim_start().starts_with("\"peer_mem\":"))
+            .ok_or_else(|| "peer_mem is missing the peer_mem section".to_string())?;
+        for field in ["region_count", "alloc_per_sec", "bytes_reclaimed_by_gc"] {
+            if !line.contains(&format!("\"{field}\":")) {
+                return Err(format!("peer_mem section is missing {field}"));
+            }
+        }
+        let field_u64 = |field: &str| -> Result<u64, String> {
+            line.split(&format!("\"{field}\": "))
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| format!("unparseable {field}: {}", line.trim()))
+        };
+        let regions = field_u64("region_count")?;
+        if regions < 64 {
+            return Err(format!(
+                "peer_mem hosted only {regions} regions, need >= 64 (multi-tenant floor)"
+            ));
+        }
+        if field_u64("bytes_reclaimed_by_gc")? == 0 {
+            return Err("peer_mem GC reclaimed zero bytes".to_string());
+        }
+    }
     // The batch bench must carry the durability axis: every mode row with
     // its memory/wire/recovery accounting, so a run that silently dropped
     // the erasure-coding sweep fails validation instead of shipping a

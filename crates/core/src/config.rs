@@ -150,6 +150,20 @@ pub struct NclConfig {
     /// profile enables it; the zero (testing) profile keeps the more
     /// adversarial threaded NIC.
     pub inline_nic: bool,
+    /// Epoch lease granted to every region a peer allocates. A region whose
+    /// lease has run out — no control-plane activity renewed it — is only
+    /// reclaimed once the controller confirms the owning application is
+    /// dead (its ephemeral instance lock is free or its holder crashed):
+    /// the lease bounds how long a crashed tenant can pin peer memory
+    /// without blocking an in-progress recovery, which re-acquires the
+    /// lock and thereby renews every lease.
+    pub peer_lease: Duration,
+    /// Allow peers to make room for a new allocation by voluntarily
+    /// revoking the coldest regions of other files (§4.5.2) when the
+    /// memory budget would otherwise reject the request. The revoked
+    /// file's application sees the next write fail and runs the ordinary
+    /// replace/catch-up path.
+    pub peer_evict_on_pressure: bool,
     /// Observability handle. Every component wired from one config — files,
     /// peers, controller, registry — reports into the same registry and
     /// event trace, so one snapshot covers a whole deployment. Cloning the
@@ -189,6 +203,8 @@ impl NclConfig {
             pipeline_window: 8,
             coalesce_headers: true,
             inline_nic: true,
+            peer_lease: Duration::from_secs(120),
+            peer_evict_on_pressure: true,
             telemetry: Telemetry::new(),
             runtime: None,
         }
@@ -217,6 +233,8 @@ impl NclConfig {
             pipeline_window: 8,
             coalesce_headers: true,
             inline_nic: false,
+            peer_lease: Duration::from_secs(30),
+            peer_evict_on_pressure: true,
             telemetry: Telemetry::new(),
             runtime: None,
         }

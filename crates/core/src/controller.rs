@@ -32,6 +32,12 @@ pub struct PeerInfo {
     pub node: NodeId,
     /// Available lendable memory in bytes — a hint, possibly stale.
     pub avail: u64,
+    /// Live regions the peer reported with its last gauge update — the
+    /// load figure placement spreads on.
+    pub regions: u64,
+    /// Regions this peer has voluntarily revoked under memory pressure
+    /// since it registered (observability; reset on re-registration).
+    pub revocations: u64,
 }
 
 /// One ap-map entry: the peers holding a file's regions plus the epoch the
@@ -56,22 +62,48 @@ pub enum CtrlReq {
         /// Lendable memory in bytes.
         avail: u64,
     },
-    /// A peer updates its advertised available memory.
+    /// A peer updates its advertised memory gauges.
     UpdateAvail {
         /// Peer name.
         name: String,
         /// New absolute availability.
         avail: u64,
+        /// Live regions held (the peer's load figure).
+        regions: u64,
     },
     /// Ask for up to `count` peers with at least `need` available bytes,
-    /// excluding the given names.
+    /// excluding the given names. Candidates are ranked by the placement
+    /// policy: fewest regions already assigned to `app` (anti-affinity),
+    /// then fewest regions overall (least-loaded), then most available
+    /// memory, names breaking ties.
     GetPeers {
+        /// Application asking — drives the anti-affinity term.
+        app: String,
         /// Minimum available memory.
         need: u64,
         /// How many peers to return.
         count: usize,
         /// Peer names to skip (already assigned or known bad).
         exclude: Vec<String>,
+    },
+    /// A peer reports that it revoked a region under memory pressure
+    /// (§4.5.2) — recorded so operators can see revocation storms in the
+    /// control-plane trace and placement can observe pressured peers.
+    ReportRevocation {
+        /// The revoking peer.
+        peer: String,
+        /// Owning application.
+        app: String,
+        /// File whose region was revoked.
+        file: String,
+        /// Epoch the region was held at.
+        epoch: u64,
+    },
+    /// Is the application's instance lock held by a live node? The peers'
+    /// lease GC asks this before reclaiming an expired-lease region.
+    AppLive {
+        /// Application identifier.
+        app: String,
     },
     /// Write an ap-map entry; succeeds only if `epoch` exceeds both the
     /// stored entry's epoch and the high-water mark.
@@ -142,6 +174,8 @@ pub enum CtrlResp {
     Files(Vec<String>),
     /// Epoch for `GetAppEpoch`.
     Epoch(u64),
+    /// Liveness verdict for `AppLive`.
+    Live(bool),
     /// Request refused (stale epoch, lock held, unknown peer, ...).
     Rejected(String),
 }
@@ -207,33 +241,91 @@ impl Controller {
 fn handle(cluster: &Cluster, st: &mut CtrlState, req: CtrlReq) -> CtrlResp {
     match req {
         CtrlReq::RegisterPeer { name, node, avail } => {
-            st.peers
-                .insert(name.clone(), PeerInfo { name, node, avail });
+            st.peers.insert(
+                name.clone(),
+                PeerInfo {
+                    name,
+                    node,
+                    avail,
+                    regions: 0,
+                    revocations: 0,
+                },
+            );
             CtrlResp::Ok
         }
-        CtrlReq::UpdateAvail { name, avail } => match st.peers.get_mut(&name) {
+        CtrlReq::UpdateAvail {
+            name,
+            avail,
+            regions,
+        } => match st.peers.get_mut(&name) {
             Some(p) => {
                 p.avail = avail;
+                p.regions = regions;
                 CtrlResp::Ok
             }
             None => CtrlResp::Rejected(format!("unknown peer {name}")),
         },
         CtrlReq::GetPeers {
+            app,
             need,
             count,
             exclude,
         } => {
+            // Anti-affinity term: how many of this app's files already sit
+            // on each candidate, straight off the ap-map.
+            let mut app_load: HashMap<&str, u64> = HashMap::new();
+            for ((a, _), entry) in &st.entries {
+                if *a == app {
+                    for p in &entry.peers {
+                        *app_load.entry(p.as_str()).or_default() += 1;
+                    }
+                }
+            }
             let mut matching: Vec<PeerInfo> = st
                 .peers
                 .values()
                 .filter(|p| p.avail >= need && !exclude.contains(&p.name))
                 .cloned()
                 .collect();
-            // Prefer the peers with the most spare memory (ties broken by
-            // name for determinism).
-            matching.sort_by(|a, b| b.avail.cmp(&a.avail).then(a.name.cmp(&b.name)));
+            // Placement policy: spread the asking app across peers first,
+            // then spread overall load, then prefer spare memory (ties
+            // broken by name for determinism).
+            matching.sort_by(|a, b| {
+                let aff_a = app_load.get(a.name.as_str()).copied().unwrap_or(0);
+                let aff_b = app_load.get(b.name.as_str()).copied().unwrap_or(0);
+                aff_a
+                    .cmp(&aff_b)
+                    .then(a.regions.cmp(&b.regions))
+                    .then(b.avail.cmp(&a.avail))
+                    .then(a.name.cmp(&b.name))
+            });
             matching.truncate(count);
             CtrlResp::Peers(matching)
+        }
+        CtrlReq::ReportRevocation {
+            peer,
+            app,
+            file,
+            epoch,
+        } => {
+            st.telemetry.event(
+                events::REGION_REVOKE,
+                &format!("{app}/{file}"),
+                epoch,
+                format!("revoked by {peer} under memory pressure"),
+            );
+            if let Some(p) = st.peers.get_mut(&peer) {
+                p.revocations += 1;
+            }
+            CtrlResp::Ok
+        }
+        CtrlReq::AppLive { app } => {
+            let live = st
+                .locks
+                .get(&app)
+                .map(|&holder| cluster.is_alive(holder))
+                .unwrap_or(false);
+            CtrlResp::Live(live)
         }
         CtrlReq::SetApEntry {
             app,
@@ -337,13 +429,21 @@ impl ControllerClient {
         }
     }
 
-    /// Updates a peer's advertised availability.
-    pub fn update_avail(&self, from: NodeId, name: &str, avail: u64) -> Result<(), NclError> {
+    /// Updates a peer's advertised memory gauges (availability and live
+    /// region count).
+    pub fn update_avail(
+        &self,
+        from: NodeId,
+        name: &str,
+        avail: u64,
+        regions: u64,
+    ) -> Result<(), NclError> {
         match self.call(
             from,
             CtrlReq::UpdateAvail {
                 name: name.to_string(),
                 avail,
+                regions,
             },
         )? {
             CtrlResp::Ok => Ok(()),
@@ -352,10 +452,11 @@ impl ControllerClient {
         }
     }
 
-    /// Asks for candidate peers.
+    /// Asks for candidate peers for a file of `app` (placement-ranked).
     pub fn get_peers(
         &self,
         from: NodeId,
+        app: &str,
         need: u64,
         count: usize,
         exclude: &[String],
@@ -363,12 +464,49 @@ impl ControllerClient {
         match self.call(
             from,
             CtrlReq::GetPeers {
+                app: app.to_string(),
                 need,
                 count,
                 exclude: exclude.to_vec(),
             },
         )? {
             CtrlResp::Peers(p) => Ok(p),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reports a voluntary region revocation (peer → controller).
+    pub fn report_revocation(
+        &self,
+        from: NodeId,
+        peer: &str,
+        app: &str,
+        file: &str,
+        epoch: u64,
+    ) -> Result<(), NclError> {
+        match self.call(
+            from,
+            CtrlReq::ReportRevocation {
+                peer: peer.to_string(),
+                app: app.to_string(),
+                file: file.to_string(),
+                epoch,
+            },
+        )? {
+            CtrlResp::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Whether `app`'s instance lock is held by a live node.
+    pub fn app_live(&self, from: NodeId, app: &str) -> Result<bool, NclError> {
+        match self.call(
+            from,
+            CtrlReq::AppLive {
+                app: app.to_string(),
+            },
+        )? {
+            CtrlResp::Live(l) => Ok(l),
             other => Err(unexpected(other)),
         }
     }
@@ -511,10 +649,10 @@ mod tests {
             let node = cluster.add_node(name);
             cli.register_peer(me, name, node, mem).unwrap();
         }
-        let peers = cli.get_peers(me, 1 << 30, 3, &[]).unwrap();
+        let peers = cli.get_peers(me, "a", 1 << 30, 3, &[]).unwrap();
         assert_eq!(peers.len(), 2, "p3 lacks memory");
-        assert_eq!(peers[0].name, "p2", "largest first");
-        let peers = cli.get_peers(me, 0, 10, &["p2".into()]).unwrap();
+        assert_eq!(peers[0].name, "p2", "equal load: largest first");
+        let peers = cli.get_peers(me, "a", 0, 10, &["p2".into()]).unwrap();
         assert_eq!(peers.len(), 2);
         assert!(peers.iter().all(|p| p.name != "p2"));
     }
@@ -524,18 +662,78 @@ mod tests {
         let (cluster, _ctrl, cli, me) = setup();
         let node = cluster.add_node("p1");
         cli.register_peer(me, "p1", node, 100).unwrap();
-        cli.update_avail(me, "p1", 10).unwrap();
-        assert!(cli.get_peers(me, 50, 1, &[]).unwrap().is_empty());
-        assert_eq!(cli.get_peers(me, 10, 1, &[]).unwrap().len(), 1);
+        cli.update_avail(me, "p1", 10, 1).unwrap();
+        assert!(cli.get_peers(me, "a", 50, 1, &[]).unwrap().is_empty());
+        let found = cli.get_peers(me, "a", 10, 1, &[]).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].regions, 1, "region gauge round-trips");
     }
 
     #[test]
     fn update_avail_unknown_peer_rejected() {
         let (_cluster, _ctrl, cli, me) = setup();
         assert!(matches!(
-            cli.update_avail(me, "ghost", 1),
+            cli.update_avail(me, "ghost", 1, 0),
             Err(NclError::Rejected(_))
         ));
+    }
+
+    #[test]
+    fn placement_prefers_least_loaded_peer() {
+        let (cluster, _ctrl, cli, me) = setup();
+        // p-big has more spare memory but carries more regions; placement
+        // must pick the lighter peer first.
+        for (name, mem, regions) in [("p-big", 4 << 30, 40), ("p-light", 1 << 30, 2)] {
+            let node = cluster.add_node(name);
+            cli.register_peer(me, name, node, mem).unwrap();
+            cli.update_avail(me, name, mem, regions).unwrap();
+        }
+        let peers = cli.get_peers(me, "a", 0, 2, &[]).unwrap();
+        assert_eq!(peers[0].name, "p-light", "least-loaded first");
+        assert_eq!(peers[1].name, "p-big");
+    }
+
+    #[test]
+    fn placement_anti_affinity_spreads_an_apps_files() {
+        let (cluster, _ctrl, cli, me) = setup();
+        for name in ["p1", "p2", "p3"] {
+            let node = cluster.add_node(name);
+            cli.register_peer(me, name, node, 1 << 30).unwrap();
+        }
+        // App "a" already has two files on p1 (and one each on p2/p3):
+        // its next file must not land on p1 first, even though every peer
+        // reports identical avail and regions.
+        cli.set_ap_entry(me, "a", "wal1", vec!["p1".into(), "p2".into()], 1)
+            .unwrap();
+        cli.set_ap_entry(me, "a", "wal2", vec!["p1".into(), "p3".into()], 1)
+            .unwrap();
+        let peers = cli.get_peers(me, "a", 0, 3, &[]).unwrap();
+        assert_eq!(peers[2].name, "p1", "app-loaded peer ranked last");
+        // A different app sees no affinity penalty: pure name tie-break.
+        let peers = cli.get_peers(me, "b", 0, 3, &[]).unwrap();
+        assert_eq!(peers[0].name, "p1");
+    }
+
+    #[test]
+    fn app_live_follows_instance_lock_and_holder_liveness() {
+        let (cluster, _ctrl, cli, me) = setup();
+        assert!(!cli.app_live(me, "db").unwrap(), "no lock: dead");
+        let holder = cluster.add_node("db-server");
+        cli.acquire_instance(holder, "db", holder).unwrap();
+        assert!(cli.app_live(me, "db").unwrap());
+        cluster.crash(holder);
+        assert!(!cli.app_live(me, "db").unwrap(), "holder crashed: dead");
+    }
+
+    #[test]
+    fn revocation_reports_are_counted_per_peer() {
+        let (cluster, _ctrl, cli, me) = setup();
+        let node = cluster.add_node("p1");
+        cli.register_peer(me, "p1", node, 1 << 30).unwrap();
+        cli.report_revocation(me, "p1", "a", "wal", 3).unwrap();
+        cli.report_revocation(me, "p1", "a", "wal2", 3).unwrap();
+        let peers = cli.get_peers(me, "a", 0, 1, &[]).unwrap();
+        assert_eq!(peers[0].revocations, 2);
     }
 
     #[test]

@@ -3084,7 +3084,9 @@ fn acquire_peer_timed(
     let mut backoff = Backoff::new(ctx.config.backoff_base, ctx.config.backoff_cap, epoch);
     loop {
         let sw = Stopwatch::start();
-        let candidates = ctx.controller.get_peers(ctx.node, need, 4, exclude)?;
+        let candidates = ctx
+            .controller
+            .get_peers(ctx.node, &ctx.app_id, need, 4, exclude)?;
         stats.get_peer += sw.elapsed();
         if candidates.is_empty() {
             return Err(NclError::QuorumUnavailable(

@@ -40,6 +40,7 @@ pub mod lockaudit;
 pub mod peer;
 pub mod registry;
 pub mod runtime;
+pub mod slab;
 
 pub use config::{AckPolicy, Durability, NclConfig};
 pub use controller::{ApEntry, Controller, ControllerClient, PeerInfo};
@@ -50,6 +51,7 @@ pub use layout::{RegionHeader, HEADER_SIZE};
 pub use peer::Peer;
 pub use registry::{NclRegistry, PeerEndpoint};
 pub use runtime::{NclRuntime, OpLog, ShardOp};
+pub use slab::{SlabAllocator, SlabError, TenantUsage};
 
 use std::fmt;
 

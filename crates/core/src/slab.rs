@@ -1,0 +1,246 @@
+//! Budgeted region allocator behind the peer daemon.
+//!
+//! The paper's peer daemon lends a fixed slice of a compute node's DRAM to
+//! *many* applications at once (§4.3). This module is the bookkeeping for
+//! that sharing: a single memory budget, per-tenant (per-application)
+//! accounting so the daemon can say *who* holds *how much*, and size-class
+//! free lists of recycled regions so a re-allocation of a common region
+//! size is a cheap re-key instead of a fresh page-pinning registration.
+//!
+//! The allocator only tracks bytes and recycled [`LocalMr`] handles — MR
+//! registration itself stays with the peer daemon, which owns the RDMA
+//! device. Charging and releasing are kept strictly paired by the caller
+//! (the daemon's mr-map is the source of truth for liveness), which is what
+//! makes double-release idempotent at the daemon layer: a region that has
+//! already left the mr-map can never be credited twice.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rdma::LocalMr;
+
+/// What one tenant (application) currently holds on a peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Bytes charged to the tenant (live + staged regions).
+    pub bytes: u64,
+    /// Number of regions charged to the tenant.
+    pub regions: u64,
+}
+
+/// Why a charge was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlabError {
+    /// The budget cannot cover the request.
+    Exhausted {
+        /// Bytes requested.
+        need: u64,
+        /// Bytes still unallocated.
+        avail: u64,
+    },
+}
+
+impl std::fmt::Display for SlabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlabError::Exhausted { need, avail } => {
+                write!(f, "insufficient memory: need {need}, have {avail}")
+            }
+        }
+    }
+}
+
+/// The peer's memory budget, tenant ledger, and recycled-region free lists.
+pub struct SlabAllocator {
+    total: u64,
+    used: u64,
+    /// Recycled regions grouped by exact length — one free list per size
+    /// class. `BTreeMap` keeps iteration deterministic for tests.
+    classes: BTreeMap<usize, Vec<LocalMr>>,
+    tenants: HashMap<String, TenantUsage>,
+}
+
+impl SlabAllocator {
+    /// A fresh allocator lending `total` bytes.
+    pub fn new(total: u64) -> Self {
+        SlabAllocator {
+            total,
+            used: 0,
+            classes: BTreeMap::new(),
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// The configured budget in bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently charged to tenants.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still unallocated. Recycled regions count as available: they
+    /// are backed by registered memory but belong to no tenant.
+    pub fn avail(&self) -> u64 {
+        self.total - self.used
+    }
+
+    /// Usage of a single tenant (zero if unknown).
+    pub fn tenant(&self, app: &str) -> TenantUsage {
+        self.tenants.get(app).copied().unwrap_or_default()
+    }
+
+    /// Every tenant with a non-zero charge, sorted by name.
+    pub fn tenants(&self) -> Vec<(String, TenantUsage)> {
+        let mut v: Vec<(String, TenantUsage)> =
+            self.tenants.iter().map(|(k, u)| (k.clone(), *u)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Number of tenants holding memory.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Number of recycled regions waiting on the free lists.
+    pub fn pooled_regions(&self) -> usize {
+        self.classes.values().map(Vec::len).sum()
+    }
+
+    /// Charges `len` bytes to `app`. On success the caller receives a
+    /// recycled region of the exact size class when one is free (to be
+    /// re-keyed), or `None` when a fresh MR must be registered. Either way
+    /// the bytes are already debited; a caller whose registration fails
+    /// must [`SlabAllocator::uncharge`].
+    pub fn charge(&mut self, app: &str, len: usize) -> Result<Option<LocalMr>, SlabError> {
+        let need = len as u64;
+        let avail = self.avail();
+        if need > avail {
+            return Err(SlabError::Exhausted { need, avail });
+        }
+        self.used += need;
+        let t = self.tenants.entry(app.to_string()).or_default();
+        t.bytes += need;
+        t.regions += 1;
+        let pooled = self.classes.get_mut(&len).and_then(Vec::pop);
+        if let Some(list) = self.classes.get(&len) {
+            if list.is_empty() {
+                self.classes.remove(&len);
+            }
+        }
+        Ok(pooled)
+    }
+
+    /// Reverts a charge whose MR registration failed (no region to pool).
+    pub fn uncharge(&mut self, app: &str, len: usize) {
+        self.credit(app, len);
+    }
+
+    /// Returns a region to its size-class free list and credits the tenant.
+    pub fn release(&mut self, app: &str, len: usize, local: LocalMr) {
+        self.credit(app, len);
+        self.classes.entry(len).or_default().push(local);
+    }
+
+    fn credit(&mut self, app: &str, len: usize) {
+        self.used = self.used.saturating_sub(len as u64);
+        if let Some(t) = self.tenants.get_mut(app) {
+            t.bytes = t.bytes.saturating_sub(len as u64);
+            t.regions = t.regions.saturating_sub(1);
+            if t.regions == 0 && t.bytes == 0 {
+                self.tenants.remove(app);
+            }
+        }
+    }
+
+    /// Drops every charge and free list — the peer crashed and its DRAM is
+    /// gone. The budget itself survives (it is configuration).
+    pub fn wipe(&mut self) {
+        self.used = 0;
+        self.classes.clear();
+        self.tenants.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release_balance_to_zero() {
+        let mut a = SlabAllocator::new(1 << 20);
+        assert!(a.charge("t1", 4096).unwrap().is_none());
+        assert!(a.charge("t2", 8192).unwrap().is_none());
+        assert_eq!(a.used(), 4096 + 8192);
+        assert_eq!(a.tenant("t1").bytes, 4096);
+        assert_eq!(a.tenant("t2").regions, 1);
+        let (l1, _) = rdma_pair(4096);
+        let (l2, _) = rdma_pair(8192);
+        a.release("t1", 4096, l1);
+        a.release("t2", 8192, l2);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.tenant_count(), 0);
+        assert_eq!(a.pooled_regions(), 2);
+    }
+
+    #[test]
+    fn charge_over_budget_is_refused() {
+        let mut a = SlabAllocator::new(1000);
+        assert!(a.charge("t", 600).unwrap().is_none());
+        assert_eq!(
+            a.charge("t", 600).err(),
+            Some(SlabError::Exhausted {
+                need: 600,
+                avail: 400
+            })
+        );
+        // The failed charge left no trace.
+        assert_eq!(a.used(), 600);
+        assert_eq!(a.tenant("t").regions, 1);
+    }
+
+    #[test]
+    fn pooled_region_is_reused_for_same_class() {
+        let mut a = SlabAllocator::new(1 << 20);
+        a.charge("t", 4096).unwrap();
+        let (l, _) = rdma_pair(4096);
+        let id = l.mr_id();
+        a.release("t", 4096, l);
+        let pooled = a.charge("t", 4096).unwrap().expect("free list hit");
+        assert_eq!(pooled.mr_id(), id);
+        // A different class misses.
+        assert!(a.charge("t", 8192).unwrap().is_none());
+    }
+
+    #[test]
+    fn uncharge_reverts_a_failed_registration() {
+        let mut a = SlabAllocator::new(1 << 20);
+        a.charge("t", 4096).unwrap();
+        a.uncharge("t", 4096);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.tenant_count(), 0);
+    }
+
+    #[test]
+    fn wipe_clears_ledger_and_free_lists() {
+        let mut a = SlabAllocator::new(1 << 20);
+        a.charge("t", 4096).unwrap();
+        let (l, _) = rdma_pair(4096);
+        a.release("t", 4096, l);
+        a.charge("t", 4096).unwrap();
+        a.wipe();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.avail(), 1 << 20);
+        assert_eq!(a.pooled_regions(), 0);
+        assert_eq!(a.tenant_count(), 0);
+    }
+
+    fn rdma_pair(len: usize) -> (LocalMr, rdma::RemoteMr) {
+        let cluster = sim::Cluster::new();
+        let node = cluster.add_node("mr-fixture");
+        let dev = rdma::RdmaDevice::new(cluster, node, sim::LatencyModel::ZERO);
+        dev.register_mr(len).unwrap()
+    }
+}

@@ -37,9 +37,20 @@
 //! from **every** `k`-subset of the surviving fragment holders. Its seeded
 //! bugs ([`EcBugMode`]) are acking at `k` completions and flipping the
 //! fragment generation before the spill snapshot is durable.
+//!
+//! [`check_revoke`] covers the multi-tenant memory plane (PR 9): a peer
+//! daemon under memory pressure may unilaterally revoke a lent region, and
+//! the owning application must replace the peer — catch-up before the
+//! ap-map update — while the adversary keeps at most `f` peers down
+//! (crashed or revoked-and-unreplaced). Its seeded bugs
+//! ([`RevokeBugMode`]) are a stale daemon that keeps advertising a revoked
+//! region's sequence number during recovery, and publishing the
+//! replacement into the ap-map before catching it up.
 
 pub mod ec;
 pub mod model;
+pub mod revoke;
 
 pub use ec::{check_ec, EcBugMode, EcModelConfig};
 pub use model::{check, BugMode, CheckResult, ModelConfig};
+pub use revoke::{check_revoke, RevokeBugMode, RevokeModelConfig};

@@ -54,6 +54,10 @@ struct ClusterState {
     nodes: Vec<NodeState>,
     /// Symmetric set of partitioned pairs, stored with `a < b`.
     partitions: Vec<(NodeId, NodeId)>,
+    /// Pending memory-pressure signals: node → target used percentage.
+    /// Posted by fault injection (or an operator), consumed once by the
+    /// peer daemon living on the node via [`Cluster::take_pressure`].
+    pressure: Vec<(NodeId, u8)>,
 }
 
 /// A registry of simulated nodes with injectable crashes and partitions.
@@ -218,6 +222,26 @@ impl Cluster {
         Ok(())
     }
 
+    /// Posts a memory-pressure signal for `id`: the peer daemon on that
+    /// node must shrink its used memory to at most `pct` percent of its
+    /// budget. Repeated posts before consumption keep the lowest target.
+    pub fn set_pressure(&self, id: NodeId, pct: u8) {
+        self.check(id);
+        let mut st = self.state.write();
+        match st.pressure.iter_mut().find(|(n, _)| *n == id) {
+            Some(entry) => entry.1 = entry.1.min(pct),
+            None => st.pressure.push((id, pct)),
+        }
+    }
+
+    /// Consumes the pending pressure signal for `id`, if any.
+    pub fn take_pressure(&self, id: NodeId) -> Option<u8> {
+        self.check(id);
+        let mut st = self.state.write();
+        let pos = st.pressure.iter().position(|(n, _)| *n == id)?;
+        Some(st.pressure.swap_remove(pos).1)
+    }
+
     /// Arms a fault schedule. Every subsequent [`Cluster::fault_point`]
     /// consultation advances it; replaces any schedule already armed.
     pub fn install_faults(&self, scheduler: FaultScheduler) {
@@ -251,6 +275,7 @@ impl Cluster {
                 ClusterOp::Restart(n) => self.restart(n),
                 ClusterOp::Partition(a, b) => self.partition(a, b),
                 ClusterOp::Heal(a, b) => self.heal(a, b),
+                ClusterOp::Pressure(n, pct) => self.set_pressure(n, pct),
             }
         }
         verdict

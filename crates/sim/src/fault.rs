@@ -92,6 +92,10 @@ pub enum FaultAction {
     DupWr { peer: usize },
     /// Stall the next doorbell ring towards peer role `k`.
     StallDoorbell { peer: usize, by_us: u64 },
+    /// Put peer role `k` under memory pressure: the peer daemon must shrink
+    /// its used memory to at most `pct` percent of its budget, voluntarily
+    /// revoking its coldest regions to get there.
+    MemPressure { peer: usize, pct: u8 },
 }
 
 impl fmt::Display for FaultAction {
@@ -113,6 +117,9 @@ impl fmt::Display for FaultAction {
             FaultAction::DupWr { peer } => write!(f, "dup-wr peer#{peer}"),
             FaultAction::StallDoorbell { peer, by_us } => {
                 write!(f, "stall-doorbell peer#{peer} +{by_us}us")
+            }
+            FaultAction::MemPressure { peer, pct } => {
+                write!(f, "mem-pressure peer#{peer} to {pct}%")
             }
         }
     }
@@ -143,6 +150,11 @@ pub struct PlanParams {
     pub allow_controller_partition: bool,
     /// A crash's matching restart fires this many steps later.
     pub restart_after_steps: u64,
+    /// Whether memory-pressure events (peer revocation storms) may be
+    /// scheduled. Defaults to `false` in [`PlanParams::light`]; when off,
+    /// the random draw sequence is identical to plans generated before the
+    /// knob existed, so historical seeds keep replaying byte-for-byte.
+    pub pressure_events: bool,
 }
 
 impl PlanParams {
@@ -156,6 +168,17 @@ impl PlanParams {
             max_concurrent_crashed: f,
             allow_controller_partition: true,
             restart_after_steps: 150,
+            pressure_events: false,
+        }
+    }
+
+    /// A multi-tenant schedule: [`PlanParams::light`] plus memory-pressure
+    /// events, so shared peers revoke regions while the fleet is writing.
+    pub fn multi_tenant(peers: usize, f: usize) -> Self {
+        PlanParams {
+            events: 12,
+            pressure_events: true,
+            ..Self::light(peers, f)
         }
     }
 }
@@ -244,6 +267,12 @@ impl FaultPlan {
                     peer,
                     by_us: 100 + rng.next_below(2_000),
                 },
+                // Guarded on the opt-in so that plans generated with the
+                // knob off consume the same rng draws as before it existed.
+                6 if params.pressure_events => FaultAction::MemPressure {
+                    peer,
+                    pct: (20 + rng.next_below(60)) as u8,
+                },
                 _ => FaultAction::DelayWr {
                     peer,
                     by_us: 50 + rng.next_below(1_000),
@@ -300,6 +329,10 @@ pub enum ClusterOp {
     Partition(NodeId, NodeId),
     /// Restore the link between the pair.
     Heal(NodeId, NodeId),
+    /// Put this node under memory pressure: any peer daemon living on it
+    /// must shrink its used memory to at most the given percentage of its
+    /// budget (consumed via [`Cluster::take_pressure`](crate::Cluster)).
+    Pressure(NodeId, u8),
 }
 
 #[derive(Debug)]
@@ -345,7 +378,8 @@ impl FaultScheduler {
                 | FaultAction::DelayWr { peer: k, .. }
                 | FaultAction::DropWr { peer: k }
                 | FaultAction::DupWr { peer: k }
-                | FaultAction::StallDoorbell { peer: k, .. } => Some(k),
+                | FaultAction::StallDoorbell { peer: k, .. }
+                | FaultAction::MemPressure { peer: k, .. } => Some(k),
                 FaultAction::PartitionController | FaultAction::HealController => None,
             };
             if let Some(k) = role {
@@ -444,6 +478,9 @@ impl FaultScheduler {
                         .entry(node)
                         .or_default()
                         .push(Duration::from_micros(by_us));
+                }
+                FaultAction::MemPressure { peer, pct } => {
+                    ops.push(ClusterOp::Pressure(st.binding.peers[peer], pct));
                 }
             }
         }
@@ -556,6 +593,7 @@ mod tests {
                 max_concurrent_crashed: 2,
                 allow_controller_partition: true,
                 restart_after_steps: 100,
+                pressure_events: false,
             };
             let plan = FaultPlan::random(seed, &params);
             // Replay the step-ordered crash/restart sequence and check the

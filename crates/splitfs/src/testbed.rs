@@ -26,8 +26,16 @@ pub struct TestbedConfig {
     pub ncl: NclConfig,
     /// Number of log peers to start.
     pub peers: usize,
-    /// Memory each peer lends, in bytes.
+    /// Memory each peer lends, in bytes. Overridden by the
+    /// `SPLITFT_PEER_MEM` environment variable (bytes) at
+    /// [`Testbed::start`].
     pub peer_mem: u64,
+    /// When set, every peer runs its periodic GC/pressure thread at this
+    /// interval (epoch leak GC, lease expiry, pressure-signal draining).
+    /// `None` leaves GC caller-driven via [`ncl::Peer::gc_sweep`].
+    /// Overridden by the `SPLITFT_PEER_GC_MS` environment variable
+    /// (milliseconds; `0` disables) at [`Testbed::start`].
+    pub peer_gc_interval: Option<Duration>,
     /// Weak-mode background flush interval.
     pub weak_flush_interval: Duration,
     /// When set, serve the shared telemetry handle over HTTP at this
@@ -50,6 +58,7 @@ impl TestbedConfig {
             ncl: NclConfig::zero(),
             peers,
             peer_mem: 256 << 20,
+            peer_gc_interval: None,
             weak_flush_interval: Duration::from_millis(100),
             scrape_addr: None,
             shards: 0,
@@ -63,6 +72,7 @@ impl TestbedConfig {
             ncl: NclConfig::calibrated(),
             peers,
             peer_mem: 1 << 30,
+            peer_gc_interval: Some(Duration::from_millis(100)),
             weak_flush_interval: Duration::from_secs(1),
             scrape_addr: None,
             shards: 0,
@@ -107,6 +117,16 @@ impl Testbed {
                 config.shards = n;
             }
         }
+        if let Ok(v) = std::env::var("SPLITFT_PEER_MEM") {
+            if let Ok(bytes) = v.trim().parse::<u64>() {
+                config.peer_mem = bytes;
+            }
+        }
+        if let Ok(v) = std::env::var("SPLITFT_PEER_GC_MS") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                config.peer_gc_interval = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+        }
         if config.shards > 0 && config.ncl.runtime.is_none() {
             config.ncl.runtime = Some(NclRuntime::start_with_telemetry(
                 config.shards,
@@ -125,7 +145,7 @@ impl Testbed {
         // ap-map updates and peer membership land in one event trace.
         let controller = Controller::start_with_telemetry(&cluster, config.ncl.telemetry.clone());
         let registry = NclRegistry::with_telemetry(config.ncl.telemetry.clone());
-        let peers = (0..config.peers)
+        let mut peers: Vec<Peer> = (0..config.peers)
             .map(|i| {
                 Peer::start(
                     &cluster,
@@ -137,6 +157,11 @@ impl Testbed {
                 )
             })
             .collect();
+        if let Some(interval) = config.peer_gc_interval {
+            for peer in &mut peers {
+                peer.spawn_gc(interval);
+            }
+        }
         let slo = SloPlane::with_ncl_objectives(config.ncl.telemetry.clone());
         let flight =
             FlightRecorder::with_limits(config.ncl.telemetry.clone(), 32, 64, config.ncl.quorum());
@@ -237,7 +262,7 @@ impl Testbed {
 
     /// Adds one more peer to the pool at runtime.
     pub fn add_peer(&mut self, name: &str) -> &Peer {
-        let peer = Peer::start(
+        let mut peer = Peer::start(
             &self.cluster,
             name,
             self.config.peer_mem,
@@ -245,6 +270,9 @@ impl Testbed {
             &self.controller,
             &self.registry,
         );
+        if let Some(interval) = self.config.peer_gc_interval {
+            peer.spawn_gc(interval);
+        }
         self.peers.push(peer);
         self.peers.last().expect("just pushed")
     }

@@ -158,6 +158,11 @@ impl Telemetry {
         self.counter(name).get()
     }
 
+    /// Convenience point read of a gauge (0 when absent or disabled).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauge(name).get()
+    }
+
     /// Full (bucket-level) contents of every registered histogram, for
     /// exporters that need more than a [`Summary`].
     pub fn histograms_full(&self) -> Vec<(String, Histogram)> {

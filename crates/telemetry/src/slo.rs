@@ -268,6 +268,14 @@ pub struct SaturationSnapshot {
     /// `1000 * max / mean` of per-shard window throughput; 1000 means
     /// perfectly balanced, 0 means idle or unsharded.
     pub shard_imbalance_milli: u64,
+    /// Fleet-wide peer memory utilisation in percent (from the
+    /// `peer.mem.used_bytes` / `peer.mem.total_bytes` gauges; 0 when no
+    /// peer daemon shares the registry).
+    pub peer_mem_used_pct: u64,
+    /// Regions voluntarily revoked by peers during the tick — sustained
+    /// non-zero values mean tenants are being forced through replace/
+    /// catch-up and the peer plane is undersized.
+    pub peer_mem_revoked_delta: u64,
     /// Per-shard detail, ordered by shard index.
     pub shards: Vec<ShardSaturation>,
 }
@@ -286,8 +294,12 @@ impl SaturationSnapshot {
             .collect::<Vec<_>>()
             .join(", ");
         format!(
-            "{{\"window_stall_delta\": {}, \"doorbell_p99_ns\": {}, \"shard_imbalance_milli\": {}, \"shards\": [{shards}]}}",
-            self.window_stall_delta, self.doorbell_p99_ns, self.shard_imbalance_milli
+            "{{\"window_stall_delta\": {}, \"doorbell_p99_ns\": {}, \"shard_imbalance_milli\": {}, \"peer_mem_used_pct\": {}, \"peer_mem_revoked_delta\": {}, \"shards\": [{shards}]}}",
+            self.window_stall_delta,
+            self.doorbell_p99_ns,
+            self.shard_imbalance_milli,
+            self.peer_mem_used_pct,
+            self.peer_mem_revoked_delta
         )
     }
 }
@@ -296,6 +308,7 @@ impl SaturationSnapshot {
 #[derive(Default)]
 struct SaturationTracker {
     last_stall: u64,
+    last_revoked: u64,
     /// Last cumulative snapshot per shard metric name.
     last_hists: std::collections::BTreeMap<String, Histogram>,
 }
@@ -305,6 +318,17 @@ impl SaturationTracker {
         let stall = tel.counter_value("ncl.window.stall");
         let window_stall_delta = stall.saturating_sub(self.last_stall);
         self.last_stall = stall;
+
+        let revoked = tel.counter_value("peer.mem.revoked_regions");
+        let peer_mem_revoked_delta = revoked.saturating_sub(self.last_revoked);
+        self.last_revoked = revoked;
+        let mem_total = tel.gauge_value("peer.mem.total_bytes").max(0) as u64;
+        let mem_used = tel.gauge_value("peer.mem.used_bytes").max(0) as u64;
+        let peer_mem_used_pct = if mem_total == 0 {
+            0
+        } else {
+            (mem_used as u128 * 100 / mem_total as u128) as u64
+        };
 
         let mut shards: Vec<ShardSaturation> = Vec::new();
         for (name, hist) in hists {
@@ -347,6 +371,8 @@ impl SaturationTracker {
             window_stall_delta,
             doorbell_p99_ns,
             shard_imbalance_milli,
+            peer_mem_used_pct,
+            peer_mem_revoked_delta,
             shards,
         }
     }
@@ -570,6 +596,12 @@ impl SloPlane {
         self.tel
             .gauge("slo.saturation.shard_imbalance_milli")
             .set(sat.shard_imbalance_milli.min(i64::MAX as u64) as i64);
+        self.tel
+            .gauge("slo.saturation.peer_mem_used_pct")
+            .set(sat.peer_mem_used_pct.min(i64::MAX as u64) as i64);
+        self.tel
+            .gauge("slo.saturation.peer_mem_revoked")
+            .set(sat.peer_mem_revoked_delta.min(i64::MAX as u64) as i64);
     }
 }
 
@@ -775,6 +807,23 @@ mod tests {
         let report = plane.tick();
         assert_eq!(report.saturation.window_stall_delta, 0);
         assert_eq!(report.saturation.shard_imbalance_milli, 0);
+    }
+
+    #[test]
+    fn saturation_reads_peer_memory_pressure() {
+        let tel = Telemetry::new();
+        let plane = SloPlane::new(tel.clone());
+        tel.gauge("peer.mem.total_bytes").set(1000);
+        tel.gauge("peer.mem.used_bytes").set(800);
+        tel.counter("peer.mem.revoked_regions").add(3);
+        let report = plane.tick();
+        assert_eq!(report.saturation.peer_mem_used_pct, 80);
+        assert_eq!(report.saturation.peer_mem_revoked_delta, 3);
+        assert!(report.to_json().contains("\"peer_mem_used_pct\": 80"));
+        // Second tick: the revocation delta resets, utilisation persists.
+        let report = plane.tick();
+        assert_eq!(report.saturation.peer_mem_revoked_delta, 0);
+        assert_eq!(report.saturation.peer_mem_used_pct, 80);
     }
 
     #[test]

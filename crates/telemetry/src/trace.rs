@@ -74,10 +74,20 @@ pub mod events {
     pub const SPILL_FINISH: &str = "ncl-spill-finish";
     /// The spill sink rejected a snapshot store; the demotion is retried.
     pub const SPILL_FAIL: &str = "ncl-spill-fail";
+    /// A peer voluntarily revoked a region under memory pressure (§4.5.2);
+    /// the owning application observes the next write fail and runs the
+    /// ordinary replace/catch-up path.
+    pub const REGION_REVOKE: &str = "region-revoke";
+    /// Memory pressure was applied to a peer (operator or fault injection);
+    /// the detail carries the target utilisation.
+    pub const PEER_PRESSURE: &str = "peer-pressure";
+    /// A region's epoch lease expired with its owning application confirmed
+    /// dead at the controller; the leak GC reclaimed it.
+    pub const LEASE_EXPIRE: &str = "lease-expire";
 
     /// Every well-known kind, used by the JSONL replay path to intern parsed
     /// kind strings back to the canonical `&'static str` values.
-    pub const ALL: [&str; 21] = [
+    pub const ALL: [&str; 24] = [
         PEER_FAILURE,
         PEER_REPLACE_START,
         PEER_REPLACE_FINISH,
@@ -99,6 +109,9 @@ pub mod events {
         SPILL_START,
         SPILL_FINISH,
         SPILL_FAIL,
+        REGION_REVOKE,
+        PEER_PRESSURE,
+        LEASE_EXPIRE,
     ];
 }
 

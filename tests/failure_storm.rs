@@ -60,11 +60,50 @@ fn acked_writes_survive_a_peer_failure_storm() {
         });
         assert!(acked > 0, "some writes must succeed during the storm");
 
-        // Crash the application; recover on a fresh node; audit.
+        // A crash+restart wipes a peer's regions, so the storm's f = 1
+        // budget is only honored if each wiped copy is repaired before the
+        // next fault lands. The writer does that as a side effect of its
+        // puts, but on a starved host the fixed 17 ms cadence can outrun
+        // it and wipe every copy during an idle stretch. Settle with all
+        // peers alive: one acknowledged put re-replicates the full log to
+        // a write quorum, restoring the budget's precondition before the
+        // final application crash.
+        let mut settled = false;
+        for _ in 0..400 {
+            if db.put(b"zz-settle", b"storm-value").is_ok() {
+                settled = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            settled,
+            "seed {seed}: post-storm settle write never succeeded"
+        );
+
+        // Crash the application; recover on a fresh node; audit. Recovery
+        // reads carry wall-clock RPC deadlines, so on an oversubscribed
+        // host a quorum can look unavailable even with every peer alive;
+        // retry the remount like a real recovering client would, bounded
+        // so a genuine loss of quorum still fails the test.
         tb.cluster.crash(app_node);
         drop(db);
-        let (fs2, _) = tb.mount(Mode::SplitFt, "storm");
-        let db = MiniRocks::open(fs2, "db/", RocksOptions::default()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let db = loop {
+            let (fs2, node) = tb.mount(Mode::SplitFt, "storm");
+            match MiniRocks::open(fs2, "db/", RocksOptions::default()) {
+                Ok(db) => break db,
+                Err(err) => {
+                    // Release the instance lock so the next attempt mounts.
+                    tb.cluster.crash(node);
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "seed {seed}: recovery never reached quorum: {err:?}"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
         for i in 0..acked {
             assert_eq!(
                 db.get(format!("key{i:06}").as_bytes()).unwrap(),
