@@ -28,7 +28,7 @@ use bench::{BenchJson, NCL_STAGES};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ncl::{Durability, MemSpillSink, NclLib, NclRuntime};
 use splitfs::{Testbed, TestbedConfig};
-use telemetry::Telemetry;
+use telemetry::{OnlineMonitor, Telemetry};
 
 const RECORD_SIZE: usize = 32;
 const BATCH: u64 = 64;
@@ -150,17 +150,21 @@ fn burst_sweep(c: &mut Criterion) {
     }
 }
 
-/// The telemetry-overhead smoke gate, now a three-mode sweep of the same
+/// The telemetry-overhead smoke gate, now a four-mode sweep of the same
 /// burst-16 coalesced workload:
 ///
 /// * `telemetry_off` — every handle dead, no flights kept (baseline);
 /// * `telemetry_on`  — counters/histograms live, causal tracing off;
 /// * `tracing_on`    — full causal tracing: trace ids allocated and
-///   stage/doorbell/wire/ack span trees recorded per write.
+///   stage/doorbell/wire/ack span trees recorded per write;
+/// * `monitor_on`    — tracing plus the streaming invariant monitor
+///   subscribed to the live span/event stream (always-on verification).
 ///
-/// Two gates CI holds the line on: metrics must keep ≥90% of the
-/// uninstrumented throughput, and tracing must keep ≥90% of the
-/// metrics-only throughput (the issue's ≤10%-on-batched-hot-path budget).
+/// Three gates CI holds the line on: metrics must keep ≥90% of the
+/// uninstrumented throughput, tracing must keep ≥90% of the metrics-only
+/// throughput (the issue's ≤10%-on-batched-hot-path budget), and the online
+/// monitor must keep ≥95% of the tracing throughput — verification is
+/// supposed to ride the existing stream, not tax the hot path.
 fn telemetry_overhead(c: &mut Criterion) {
     let tb = Testbed::start(TestbedConfig::calibrated(3));
     // Hosted on a single-shard runtime: window stalls park on the published
@@ -174,13 +178,15 @@ fn telemetry_overhead(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(3));
     let data = vec![0x5Au8; RECORD_SIZE];
-    for mode in ["telemetry_off", "telemetry_on", "tracing_on"] {
+    for mode in ["telemetry_off", "telemetry_on", "tracing_on", "monitor_on"] {
         let telemetry = if mode == "telemetry_off" {
             Telemetry::disabled()
         } else {
             Telemetry::new()
         };
-        telemetry.set_tracing(mode == "tracing_on");
+        telemetry.set_tracing(mode == "tracing_on" || mode == "monitor_on");
+        let monitor = (mode == "monitor_on")
+            .then(|| OnlineMonitor::attach(&telemetry, tb.config().ncl.quorum()));
         let tag = format!("bench-batch-{mode}");
         let lib = batch_lib(&tb, true, &tag, telemetry, Some(Arc::clone(&runtime)));
         let file = lib.create("wal", CAPACITY).unwrap();
@@ -202,6 +208,14 @@ fn telemetry_overhead(c: &mut Criterion) {
         });
         file.fsync().unwrap();
         file.release().unwrap();
+        if let Some(monitor) = monitor {
+            let verdict = monitor.finalize();
+            assert!(
+                verdict.violations.is_empty(),
+                "online monitor flagged the healthy bench workload: {}",
+                verdict.to_json()
+            );
+        }
     }
     group.finish();
 
@@ -230,6 +244,13 @@ fn telemetry_overhead(c: &mut Criterion) {
         tracing_ratio >= 0.9,
         "tracing overhead gate: span-tree recording cost more than 10% of \
          the batched hot path (ratio {tracing_ratio:.3})"
+    );
+    let monitor_ratio = per_second("monitor_on") / per_second("tracing_on");
+    println!("ncl_batch: monitor/tracing throughput ratio = {monitor_ratio:.3}");
+    assert!(
+        monitor_ratio >= 0.95,
+        "online-monitor overhead gate: streaming invariant checks cost more \
+         than 5% of the traced hot path (ratio {monitor_ratio:.3})"
     );
 }
 

@@ -1,0 +1,227 @@
+//! CI perf-trajectory gate: diff a freshly emitted `BENCH_*.json` against
+//! the checked-in trend file and fail on regression.
+//!
+//! The trend files record where performance *was*; this gate makes CI
+//! enforce where it *is*. Every result row present in the baseline must
+//! still exist in the fresh file and stay inside its tolerance band:
+//!
+//! - `per_second` (throughput) must keep at least `1 - tol` of the
+//!   baseline — a drop beyond the band is a regression;
+//! - `mean_ns`, `p50_ns`, `p99_ns` (latency) must not exceed the baseline
+//!   by more than their band — tails get a wider one because they are the
+//!   noisiest metric the harnesses report.
+//!
+//! The bands are per-metric, not global, and deliberately wide by default:
+//! CI hosts differ from the machines that produced the checked-in numbers,
+//! and smoke runs use short criterion windows, so the default gate catches
+//! cliffs (a lost fast path, an accidental O(n²)), not noise. Tighten with
+//! the env knobs when comparing like-for-like runs:
+//!
+//! - `BENCH_DIFF_TOL_THROUGHPUT` (default 0.5: fresh >= 50% of baseline)
+//! - `BENCH_DIFF_TOL_MEAN`       (default 1.0: fresh <= 2x baseline)
+//! - `BENCH_DIFF_TOL_TAIL`       (default 2.0: fresh <= 3x baseline)
+//!
+//! A result row that disappears from the fresh file is a regression (a
+//! bench that silently stopped measuring is worse than a slow one); new
+//! rows are reported but never fail. Improvements never fail.
+//!
+//! Usage: `cargo run -p bench --bin bench_diff -- <fresh.json> <baseline.json>`
+//! Exits 0 when every shared row is inside its band, 1 otherwise.
+
+use std::collections::BTreeMap;
+
+/// One parsed result row: metric name → value, from the line-oriented JSON
+/// [`bench::BenchJson`] emits (one `{"id": ...}` object per line).
+type Row = BTreeMap<String, f64>;
+
+/// Parses every result row of a `BENCH_*.json` body into `id → metrics`.
+fn parse_rows(body: &str) -> BTreeMap<String, Row> {
+    let mut rows = BTreeMap::new();
+    for line in body.lines() {
+        let Some(id) = field_str(line, "id") else {
+            continue;
+        };
+        let mut row = Row::new();
+        for metric in ["mean_ns", "per_second", "p50_ns", "p99_ns"] {
+            if let Some(v) = field_num(line, metric) {
+                row.insert(metric.to_string(), v);
+            }
+        }
+        if !row.is_empty() {
+            rows.insert(id, row);
+        }
+    }
+    rows
+}
+
+/// Extracts `"key": "value"` from one line, unescaping nothing: ids are
+/// compared verbatim between the two files, so escapes cancel out.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(&format!("\"{key}\": \"")).nth(1)?;
+    // The id may contain escaped quotes; scan to the first unescaped one.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                out.push(c);
+                if let Some(next) = chars.next() {
+                    out.push(next);
+                }
+            }
+            '"' => return Some(out),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": <number>` from one line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    line.split(&format!("\"{key}\": "))
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Tolerance band for one metric, from its env knob or the default.
+fn tolerance(metric: &str) -> f64 {
+    let (var, default) = match metric {
+        "per_second" => ("BENCH_DIFF_TOL_THROUGHPUT", 0.5),
+        "mean_ns" | "p50_ns" => ("BENCH_DIFF_TOL_MEAN", 1.0),
+        _ => ("BENCH_DIFF_TOL_TAIL", 2.0),
+    };
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Checks one metric of one row; returns a human-readable verdict when it
+/// regressed past its band, `None` when it is inside (or improved).
+fn regression(metric: &str, fresh: f64, base: f64) -> Option<String> {
+    if base <= 0.0 {
+        return None; // Degenerate baseline; nothing meaningful to gate.
+    }
+    let tol = tolerance(metric);
+    let ratio = fresh / base;
+    let bad = if metric == "per_second" {
+        ratio < 1.0 - tol
+    } else {
+        ratio > 1.0 + tol
+    };
+    bad.then(|| {
+        format!(
+            "{metric} {fresh:.1} vs baseline {base:.1} ({ratio:.2}x, band {}{:.0}%)",
+            if metric == "per_second" { "-" } else { "+" },
+            tol * 100.0
+        )
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, base_path] = &args[..] else {
+        eprintln!("usage: bench_diff <fresh.json> <baseline.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: unreadable: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = parse_rows(&read(fresh_path));
+    let base = parse_rows(&read(base_path));
+    if base.is_empty() {
+        eprintln!("{base_path}: no result rows — not a BenchJson trend file?");
+        std::process::exit(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (id, base_row) in &base {
+        let Some(fresh_row) = fresh.get(id) else {
+            println!("REGRESSION {id}: present in baseline, missing from fresh run");
+            regressions += 1;
+            continue;
+        };
+        for (metric, base_val) in base_row {
+            let Some(fresh_val) = fresh_row.get(metric) else {
+                println!("REGRESSION {id}: metric {metric} disappeared");
+                regressions += 1;
+                continue;
+            };
+            compared += 1;
+            if let Some(why) = regression(metric, *fresh_val, *base_val) {
+                println!("REGRESSION {id}: {why}");
+                regressions += 1;
+            }
+        }
+    }
+    for id in fresh.keys() {
+        if !base.contains_key(id) {
+            println!("new (not gated): {id}");
+        }
+    }
+
+    println!(
+        "bench_diff: {} rows, {compared} metrics compared, {regressions} regression(s)",
+        base.len()
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "schema_version": 2,
+  "bench": "demo",
+  "results": [
+    {"id": "demo/a", "mean_ns": 100.0, "per_second": 1000.0},
+    {"id": "demo/b", "mean_ns": 200.0, "per_second": 500.0, "p50_ns": 150, "p99_ns": 900}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_rows_and_metrics() {
+        let rows = parse_rows(DOC);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows["demo/a"]["per_second"], 1000.0);
+        assert_eq!(rows["demo/b"]["p99_ns"], 900.0);
+        assert!(!rows["demo/a"].contains_key("p99_ns"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_ids_survive() {
+        let body = r#"    {"id": "io/4KB \"quoted\"", "mean_ns": 1.0, "per_second": 2.0}"#;
+        let rows = parse_rows(body);
+        assert_eq!(rows.len(), 1);
+        assert!(rows.keys().next().unwrap().contains("quoted"));
+    }
+
+    #[test]
+    fn bands_gate_the_right_direction() {
+        // Throughput: a drop past the band fails, a gain never does.
+        assert!(regression("per_second", 400.0, 1000.0).is_some());
+        assert!(regression("per_second", 600.0, 1000.0).is_none());
+        assert!(regression("per_second", 5000.0, 1000.0).is_none());
+        // Latency: growth past the band fails, shrinkage never does.
+        assert!(regression("mean_ns", 2100.0, 1000.0).is_some());
+        assert!(regression("mean_ns", 1900.0, 1000.0).is_none());
+        assert!(regression("mean_ns", 10.0, 1000.0).is_none());
+        // Tails get the widest band.
+        assert!(regression("p99_ns", 2900.0, 1000.0).is_none());
+        assert!(regression("p99_ns", 3100.0, 1000.0).is_some());
+        // A zero baseline gates nothing.
+        assert!(regression("per_second", 0.0, 0.0).is_none());
+    }
+}

@@ -9,13 +9,28 @@
 //! Paper shape: all three are comparable (hundreds of ms for a 60 MB log,
 //! dominated by application-level parsing); NCL is modestly slower than
 //! DFS (4%–2x) because of its extra protocol steps.
+//!
+//! Besides the console table, emits `BENCH_fig11b_recovery_time.json`
+//! (schema v2): one result row per (app, config) with the recovery wall
+//! time, plus a `recovery_phases` section mapping each run onto the
+//! five-phase breakdown (detect → acquire → catch-up → ap-map →
+//! first-ack): detect is the crash-to-remount interval, acquire is
+//! get-peer + connect, catch-up the RDMA read-back, ap-map the peer
+//! resynchronisation ([`RecoveryStats::sync_peer`] — catch-up of stale
+//! peers + the ap-map update), and first-ack the application-level parse
+//! until it serves again. Non-NCL configs recover from a file image, so
+//! everything lands in detect + first-ack.
+//!
+//! [`RecoveryStats::sync_peer`]: ncl::RecoveryStats
 
 use std::time::Duration;
 
 use apps::miniredis::{Command, MiniRedis, RedisOptions};
 use apps::minirocks::{MiniRocks, RocksOptions};
 use apps::minisql::{MiniSql, SqlOptions};
-use bench::{calibrated_testbed, f1, header, quick, row, AppKind};
+use bench::{
+    calibrated_testbed, f1, header, quick, row, AppKind, BenchJson, RecoveryPhases, NCL_STAGES,
+};
 use sim::Stopwatch;
 use splitfs::{Mode, SplitFs, Testbed};
 
@@ -105,6 +120,10 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+fn ns(d: Duration) -> u64 {
+    d.as_nanos() as u64
+}
+
 fn main() {
     // The paper recovers a 60 MB log; scale down for the simulated host.
     let target = if quick() { 1 << 20 } else { 6 << 20 };
@@ -124,6 +143,24 @@ fn main() {
         "parse".into(),
     ]);
 
+    let mut json = BenchJson::new("fig11b_recovery_time");
+    let mut phase_rows: Vec<(String, RecoveryPhases)> = Vec::new();
+    // Snapshot of the last SplitFT testbed: its log build ran through the
+    // full NCL record pipeline, populating every stage histogram for the
+    // trend file's schema gate.
+    let mut stage_snap: Option<telemetry::TelemetrySnapshot> = None;
+
+    let mut emit =
+        |json: &mut BenchJson, label: String, total: Duration, phases: RecoveryPhases| {
+            let total_ns = ns(total) as f64;
+            json.result(
+                &format!("fig11b_recovery_time/{label}"),
+                total_ns,
+                1e9 / total_ns,
+            );
+            phase_rows.push((label, phases));
+        };
+
     for kind in AppKind::all() {
         for (name, mode) in [("SplitFT", Mode::SplitFt), ("DFT", Mode::StrongDft)] {
             let tb: Testbed = calibrated_testbed();
@@ -131,8 +168,13 @@ fn main() {
             let (fs, node) = tb.mount(mode, &app_id);
             build_log(kind, fs, target);
             tb.cluster.crash(node);
+            // The crash-to-remount interval is the breakdown's detect
+            // phase: noticing the dead server and re-establishing a mount.
+            let sw = Stopwatch::start();
             let (fs2, _) = tb.mount(mode, &app_id);
+            let detect = sw.elapsed();
             let total = recover(kind, fs2.clone(), target);
+            let label = format!("{}/{name}", kind.name());
             if let Some(stats) = fs2.last_ncl_recovery() {
                 let parse = total
                     .saturating_sub(stats.get_peer)
@@ -149,6 +191,18 @@ fn main() {
                     f1(ms(stats.sync_peer)),
                     f1(ms(parse)),
                 ]);
+                emit(
+                    &mut json,
+                    label,
+                    total,
+                    RecoveryPhases {
+                        detect_ns: ns(detect),
+                        acquire_ns: ns(stats.get_peer + stats.connect),
+                        catch_up_ns: ns(stats.rdma_read),
+                        ap_map_ns: ns(stats.sync_peer),
+                        first_ack_ns: ns(parse),
+                    },
+                );
             } else {
                 row(&[
                     kind.name().into(),
@@ -160,6 +214,19 @@ fn main() {
                     "-".into(),
                     f1(ms(total)),
                 ]);
+                emit(
+                    &mut json,
+                    label,
+                    total,
+                    RecoveryPhases {
+                        detect_ns: ns(detect),
+                        first_ack_ns: ns(total),
+                        ..RecoveryPhases::default()
+                    },
+                );
+            }
+            if name == "SplitFT" {
+                stage_snap = Some(tb.config().ncl.telemetry.snapshot());
             }
         }
         // Local ext4 baseline: same store, cold page cache.
@@ -167,11 +234,13 @@ fn main() {
         let (fs, _) = tb.mount(Mode::Local, &format!("f11b-{}-local", kind.name()));
         build_log(kind, fs.clone(), target);
         // Evict the page cache to model a reboot.
+        let sw = Stopwatch::start();
         for path in fs.list("").unwrap() {
             if let Some(local) = fs_local(&fs) {
                 local.drop_cache(&path);
             }
         }
+        let detect = sw.elapsed();
         let total = recover(kind, fs, target);
         row(&[
             kind.name().into(),
@@ -183,11 +252,43 @@ fn main() {
             "-".into(),
             f1(ms(total)),
         ]);
+        emit(
+            &mut json,
+            format!("{}/local-ext4", kind.name()),
+            total,
+            RecoveryPhases {
+                detect_ns: ns(detect),
+                first_ack_ns: ns(total),
+                ..RecoveryPhases::default()
+            },
+        );
     }
     println!(
         "\npaper shape: NCL recovery within ~2x of DFS; both within the same order as \
          local ext4; application-level parse dominates"
     );
+
+    let rendered: Vec<String> = phase_rows
+        .iter()
+        .map(|(label, phases)| {
+            format!(
+                "    \"{}\": {}",
+                telemetry::json_escape(label),
+                phases.to_json()
+            )
+        })
+        .collect();
+    json.section(
+        "recovery_phases",
+        format!("{{\n{}\n  }}", rendered.join(",\n")),
+    );
+    json.stage_breakdown(
+        stage_snap
+            .as_ref()
+            .expect("SplitFT runs populate NCL stages"),
+        &NCL_STAGES,
+    );
+    json.write();
 }
 
 /// The Local mode facade shares one LocalFs; reach it for cache eviction.

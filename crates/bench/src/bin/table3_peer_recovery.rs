@@ -10,14 +10,54 @@
 //! by fresh memory-region registration, with the caveat that a pooled
 //! pre-registered region makes the common case much cheaper (which the
 //! pooled-allocation row demonstrates).
+//!
+//! Besides the console table, emits `BENCH_table3_peer_recovery.json`
+//! (schema v2): one result row per variant plus a `recovery_phases`
+//! section with the five-phase breakdown (detect → acquire → catch-up →
+//! ap-map → first-ack). The middle three phases come from
+//! [`repair_stats`]; the detect and first-ack edges are reconstructed from
+//! the `ncl.repair` / `ncl.write` span roots of the tripping record.
+//!
+//! [`repair_stats`]: ncl::NclFile::repair_stats
 
-use bench::{calibrated_testbed, f1, header, quick, row};
+use bench::{calibrated_testbed, f1, header, quick, row, BenchJson, RecoveryPhases, NCL_STAGES};
 use ncl::NclLib;
 use sim::Stopwatch;
+use telemetry::spans;
+
+/// Reconstructs the detect and first-ack edges of the five-phase breakdown
+/// from the span ring: detect runs from the tripping record's staging until
+/// the repair root opens; first-ack from the repair root closing until the
+/// record's quorum ack (its `ncl.write` root closes). Falls back to the
+/// wall-clock residual when a root is missing (tracing raced the ack).
+fn edge_phases(ring: &[telemetry::Span], wall_ns: u64, middle_ns: u64) -> (u64, u64) {
+    let repair = ring
+        .iter()
+        .rev()
+        .find(|s| s.name == spans::NCL_REPAIR && s.parent == 0);
+    let write = ring
+        .iter()
+        .rev()
+        .find(|s| s.name == spans::NCL_WRITE && s.parent == 0);
+    let staged = write.and_then(|w| {
+        ring.iter()
+            .find(|s| s.trace == w.trace && s.name == spans::NCL_STAGE)
+    });
+    let detect = match (repair, staged) {
+        (Some(r), Some(s)) => r.start_ns.saturating_sub(s.start_ns),
+        _ => 0,
+    };
+    let first_ack = match (repair, write) {
+        (Some(r), Some(w)) => w.end_ns.saturating_sub(r.end_ns),
+        _ => wall_ns.saturating_sub(middle_ns + detect),
+    };
+    (detect, first_ack)
+}
 
 fn main() {
     let tb = calibrated_testbed();
     let log_bytes: usize = if quick() { 6 << 20 } else { 60 << 20 };
+    let tel = tb.config().ncl.telemetry.clone();
 
     header(&format!(
         "Table 3: peer replacement breakdown for a {} log",
@@ -66,25 +106,42 @@ fn main() {
             let _ = spare;
         }
         // Crash one assigned peer; the next record performs the repair.
+        // Spans trace only the tripping record (tracing flips on here), so
+        // the ring holds exactly the repair chain the breakdown needs.
         let victim = file.peer_names()[0].clone();
         let victim_node = tb.peer_named(&victim).unwrap().node();
         tb.cluster.crash(victim_node);
+        tel.set_tracing(true);
         let sw = Stopwatch::start();
         file.record(0, b"trigger-repair").unwrap();
         let wall = sw.elapsed();
         let stats = file.repair_stats();
-        results.push((pooled, stats, wall));
+        let ring = tel.spans();
+        tel.set_tracing(false);
+
+        let ns = |d: std::time::Duration| d.as_nanos() as u64;
+        let middle_ns =
+            ns(stats.get_peer + stats.connect_mr + stats.catch_up + stats.update_ap_map);
+        let (detect_ns, first_ack_ns) = edge_phases(&ring, ns(wall), middle_ns);
+        let phases = RecoveryPhases {
+            detect_ns,
+            acquire_ns: ns(stats.get_peer + stats.connect_mr),
+            catch_up_ns: ns(stats.catch_up),
+            ap_map_ns: ns(stats.update_ap_map),
+            first_ack_ns,
+        };
+        results.push((pooled, stats, wall, phases));
         tb.cluster.restart(victim_node);
     }
 
-    let (_, fresh, fresh_wall) = results
+    let (_, fresh, fresh_wall, fresh_phases) = results
         .iter()
-        .find(|(p, _, _)| !*p)
+        .find(|(p, _, _, _)| !*p)
         .cloned()
         .expect("fresh run");
-    let (_, pooled, pooled_wall) = results
+    let (_, pooled, pooled_wall, pooled_phases) = results
         .iter()
-        .find(|(p, _, _)| *p)
+        .find(|(p, _, _, _)| *p)
         .cloned()
         .expect("pooled run");
 
@@ -123,4 +180,26 @@ fn main() {
         "\npaper shape: MR registration dominates a fresh replacement; a pooled \
          pre-registered region cuts it dramatically (§5.4.3's 'much lower' case)"
     );
+
+    let mut json = BenchJson::new("table3_peer_recovery");
+    for (name, wall) in [("fresh", fresh_wall), ("pooled", pooled_wall)] {
+        let wall_ns = wall.as_nanos() as f64;
+        json.result(
+            &format!("table3_peer_recovery/{name}"),
+            wall_ns,
+            1e9 / wall_ns,
+        );
+    }
+    json.section(
+        "recovery_phases",
+        format!(
+            "{{\n    \"fresh\": {},\n    \"pooled\": {}\n  }}",
+            fresh_phases.to_json(),
+            pooled_phases.to_json()
+        ),
+    );
+    // The log fill ran through the full record pipeline, so the cumulative
+    // NCL stage summaries are populated for the schema gate.
+    json.stage_breakdown(&tel.snapshot(), &NCL_STAGES);
+    json.write();
 }

@@ -20,6 +20,8 @@ fn main() {
             "ncl_mt",
             "latency_under_load",
             "fig10_ycsb",
+            "fig11b_recovery_time",
+            "table3_peer_recovery",
         ]
         .iter()
         .map(|b| {

@@ -327,6 +327,43 @@ impl BenchJson {
     }
 }
 
+/// The five-phase recovery breakdown the recovery bins stamp into their
+/// `recovery_phases` section, all in nanoseconds: `detect` (failure or
+/// crash noticed → recovery begins), `acquire` (new peer from the
+/// controller + connect/MR setup), `catch_up` (replaying the image onto
+/// the replacement / RDMA-reading it back), `ap_map` (publishing the new
+/// placement), `first_ack` (recovery done → the application's next write
+/// acks, or the replayed app is serving again).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryPhases {
+    pub detect_ns: u64,
+    pub acquire_ns: u64,
+    pub catch_up_ns: u64,
+    pub ap_map_ns: u64,
+    pub first_ack_ns: u64,
+}
+
+impl RecoveryPhases {
+    /// Sum of the five phases.
+    pub fn total_ns(&self) -> u64 {
+        self.detect_ns + self.acquire_ns + self.catch_up_ns + self.ap_map_ns + self.first_ack_ns
+    }
+
+    /// Renders the breakdown as one JSON object (one line, phase order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"detect_ns\": {}, \"acquire_ns\": {}, \"catch_up_ns\": {}, \
+             \"ap_map_ns\": {}, \"first_ack_ns\": {}, \"total_ns\": {}}}",
+            self.detect_ns,
+            self.acquire_ns,
+            self.catch_up_ns,
+            self.ap_map_ns,
+            self.first_ack_ns,
+            self.total_ns()
+        )
+    }
+}
+
 /// The per-record NCL span histograms, in lifecycle order. `e2e` is the
 /// whole submit-to-majority-durable interval; the first four partition it.
 pub const NCL_STAGES: [&str; 5] = [
@@ -478,6 +515,48 @@ pub fn validate_bench_json(body: &str) -> Result<(), String> {
             }
         }
     }
+    // The recovery bins must carry the five-phase breakdown (detect →
+    // acquire → catch-up → ap-map → first-ack) for every expected row, so
+    // a port that dropped a variant (or renamed a phase out from under the
+    // trend tooling) fails instead of shipping a hollow trend point.
+    let recovery_rows: &[(&str, &[&str])] = &[
+        ("table3_peer_recovery", &["fresh", "pooled"]),
+        (
+            "fig11b_recovery_time",
+            &[
+                "rocksdb/SplitFT",
+                "rocksdb/DFT",
+                "rocksdb/local-ext4",
+                "redis/SplitFT",
+                "sqlite/SplitFT",
+            ],
+        ),
+    ];
+    for (bench, rows) in recovery_rows {
+        if !body.contains(&format!("\"bench\": \"{bench}\"")) {
+            continue;
+        }
+        if !body.contains("\"recovery_phases\"") {
+            return Err(format!("{bench} is missing the recovery_phases section"));
+        }
+        for key in *rows {
+            let line = body
+                .lines()
+                .find(|l| l.trim_start().starts_with(&format!("\"{key}\":")))
+                .ok_or_else(|| format!("recovery_phases is missing the {key} row"))?;
+            for phase in [
+                "detect_ns",
+                "acquire_ns",
+                "catch_up_ns",
+                "ap_map_ns",
+                "first_ack_ns",
+            ] {
+                if !line.contains(&format!("\"{phase}\":")) {
+                    return Err(format!("recovery_phases row {key} is missing {phase}"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -578,6 +657,8 @@ mod tests {
             "ncl_mt",
             "latency_under_load",
             "fig10_ycsb",
+            "fig11b_recovery_time",
+            "table3_peer_recovery",
         ] {
             let path = format!(
                 concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
@@ -744,5 +825,73 @@ mod tests {
         assert!(validate_bench_json(&incomplete)
             .unwrap_err()
             .contains("copies_of_memory"));
+    }
+
+    /// The recovery bins must carry a complete five-phase breakdown for
+    /// every expected variant row; other benches are exempt.
+    #[test]
+    fn validator_requires_recovery_phase_breakdown() {
+        let flat = valid_bench_doc();
+        assert!(validate_bench_json(&flat).is_ok());
+        let t3 = flat.replace("\"bench\": \"demo\"", "\"bench\": \"table3_peer_recovery\"");
+        assert!(validate_bench_json(&t3)
+            .unwrap_err()
+            .contains("recovery_phases"));
+
+        let phases = RecoveryPhases {
+            detect_ns: 10,
+            acquire_ns: 20,
+            catch_up_ns: 30,
+            ap_map_ns: 40,
+            first_ack_ns: 50,
+        };
+        assert_eq!(phases.total_ns(), 150);
+        let section = format!(
+            "\"recovery_phases\": {{\n    \"fresh\": {},\n    \"pooled\": {}\n  }},",
+            phases.to_json(),
+            phases.to_json()
+        );
+        let with_phases = t3.replace(
+            "\"stage_breakdown\": {",
+            &format!("{section}\n  \"stage_breakdown\": {{"),
+        );
+        validate_bench_json(&with_phases).expect("complete breakdown must validate");
+
+        // Losing a variant row fails by name.
+        let no_pooled = with_phases.replace("\"pooled\":", "\"other\":");
+        assert!(validate_bench_json(&no_pooled)
+            .unwrap_err()
+            .contains("pooled"));
+        // A row missing a phase fails by phase name.
+        let no_ap_map = with_phases.replace("\"ap_map_ns\":", "\"ap_nap_ns\":");
+        assert!(validate_bench_json(&no_ap_map)
+            .unwrap_err()
+            .contains("ap_map_ns"));
+
+        // The fig11b variant checks its own (app, config) rows.
+        let f11 = flat.replace("\"bench\": \"demo\"", "\"bench\": \"fig11b_recovery_time\"");
+        assert!(validate_bench_json(&f11)
+            .unwrap_err()
+            .contains("recovery_phases"));
+        let rows: Vec<String> = [
+            "rocksdb/SplitFT",
+            "rocksdb/DFT",
+            "rocksdb/local-ext4",
+            "redis/SplitFT",
+            "sqlite/SplitFT",
+        ]
+        .iter()
+        .map(|k| format!("    \"{k}\": {}", phases.to_json()))
+        .collect();
+        let section = format!("\"recovery_phases\": {{\n{}\n  }},", rows.join(",\n"));
+        let with_rows = f11.replace(
+            "\"stage_breakdown\": {",
+            &format!("{section}\n  \"stage_breakdown\": {{"),
+        );
+        validate_bench_json(&with_rows).expect("complete fig11b breakdown must validate");
+        let lost_app = with_rows.replace("\"sqlite/SplitFT\":", "\"sqlite/Splat\":");
+        assert!(validate_bench_json(&lost_app)
+            .unwrap_err()
+            .contains("sqlite/SplitFT"));
     }
 }

@@ -1778,11 +1778,17 @@ impl NclFile {
 
     /// One shard-reactor poll round: drain the completion queue and
     /// republish the acked watermark, without ever blocking on a busy
-    /// file (the lock holder is doing this same work).
-    pub(crate) fn reactor_poll(&self) {
+    /// file (the lock holder is doing this same work). Returns whether the
+    /// durable watermark advanced — the reactor profiler attributes such
+    /// rounds to publish time rather than empty-poll time.
+    pub(crate) fn reactor_poll(&self) -> bool {
         if let Some(mut rep) = self.rep.try_lock() {
+            let before = self.durable_seq();
             rep.drain();
             rep.refresh_durable(&self.ctx.config);
+            self.durable_seq() > before
+        } else {
+            false
         }
     }
 

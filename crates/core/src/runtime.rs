@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rdma::CqWaker;
-use telemetry::{intern_scope, Telemetry};
+use telemetry::{intern_scope, ReactorProfiler, ShardProfile, Telemetry};
 
 use crate::file::NclFile;
 
@@ -263,14 +263,49 @@ impl Shard {
     /// hosted file, pruning files that have been dropped.
     fn poll(&self, log: &OpLog, tel: &Telemetry) {
         self.apply_log(log, tel);
+        self.poll_files();
+    }
+
+    /// Drains and publishes every hosted file, pruning dropped ones.
+    /// Returns whether any file's durable watermark advanced and the number
+    /// of files still hosted (the profiler's publish/poll split and
+    /// queue-depth gauge).
+    fn poll_files(&self) -> (bool, usize) {
         let mut files = self.files.lock();
+        let mut progressed = false;
         files.retain(|weak| match weak.upgrade() {
             Some(file) => {
-                file.reactor_poll();
+                progressed |= file.reactor_poll();
                 true
             }
             None => false,
         });
+        (progressed, files.len())
+    }
+
+    /// One instrumented reactor loop iteration: the profiler attributes
+    /// apply-oplog, publish-vs-poll, and park time at the loop's natural
+    /// boundaries (no sampling inside the hot drain itself).
+    fn timed_round(&self, log: &OpLog, tel: &Telemetry, prof: &ShardProfile, stop: &AtomicBool) {
+        let seen = self.waker.epoch();
+        let t0 = Instant::now();
+        self.apply_log(log, tel);
+        let t1 = Instant::now();
+        let (progressed, depth) = self.poll_files();
+        let t2 = Instant::now();
+        prof.on_apply(t1 - t0);
+        prof.on_poll(t2 - t1, progressed);
+        prof.set_oplog_lag(
+            log.len()
+                .saturating_sub(self.cursor.load(Ordering::Relaxed)) as u64,
+        );
+        prof.set_queue_depth(depth);
+        prof.beat(tel.now_ns());
+        if !stop.load(Ordering::Acquire) {
+            let t3 = Instant::now();
+            self.waker.wait(seen, REACTOR_IDLE);
+            prof.on_park(t3.elapsed());
+        }
     }
 }
 
@@ -284,6 +319,7 @@ pub struct NclRuntime {
     shards: Vec<Arc<Shard>>,
     log: Arc<OpLog>,
     tel: Telemetry,
+    profiler: ReactorProfiler,
     stop: Arc<AtomicBool>,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -303,12 +339,15 @@ impl NclRuntime {
         NclRuntime::start_with_telemetry(shards, Telemetry::disabled())
     }
 
-    /// Starts `shards` reactor threads; shard-apply events land in `tel`.
+    /// Starts `shards` reactor threads; shard-apply events land in `tel`,
+    /// and each reactor reports time-in-state into a [`ReactorProfiler`]
+    /// (inert — no sampling, no watchdog thread — when `tel` is disabled).
     pub fn start_with_telemetry(shards: usize, tel: Telemetry) -> Arc<Self> {
         let shards: Vec<Arc<Shard>> = (0..shards.max(1))
             .map(|i| Arc::new(Shard::new(i)))
             .collect();
         let log = Arc::new(OpLog::default());
+        let profiler = ReactorProfiler::new(&tel, shards.len());
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::with_capacity(shards.len());
         for shard in &shards {
@@ -317,17 +356,24 @@ impl NclRuntime {
             let log = Arc::clone(&log);
             let tel = tel.clone();
             let stop = Arc::clone(&stop);
+            let prof = profiler.shard(shard.index);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ncl-shard-{}", shard.index))
                     .spawn(move || {
-                        while !stop.load(Ordering::Acquire) {
-                            let seen = shard.waker.epoch();
-                            shard.poll(&log, &tel);
-                            if stop.load(Ordering::Acquire) {
-                                break;
+                        if prof.enabled() {
+                            while !stop.load(Ordering::Acquire) {
+                                shard.timed_round(&log, &tel, &prof, &stop);
                             }
-                            shard.waker.wait(seen, REACTOR_IDLE);
+                        } else {
+                            while !stop.load(Ordering::Acquire) {
+                                let seen = shard.waker.epoch();
+                                shard.poll(&log, &tel);
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                shard.waker.wait(seen, REACTOR_IDLE);
+                            }
                         }
                         // Final round so nothing drained after the stop
                         // flag is left unapplied.
@@ -340,9 +386,17 @@ impl NclRuntime {
             shards,
             log,
             tel,
+            profiler,
             stop,
             handles: Mutex::new(handles),
         })
+    }
+
+    /// The reactor profiler: per-shard time-in-state, queue depth, op-log
+    /// lag, and the stall watchdog. Serve it on `/profile` via
+    /// `ScrapeServer::start_with_observability`.
+    pub fn profiler(&self) -> &ReactorProfiler {
+        &self.profiler
     }
 
     /// Number of shards.
@@ -491,6 +545,42 @@ mod tests {
             assert_eq!(rt.applied_ops(shard), reference, "shard {shard} order");
             assert_eq!(rt.epoch_view(shard, a), Some(8));
         }
+    }
+
+    #[test]
+    fn reactor_profiler_observes_loop_activity() {
+        let tel = Telemetry::new();
+        let rt = NclRuntime::start_with_telemetry(2, tel.clone());
+        let a = intern_scope("app/profiled");
+        for epoch in 1..=4 {
+            rt.log_op(ShardOp::EpochBump { scope: a, epoch });
+        }
+        assert!(rt.sync(Duration::from_secs(5)));
+        // Let the reactors run a few park cycles.
+        std::thread::sleep(Duration::from_millis(10));
+        let report = rt.profiler().report();
+        assert_eq!(report.shards.len(), 2);
+        for row in &report.shards {
+            assert!(row.loops > 0, "shard {} never looped", row.shard);
+            assert!(row.park_ns > 0, "shard {} never parked", row.shard);
+            assert!(row.beat_age_ns < 1_000_000_000, "heartbeat stale");
+            assert!(!row.stalled);
+            assert_eq!(row.oplog_lag, 0, "caught-up reactor shows no lag");
+        }
+        // The per-shard counters land in the shared registry for /metrics.
+        assert!(tel.counter_value("ncl.reactor.shard-0.loops") > 0);
+        assert_eq!(rt.profiler().check_stalls(), 0);
+        drop(rt);
+    }
+
+    #[test]
+    fn disabled_telemetry_runtime_has_inert_profiler() {
+        let rt = NclRuntime::start(2);
+        let a = intern_scope("app/unprofiled");
+        rt.log_op(ShardOp::EpochBump { scope: a, epoch: 1 });
+        assert!(rt.sync(Duration::from_secs(5)));
+        let report = rt.profiler().report();
+        assert!(report.shards.iter().all(|r| r.loops == 0));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use dfs::{DfsCluster, DfsConfig, LocalFs};
 use ncl::{Controller, NclConfig, NclLib, NclRegistry, NclRuntime, Peer};
 use sim::{Cluster, NodeId};
 use telemetry::export::http::ScrapeServer;
-use telemetry::{FlightRecorder, SloPlane};
+use telemetry::{FlightRecorder, OnlineMonitor, SloPlane};
 
 use crate::{Mode, SplitFs};
 
@@ -48,6 +48,15 @@ pub struct TestbedConfig {
     /// file opened through this testbed on one of its shards. Overridden
     /// by the `NCL_SHARDS` environment variable at [`Testbed::start`].
     pub shards: usize,
+    /// When true, attach a streaming [`telemetry::OnlineMonitor`] to the
+    /// shared telemetry handle: the analyzer's invariants are verified live
+    /// against the span/event stream, violations increment
+    /// `invariant.violations.total`, flip the scrape endpoint's `/health`
+    /// to 503, and (when `FLIGHT_DUMP_DIR` is set) dump the flight
+    /// recorder. Overridden by the `SPLITFT_ONLINE_MONITOR` environment
+    /// variable (`1`/`true` enables, `0`/`false` disables) at
+    /// [`Testbed::start`].
+    pub online_monitor: bool,
 }
 
 impl TestbedConfig {
@@ -62,6 +71,7 @@ impl TestbedConfig {
             weak_flush_interval: Duration::from_millis(100),
             scrape_addr: None,
             shards: 0,
+            online_monitor: false,
         }
     }
 
@@ -76,6 +86,7 @@ impl TestbedConfig {
             weak_flush_interval: Duration::from_secs(1),
             scrape_addr: None,
             shards: 0,
+            online_monitor: false,
         }
     }
 }
@@ -102,6 +113,9 @@ pub struct Testbed {
     /// Black-box flight recorder over the same handle; dumps on SLO breach
     /// (and panic) when `FLIGHT_DUMP_DIR` is set.
     flight: FlightRecorder,
+    /// Streaming invariant monitor, when [`TestbedConfig::online_monitor`]
+    /// (or `SPLITFT_ONLINE_MONITOR=1`) asked for one.
+    monitor: Option<OnlineMonitor>,
 }
 
 impl Testbed {
@@ -127,6 +141,18 @@ impl Testbed {
                 config.peer_gc_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
         }
+        if let Ok(v) = std::env::var("SPLITFT_ONLINE_MONITOR") {
+            match v.trim() {
+                "1" | "true" | "on" => config.online_monitor = true,
+                "0" | "false" | "off" => config.online_monitor = false,
+                _ => {}
+            }
+        }
+        // Attach the monitor before any service starts so the very first
+        // span/event is already streamed through it.
+        let monitor = config
+            .online_monitor
+            .then(|| OnlineMonitor::attach(&config.ncl.telemetry, config.ncl.quorum()));
         if config.shards > 0 && config.ncl.runtime.is_none() {
             config.ncl.runtime = Some(NclRuntime::start_with_telemetry(
                 config.shards,
@@ -179,11 +205,32 @@ impl Testbed {
                     &format!("slo-breach status={}", report.status.as_str()),
                 );
             });
+            // An invariant violation is a stronger signal than an SLO
+            // breach: preserve the offending window the moment the monitor
+            // flags it, tagged so operators can tell the dumps apart.
+            if let Some(monitor) = &monitor {
+                let recorder = flight.clone();
+                let dump_dir = std::path::PathBuf::from(&dir);
+                monitor.on_violation(move |v| {
+                    recorder.tick();
+                    let _ = recorder.dump_into(
+                        &dump_dir,
+                        "invariant",
+                        &format!("invariant-violation [{}] {}", v.invariant, v.message),
+                    );
+                });
+            }
             flight.install_panic_hook(dir);
         }
+        let profiler = config.ncl.runtime.as_ref().map(|rt| rt.profiler().clone());
         let scrape = config.scrape_addr.as_deref().map(|addr| {
-            ScrapeServer::start_with_health(config.ncl.telemetry.clone(), addr, Some(slo.clone()))
-                .expect("scrape endpoint binds")
+            ScrapeServer::start_with_observability(
+                config.ncl.telemetry.clone(),
+                addr,
+                Some(slo.clone()),
+                profiler,
+            )
+            .expect("scrape endpoint binds")
         });
         Testbed {
             cluster,
@@ -195,6 +242,7 @@ impl Testbed {
             scrape,
             slo,
             flight,
+            monitor,
         }
     }
 
@@ -217,6 +265,12 @@ impl Testbed {
     /// The black-box flight recorder over the testbed's telemetry handle.
     pub fn flight_recorder(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// The streaming invariant monitor, when one was requested via
+    /// [`TestbedConfig::online_monitor`] or `SPLITFT_ONLINE_MONITOR=1`.
+    pub fn online_monitor(&self) -> Option<&OnlineMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Registers a fresh application-server node.
@@ -340,6 +394,47 @@ mod tests {
             !dump.spans.is_empty(),
             "flight recorder must see the write's spans"
         );
+    }
+
+    #[test]
+    fn online_monitor_stays_clean_on_healthy_writes() {
+        let mut cfg = TestbedConfig::zero(3);
+        cfg.online_monitor = true;
+        let tb = Testbed::start(cfg);
+        let monitor = tb.online_monitor().expect("monitor attached").clone();
+        let (fs, _node) = tb.mount(Mode::SplitFt, "app-monitored");
+        let f = fs.open("probe", OpenOptions::create_ncl(1 << 16)).unwrap();
+        for i in 0..16u64 {
+            f.write_at(i * 8, b"monitor!").unwrap();
+        }
+        f.fsync().unwrap();
+        let report = monitor.finalize();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.acked_writes > 0, "monitor saw the write stream");
+        assert_eq!(report.violations.len(), 0);
+    }
+
+    #[test]
+    fn sharded_testbed_serves_profile_endpoint() {
+        use std::io::{Read as _, Write as _};
+
+        let mut cfg = TestbedConfig::zero(3);
+        cfg.shards = 2;
+        cfg.scrape_addr = Some("127.0.0.1:0".into());
+        let tb = Testbed::start(cfg);
+        let (fs, _node) = tb.mount(Mode::SplitFt, "app-profiled");
+        let f = fs.open("probe", OpenOptions::create_ncl(1 << 16)).unwrap();
+        f.write_at(0, b"profiled").unwrap();
+        f.fsync().unwrap();
+
+        let addr = tb.scrape_addr().unwrap();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /profile HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.contains("200"), "{text}");
+        assert!(text.contains("\"shards\""), "{text}");
+        assert!(text.contains("\"apply_ns\""), "{text}");
     }
 
     #[test]

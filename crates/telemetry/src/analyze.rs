@@ -158,6 +158,15 @@ pub struct TraceReport {
     pub violations: Vec<String>,
     /// Per-span-name aggregation, flamegraph ordering.
     pub stages: Vec<StageAgg>,
+    /// True when the window under analysis is known incomplete — the source
+    /// rings dropped entries (`dropped > 0`) or a
+    /// [`TRACE_TRUNCATED`](crate::events::TRACE_TRUNCATED) event appears in
+    /// the stream. Span-completeness invariants (tree integrity, ack
+    /// coverage) are skipped rather than reported as false positives; the
+    /// event-order invariants still run.
+    pub truncated: bool,
+    /// Ring entries the producer reported dropped for this window.
+    pub dropped: u64,
 }
 
 impl TraceReport {
@@ -178,6 +187,12 @@ impl TraceReport {
             self.orphan_spans,
             self.violations.len()
         );
+        if self.truncated {
+            out.push_str(&format!(
+                "  NOTE: analysis of truncated window ({} ring entries dropped); span-completeness invariants skipped\n",
+                self.dropped
+            ));
+        }
         for v in &self.violations {
             out.push_str(&format!("  VIOLATION: {v}\n"));
         }
@@ -248,9 +263,29 @@ fn flame_order(name: &str) -> (usize, &str) {
 /// Runs every invariant over the given spans + events. `quorum` is the f+1
 /// write quorum the deployment ran with (2 for the default 3-replica set).
 pub fn analyze(spans_in: &[Span], events_in: &[Event], quorum: usize) -> TraceReport {
+    analyze_with_drops(spans_in, events_in, quorum, 0)
+}
+
+/// Like [`analyze`], but told how many in-memory ring entries the producer
+/// dropped for this window (see [`crate::Telemetry::trace_dropped`]). A
+/// nonzero `dropped` — or a `trace-truncated` event in the stream — marks
+/// the report truncated: tree-integrity and ack-coverage checks would only
+/// report artifacts of the missing prefix, so they are skipped and the
+/// report says so instead. Event-order invariants (degraded-window,
+/// catch-up-before-ap-map, monotone epochs) still run; JSONL sinks never
+/// drop, so offline analysis of a sink file normally passes `dropped = 0`.
+pub fn analyze_with_drops(
+    spans_in: &[Span],
+    events_in: &[Event],
+    quorum: usize,
+    dropped: u64,
+) -> TraceReport {
+    let truncated = dropped > 0 || events_in.iter().any(|e| e.kind == events::TRACE_TRUNCATED);
     let mut report = TraceReport {
         total_spans: spans_in.len(),
         total_events: events_in.len(),
+        truncated,
+        dropped,
         ..TraceReport::default()
     };
 
@@ -297,42 +332,52 @@ pub fn analyze(spans_in: &[Span], events_in: &[Event], quorum: usize) -> TraceRe
             )
         });
 
-        // 1. Tree integrity (only meaningful once the root exists).
+        // 1. Tree integrity (only meaningful once the root exists, and only
+        // sound when the window is complete: a truncated ring loses early
+        // children, which would surface here as phantom orphans).
         if let Some(root) = root {
-            let ids: BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
-            for s in spans {
-                if s.parent != 0 && !ids.contains(&s.parent) {
-                    report.orphan_spans += 1;
-                    report.violations.push(format!(
-                        "trace {trace}: span {} ({}) has unresolved parent {}",
-                        s.id, s.name, s.parent
-                    ));
+            if !truncated {
+                let ids: BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+                for s in spans {
+                    if s.parent != 0 && !ids.contains(&s.parent) {
+                        report.orphan_spans += 1;
+                        report.violations.push(format!(
+                            "trace {trace}: span {} ({}) has unresolved parent {}",
+                            s.id, s.name, s.parent
+                        ));
+                    }
                 }
             }
 
             if root.name == spans::NCL_WRITE {
                 report.acked_writes += 1;
 
-                // 2. Ack ⇒ staged, doorbelled, and quorum-covered.
-                for required in [spans::NCL_STAGE, spans::NCL_DOORBELL] {
-                    if !spans.iter().any(|s| s.name == required) {
+                // 2. Ack ⇒ staged, doorbelled, and quorum-covered. Skipped
+                // for truncated windows: coverage children precede the root
+                // in the ring, so they are the first entries lost.
+                if !truncated {
+                    for required in [spans::NCL_STAGE, spans::NCL_DOORBELL] {
+                        if !spans.iter().any(|s| s.name == required) {
+                            report.violations.push(format!(
+                                "trace {trace}: acked write missing {required} span"
+                            ));
+                        }
+                    }
+                    let coverage: BTreeSet<&str> = spans
+                        .iter()
+                        .filter(|s| {
+                            s.name == spans::NCL_WIRE_PEER || s.name == spans::NCL_CATCHUP_PEER
+                        })
+                        .map(|s| s.scope)
+                        .collect();
+                    let required = required_coverage.get(root.scope).copied().unwrap_or(quorum);
+                    if coverage.len() < required {
                         report.violations.push(format!(
-                            "trace {trace}: acked write missing {required} span"
+                            "trace {trace}: acked write covered by {} peers ({:?}), reconstruction quorum is {required}",
+                            coverage.len(),
+                            coverage
                         ));
                     }
-                }
-                let coverage: BTreeSet<&str> = spans
-                    .iter()
-                    .filter(|s| s.name == spans::NCL_WIRE_PEER || s.name == spans::NCL_CATCHUP_PEER)
-                    .map(|s| s.scope)
-                    .collect();
-                let required = required_coverage.get(root.scope).copied().unwrap_or(quorum);
-                if coverage.len() < required {
-                    report.violations.push(format!(
-                        "trace {trace}: acked write covered by {} peers ({:?}), reconstruction quorum is {required}",
-                        coverage.len(),
-                        coverage
-                    ));
                 }
 
                 // 3. No new write may start inside a degraded window unless
@@ -577,6 +622,40 @@ mod tests {
             ev(3, events::PEER_REPLACE_START, "app/f", 2),
         ];
         assert!(!analyze(&[], &inverted, 2).ok());
+    }
+
+    #[test]
+    fn truncated_window_downgrades_completeness_invariants() {
+        // A write whose coverage children fell off the ring: under-quorum
+        // AND orphaned if judged naively.
+        let spans = vec![
+            sp(10, 10, 0, spans::NCL_WRITE, "app/f"),
+            sp(10, 99, 55, spans::NCL_ACK, "app/f"), // parent 55 was dropped
+        ];
+        let naive = analyze(&spans, &[], 2);
+        assert!(!naive.ok());
+        assert!(!naive.truncated);
+
+        // Told about the drops, the analyzer reports truncation instead.
+        let honest = analyze_with_drops(&spans, &[], 2, 7);
+        assert!(honest.ok(), "{:?}", honest.violations);
+        assert!(honest.truncated);
+        assert_eq!(honest.dropped, 7);
+        assert_eq!(honest.orphan_spans, 0);
+        assert_eq!(honest.acked_writes, 1, "acked count still reported");
+        assert!(honest.render().contains("truncated window"));
+
+        // A trace-truncated event in the stream marks it too, and the
+        // event-order invariants still run.
+        let events = vec![
+            ev(1, events::TRACE_TRUNCATED, "telemetry", 0),
+            ev(2, events::AP_MAP_UPDATE, "app/f", 3),
+            ev(3, events::AP_MAP_UPDATE, "app/f", 2),
+        ];
+        let report = analyze(&spans, &events, 2);
+        assert!(report.truncated);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("went backwards"));
     }
 
     #[test]

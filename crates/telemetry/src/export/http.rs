@@ -1,6 +1,6 @@
 //! Tiny std-only blocking HTTP scrape endpoint.
 //!
-//! One accept-loop thread, one request per connection, four routes:
+//! One accept-loop thread, one request per connection, six routes:
 //!
 //! * `GET /metrics`  — Prometheus text exposition (for a scrape job);
 //! * `GET /snapshot` — the full [`crate::TelemetrySnapshot`] as JSON;
@@ -10,6 +10,13 @@
 //!   health check needs no JSON parsing), 404 when the server was started
 //!   without a plane. The handler calls [`SloPlane::maybe_tick`], so the
 //!   report is fresh but hammering the endpoint cannot shrink SLO windows.
+//!   When an [`crate::OnlineMonitor`] is attached to the telemetry handle,
+//!   an invariant violation also flips `/health` to 503 — durability-
+//!   promise breaks outrank latency in a health check;
+//! * `GET /invariants` — the online monitor's [`crate::MonitorReport`] as
+//!   JSON (200 clean, 503 violating, 404 when no monitor is attached);
+//! * `GET /profile`  — the reactor profiler's per-shard time-in-state
+//!   report as JSON (404 when no profiler was passed at start).
 //!
 //! This is deliberately not a real HTTP server: no keep-alive, no TLS, no
 //! chunking — a Prometheus scraper and `curl` both speak enough HTTP/1.0 for
@@ -25,7 +32,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::export::{chrome, prometheus};
-use crate::{SloPlane, Telemetry};
+use crate::{ReactorProfiler, SloPlane, Telemetry};
 
 /// A running scrape endpoint; dropping it stops the accept loop.
 pub struct ScrapeServer {
@@ -48,6 +55,19 @@ impl ScrapeServer {
         addr: &str,
         plane: Option<SloPlane>,
     ) -> std::io::Result<ScrapeServer> {
+        Self::start_with_observability(tel, addr, plane, None)
+    }
+
+    /// Full wiring: `/health` serves `plane`, `/profile` serves `profiler`,
+    /// and `/invariants` serves whatever [`crate::OnlineMonitor`] is
+    /// attached to `tel` at request time (the monitor rides on the
+    /// telemetry handle, so it needs no parameter here).
+    pub fn start_with_observability(
+        tel: Telemetry,
+        addr: &str,
+        plane: Option<SloPlane>,
+        profiler: Option<ReactorProfiler>,
+    ) -> std::io::Result<ScrapeServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -62,7 +82,7 @@ impl ScrapeServer {
                     if let Ok(stream) = conn {
                         // Serve inline: scrapes are rare and tiny, and one
                         // thread keeps the footprint honest.
-                        let _ = serve_one(stream, &tel, plane.as_ref());
+                        let _ = serve_one(stream, &tel, plane.as_ref(), profiler.as_ref());
                     }
                 }
             })?;
@@ -94,6 +114,7 @@ fn serve_one(
     mut stream: TcpStream,
     tel: &Telemetry,
     plane: Option<&SloPlane>,
+    profiler: Option<&ReactorProfiler>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     // Read until the end of the request head (or the buffer fills); only the
@@ -129,26 +150,67 @@ fn serve_one(
         ),
         "/snapshot" => ("200 OK", "application/json", tel.snapshot().render_json()),
         "/trace" => ("200 OK", "application/json", chrome::render(&tel.spans())),
-        "/health" => match plane {
-            Some(plane) => {
-                let report = plane.maybe_tick();
-                let status = if report.breached() {
+        "/health" => {
+            // An invariant violation outranks latency: the monitor watching
+            // durability promises flips /health regardless of SLO burn.
+            let violating = tel.online_monitor().is_some_and(|m| m.violating());
+            match plane {
+                Some(plane) => {
+                    let report = plane.maybe_tick();
+                    let status = if report.breached() || violating {
+                        "503 Service Unavailable"
+                    } else {
+                        "200 OK"
+                    };
+                    (status, "application/json", report.to_json())
+                }
+                None => match tel.online_monitor() {
+                    // No SLO plane but a monitor: health is the monitor's
+                    // verdict (see /invariants for the full report).
+                    Some(m) => {
+                        let status = if violating {
+                            "503 Service Unavailable"
+                        } else {
+                            "200 OK"
+                        };
+                        (status, "application/json", m.render_json())
+                    }
+                    None => (
+                        "404 Not Found",
+                        "text/plain; charset=utf-8",
+                        "no SLO plane attached\n".to_string(),
+                    ),
+                },
+            }
+        }
+        "/invariants" => match tel.online_monitor() {
+            Some(m) => {
+                let status = if m.violating() {
                     "503 Service Unavailable"
                 } else {
                     "200 OK"
                 };
-                (status, "application/json", report.to_json())
+                (status, "application/json", m.render_json())
             }
             None => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "no SLO plane attached\n".to_string(),
+                "no online monitor attached\n".to_string(),
+            ),
+        },
+        "/profile" => match profiler {
+            Some(p) => ("200 OK", "application/json", p.render_json()),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no reactor profiler attached\n".to_string(),
             ),
         },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /snapshot, /trace, /health\n".to_string(),
+            "not found; try /metrics, /snapshot, /trace, /health, /invariants, /profile\n"
+                .to_string(),
         ),
     };
     write!(
@@ -238,6 +300,201 @@ mod tests {
         // The tick also exported burn gauges, visible on /metrics.
         let (_, metrics) = get(server.addr(), "/metrics");
         assert!(metrics.contains("splitft_slo_status 2"), "{metrics}");
+        drop(server);
+    }
+
+    #[test]
+    fn invariants_endpoint_reflects_monitor_verdict() {
+        use crate::{events, OnlineMonitor};
+
+        let tel = Telemetry::new();
+        // Without a monitor both routes 404 (and /profile too).
+        let bare = ScrapeServer::start(tel.clone(), "127.0.0.1:0").unwrap();
+        let (status, _) = get(bare.addr(), "/invariants");
+        assert!(status.contains("404"), "{status}");
+        let (status, _) = get(bare.addr(), "/profile");
+        assert!(status.contains("404"), "{status}");
+        drop(bare);
+
+        let monitor = OnlineMonitor::attach(&tel, 2);
+        let server = ScrapeServer::start(tel.clone(), "127.0.0.1:0").unwrap();
+        let (status, body) = get(server.addr(), "/invariants");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"status\": \"ok\""), "{body}");
+        // /health with no SLO plane serves the monitor verdict.
+        let (status, _) = get(server.addr(), "/health");
+        assert!(status.contains("200"), "{status}");
+
+        // Seed an ap-map-before-catch-up ordering break.
+        tel.event(events::PEER_REPLACE_START, "app/f", 2, "");
+        tel.event(events::AP_MAP_UPDATE, "app/f", 2, "");
+        assert!(monitor.violating());
+        let (status, body) = get(server.addr(), "/invariants");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("catch-up"), "{body}");
+        let (status, _) = get(server.addr(), "/health");
+        assert!(status.contains("503"), "{status}");
+        drop(server);
+    }
+
+    #[test]
+    fn monitor_violation_flips_health_despite_healthy_slos() {
+        use crate::{events, OnlineMonitor, SloSpec};
+        use std::time::Duration;
+
+        let tel = Telemetry::new();
+        let plane = SloPlane::new(tel.clone());
+        plane.set_min_tick_gap(Duration::from_nanos(0));
+        plane.add(SloSpec::new("lat", "lat", 50, 0.1).windows(1, 1));
+        tel.histogram("lat").record(10); // comfortably healthy
+        let monitor = OnlineMonitor::attach(&tel, 2);
+        let server =
+            ScrapeServer::start_with_health(tel.clone(), "127.0.0.1:0", Some(plane)).unwrap();
+        let (status, _) = get(server.addr(), "/health");
+        assert!(status.contains("200"), "{status}");
+
+        tel.event(events::AP_MAP_UPDATE, "app/f", 5, "");
+        tel.event(events::AP_MAP_UPDATE, "app/f", 3, "");
+        assert!(monitor.violating());
+        let (status, body) = get(server.addr(), "/health");
+        assert!(status.contains("503"), "{status}");
+        // The body is still the SLO report; /invariants has the details.
+        assert!(body.contains("\"slos\""), "{body}");
+        drop(server);
+    }
+
+    #[test]
+    fn profile_endpoint_serves_reactor_report() {
+        use crate::ReactorProfiler;
+
+        let tel = Telemetry::new();
+        let profiler = ReactorProfiler::new(&tel, 2);
+        profiler.shard(0).on_apply(Duration::from_micros(7));
+        let server =
+            ScrapeServer::start_with_observability(tel, "127.0.0.1:0", None, Some(profiler))
+                .unwrap();
+        let (status, body) = get(server.addr(), "/profile");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"apply_ns\": 7000"), "{body}");
+        assert!(body.contains("\"shard\": 1"), "{body}");
+        drop(server);
+    }
+
+    /// Satellite: every observability route scraped concurrently while the
+    /// telemetry handle is under churn — no torn JSON, no deadlock, every
+    /// request answered.
+    #[test]
+    fn concurrent_scrapes_of_all_routes_stay_consistent() {
+        use crate::{events, spans, OnlineMonitor, ReactorProfiler, SloPlane};
+        use std::sync::atomic::AtomicBool;
+        use std::time::Instant;
+
+        let tel = Telemetry::new();
+        let plane = SloPlane::new(tel.clone());
+        let monitor = OnlineMonitor::attach(&tel, 2);
+        let profiler = ReactorProfiler::new(&tel, 2);
+        let server = ScrapeServer::start_with_observability(
+            tel.clone(),
+            "127.0.0.1:0",
+            Some(plane),
+            Some(profiler.clone()),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // Writer thread: emit clean write traces + control-plane events,
+        // exercising monitor, rings, and registry while scrapes run.
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let tel = tel.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let scope = crate::intern_scope("app/f");
+                let mut epoch = 1u64;
+                while !stop.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    let trace = tel.next_trace_id();
+                    for peer in ["peer-0", "peer-1"] {
+                        tel.span_auto(
+                            trace,
+                            trace,
+                            spans::NCL_WIRE_PEER,
+                            crate::intern_scope(peer),
+                            epoch,
+                            t0,
+                            Instant::now(),
+                        );
+                    }
+                    tel.span_auto(
+                        trace,
+                        trace,
+                        spans::NCL_STAGE,
+                        scope,
+                        epoch,
+                        t0,
+                        Instant::now(),
+                    );
+                    tel.span_auto(
+                        trace,
+                        trace,
+                        spans::NCL_DOORBELL,
+                        scope,
+                        epoch,
+                        t0,
+                        Instant::now(),
+                    );
+                    tel.span(
+                        trace,
+                        trace,
+                        0,
+                        spans::NCL_WRITE,
+                        scope,
+                        epoch,
+                        t0,
+                        Instant::now(),
+                    );
+                    epoch += 1;
+                    tel.event(events::EPOCH_BUMP, "app/f", epoch, "");
+                    tel.histogram("ncl.record.e2e").record(1_000);
+                }
+            })
+        };
+
+        let scrapers: Vec<_> = [
+            "/metrics",
+            "/health",
+            "/invariants",
+            "/profile",
+            "/snapshot",
+        ]
+        .into_iter()
+        .map(|path| {
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let (status, body) = get(addr, path);
+                    assert!(
+                        status.contains("200") || status.contains("503"),
+                        "{path}: {status}"
+                    );
+                    if path == "/metrics" {
+                        prometheus::validate(&body).unwrap();
+                    } else {
+                        // Untorn JSON: one object, braces balance.
+                        assert!(
+                            body.starts_with('{') && body.trim_end().ends_with('}'),
+                            "{path}: torn body {body:?}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+        for s in scrapers {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        writer.join().unwrap();
+        assert_eq!(monitor.violation_count(), 0, "{:?}", monitor.report());
         drop(server);
     }
 

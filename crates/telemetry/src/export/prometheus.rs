@@ -56,9 +56,19 @@ fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
 }
 
 /// Renders the full registry in Prometheus text exposition format.
+///
+/// One synthetic series rides along: `splitft_trace_dropped_total`, the
+/// number of in-memory ring entries (events + spans) evicted before being
+/// read. It comes from the rings' own drop accounting rather than a
+/// registry counter, so it is authoritative and always present — a scrape
+/// can alert on trace loss even when nothing else incremented.
 pub fn render(tel: &Telemetry) -> String {
     let snap = tel.snapshot();
     let mut out = String::new();
+    let dropped = snap.events_dropped + snap.spans_dropped;
+    out.push_str(&format!(
+        "# TYPE splitft_trace_dropped_total counter\nsplitft_trace_dropped_total {dropped}\n"
+    ));
     for (name, v) in &snap.counters {
         let n = sanitize_name(name);
         out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
@@ -147,6 +157,25 @@ mod tests {
         validate(&text).unwrap();
         assert!(text.contains("splitft_lat_ns_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("splitft_lat_ns_count 4"));
+    }
+
+    #[test]
+    fn trace_dropped_total_tracks_ring_evictions() {
+        let tel = Telemetry::new();
+        assert!(render(&tel).contains("splitft_trace_dropped_total 0"));
+        tel.set_event_capacity(1);
+        tel.event(crate::events::EPOCH_BUMP, "x", 1, "");
+        tel.event(crate::events::EPOCH_BUMP, "x", 2, "");
+        // Second event evicts the first, plus the trace-truncated
+        // announcement itself churns the 1-slot ring.
+        let text = render(&tel);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("splitft_trace_dropped_total "))
+            .unwrap();
+        let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(n >= 1, "expected drops, got {text}");
+        assert_eq!(n, tel.trace_dropped());
     }
 
     #[test]

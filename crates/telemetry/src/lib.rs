@@ -42,6 +42,8 @@ pub mod export;
 pub mod flight;
 mod hist;
 mod metrics;
+pub mod monitor;
+pub mod profile;
 mod slo;
 mod snapshot;
 mod span;
@@ -50,6 +52,8 @@ mod trace;
 pub use flight::FlightRecorder;
 pub use hist::{Histogram, Summary, OVERFLOW_LIMIT};
 pub use metrics::{Counter, Gauge, HistHandle};
+pub use monitor::{MonitorReport, OnlineMonitor, Violation};
+pub use profile::{ProfileReport, ReactorProfiler, ShardProfile};
 pub use slo::{
     HealthReport, SaturationSnapshot, ShardSaturation, SloPlane, SloSpec, SloState, SloStatus,
     SloTracker,
@@ -60,7 +64,7 @@ pub use trace::{events, intern_kind, Event};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::Instant;
 
 struct Inner {
@@ -75,6 +79,53 @@ struct Inner {
     ids: AtomicU64,
     /// Span emission switch; metrics and events stay on when this is off.
     tracing: AtomicBool,
+    /// Fast-path gate for the online monitor: one relaxed load per record
+    /// when nothing is attached.
+    monitored: AtomicBool,
+    /// The attached [`monitor::OnlineMonitor`]'s core. Installed once for
+    /// this handle's lifetime so the hot path reads it with a single
+    /// `OnceLock` load — no lock, no refcount churn per span. Dropping the
+    /// last `OnlineMonitor` handle *deactivates* the core (clears the
+    /// `monitored` gate, stops the drainer, frees the checker state); a
+    /// later attach revives it in place. The core holds this `Inner` only
+    /// weakly, so the strong slot here is not a cycle.
+    monitor: OnceLock<Arc<monitor::MonitorCore>>,
+    /// Latched on the first in-memory ring drop (the `trace-truncated`
+    /// event is announced exactly once).
+    truncated: AtomicBool,
+}
+
+impl Inner {
+    /// The live monitor, if one is attached: one relaxed load when nothing
+    /// is attached, one `OnceLock` load when something is. The `monitored`
+    /// gate is cleared by the core's own deactivation (last handle dropped),
+    /// never here.
+    fn monitor_sink(&self) -> Option<&Arc<monitor::MonitorCore>> {
+        if !self.monitored.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.monitor.get()
+    }
+
+    /// Bookkeeping for an in-memory ring drop: on the first one, announce a
+    /// `trace-truncated` event (ring + sink) and tell the monitor its
+    /// span-completeness checks are no longer sound. The JSONL sink never
+    /// drops, so offline analysis of a sink file is unaffected.
+    fn note_ring_drop(&self, now_ns: u64) {
+        if !self.truncated.swap(true, Ordering::Relaxed) {
+            self.trace.record(
+                now_ns,
+                events::TRACE_TRUNCATED,
+                "telemetry",
+                0,
+                0,
+                "trace ring overflow; oldest entries dropped".to_string(),
+            );
+            if let Some(m) = self.monitor_sink() {
+                m.note_truncated();
+            }
+        }
+    }
 }
 
 /// Shared handle to one metrics registry + event/span trace.
@@ -92,6 +143,20 @@ impl Default for Telemetry {
     /// instrumentation is on unless explicitly opted out.
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Non-owning [`Telemetry`] handle (see [`Telemetry::downgrade`]). Upgrading
+/// fails once every strong handle is gone; a handle made from a disabled
+/// `Telemetry` never upgrades.
+#[derive(Clone, Default)]
+pub(crate) struct WeakTelemetry(Weak<Inner>);
+
+impl WeakTelemetry {
+    pub(crate) fn upgrade(&self) -> Option<Telemetry> {
+        self.0
+            .upgrade()
+            .map(|inner| Telemetry { inner: Some(inner) })
     }
 }
 
@@ -116,6 +181,9 @@ impl Telemetry {
                 origin: Instant::now(),
                 ids: AtomicU64::new(1),
                 tracing: AtomicBool::new(true),
+                monitored: AtomicBool::new(false),
+                monitor: OnceLock::new(),
+                truncated: AtomicBool::new(false),
             })),
         }
     }
@@ -246,7 +314,7 @@ impl Telemetry {
         }
         let start_ns = self.instant_ns(start);
         let end_ns = self.instant_ns(end).max(start_ns);
-        inner.spans.record(Span {
+        let span = Span {
             trace,
             id,
             parent,
@@ -255,7 +323,18 @@ impl Telemetry {
             epoch,
             start_ns,
             end_ns,
-        });
+        };
+        // Ring first, monitor second: a violation hook that dumps the
+        // flight recorder from inside the monitor callback must find the
+        // span that tripped it already in the ring.
+        let sink = inner.monitor_sink();
+        let forwarded = sink.map(|_| span.clone());
+        if inner.spans.record(span) {
+            inner.note_ring_drop(end_ns);
+        }
+        if let (Some(m), Some(span)) = (sink, forwarded) {
+            m.on_span(&span);
+        }
     }
 
     /// Records a closed span with a freshly allocated id and returns it
@@ -310,9 +389,27 @@ impl Telemetry {
         detail: impl Into<String>,
     ) {
         if let Some(inner) = &self.inner {
-            inner
+            let ts_ns = self.now_ns();
+            let detail = detail.into();
+            // Ring first, monitor second: see `span` — hook-time flight
+            // dumps must contain the event that tripped the monitor.
+            let forwarded = inner.monitor_sink();
+            if inner
                 .trace
-                .record(self.now_ns(), kind, scope, epoch, trace, detail.into());
+                .record(ts_ns, kind, scope, epoch, trace, detail.clone())
+            {
+                inner.note_ring_drop(ts_ns);
+            }
+            if let Some(m) = forwarded {
+                m.on_event(&Event {
+                    ts_ns,
+                    kind,
+                    scope: scope.to_string(),
+                    epoch,
+                    trace,
+                    detail,
+                });
+            }
         }
     }
 
@@ -337,6 +434,66 @@ impl Telemetry {
             Some(inner) => inner.sink.set_path(path),
             None => Ok(()),
         }
+    }
+
+    /// Installs `core` as this handle's online monitor. The slot is filled
+    /// once per `Telemetry` lifetime (the recording fast path reads it
+    /// lock-free); a second attach returns the resident core — sharing it if
+    /// it is still live, reviving it with `core`'s configuration if every
+    /// prior handle was dropped. `None` means `core` itself is now attached.
+    /// Called by [`monitor::OnlineMonitor::attach`].
+    pub(crate) fn install_monitor(
+        &self,
+        core: &Arc<monitor::MonitorCore>,
+    ) -> Option<Arc<monitor::MonitorCore>> {
+        let inner = self.inner.as_ref()?;
+        let mut candidate = Some(Arc::clone(core));
+        let resident = inner
+            .monitor
+            .get_or_init(|| candidate.take().expect("init runs at most once"));
+        if candidate.is_none() {
+            inner.monitored.store(true, Ordering::Release);
+            return None;
+        }
+        if !resident.is_active() {
+            resident.reactivate(core);
+            monitor::MonitorCore::respawn_drainer(resident);
+        }
+        inner.monitored.store(true, Ordering::Release);
+        Some(Arc::clone(resident))
+    }
+
+    /// Reverts the recording fast path to a single relaxed load. Called by
+    /// the monitor core when its last public handle is dropped.
+    pub(crate) fn clear_monitor_gate(&self) {
+        if let Some(inner) = &self.inner {
+            inner.monitored.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// A weak form of this handle that does not keep the registry alive.
+    /// Used by the monitor core to reach back into its `Telemetry` (for
+    /// violation events and gate clearing) without forming a cycle with the
+    /// strong monitor slot.
+    pub(crate) fn downgrade(&self) -> WeakTelemetry {
+        WeakTelemetry(self.inner.as_ref().map(Arc::downgrade).unwrap_or_default())
+    }
+
+    /// The attached online monitor, if any.
+    pub fn online_monitor(&self) -> Option<OnlineMonitor> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.monitor_sink().cloned())
+            .map(OnlineMonitor::from_core)
+    }
+
+    /// Total in-memory ring entries dropped (events + spans). The JSONL
+    /// sink never drops; this counts only the bounded rings, and is what
+    /// `/metrics` exports as `splitft_trace_dropped_total`.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.trace.dropped() + i.spans.dropped())
     }
 
     /// Freezes everything into a [`TelemetrySnapshot`].

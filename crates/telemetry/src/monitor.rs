@@ -1,0 +1,1419 @@
+//! Streaming online invariant monitor: the analyzer's checks, verified live.
+//!
+//! [`crate::analyze`] replays a finished JSONL artifact; this module
+//! subscribes to the live span/event stream inside a [`crate::Telemetry`]
+//! handle ([`OnlineMonitor::attach`]) and verifies the same per-write
+//! promises *as traces complete*, with bounded memory:
+//!
+//! * **Tree integrity** — children of every rooted trace resolve their
+//!   parents. A trace is only judged once it has *retired*: the stream's
+//!   high-water end timestamp (the watermark) has moved
+//!   [`retirement lag`](OnlineMonitor::with_limits) past the trace's last
+//!   span, so stragglers (minority wire-peer spans closing after the root,
+//!   catch-up credits landing during a later repair) have had their window.
+//!   State is O(open traces), never O(history).
+//! * **Ack ⇒ reconstructible coverage** — acked writes carry their
+//!   `ncl.stage` + `ncl.doorbell` children and ≥ quorum (or the scope's
+//!   declared EC `k`) distinct covering peers.
+//! * **No ack while degraded** — a write root starting inside an open
+//!   `dfs-fallback-engage` window is *deferred*, not flagged: judgment waits
+//!   for the scope's `ncl-reattach` (whose replay span, recorded just
+//!   before it, exempts journal-replay traffic) or for [`finalize`].
+//! * **Catch-up before ap-map**, per epoch, and **monotone ap-map epochs**
+//!   — checked immediately at event arrival; these are the violations the
+//!   monitor catches with zero latency.
+//!
+//! A trace that fails a span-completeness check at retirement is first
+//! parked as a *suspect* for a grace period (late catch-up credits can still
+//! clear it); only when the grace expires — or at [`finalize`] — does it
+//! become a violation. Violations increment
+//! `invariant.violations.total` (exported as
+//! `splitft_invariant_violations_total`), emit an `invariant-violation`
+//! event, fire the registered [`on_violation`](OnlineMonitor::on_violation)
+//! hook (the testbed wires a flight-recorder dump there), and flip `/health`
+//! to 503 via [`OnlineMonitor::violating`]. Violation messages use the
+//! *same format strings* as the offline analyzer, so the chaos harness can
+//! cross-check the two reports verbatim.
+//!
+//! When a trace ring overflows ([`crate::Telemetry`] reports it via
+//! `note_truncated`), span-completeness checks downgrade to a "truncated
+//! window" note instead of false-positive orphan/coverage violations —
+//! mirroring [`crate::analyze::analyze_with_drops`].
+//!
+//! [`finalize`]: OnlineMonitor::finalize
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::json_escape;
+use crate::{events, spans, Counter, Event, Gauge, Span, Telemetry, WeakTelemetry};
+
+/// Multiplicative hasher for `u64` trace ids (FxHash-style). The default
+/// SipHash costs more than the whole per-span budget on the hot path, and
+/// trace ids are sequential — no DoS surface to defend.
+#[derive(Default)]
+struct TraceIdHasher(u64);
+
+impl std::hash::Hasher for TraceIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type TraceMap = HashMap<u64, Slot, BuildHasherDefault<TraceIdHasher>>;
+
+/// Map slot per known trace. Settled tombstones are the common steady-state
+/// resident (every acked write leaves one for a short TTL), so they are kept
+/// inline and pointer-free: the straggler-span probe touches one cache line,
+/// and the map stays small enough to sit in cache at line rate. Live
+/// accumulators are boxed — there are only O(in-flight + failing) of them.
+enum Slot {
+    Live(Box<TraceAcc>),
+    /// Trace judged clean at root arrival; the payload is its expiry due
+    /// time (mirror of the entry pushed to `due_rooted`).
+    Settled(u64),
+}
+
+/// Watermark distance a rooted trace must be quiet for before it is judged.
+/// Large enough for minority wire spans closing at peer timeouts.
+const DEFAULT_RETIREMENT_LAG_NS: u64 = 100_000_000; // 100ms
+/// Extra watermark distance a failing trace is held as a suspect before its
+/// failure becomes a violation (late catch-up credits can still clear it).
+const DEFAULT_SUSPECT_GRACE_NS: u64 = 3_000_000_000; // 3s
+/// Watermark distance before a *rootless* write trace is counted open. Much
+/// longer than the rooted lag: a write blocked on dead peers can ack (and
+/// root) seconds later, and a premature open-count would double-book it.
+const DEFAULT_OPEN_WRITE_LAG_NS: u64 = 30_000_000_000; // 30s
+/// How long a settled tombstone lingers to absorb post-ack stragglers (the
+/// minority wire spans that close after the quorum ack). Deliberately short:
+/// a straggler arriving later just opens a throwaway rootless accumulator
+/// that retires silently (it is not a write), while a long TTL would keep
+/// throughput × TTL tombstones resident — the map's cache footprint.
+const TOMBSTONE_TTL_NS: u64 = 10_000_000; // 10ms
+/// Spans between retirement sweeps.
+const SWEEP_EVERY: u32 = 128;
+/// Producer buffer length at which the background drainer is nudged awake.
+/// Producers only pay a `Vec` push under a short lock; the full checker
+/// state is touched in batches on the drainer thread, off every recording
+/// thread's critical path (on a saturated core the checker work rides the
+/// pipeline's wire-wait slack instead of stalling submissions).
+const DRAIN_BATCH: usize = 256;
+/// Backpressure bound: a producer finding this many undrained spans pays
+/// for the drain inline instead of growing the buffer without limit.
+const DRAIN_HARD_CAP: usize = 1 << 16;
+/// Drainer thread wake interval when no producer nudges it.
+const DRAIN_INTERVAL: std::time::Duration = std::time::Duration::from_millis(10);
+/// Violation list cap; the total is also a counter, so nothing is lost.
+const MAX_VIOLATIONS: usize = 256;
+
+/// One confirmed invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Watermark (stream time, ns) when the violation was confirmed.
+    pub t_ns: u64,
+    /// Short invariant code: `orphan-span`, `ack-coverage`,
+    /// `degraded-write`, `ap-map-order`, `ap-map-monotone`.
+    pub invariant: &'static str,
+    /// Trace id the violation is about (0 for event-order violations).
+    pub trace: u64,
+    /// Scope the violation is about.
+    pub scope: String,
+    /// Human-readable message, same format as the offline analyzer's.
+    pub message: String,
+}
+
+impl Violation {
+    /// Renders the violation as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_ns\": {}, \"invariant\": \"{}\", \"trace\": {}, \"scope\": \"{}\", \"message\": \"{}\"}}",
+            self.t_ns,
+            json_escape(self.invariant),
+            self.trace,
+            json_escape(&self.scope),
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Point-in-time (or, after [`OnlineMonitor::finalize`], final) outcome of
+/// the online checks. The counts mirror [`crate::analyze::TraceReport`] so
+/// the chaos harness can diff the two.
+#[derive(Debug, Default, Clone)]
+pub struct MonitorReport {
+    /// Rooted `ncl.write` traces seen (the analyzer's `acked_writes`).
+    pub acked_writes: u64,
+    /// Rootless write traces retired open (only settles at finalize).
+    pub open_writes: u64,
+    /// Traces retired clean.
+    pub retired_clean: u64,
+    /// Traces currently held open (watermark has not passed them).
+    pub open_traces: usize,
+    /// Failing traces inside their suspect grace window.
+    pub suspects: usize,
+    /// Whether a trace ring overflowed (span-completeness checks downgraded).
+    pub truncated: bool,
+    /// Whether the monitor has been finalized (report is settled).
+    pub finalized: bool,
+    /// Confirmed violations, oldest first, capped at an internal limit.
+    pub violations: Vec<Violation>,
+    /// Violations beyond the cap (counted, not stored).
+    pub violations_dropped: u64,
+}
+
+impl MonitorReport {
+    /// True when no invariant has been violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.violations_dropped == 0
+    }
+
+    /// Renders the report as one JSON object (the `/invariants` body).
+    pub fn to_json(&self) -> String {
+        let status = if !self.ok() {
+            "violating"
+        } else if self.truncated {
+            "truncated"
+        } else {
+            "ok"
+        };
+        let violations: Vec<String> = self.violations.iter().map(|v| v.to_json()).collect();
+        format!(
+            "{{\"status\": \"{}\", \"acked_writes\": {}, \"open_writes\": {}, \"retired_clean\": {}, \"open_traces\": {}, \"suspects\": {}, \"truncated\": {}, \"finalized\": {}, \"violations_total\": {}, \"violations\": [{}]}}",
+            status,
+            self.acked_writes,
+            self.open_writes,
+            self.retired_clean,
+            self.open_traces,
+            self.suspects,
+            self.truncated,
+            self.finalized,
+            self.violations.len() as u64 + self.violations_dropped,
+            violations.join(", ")
+        )
+    }
+}
+
+/// Root facts kept per open trace.
+#[derive(Debug, Clone, Copy)]
+struct RootInfo {
+    name: &'static str,
+    scope: &'static str,
+    start_ns: u64,
+}
+
+/// Bounded per-trace accumulator.
+#[derive(Debug, Default)]
+struct TraceAcc {
+    root: Option<RootInfo>,
+    /// Span ids seen (a handful per trace; linear scans beat set nodes).
+    ids: Vec<u64>,
+    /// `(id, parent, name)` of every span with a nonzero parent, for the
+    /// orphan check at retirement.
+    children: Vec<(u64, u64, &'static str)>,
+    /// Distinct covering peers (`ncl.wire.peer` / `ncl.catchup.peer` scopes).
+    coverage: Vec<&'static str>,
+    has_stage: bool,
+    has_doorbell: bool,
+    is_write: bool,
+    /// Last end timestamp seen for this trace (quiescence reference).
+    max_end_ns: u64,
+    /// Set when the trace failed its first judgment; watermark deadline
+    /// after which the failure becomes a violation.
+    suspect_deadline_ns: Option<u64>,
+    /// Current key of this trace in the due index (0 = not indexed yet).
+    /// Earlier, superseded index entries are skipped lazily at sweep time.
+    due_ns: u64,
+}
+
+/// One `dfs-fallback-engage` → `ncl-reattach` window.
+#[derive(Debug, Clone)]
+struct DegradeWindow {
+    scope: String,
+    engage_ns: u64,
+    /// `u64::MAX` while the window is still open.
+    reattach_ns: u64,
+}
+
+/// One `splitfs.reattach.replay` span (exempts in-window writes).
+#[derive(Debug, Clone, Copy)]
+struct ReplayWindow {
+    scope: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+#[derive(Default)]
+struct MonState {
+    /// Configuration of the current attachment (reset when a detached core
+    /// is revived by a later attach). All reads happen under the state lock,
+    /// which every checker path already holds.
+    quorum: usize,
+    retirement_lag_ns: u64,
+    suspect_grace_ns: u64,
+    open_write_lag_ns: u64,
+    traces: TraceMap,
+    /// Retirement index, insert-only on the hot path: `(due watermark,
+    /// trace)` entries. Each trace's *latest* due time is mirrored in
+    /// [`TraceAcc::due_ns`]; older entries for the same trace are stale and
+    /// skipped when popped. This keeps a sweep O(traces actually due), never
+    /// O(open traces) — the difference between a no-op and a full-scan stall
+    /// every `SWEEP_EVERY` spans on a saturated write path.
+    ///
+    /// Each category uses a constant lag, so each queue is near-monotone in
+    /// due time and a plain FIFO works (a microsecond of cross-thread
+    /// end-timestamp disorder only delays a retirement by that much):
+    /// `due_rooted` holds tombstone expiries for traces settled clean at
+    /// root arrival (pushed in ack order), `due_rootless` one entry per
+    /// trace pushed at its first span. Suspect deadlines, defer retries, and
+    /// quiescence requeues are rare and unordered — they live in the
+    /// `due_slow` set.
+    due_rooted: VecDeque<(u64, u64)>,
+    due_rootless: VecDeque<(u64, u64)>,
+    due_slow: BTreeSet<(u64, u64)>,
+    /// Settled tombstones currently lingering in `traces` (excluded from the
+    /// open-trace counts).
+    settled_count: usize,
+    /// Traces currently parked as suspects (mirrors the per-trace deadlines
+    /// so reports never rescan the open set).
+    suspect_count: usize,
+    watermark_ns: u64,
+    spans_since_sweep: u32,
+    /// Per-scope coverage requirement from `durability-mode` events.
+    required_coverage: BTreeMap<String, usize>,
+    last_ap_epoch: BTreeMap<String, u64>,
+    /// Epochs with a `catch-up-finish` seen (catch-up events are scoped to
+    /// peer names, so invariant 4 matches them by epoch alone).
+    catchup_epochs: BTreeSet<u64>,
+    /// `(scope, epoch)` of replace-starts awaiting their ap-map update.
+    replace_pending: BTreeSet<(String, u64)>,
+    /// `(scope, epoch)` pairs that already published an ap-map update.
+    ap_updated: BTreeSet<(String, u64)>,
+    degrade_windows: Vec<DegradeWindow>,
+    replay_windows: Vec<ReplayWindow>,
+    acked_writes: u64,
+    open_writes: u64,
+    retired_clean: u64,
+    truncated: bool,
+    finalized: bool,
+    violations: Vec<Violation>,
+    violations_dropped: u64,
+}
+
+/// The violation hook: fired once per confirmed violation, outside the
+/// state lock (the testbed wires a flight-recorder dump here).
+type ViolationHook = Arc<dyn Fn(&Violation) + Send + Sync>;
+
+/// How a trace fared at judgment time.
+enum Judgment {
+    Clean,
+    /// Root starts inside a still-open degrade window: wait for reattach.
+    Defer,
+    Fail(Vec<Violation>),
+}
+
+pub(crate) struct MonitorCore {
+    /// Weak: the owning `Telemetry` holds this core strongly in its monitor
+    /// slot, so a strong handle here would be a cycle.
+    tel: WeakTelemetry,
+    /// Public [`OnlineMonitor`] handles alive. When the count hits zero the
+    /// core deactivates (the allocation stays in the `Telemetry`'s lock-free
+    /// slot and can be revived by a later attach).
+    handles: AtomicUsize,
+    active: AtomicBool,
+    violations_total: Counter,
+    retired_total: Counter,
+    open_traces_gauge: Gauge,
+    suspects_gauge: Gauge,
+    hook: Mutex<Option<ViolationHook>>,
+    /// Producer-side span buffer. Recording threads only push here (a
+    /// short-lived lock around a `Vec` push); the checker state is updated
+    /// in batches on the drainer thread, so threads recording spans at line
+    /// rate never serialize on the full `state` critical section.
+    pending: Mutex<Vec<Span>>,
+    /// Wakes the drainer early when the buffer crosses [`DRAIN_BATCH`].
+    gate: Arc<(Mutex<bool>, std::sync::Condvar)>,
+    drainer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    state: Mutex<MonState>,
+}
+
+impl MonitorCore {
+    /// Called by `Telemetry::span` with the monitor's state lock NOT held by
+    /// anyone up-stack; never re-enters `tel` while holding the state lock.
+    /// Called by `Telemetry::span` with the monitor's state lock NOT held by
+    /// anyone up-stack. The span is only buffered here; the checker state is
+    /// updated by the drainer thread (or on the next report / event /
+    /// finalize), keeping the recording threads' critical section to a
+    /// `Vec` push.
+    pub(crate) fn on_span(&self, span: &Span) {
+        let len = {
+            let mut buf = self.pending.lock().expect("monitor buffer poisoned");
+            buf.push(span.clone());
+            buf.len()
+        };
+        if len >= DRAIN_HARD_CAP {
+            // Backpressure: the drainer has fallen behind; pay inline.
+            let fresh = {
+                let mut st = self.state.lock().expect("monitor poisoned");
+                self.drain_pending(&mut st)
+            };
+            self.publish(fresh);
+        } else if len % DRAIN_BATCH == 0 {
+            self.gate.1.notify_one();
+        }
+    }
+
+    /// Flushes the producer buffer into `st`. Returns freshly confirmed
+    /// violations from any sweeps that ran; caller publishes them after
+    /// releasing the lock.
+    fn drain_pending(&self, st: &mut MonState) -> Vec<Violation> {
+        let batch = std::mem::take(&mut *self.pending.lock().expect("monitor buffer poisoned"));
+        self.ingest(st, batch)
+    }
+
+    fn ingest(&self, st: &mut MonState, batch: Vec<Span>) -> Vec<Violation> {
+        let mut fresh = Vec::new();
+        if st.finalized {
+            return fresh; // frozen: drop the batch
+        }
+        for span in &batch {
+            self.apply_span(st, span, &mut fresh);
+        }
+        fresh
+    }
+
+    fn apply_span(&self, st: &mut MonState, span: &Span, fresh: &mut Vec<Violation>) {
+        st.watermark_ns = st.watermark_ns.max(span.end_ns);
+        st.spans_since_sweep += 1;
+        let must_sweep = st.spans_since_sweep >= SWEEP_EVERY;
+        if must_sweep {
+            st.spans_since_sweep = 0;
+        }
+        if span.name == spans::FS_REATTACH_REPLAY {
+            st.replay_windows.push(ReplayWindow {
+                scope: span.scope,
+                start_ns: span.start_ns,
+                end_ns: span.end_ns,
+            });
+        }
+        let mut index_rootless = None;
+        let mut rooted_now = false;
+        {
+            let slot = st
+                .traces
+                .entry(span.trace)
+                .or_insert_with(|| Slot::Live(Box::default()));
+            let Slot::Live(acc) = slot else {
+                // Post-ack straggler (minority wire credit landing after the
+                // root): the trace's verdict is already in — ignore.
+                if must_sweep {
+                    fresh.extend(self.sweep(st, false));
+                }
+                return;
+            };
+            if acc.due_ns == 0 {
+                // First span of the trace: index it once with the rootless
+                // lag. Roots and failures re-index; further spans don't.
+                let due = span.end_ns.saturating_add(st.open_write_lag_ns);
+                acc.due_ns = due;
+                index_rootless = Some((due, span.trace));
+            }
+            acc.ids.push(span.id);
+            acc.max_end_ns = acc.max_end_ns.max(span.end_ns);
+            if span.parent != 0 {
+                acc.children.push((span.id, span.parent, span.name));
+            }
+            match span.name {
+                spans::NCL_WIRE_PEER | spans::NCL_CATCHUP_PEER
+                    if !acc.coverage.contains(&span.scope) =>
+                {
+                    acc.coverage.push(span.scope);
+                }
+                spans::NCL_STAGE => acc.has_stage = true,
+                spans::NCL_DOORBELL => acc.has_doorbell = true,
+                _ => {}
+            }
+            if matches!(
+                span.name,
+                spans::NCL_WRITE | spans::NCL_STAGE | spans::NCL_DOORBELL
+            ) {
+                acc.is_write = true;
+            }
+            if span.id == span.trace && span.parent == 0 && acc.root.is_none() {
+                acc.root = Some(RootInfo {
+                    name: span.name,
+                    scope: span.scope,
+                    start_ns: span.start_ns,
+                });
+                rooted_now = true;
+            }
+        }
+        if let Some(entry) = index_rootless {
+            st.due_rootless.push_back(entry);
+        }
+        if rooted_now {
+            if span.name == spans::NCL_WRITE {
+                st.acked_writes += 1;
+            }
+            // The root is recorded LAST (repo-wide convention): the chain is
+            // complete right now, so judge immediately. A clean verdict
+            // settles the trace on the spot — its accumulator is replaced by
+            // an inline tombstone that lingers a short TTL to absorb
+            // post-ack stragglers. This keeps the live set O(in-flight +
+            // failing) instead of O(throughput × retirement lag).
+            let verdict = {
+                let Some(Slot::Live(acc)) = st.traces.get(&span.trace) else {
+                    unreachable!("live slot was just written");
+                };
+                self.judge(st, span.trace, acc, false)
+            };
+            match verdict {
+                Judgment::Clean => {
+                    st.retired_clean += 1;
+                    st.settled_count += 1;
+                    self.retired_total.inc();
+                    let due = st.watermark_ns.saturating_add(TOMBSTONE_TTL_NS);
+                    let slot = st.traces.get_mut(&span.trace).expect("trace present");
+                    *slot = Slot::Settled(due);
+                    st.due_rooted.push_back((due, span.trace));
+                }
+                Judgment::Defer | Judgment::Fail(_) => {
+                    // Failed (or must wait out a degrade window) at root
+                    // arrival: discard this verdict and fall back to the
+                    // lagged sweep — stragglers get their window before the
+                    // failure is even parked as a suspect.
+                    let Some(Slot::Live(acc)) = st.traces.get_mut(&span.trace) else {
+                        unreachable!("live slot was just written");
+                    };
+                    let due = acc.max_end_ns.saturating_add(st.retirement_lag_ns);
+                    acc.due_ns = due;
+                    st.due_slow.insert((due, span.trace));
+                }
+            }
+        }
+        if must_sweep {
+            fresh.extend(self.sweep(st, false));
+        }
+    }
+
+    pub(crate) fn on_event(&self, ev: &Event) {
+        // Self-emitted and informational kinds never feed the checks (and
+        // must not: `invariant-violation` is emitted from `publish`).
+        if matches!(
+            ev.kind,
+            events::INVARIANT_VIOLATION | events::TRACE_TRUNCATED | events::REACTOR_STALL
+        ) {
+            return;
+        }
+        let fresh = {
+            let mut st = self.state.lock().expect("monitor poisoned");
+            if st.finalized {
+                return;
+            }
+            // Buffered spans logically precede this event: flush them so
+            // degrade/replay windows and the watermark stay coherent.
+            let mut fresh = self.drain_pending(&mut st);
+            st.watermark_ns = st.watermark_ns.max(ev.ts_ns);
+            match ev.kind {
+                events::DURABILITY_MODE => {
+                    if let Some(k) = ev
+                        .detail
+                        .split_whitespace()
+                        .find_map(|t| t.strip_prefix("k="))
+                        .and_then(|v| v.parse::<usize>().ok())
+                    {
+                        st.required_coverage.insert(ev.scope.clone(), k);
+                    }
+                }
+                events::CATCH_UP_FINISH => {
+                    st.catchup_epochs.insert(ev.epoch);
+                }
+                events::PEER_REPLACE_START => {
+                    if st.ap_updated.contains(&(ev.scope.clone(), ev.epoch)) {
+                        fresh.push(Violation {
+                            t_ns: ev.ts_ns,
+                            invariant: "ap-map-order",
+                            trace: ev.trace,
+                            scope: ev.scope.clone(),
+                            message: format!(
+                                "scope {}: ap-map update at epoch {} precedes its replace-start",
+                                ev.scope, ev.epoch
+                            ),
+                        });
+                    } else {
+                        st.replace_pending.insert((ev.scope.clone(), ev.epoch));
+                    }
+                }
+                events::AP_MAP_UPDATE => {
+                    // Invariant 5: monotone published epochs per scope.
+                    let prev = *st.last_ap_epoch.get(ev.scope.as_str()).unwrap_or(&0);
+                    if ev.epoch < prev {
+                        fresh.push(Violation {
+                            t_ns: ev.ts_ns,
+                            invariant: "ap-map-monotone",
+                            trace: ev.trace,
+                            scope: ev.scope.clone(),
+                            message: format!(
+                                "scope {}: ap-map epoch went backwards ({} after {})",
+                                ev.scope, ev.epoch, prev
+                            ),
+                        });
+                    }
+                    st.last_ap_epoch
+                        .insert(ev.scope.clone(), prev.max(ev.epoch));
+                    // Invariant 4: the *first* update for (scope, epoch)
+                    // commits a pending replacement; catch-up must have
+                    // finished at that epoch by now.
+                    let key = (ev.scope.clone(), ev.epoch);
+                    if st.ap_updated.insert(key.clone())
+                        && st.replace_pending.remove(&key)
+                        && !st.catchup_epochs.contains(&ev.epoch)
+                    {
+                        fresh.push(Violation {
+                            t_ns: ev.ts_ns,
+                            invariant: "ap-map-order",
+                            trace: ev.trace,
+                            scope: ev.scope.clone(),
+                            message: format!(
+                                "scope {}: ap-map moved to epoch {} before catch-up finished",
+                                ev.scope, ev.epoch
+                            ),
+                        });
+                    }
+                }
+                events::DFS_FALLBACK_ENGAGE => {
+                    st.degrade_windows.push(DegradeWindow {
+                        scope: ev.scope.clone(),
+                        engage_ns: ev.ts_ns,
+                        reattach_ns: u64::MAX,
+                    });
+                }
+                events::NCL_REATTACH => {
+                    for w in st
+                        .degrade_windows
+                        .iter_mut()
+                        .filter(|w| w.scope == ev.scope && w.reattach_ns == u64::MAX)
+                    {
+                        if w.engage_ns <= ev.ts_ns {
+                            w.reattach_ns = ev.ts_ns;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for v in fresh.iter().cloned() {
+                Self::store(&mut st, v);
+            }
+            fresh
+        };
+        self.publish(fresh);
+    }
+
+    /// Records that an in-memory trace ring overflowed: from here on,
+    /// span-completeness judgments report a truncated window instead of
+    /// violations.
+    pub(crate) fn note_truncated(&self) {
+        let mut st = self.state.lock().expect("monitor poisoned");
+        st.truncated = true;
+    }
+
+    fn store(st: &mut MonState, v: Violation) {
+        if st.violations.len() < MAX_VIOLATIONS {
+            st.violations.push(v);
+        } else {
+            st.violations_dropped += 1;
+        }
+    }
+
+    /// Emits counters / events / the hook for freshly confirmed violations.
+    /// MUST be called with the state lock released: the event emission
+    /// re-enters `Telemetry` (harmless — `on_event` ignores the kind), and
+    /// the hook may capture a flight recorder that snapshots the rings.
+    fn publish(&self, fresh: Vec<Violation>) {
+        let tel = (!fresh.is_empty()).then(|| self.tel.upgrade()).flatten();
+        for v in &fresh {
+            self.violations_total.inc();
+            if let Some(tel) = &tel {
+                tel.event(
+                    events::INVARIANT_VIOLATION,
+                    &v.scope,
+                    0,
+                    format!("[{}] {}", v.invariant, v.message),
+                );
+            }
+            let hook = self.hook.lock().expect("monitor hook poisoned").clone();
+            if let Some(hook) = hook {
+                hook(v);
+            }
+        }
+        if !fresh.is_empty() {
+            let st = self.state.lock().expect("monitor poisoned");
+            self.open_traces_gauge
+                .set((st.traces.len() - st.settled_count) as i64);
+        }
+    }
+
+    /// Judges `acc` against invariants 1–3. `draining` skips the degrade
+    /// deferral (finalize semantics).
+    fn judge(&self, st: &MonState, trace: u64, acc: &TraceAcc, draining: bool) -> Judgment {
+        let Some(root) = acc.root else {
+            return Judgment::Clean; // rootless: handled by the caller
+        };
+        let mut fails = Vec::new();
+        // 1. Tree integrity (skipped once a ring truncated — children may
+        //    have been recorded before the monitor's window).
+        if !st.truncated {
+            for (id, parent, name) in &acc.children {
+                if !acc.ids.contains(parent) {
+                    fails.push(Violation {
+                        t_ns: st.watermark_ns,
+                        invariant: "orphan-span",
+                        trace,
+                        scope: root.scope.to_string(),
+                        message: format!(
+                            "trace {trace}: span {id} ({name}) has unresolved parent {parent}"
+                        ),
+                    });
+                }
+            }
+        }
+        if root.name == spans::NCL_WRITE {
+            // 2. Ack ⇒ staged, doorbelled, quorum/k-covered.
+            if !st.truncated {
+                for (present, required) in [
+                    (acc.has_stage, spans::NCL_STAGE),
+                    (acc.has_doorbell, spans::NCL_DOORBELL),
+                ] {
+                    if !present {
+                        fails.push(Violation {
+                            t_ns: st.watermark_ns,
+                            invariant: "ack-coverage",
+                            trace,
+                            scope: root.scope.to_string(),
+                            message: format!("trace {trace}: acked write missing {required} span"),
+                        });
+                    }
+                }
+                let required = st
+                    .required_coverage
+                    .get(root.scope)
+                    .copied()
+                    .unwrap_or(st.quorum);
+                if acc.coverage.len() < required {
+                    fails.push(Violation {
+                        t_ns: st.watermark_ns,
+                        invariant: "ack-coverage",
+                        trace,
+                        scope: root.scope.to_string(),
+                        message: format!(
+                            "trace {trace}: acked write covered by {} peers ({:?}), reconstruction quorum is {required}",
+                            acc.coverage.len(),
+                            acc.coverage
+                        ),
+                    });
+                }
+            }
+            // 3. No write root starts inside a degraded window, unless it is
+            //    reattach-replay traffic.
+            for w in st.degrade_windows.iter().filter(|w| w.scope == root.scope) {
+                if root.start_ns >= w.engage_ns && root.start_ns < w.reattach_ns {
+                    if w.reattach_ns == u64::MAX && !draining {
+                        // Window still open: the exempting replay span is
+                        // recorded just before reattach, so wait for it.
+                        return Judgment::Defer;
+                    }
+                    let replayed = st.replay_windows.iter().any(|r| {
+                        r.scope == root.scope
+                            && root.start_ns >= r.start_ns
+                            && root.start_ns <= r.end_ns
+                    });
+                    if !replayed {
+                        fails.push(Violation {
+                            t_ns: st.watermark_ns,
+                            invariant: "degraded-write",
+                            trace,
+                            scope: root.scope.to_string(),
+                            message: format!(
+                                "trace {trace}: write started at {}ns inside degraded window [{}ns, {}ns) of {}",
+                                root.start_ns, w.engage_ns, w.reattach_ns, root.scope
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if fails.is_empty() {
+            Judgment::Clean
+        } else {
+            Judgment::Fail(fails)
+        }
+    }
+
+    /// Retires quiesced traces by popping the due index until it is ahead of
+    /// the watermark — O(traces actually due), independent of how many are
+    /// open. `draining` judges everything immediately (finalize). Returns
+    /// freshly confirmed violations; caller publishes them after releasing
+    /// the lock.
+    fn sweep(&self, st: &mut MonState, draining: bool) -> Vec<Violation> {
+        let watermark = st.watermark_ns;
+        let mut fresh = Vec::new();
+        // Strict `due < watermark`: `due == max_end + lag` retires only once
+        // the stream has moved *past* the lag (the old `quiet > lag`).
+        let mut ready: Vec<(u64, u64)> = Vec::new();
+        for queue in [&mut st.due_rooted, &mut st.due_rootless] {
+            while queue
+                .front()
+                .is_some_and(|&(due, _)| draining || due < watermark)
+            {
+                ready.push(queue.pop_front().expect("front checked"));
+            }
+        }
+        while let Some(&entry) = st.due_slow.iter().next() {
+            if !draining && entry.0 >= watermark {
+                break;
+            }
+            st.due_slow.remove(&entry);
+            ready.push(entry);
+        }
+        for (due, trace) in ready {
+            let acc = match st.traces.get(&trace) {
+                None => continue, // already retired; this was a stale entry
+                Some(Slot::Settled(tomb_due)) => {
+                    if draining || *tomb_due == due {
+                        // Tombstone expiry: the straggler window of a trace
+                        // judged clean at root arrival has closed.
+                        st.traces.remove(&trace);
+                        st.settled_count -= 1;
+                    }
+                    // Else: a stale pre-settle entry — the tombstone's own
+                    // expiry entry is still queued.
+                    continue;
+                }
+                Some(Slot::Live(acc)) => acc,
+            };
+            if !draining && acc.due_ns != due {
+                continue; // superseded: the trace was touched again
+            }
+            if acc.root.is_none() {
+                // Rootless traces are indexed once, at their first span, so
+                // re-check quiescence: if touched since, requeue instead.
+                let fresh_due = acc.max_end_ns.saturating_add(st.open_write_lag_ns);
+                if !draining && fresh_due > due {
+                    let Some(Slot::Live(acc)) = st.traces.get_mut(&trace) else {
+                        unreachable!("live slot checked above");
+                    };
+                    acc.due_ns = fresh_due;
+                    st.due_slow.insert((fresh_due, trace));
+                    continue;
+                }
+                // Rootless at retirement: a crashed (never-acked) write, or
+                // stray straggler children of an already-retired trace.
+                if acc.is_write {
+                    st.open_writes += 1;
+                }
+                st.traces.remove(&trace);
+                continue;
+            }
+            let was_suspect = acc.suspect_deadline_ns.is_some();
+            match self.judge(st, trace, acc, draining) {
+                Judgment::Clean => {
+                    st.retired_clean += 1;
+                    self.retired_total.inc();
+                    if was_suspect {
+                        st.suspect_count -= 1;
+                    }
+                    st.traces.remove(&trace);
+                }
+                Judgment::Defer => {
+                    // Keep; re-examine one lag from now (the exempting
+                    // replay span / reattach will have landed by then, and
+                    // finalize drains regardless).
+                    let retry = watermark.saturating_add(st.retirement_lag_ns.max(1));
+                    let Some(Slot::Live(acc)) = st.traces.get_mut(&trace) else {
+                        unreachable!("live slot checked above");
+                    };
+                    acc.due_ns = retry;
+                    st.due_slow.insert((retry, trace));
+                }
+                Judgment::Fail(violations) => {
+                    if was_suspect || draining {
+                        for v in violations {
+                            fresh.push(v.clone());
+                            Self::store(st, v);
+                        }
+                        if was_suspect {
+                            st.suspect_count -= 1;
+                        }
+                        st.traces.remove(&trace);
+                    } else {
+                        // First failure: hold as a suspect; late catch-up
+                        // credits may still clear it.
+                        let deadline = watermark.saturating_add(st.suspect_grace_ns);
+                        let Some(Slot::Live(acc)) = st.traces.get_mut(&trace) else {
+                            unreachable!("live slot checked above");
+                        };
+                        acc.suspect_deadline_ns = Some(deadline);
+                        acc.due_ns = deadline;
+                        st.due_slow.insert((deadline, trace));
+                        st.suspect_count += 1;
+                    }
+                }
+            }
+        }
+        self.open_traces_gauge
+            .set((st.traces.len() - st.settled_count) as i64);
+        self.suspects_gauge.set(st.suspect_count as i64);
+        fresh
+    }
+
+    fn report_locked(&self, st: &MonState) -> MonitorReport {
+        MonitorReport {
+            acked_writes: st.acked_writes,
+            open_writes: st.open_writes,
+            retired_clean: st.retired_clean,
+            open_traces: st.traces.len() - st.settled_count,
+            suspects: st.suspect_count,
+            truncated: st.truncated,
+            finalized: st.finalized,
+            violations: st.violations.clone(),
+            violations_dropped: st.violations_dropped,
+        }
+    }
+}
+
+/// Public handle to an attached online monitor. Cloning shares the checker.
+///
+/// Dropping the last clone deactivates the checks: the recording fast path
+/// reverts to a single relaxed load, the drainer thread exits, and the
+/// checker state is freed (the small core allocation stays in the owning
+/// [`Telemetry`]'s lock-free slot, ready to be revived by a later attach).
+pub struct OnlineMonitor {
+    core: Arc<MonitorCore>,
+}
+
+impl Clone for OnlineMonitor {
+    fn clone(&self) -> Self {
+        Self::from_core(Arc::clone(&self.core))
+    }
+}
+
+impl Drop for OnlineMonitor {
+    fn drop(&mut self) {
+        if self.core.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.core.deactivate();
+        }
+    }
+}
+
+impl std::fmt::Debug for OnlineMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineMonitor")
+            .field("violations", &self.violation_count())
+            .finish()
+    }
+}
+
+impl OnlineMonitor {
+    /// Attaches a monitor with default retirement/grace windows. `quorum` is
+    /// the deployment's f+1 write quorum (EC scopes override it per scope
+    /// via their `durability-mode` events, exactly like the analyzer).
+    ///
+    /// A `Telemetry` accepts one attachment for its lifetime; later calls
+    /// return a handle to the already-attached monitor.
+    pub fn attach(tel: &Telemetry, quorum: usize) -> Self {
+        Self::attach_with_limits(
+            tel,
+            quorum,
+            DEFAULT_RETIREMENT_LAG_NS,
+            DEFAULT_SUSPECT_GRACE_NS,
+        )
+    }
+
+    /// [`attach`](Self::attach) with explicit windows, for tests that want
+    /// fast retirement.
+    pub fn attach_with_limits(
+        tel: &Telemetry,
+        quorum: usize,
+        retirement_lag_ns: u64,
+        suspect_grace_ns: u64,
+    ) -> Self {
+        let core = Arc::new(MonitorCore {
+            tel: tel.downgrade(),
+            handles: AtomicUsize::new(0),
+            active: AtomicBool::new(true),
+            violations_total: tel.counter("invariant.violations.total"),
+            retired_total: tel.counter("invariant.retired.total"),
+            open_traces_gauge: tel.gauge("invariant.open_traces"),
+            suspects_gauge: tel.gauge("invariant.suspects"),
+            hook: Mutex::new(None),
+            pending: Mutex::new(Vec::new()),
+            gate: Arc::new((Mutex::new(false), std::sync::Condvar::new())),
+            drainer: Mutex::new(None),
+            state: Mutex::new(MonState {
+                quorum,
+                retirement_lag_ns,
+                suspect_grace_ns,
+                open_write_lag_ns: DEFAULT_OPEN_WRITE_LAG_NS,
+                ..MonState::default()
+            }),
+        });
+        match tel.install_monitor(&core) {
+            Some(existing) => Self::from_core(existing),
+            None => {
+                if tel.is_enabled() {
+                    MonitorCore::spawn_drainer(&core);
+                }
+                Self::from_core(core)
+            }
+        }
+    }
+
+    /// Registers (replacing) the violation hook, fired once per confirmed
+    /// violation, outside every monitor lock. The testbed points this at a
+    /// flight-recorder dump so the offending window is captured at fault
+    /// time.
+    pub fn on_violation(&self, hook: impl Fn(&Violation) + Send + Sync + 'static) {
+        *self.core.hook.lock().expect("monitor hook poisoned") = Some(Arc::new(hook));
+    }
+
+    /// Total confirmed violations so far (flushes buffered spans first).
+    pub fn violation_count(&self) -> u64 {
+        let (fresh, count) = {
+            let mut st = self.core.state.lock().expect("monitor poisoned");
+            let fresh = self.core.drain_pending(&mut st);
+            (fresh, st.violations.len() as u64 + st.violations_dropped)
+        };
+        self.core.publish(fresh);
+        count
+    }
+
+    /// True when at least one invariant has been violated (`/health` flips
+    /// to 503 on this).
+    pub fn violating(&self) -> bool {
+        self.violation_count() > 0
+    }
+
+    /// Point-in-time report without draining open traces (buffered spans
+    /// are flushed and a retirement sweep runs first).
+    pub fn report(&self) -> MonitorReport {
+        let mut st = self.core.state.lock().expect("monitor poisoned");
+        if !st.finalized {
+            let mut fresh = self.core.drain_pending(&mut st);
+            fresh.extend(self.core.sweep(&mut st, false));
+            let report = self.core.report_locked(&st);
+            drop(st);
+            self.core.publish(fresh);
+            return report;
+        }
+        self.core.report_locked(&st)
+    }
+
+    /// Drains every open trace (watermark → ∞), settles suspects, and
+    /// freezes the monitor: subsequent spans/events are ignored, so the
+    /// returned report is stable for an offline cross-check. Idempotent.
+    pub fn finalize(&self) -> MonitorReport {
+        let (fresh, report) = {
+            let mut st = self.core.state.lock().expect("monitor poisoned");
+            if st.finalized {
+                return self.core.report_locked(&st);
+            }
+            let mut fresh = self.core.drain_pending(&mut st);
+            fresh.extend(self.core.sweep(&mut st, true));
+            st.finalized = true;
+            (fresh, self.core.report_locked(&st))
+        };
+        self.core.publish(fresh);
+        // The report was taken before publish (which only touches gauges);
+        // re-read nothing — violations were already stored under the lock.
+        report
+    }
+
+    /// `/invariants` body: the current report as JSON.
+    pub fn render_json(&self) -> String {
+        self.report().to_json()
+    }
+
+    pub(crate) fn from_core(core: Arc<MonitorCore>) -> Self {
+        core.handles.fetch_add(1, Ordering::AcqRel);
+        OnlineMonitor { core }
+    }
+}
+
+impl MonitorCore {
+    /// Spawns the background drainer: wakes when a producer crosses
+    /// [`DRAIN_BATCH`] buffered spans (or every [`DRAIN_INTERVAL`]), flushes
+    /// the buffer through the checker, and exits when the gate's stop flag
+    /// is raised (deactivation or core drop). Holding only a `Weak`, it
+    /// never keeps an orphaned core alive.
+    pub(crate) fn spawn_drainer(core: &Arc<MonitorCore>) {
+        let weak = Arc::downgrade(core);
+        let gate = Arc::clone(&core.gate);
+        let handle = std::thread::Builder::new()
+            .name("ncl-invmon".to_string())
+            .spawn(move || loop {
+                {
+                    let stopped = gate.0.lock().expect("monitor gate poisoned");
+                    let (stopped, _) = gate
+                        .1
+                        .wait_timeout(stopped, DRAIN_INTERVAL)
+                        .expect("monitor gate poisoned");
+                    if *stopped {
+                        return;
+                    }
+                }
+                let Some(core) = weak.upgrade() else { return };
+                let fresh = {
+                    let mut st = core.state.lock().expect("monitor poisoned");
+                    core.drain_pending(&mut st)
+                };
+                core.publish(fresh);
+            })
+            .expect("spawn invariant-monitor drainer");
+        *core.drainer.lock().expect("monitor drainer poisoned") = Some(handle);
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Revives a deactivated core in place with a new attachment's
+    /// configuration (the checker state starts fresh). Called by
+    /// `Telemetry::install_monitor`, which then restarts the drainer.
+    pub(crate) fn reactivate(&self, candidate: &MonitorCore) {
+        let config = {
+            let c = candidate.state.lock().expect("monitor poisoned");
+            (
+                c.quorum,
+                c.retirement_lag_ns,
+                c.suspect_grace_ns,
+                c.open_write_lag_ns,
+            )
+        };
+        *self.state.lock().expect("monitor poisoned") = MonState {
+            quorum: config.0,
+            retirement_lag_ns: config.1,
+            suspect_grace_ns: config.2,
+            open_write_lag_ns: config.3,
+            ..MonState::default()
+        };
+        self.pending
+            .lock()
+            .expect("monitor buffer poisoned")
+            .clear();
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Restarts the drainer after a [`reactivate`](Self::reactivate) (the
+    /// previous one exited at deactivation).
+    pub(crate) fn respawn_drainer(core: &Arc<MonitorCore>) {
+        *core.gate.0.lock().expect("monitor gate poisoned") = false;
+        let running = core
+            .drainer
+            .lock()
+            .expect("monitor drainer poisoned")
+            .is_some();
+        if !running {
+            Self::spawn_drainer(core);
+        }
+    }
+
+    /// Last public handle gone: stop forwarding, stop the drainer, free the
+    /// checker state. The allocation itself stays installed in the owning
+    /// `Telemetry` (its lock-free slot is write-once) until that drops.
+    fn deactivate(&self) {
+        self.active.store(false, Ordering::Release);
+        if let Some(tel) = self.tel.upgrade() {
+            tel.clear_monitor_gate();
+        }
+        self.stop_drainer();
+        self.pending
+            .lock()
+            .expect("monitor buffer poisoned")
+            .clear();
+        *self.state.lock().expect("monitor poisoned") = MonState::default();
+    }
+
+    fn stop_drainer(&self) {
+        *self.gate.0.lock().expect("monitor gate poisoned") = true;
+        self.gate.1.notify_all();
+        if let Some(h) = self
+            .drainer
+            .lock()
+            .expect("monitor drainer poisoned")
+            .take()
+        {
+            // Joining from the drainer's own thread (a hook holding the last
+            // handle) would error, not deadlock — skip it instead.
+            if std::thread::current().id() != h.thread().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for MonitorCore {
+    fn drop(&mut self) {
+        self.stop_drainer();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn attached() -> (Telemetry, OnlineMonitor) {
+        let tel = Telemetry::new();
+        // Tiny windows so tests retire instantly.
+        let mon = OnlineMonitor::attach_with_limits(&tel, 2, 0, 0);
+        (tel, mon)
+    }
+
+    fn emit_write(tel: &Telemetry, peers: &[&str]) -> u64 {
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_micros(50);
+        let trace = tel.next_trace_id();
+        let scope = crate::intern_scope("app/mon");
+        tel.span_auto(trace, trace, spans::NCL_STAGE, scope, 1, t0, t1);
+        tel.span_auto(trace, trace, spans::NCL_DOORBELL, scope, 1, t0, t1);
+        for p in peers {
+            tel.span_auto(
+                trace,
+                trace,
+                spans::NCL_WIRE_PEER,
+                crate::intern_scope(p),
+                1,
+                t0,
+                t1,
+            );
+        }
+        tel.span(trace, trace, 0, spans::NCL_WRITE, scope, 1, t0, t1);
+        trace
+    }
+
+    #[test]
+    fn clean_writes_retire_without_violations() {
+        let (tel, mon) = attached();
+        for _ in 0..4 {
+            emit_write(&tel, &["peer-0", "peer-1"]);
+        }
+        let report = mon.finalize();
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.acked_writes, 4);
+        assert_eq!(report.open_traces, 0);
+        assert_eq!(report.retired_clean, 4);
+    }
+
+    #[test]
+    fn under_coverage_is_confirmed_after_grace() {
+        let (tel, mon) = attached();
+        emit_write(&tel, &["peer-0"]);
+        let report = mon.finalize();
+        assert!(!report.ok());
+        assert!(report.violations[0].message.contains("quorum"));
+        assert_eq!(mon.violation_count(), 1);
+        assert_eq!(tel.counter_value("invariant.violations.total"), 1);
+    }
+
+    #[test]
+    fn late_catchup_credit_clears_a_suspect() {
+        let tel = Telemetry::new();
+        let mon = OnlineMonitor::attach_with_limits(&tel, 2, 0, u64::MAX / 2);
+        let trace = emit_write(&tel, &["peer-0"]);
+        // Force a sweep: the under-covered write becomes a suspect.
+        for _ in 0..SWEEP_EVERY {
+            tel.event(events::EPOCH_BUMP, "app/mon", 1, "");
+            emit_write(&tel, &["peer-0", "peer-1"]);
+        }
+        assert_eq!(mon.violation_count(), 0, "suspect, not yet a violation");
+        // The repair catches peer-2 up over the old record.
+        let t0 = Instant::now();
+        tel.span_auto(
+            trace,
+            trace,
+            spans::NCL_CATCHUP_PEER,
+            crate::intern_scope("peer-2"),
+            2,
+            t0,
+            t0,
+        );
+        let report = mon.finalize();
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn ap_map_before_catchup_is_flagged_live() {
+        let (tel, mon) = attached();
+        tel.event(events::PEER_REPLACE_START, "app/f", 2, "");
+        tel.event(events::AP_MAP_UPDATE, "app/f", 2, "");
+        assert_eq!(mon.violation_count(), 1, "flagged at event arrival");
+        let report = mon.report();
+        assert!(report.violations[0].message.contains("catch-up"));
+        assert_eq!(report.violations[0].invariant, "ap-map-order");
+    }
+
+    #[test]
+    fn proper_replace_ordering_is_clean_and_monotone_epochs_enforced() {
+        let (tel, mon) = attached();
+        tel.event(events::PEER_REPLACE_START, "app/f", 2, "");
+        tel.event(events::CATCH_UP_FINISH, "peer-7", 2, "");
+        tel.event(events::AP_MAP_UPDATE, "app/f", 2, "");
+        assert_eq!(mon.violation_count(), 0);
+        tel.event(events::AP_MAP_UPDATE, "app/f", 1, "");
+        assert_eq!(mon.violation_count(), 1);
+        assert!(mon.report().violations[0].message.contains("backwards"));
+    }
+
+    #[test]
+    fn update_before_replace_start_is_flagged() {
+        let (tel, mon) = attached();
+        tel.event(events::AP_MAP_UPDATE, "app/f", 2, "");
+        tel.event(events::PEER_REPLACE_START, "app/f", 2, "");
+        assert!(mon
+            .report()
+            .violations
+            .iter()
+            .any(|v| v.message.contains("precedes")));
+    }
+
+    #[test]
+    fn degraded_write_defers_until_reattach_then_exempts_replay() {
+        let (tel, mon) = attached();
+        let scope = crate::intern_scope("app/deg");
+        tel.event(events::DFS_FALLBACK_ENGAGE, "app/deg", 2, "");
+        // A write inside the window — and the replay span that exempts it,
+        // recorded (as in splitfs) just before the reattach event.
+        let origin = Instant::now();
+        emit_write_scoped(&tel, scope, origin);
+        tel.span(
+            tel.next_trace_id(),
+            0,
+            0,
+            spans::FS_REATTACH_REPLAY,
+            scope,
+            3,
+            origin - Duration::from_millis(1),
+            origin + Duration::from_millis(1),
+        );
+        tel.event(events::NCL_REATTACH, "app/deg", 3, "");
+        let report = mon.finalize();
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn degraded_write_without_replay_is_flagged() {
+        let (tel, mon) = attached();
+        let scope = crate::intern_scope("app/deg2");
+        tel.event(events::DFS_FALLBACK_ENGAGE, "app/deg2", 2, "");
+        emit_write_scoped(&tel, scope, Instant::now());
+        tel.event(events::NCL_REATTACH, "app/deg2", 3, "");
+        let report = mon.finalize();
+        assert!(!report.ok());
+        assert!(report.violations[0].message.contains("degraded window"));
+    }
+
+    fn emit_write_scoped(tel: &Telemetry, scope: &'static str, t0: Instant) {
+        let t1 = t0 + Duration::from_micros(50);
+        let trace = tel.next_trace_id();
+        tel.span_auto(trace, trace, spans::NCL_STAGE, scope, 1, t0, t1);
+        tel.span_auto(trace, trace, spans::NCL_DOORBELL, scope, 1, t0, t1);
+        for p in ["peer-0", "peer-1"] {
+            tel.span_auto(
+                trace,
+                trace,
+                spans::NCL_WIRE_PEER,
+                crate::intern_scope(p),
+                1,
+                t0,
+                t1,
+            );
+        }
+        tel.span(trace, trace, 0, spans::NCL_WRITE, scope, 1, t0, t1);
+    }
+
+    #[test]
+    fn orphan_child_in_rooted_trace_is_flagged_rootless_is_open() {
+        let (tel, mon) = attached();
+        let scope = crate::intern_scope("app/orph");
+        let t0 = Instant::now();
+        let trace = tel.next_trace_id();
+        emit_write(&tel, &["peer-0", "peer-1"]); // keep the stream flowing
+        tel.span_auto(trace, trace, spans::NCL_STAGE, scope, 1, t0, t0);
+        tel.span(trace, trace, 0, spans::NCL_WRITE, scope, 1, t0, t0);
+        // A child referencing a parent that never existed.
+        let stray = tel.next_span_id();
+        tel.span(trace, stray, 999_999_999, spans::NCL_ACK, scope, 1, t0, t0);
+        // And a rootless (open) write on its own trace.
+        let open = tel.next_trace_id();
+        tel.span_auto(open, open, spans::NCL_STAGE, scope, 1, t0, t0);
+        let report = mon.finalize();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "orphan-span"));
+        assert_eq!(report.open_writes, 1);
+    }
+
+    #[test]
+    fn truncated_window_downgrades_span_checks() {
+        let (tel, mon) = attached();
+        tel.set_span_capacity(4);
+        // Enough spans to overflow the 4-entry ring many times over; the
+        // beheaded traces must NOT surface as orphan/coverage violations.
+        for _ in 0..8 {
+            emit_write(&tel, &["peer-0"]);
+        }
+        let report = mon.finalize();
+        assert!(report.truncated);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn violation_hook_fires_and_event_is_emitted() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (tel, mon) = attached();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        mon.on_violation(move |_| {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        tel.event(events::PEER_REPLACE_START, "app/f", 2, "");
+        tel.event(events::AP_MAP_UPDATE, "app/f", 2, "");
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(tel
+            .events()
+            .iter()
+            .any(|e| e.kind == events::INVARIANT_VIOLATION));
+    }
+
+    #[test]
+    fn detached_monitor_stops_receiving() {
+        let tel = Telemetry::new();
+        {
+            let _mon = OnlineMonitor::attach_with_limits(&tel, 2, 0, 0);
+        }
+        // Monitor dropped: the weak upgrade fails, recording still works.
+        emit_write(&tel, &["peer-0"]);
+        assert_eq!(tel.spans().len(), 4);
+    }
+
+    #[test]
+    fn report_json_is_structured() {
+        let (tel, mon) = attached();
+        tel.event(events::PEER_REPLACE_START, "app/f", 2, "");
+        tel.event(events::AP_MAP_UPDATE, "app/f", 2, "");
+        let json = mon.render_json();
+        assert!(json.contains("\"status\": \"violating\""));
+        assert!(json.contains("\"violations_total\": 1"));
+        assert!(json.contains("ap-map-order"));
+    }
+}

@@ -276,6 +276,12 @@ pub struct SaturationSnapshot {
     /// non-zero values mean tenants are being forced through replace/
     /// catch-up and the peer plane is undersized.
     pub peer_mem_revoked_delta: u64,
+    /// Reactors the profiler's stall watchdog currently flags as silent
+    /// (from the [`crate::profile::STALLED_GAUGE`] gauge; 0 when no
+    /// profiler shares the registry). A stalled reactor stops publishing
+    /// durable watermarks, so this leads the latency cliff the way the
+    /// other saturation signals do.
+    pub reactor_stalled: u64,
     /// Per-shard detail, ordered by shard index.
     pub shards: Vec<ShardSaturation>,
 }
@@ -294,12 +300,13 @@ impl SaturationSnapshot {
             .collect::<Vec<_>>()
             .join(", ");
         format!(
-            "{{\"window_stall_delta\": {}, \"doorbell_p99_ns\": {}, \"shard_imbalance_milli\": {}, \"peer_mem_used_pct\": {}, \"peer_mem_revoked_delta\": {}, \"shards\": [{shards}]}}",
+            "{{\"window_stall_delta\": {}, \"doorbell_p99_ns\": {}, \"shard_imbalance_milli\": {}, \"peer_mem_used_pct\": {}, \"peer_mem_revoked_delta\": {}, \"reactor_stalled\": {}, \"shards\": [{shards}]}}",
             self.window_stall_delta,
             self.doorbell_p99_ns,
             self.shard_imbalance_milli,
             self.peer_mem_used_pct,
-            self.peer_mem_revoked_delta
+            self.peer_mem_revoked_delta,
+            self.reactor_stalled
         )
     }
 }
@@ -373,6 +380,7 @@ impl SaturationTracker {
             shard_imbalance_milli,
             peer_mem_used_pct,
             peer_mem_revoked_delta,
+            reactor_stalled: tel.gauge_value(crate::profile::STALLED_GAUGE).max(0) as u64,
             shards,
         }
     }
@@ -602,6 +610,9 @@ impl SloPlane {
         self.tel
             .gauge("slo.saturation.peer_mem_revoked")
             .set(sat.peer_mem_revoked_delta.min(i64::MAX as u64) as i64);
+        self.tel
+            .gauge("slo.saturation.reactor_stalled")
+            .set(sat.reactor_stalled.min(i64::MAX as u64) as i64);
     }
 }
 
@@ -824,6 +835,17 @@ mod tests {
         let report = plane.tick();
         assert_eq!(report.saturation.peer_mem_revoked_delta, 0);
         assert_eq!(report.saturation.peer_mem_used_pct, 80);
+    }
+
+    #[test]
+    fn saturation_reads_reactor_stalls() {
+        let tel = Telemetry::new();
+        let plane = SloPlane::new(tel.clone());
+        tel.gauge(crate::profile::STALLED_GAUGE).set(2);
+        let report = plane.tick();
+        assert_eq!(report.saturation.reactor_stalled, 2);
+        assert!(report.to_json().contains("\"reactor_stalled\": 2"));
+        assert_eq!(tel.gauge_value("slo.saturation.reactor_stalled"), 2);
     }
 
     #[test]

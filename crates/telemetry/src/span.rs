@@ -191,16 +191,21 @@ impl SpanTrace {
         }
     }
 
-    pub(crate) fn record(&self, span: Span) {
+    /// Returns whether the ring had to drop its oldest entry to make room
+    /// (the JSONL sink, when set, still received every record).
+    pub(crate) fn record(&self, span: Span) -> bool {
         if self.sink.is_set() {
             self.sink.write_line(&span.to_json());
         }
         let mut ring = self.ring.lock().expect("span trace poisoned");
+        let mut dropped = false;
         if ring.buf.len() >= ring.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
+            dropped = true;
         }
         ring.buf.push_back(span);
+        dropped
     }
 
     pub(crate) fn spans(&self) -> Vec<Span> {

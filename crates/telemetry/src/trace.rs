@@ -84,10 +84,22 @@ pub mod events {
     /// A region's epoch lease expired with its owning application confirmed
     /// dead at the controller; the leak GC reclaimed it.
     pub const LEASE_EXPIRE: &str = "lease-expire";
+    /// An in-memory trace ring (events or spans) overflowed and dropped its
+    /// oldest entries; emitted once, on the first drop, so consumers of the
+    /// rings know the window is no longer complete (the JSONL sink never
+    /// drops). The analyzer and the online monitor downgrade span-
+    /// completeness checks to "truncated window" once this fires.
+    pub const TRACE_TRUNCATED: &str = "trace-truncated";
+    /// A shard reactor stopped heartbeating past the stall watchdog's
+    /// threshold (detail carries the shard index and silent duration).
+    pub const REACTOR_STALL: &str = "reactor-stall";
+    /// The online invariant monitor flagged a violation; the detail carries
+    /// the human-readable message (same format as the offline analyzer's).
+    pub const INVARIANT_VIOLATION: &str = "invariant-violation";
 
     /// Every well-known kind, used by the JSONL replay path to intern parsed
     /// kind strings back to the canonical `&'static str` values.
-    pub const ALL: [&str; 24] = [
+    pub const ALL: [&str; 27] = [
         PEER_FAILURE,
         PEER_REPLACE_START,
         PEER_REPLACE_FINISH,
@@ -112,6 +124,9 @@ pub mod events {
         REGION_REVOKE,
         PEER_PRESSURE,
         LEASE_EXPIRE,
+        TRACE_TRUNCATED,
+        REACTOR_STALL,
+        INVARIANT_VIOLATION,
     ];
 }
 
@@ -211,6 +226,8 @@ impl EventTrace {
         }
     }
 
+    /// Returns whether the ring had to drop its oldest entry to make room
+    /// (the JSONL sink, when set, still received every record).
     pub(crate) fn record(
         &self,
         ts_ns: u64,
@@ -219,7 +236,7 @@ impl EventTrace {
         epoch: u64,
         trace: u64,
         detail: String,
-    ) {
+    ) -> bool {
         let ev = Event {
             ts_ns,
             kind,
@@ -234,11 +251,14 @@ impl EventTrace {
             self.sink.write_line(&ev.to_json());
         }
         let mut ring = self.ring.lock().expect("trace poisoned");
+        let mut dropped = false;
         if ring.buf.len() >= ring.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
+            dropped = true;
         }
         ring.buf.push_back(ev);
+        dropped
     }
 
     pub(crate) fn events(&self) -> Vec<Event> {

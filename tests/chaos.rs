@@ -34,9 +34,11 @@
 //!   `trace_analyzer --check` consumes the same files in CI.
 
 use std::env;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use splitft::apps::miniredis::{Command, MiniRedis, Query, RedisOptions, Reply};
@@ -242,6 +244,37 @@ fn run_schedule(seed: u64, plan: &FaultPlan) {
         report.acked_writes > 0,
         "seed {seed}: no acked write produced a complete span chain"
     );
+
+    // When the testbed attached a streaming monitor (SPLITFT_ONLINE_MONITOR
+    // or TestbedConfig::online_monitor), its live verdicts must agree with
+    // the offline analyzer's replay of the same stream: identical violation
+    // messages (both sides emit the analyzer's exact format strings) and
+    // identical acked-write counts. This is the online/offline
+    // zero-disagreement gate the monitor-enabled CI axis runs across the
+    // full seed matrix.
+    if let Some(monitor) = tb.online_monitor() {
+        let online = monitor.finalize();
+        assert!(
+            !online.truncated,
+            "seed {seed}: ring truncation mid-schedule; online verdicts incomparable"
+        );
+        let mut online_msgs: Vec<String> = online
+            .violations
+            .iter()
+            .map(|v| v.message.clone())
+            .collect();
+        let mut offline_msgs = report.violations.clone();
+        online_msgs.sort();
+        offline_msgs.sort();
+        assert_eq!(
+            online_msgs, offline_msgs,
+            "seed {seed}: online monitor and offline analyzer disagree"
+        );
+        assert_eq!(
+            online.acked_writes as usize, report.acked_writes,
+            "seed {seed}: online/offline acked-write counts diverge"
+        );
+    }
 }
 
 /// Panics with the analyzer's full report on any violated trace invariant.
@@ -480,6 +513,130 @@ fn chaos_style_flight_dump_passes_the_analyzer() {
         "flight dump carries complete acked-write chains"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// One blocking scrape against the testbed's operator endpoint.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("scrape endpoint reachable");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request written");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response read");
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+/// Acceptance: the streaming monitor catches a seeded §4.5 ordering
+/// violation — an ap-map update published for a replacement epoch before
+/// that epoch's catch-up finished — *live*, not in offline replay. The
+/// operator surface must agree end to end: `/health` flips to 503 even
+/// though every SLO is healthy, `/invariants` names the violated ordering,
+/// and the violation hook dumps a flight-recorder black box that parses as
+/// a trace and whose only analyzer findings are the seeded ones (zero
+/// orphan spans, no collateral false positives from healthy traffic).
+#[test]
+fn online_monitor_catches_seeded_apmap_violation_live() {
+    let mut cfg = TestbedConfig::zero(3);
+    cfg.online_monitor = true;
+    cfg.scrape_addr = Some("127.0.0.1:0".into());
+    let tel = cfg.ncl.telemetry.clone();
+    let quorum = cfg.ncl.quorum();
+    let tb = Testbed::start(cfg);
+    let (fs, _app_node) = tb.mount(Mode::SplitFt, "chaos-monitor");
+    let db = Db::open(fs, 4);
+    for i in 0..24 {
+        assert!(db.put(&format!("k{i:03}")), "healthy put {i} acked");
+    }
+
+    let monitor = tb.online_monitor().expect("monitor attached");
+    assert!(
+        !monitor.violating(),
+        "healthy workload must not trip the monitor"
+    );
+
+    // Arm the black box exactly like `FLIGHT_DUMP_DIR` does in CI, but
+    // through the hook directly so the test does not mutate process env.
+    let dump_dir = sink_dir().join("invariant-flight");
+    let dumped: Arc<Mutex<Option<PathBuf>>> = Arc::new(Mutex::new(None));
+    {
+        let recorder = tb.flight_recorder().clone();
+        let dir = dump_dir.clone();
+        let slot = Arc::clone(&dumped);
+        monitor.on_violation(move |v| {
+            recorder.tick();
+            if let Ok(path) = recorder.dump_into(
+                &dir,
+                "invariant",
+                &format!("invariant-violation [{}] {}", v.invariant, v.message),
+            ) {
+                *slot.lock().expect("dump slot") = Some(path);
+            }
+        });
+    }
+
+    // Seed the ordering violation: a replacement announces itself, then the
+    // ap-map for the same scope+epoch is published with no catch-up finish
+    // in between — the exact bug class §4.5's ordering forbids.
+    tel.event(events::PEER_REPLACE_START, "chaos-monitor/seeded", 7, "");
+    tel.event(events::AP_MAP_UPDATE, "chaos-monitor/seeded", 7, "");
+
+    assert!(
+        monitor.violating(),
+        "seeded ap-map-before-catch-up must be caught live"
+    );
+    assert!(monitor.violation_count() >= 1);
+
+    let addr = tb.scrape_addr().expect("scrape server up");
+    let (status, _) = http_get(addr, "/health");
+    assert!(
+        status.contains("503"),
+        "invariant violation must flip /health: {status}"
+    );
+    let (status, body) = http_get(addr, "/invariants");
+    assert!(status.contains("503"), "{status}");
+    assert!(
+        body.contains("ap-map-order") && body.contains("catch-up"),
+        "/invariants must name the violated ordering: {body}"
+    );
+
+    // The hook's black box is a valid trace: parseable, completeness-clean,
+    // and the offline analyzer reproduces exactly the seeded finding.
+    let path = dumped
+        .lock()
+        .expect("dump slot")
+        .clone()
+        .expect("violation hook dumped the flight recorder");
+    let text = std::fs::read_to_string(&path).expect("flight dump readable");
+    assert!(
+        text.contains("invariant-violation"),
+        "dump records its reason"
+    );
+    let (spans, evs) = parse_jsonl(&text).expect("flight dump parses as a trace");
+    let report = analyze(&spans, &evs, quorum);
+    assert_eq!(
+        report.orphan_spans,
+        0,
+        "dump must stay completeness-clean\n{}",
+        report.render()
+    );
+    assert!(
+        !report.ok(),
+        "the seeded violation must be visible offline too"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .all(|v| v.contains("chaos-monitor/seeded")),
+        "only the seeded finding may appear:\n{}",
+        report.render()
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dump_dir);
 }
 
 #[test]
